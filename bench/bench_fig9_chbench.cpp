@@ -1,0 +1,80 @@
+// Figure 9 — CH-benCHmark queries Q3, Q5, Q9, Q10 under the four execution
+// strategies, with 5% of orders/orderlines/neworders/stock rows populated
+// into the delta partitions.
+//
+// Paper result: for aggregate queries joining more than three tables the
+// cache benefit is only marginal without dynamic join pruning; full pruning
+// accelerates execution by up to an order of magnitude over uncached.
+
+#include "bench/harness.h"
+
+namespace aggcache {
+namespace bench {
+namespace {
+
+constexpr int kReps = 3;
+
+void Run() {
+  PrintBanner("Figure 9", "CH-benCHmark Q3/Q5/Q9/Q10 join strategies",
+              "without pruning the cache is marginal for >3-table joins; "
+              "full pruning up to ~10x vs uncached");
+
+  Database db;
+  ChBenchConfig config;
+  config.num_warehouses = 2;
+  config.num_items = 2000;
+  config.districts_per_warehouse = 10;
+  config.customers_per_district = 30;
+  config.orders_per_customer = 10;
+  config.avg_orderlines_per_order = 10;  // ~60K orderlines.
+  ChBenchDataset dataset =
+      CheckOk(ChBenchDataset::Create(&db, config), "chbench");
+  AggregateCacheManager cache(&db);
+
+  std::vector<StrategySpec> strategies = JoinStrategies();
+  std::vector<std::string> columns = {"query", "tables"};
+  for (const StrategySpec& s : strategies) {
+    columns.push_back(std::string(s.label) + "_ms");
+  }
+  columns.push_back("pruned/total");
+  columns.push_back("speedup_vs_uncached");
+  ResultTable table(columns);
+
+  for (auto& [number, query] : dataset.AllQueries()) {
+    CheckOk(cache.Prewarm(query), "prewarm");
+    std::vector<std::string> row = {StrFormat("Q%d", number),
+                                    StrFormat("%zu", query.tables.size())};
+    std::vector<double> times;
+    uint64_t pruned = 0;
+    uint64_t total = 0;
+    for (const StrategySpec& s : strategies) {
+      ExecutionOptions options;
+      options.strategy = s.strategy;
+      double ms = MedianMs(kReps, [&] {
+        Transaction txn = db.Begin();
+        CheckOk(cache.Execute(query, txn, options).status(), "execute");
+      });
+      if (s.strategy == ExecutionStrategy::kCachedFullPruning) {
+        pruned = cache.last_exec_stats().subjoins_pruned;
+        total = pruned + cache.last_exec_stats().subjoins_executed;
+      }
+      times.push_back(ms);
+      row.push_back(FormatMs(ms));
+    }
+    row.push_back(StrFormat("%llu/%llu",
+                            static_cast<unsigned long long>(pruned),
+                            static_cast<unsigned long long>(total)));
+    row.push_back(StrFormat("%.1fx", times[0] / times[3]));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aggcache
+
+int main() {
+  aggcache::bench::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Section 6.3 — Insert overhead of referential-integrity checking and of
+// the matching-dependency tid lookup, as a google-benchmark microbenchmark.
+//
+// Paper result: inserting an Item row without any checks takes about 50% of
+// the time of an insert with referential-integrity checks; the additional
+// tid lookup costs 20-30% of the RI-check time (and can be combined with
+// the RI check, which this implementation does: one primary-key probe
+// serves both).
+
+#include "benchmark/benchmark.h"
+#include "bench/harness.h"
+
+namespace aggcache {
+namespace bench {
+namespace {
+
+struct Fixture {
+  Fixture(size_t num_headers) {
+    ErpConfig config;
+    config.num_headers_main = num_headers;
+    config.num_categories = 50;
+    // The experiment only exercises the Item insert path; keep the
+    // preloaded item population minimal so fixture setup stays fast.
+    config.avg_items_per_header = 1;
+    dataset = std::make_unique<ErpDataset>(
+        CheckOk(ErpDataset::Create(&db, config), "erp"));
+    num_headers_loaded = num_headers;
+  }
+
+  Database db;
+  std::unique_ptr<ErpDataset> dataset;
+  size_t num_headers_loaded = 0;
+  int64_t next_item_id = 100000000;
+};
+
+void InsertItems(::benchmark::State& state, const InsertOptions& options) {
+  Fixture fixture(static_cast<size_t>(state.range(0)));
+  Table* item = fixture.dataset->item();
+  Rng rng(5);
+  int64_t max_header = static_cast<int64_t>(fixture.num_headers_loaded);
+  for (auto _ : state) {
+    Transaction txn = fixture.db.Begin();
+    Status status = item->Insert(
+        txn,
+        {Value(fixture.next_item_id++), Value(rng.UniformInt(1, max_header)),
+         Value(int64_t{1}), Value(10.0), Value(int64_t{1})},
+        options);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_InsertNoChecks(::benchmark::State& state) {
+  InsertOptions options;
+  options.check_referential_integrity = false;
+  options.maintain_tid_columns = false;
+  InsertItems(state, options);
+}
+
+void BM_InsertWithRiCheck(::benchmark::State& state) {
+  InsertOptions options;
+  options.check_referential_integrity = true;
+  options.maintain_tid_columns = false;
+  InsertItems(state, options);
+}
+
+void BM_InsertWithRiCheckAndTidLookup(::benchmark::State& state) {
+  InsertOptions options;  // Both enabled: the production path.
+  InsertItems(state, options);
+}
+
+// Fixed iteration counts keep google-benchmark to a single measurement
+// pass per case (fixture setup loads the full header table each pass).
+BENCHMARK(BM_InsertNoChecks)->Arg(10000)->Arg(100000)->Iterations(50000);
+BENCHMARK(BM_InsertWithRiCheck)->Arg(10000)->Arg(100000)->Iterations(50000);
+BENCHMARK(BM_InsertWithRiCheckAndTidLookup)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Iterations(50000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aggcache
+
+int main(int argc, char** argv) {
+  aggcache::bench::PrintBanner(
+      "Section 6.3", "item insert overhead (RI check + MD tid lookup)",
+      "no-checks insert ~50% of insert with RI checks; tid lookup adds "
+      "20-30% of the RI-check time, shared with the RI probe");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,117 @@
+#ifndef AGGCACHE_BENCH_HARNESS_H_
+#define AGGCACHE_BENCH_HARNESS_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aggcache/aggcache.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace aggcache {
+namespace bench {
+
+/// Runs `fn` `reps` times and returns the median wall-clock milliseconds.
+inline double MedianMs(int reps, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    times.push_back(watch.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Aborts the benchmark on an unexpected error.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckOk(StatusOr<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Fixed-width text table, printed in the style of the paper's figures:
+/// one row per x-axis point, one column per series.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void PrintBanner(const char* id, const char* title,
+                        const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+inline std::string FormatMs(double ms) { return StrFormat("%.3f", ms); }
+inline std::string FormatNorm(double v) { return StrFormat("%.3f", v); }
+
+/// The four join execution strategies of Section 6.4, in display order.
+struct StrategySpec {
+  const char* label;
+  ExecutionStrategy strategy;
+  bool pushdown;
+};
+
+inline std::vector<StrategySpec> JoinStrategies() {
+  return {
+      {"uncached", ExecutionStrategy::kUncached, false},
+      {"cached-no-pruning", ExecutionStrategy::kCachedNoPruning, false},
+      {"cached-empty-delta", ExecutionStrategy::kCachedEmptyDeltaPruning,
+       false},
+      {"cached-full-pruning", ExecutionStrategy::kCachedFullPruning, false},
+  };
+}
+
+}  // namespace bench
+}  // namespace aggcache
+
+#endif  // AGGCACHE_BENCH_HARNESS_H_

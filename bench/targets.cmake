@@ -1,0 +1,28 @@
+# Bench binaries, one per reproduced table/figure plus two ablations.
+# Defined from the top-level CMakeLists via include() so that
+# ${CMAKE_BINARY_DIR}/bench contains only runnable executables.
+
+set(AGGCACHE_BENCH_TARGETS
+  bench_fig6_maintenance
+  bench_sec62_memory_overhead
+  bench_sec63_insert_overhead
+  bench_fig7_join_pruning
+  bench_fig8_growing_delta
+  bench_fig9_chbench
+  bench_fig10_pushdown
+  bench_fig11_hot_cold
+  bench_ablation_subjoins
+  bench_ablation_merge_sync
+  bench_ablation_main_comp
+  bench_ablation_locality
+)
+
+foreach(target ${AGGCACHE_BENCH_TARGETS})
+  add_executable(${target} bench/${target}.cpp)
+  target_link_libraries(${target} PRIVATE aggcache)
+  target_include_directories(${target} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${target} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+target_link_libraries(bench_sec63_insert_overhead PRIVATE benchmark::benchmark)

@@ -1,0 +1,190 @@
+// Interactive SQL shell over the aggcache engine. Preloads the ERP demo
+// dataset and accepts the supported SQL dialect plus a few meta-commands —
+// the quickest way to poke at the aggregate cache by hand.
+//
+// Usage:  ./sql_shell            (interactive)
+//         echo "SELECT ..." | ./sql_shell
+//
+// Meta-commands:
+//   .tables           list tables with partition sizes
+//   .merge [table]    run a delta merge (all tables when omitted)
+//   .cache            show aggregate cache entries and metrics
+//   .strategy NAME    uncached | no-pruning | empty-delta | full (default)
+//   .save FILE        write a database snapshot
+//   .load FILE        replace the database with a snapshot
+//   .quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "aggcache/aggcache.h"
+#include "common/stopwatch.h"
+
+namespace {
+
+using namespace aggcache;  // NOLINT(build/namespaces) — example brevity.
+
+ExecutionStrategy g_strategy = ExecutionStrategy::kCachedFullPruning;
+
+void ListTables(const Database& db) {
+  for (const std::string& name : db.TableNames()) {
+    const Table* table = db.GetTable(name).value();
+    std::printf("  %-20s", name.c_str());
+    for (size_t g = 0; g < table->num_groups(); ++g) {
+      const PartitionGroup& group = table->group(g);
+      std::printf(" %s[main=%zu delta=%zu]",
+                  AgeClassToString(group.age), group.main.num_rows(),
+                  group.delta.num_rows());
+    }
+    std::printf("\n");
+  }
+}
+
+void ShowCache(const AggregateCacheManager& cache) {
+  std::printf("  %zu entries, %zu bytes\n", cache.num_entries(),
+              cache.total_bytes());
+}
+
+bool HandleMetaCommand(const std::string& line,
+                       std::unique_ptr<Database>& db,
+                       std::unique_ptr<AggregateCacheManager>& cache) {
+  if (line == ".quit" || line == ".exit") std::exit(0);
+  if (line == ".tables") {
+    ListTables(*db);
+    return true;
+  }
+  if (line == ".cache") {
+    ShowCache(*cache);
+    return true;
+  }
+  if (line.rfind(".merge", 0) == 0) {
+    std::string table = line.size() > 7 ? line.substr(7) : "";
+    Status status = table.empty() ? db->MergeAll() : db->Merge(table);
+    std::printf("  %s\n", status.ToString().c_str());
+    return true;
+  }
+  if (line.rfind(".save ", 0) == 0) {
+    std::ofstream out(line.substr(6));
+    Status status = out ? WriteSnapshot(*db, out)
+                        : Status::InvalidArgument("cannot open file");
+    std::printf("  %s\n", status.ToString().c_str());
+    return true;
+  }
+  if (line.rfind(".load ", 0) == 0) {
+    std::ifstream in(line.substr(6));
+    if (!in) {
+      std::printf("  cannot open file\n");
+      return true;
+    }
+    auto fresh = std::make_unique<Database>();
+    Status status = ReadSnapshot(in, fresh.get());
+    if (status.ok()) {
+      cache.reset();  // The old cache observes the old database.
+      db = std::move(fresh);
+      cache = std::make_unique<AggregateCacheManager>(db.get());
+    }
+    std::printf("  %s\n", status.ToString().c_str());
+    return true;
+  }
+  if (line.rfind(".strategy ", 0) == 0) {
+    std::string name = line.substr(10);
+    if (name == "uncached") {
+      g_strategy = ExecutionStrategy::kUncached;
+    } else if (name == "no-pruning") {
+      g_strategy = ExecutionStrategy::kCachedNoPruning;
+    } else if (name == "empty-delta") {
+      g_strategy = ExecutionStrategy::kCachedEmptyDeltaPruning;
+    } else if (name == "full") {
+      g_strategy = ExecutionStrategy::kCachedFullPruning;
+    } else {
+      std::printf("  unknown strategy '%s'\n", name.c_str());
+      return true;
+    }
+    std::printf("  strategy = %s\n", ExecutionStrategyToString(g_strategy));
+    return true;
+  }
+  if (!line.empty() && line[0] == '.') {
+    std::printf("  unknown meta-command '%s'\n", line.c_str());
+    return true;
+  }
+  return false;
+}
+
+void RunStatement(const std::string& sql, Database& db,
+                  AggregateCacheManager& cache) {
+  auto parsed = ParseStatement(sql, db);
+  if (!parsed.ok()) {
+    std::printf("  error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  if (parsed->kind != ParsedStatement::Kind::kSelect) {
+    Status status = ApplyStatement(*parsed, &db);
+    std::printf("  %s\n", status.ToString().c_str());
+    return;
+  }
+  Stopwatch watch;
+  Transaction txn = db.Begin();
+  ExecutionOptions options;
+  options.strategy = g_strategy;
+  auto result = cache.Execute(parsed->select, txn, options);
+  if (!result.ok()) {
+    std::printf("  error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  for (const std::vector<Value>& row :
+       result->Rows(parsed->select.AggregateFunctions())) {
+    std::printf(" ");
+    for (const Value& v : row) std::printf(" %-16s", v.ToString().c_str());
+    std::printf("\n");
+  }
+  const CacheExecStats& stats = cache.last_exec_stats();
+  std::printf("  -- %zu groups in %.3f ms (%s%s; %llu subjoins, %llu "
+              "pruned)\n",
+              result->num_groups(), watch.ElapsedMillis(),
+              ExecutionStrategyToString(g_strategy),
+              stats.cache_hit ? ", cache hit" : "",
+              static_cast<unsigned long long>(stats.subjoins_executed),
+              static_cast<unsigned long long>(stats.subjoins_pruned));
+}
+
+}  // namespace
+
+int main() {
+  auto db = std::make_unique<Database>();
+  ErpConfig config;
+  config.num_headers_main = 5000;
+  config.num_categories = 20;
+  auto dataset = ErpDataset::Create(db.get(), config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto cache = std::make_unique<AggregateCacheManager>(db.get());
+
+  std::printf("aggcache SQL shell — ERP demo data loaded (.tables, .cache, "
+              ".merge, .strategy, .quit)\n");
+  std::printf("try: SELECT Name, SUM(Price) AS Profit FROM Header, Item, "
+              "ProductCategory\n     WHERE Item.HeaderID = Header.HeaderID "
+              "AND Item.CategoryID = ProductCategory.CategoryID\n     AND "
+              "Language = 'ENG' AND FiscalYear = 2013 GROUP BY Name\n\n");
+
+  std::string line;
+  std::string statement;
+  while (true) {
+    std::printf(statement.empty() ? "sql> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (statement.empty() && HandleMetaCommand(line, db, cache)) continue;
+    statement += line + "\n";
+    // Execute once the statement is terminated (or on a blank line).
+    if (line.find(';') != std::string::npos || line.empty()) {
+      RunStatement(statement, *db, *cache);
+      statement.clear();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#ifndef AGGCACHE_AGGCACHE_AGGCACHE_H_
+#define AGGCACHE_AGGCACHE_AGGCACHE_H_
+
+/// Umbrella header for the aggcache library: a columnar main-delta
+/// in-memory store with an object-aware aggregate cache, reproducing
+/// Müller et al., "Using Object-Awareness to Optimize Join Processing in
+/// the SAP HANA Aggregate Cache" (EDBT 2015).
+///
+/// Typical usage:
+///
+///   aggcache::Database db;
+///   auto table = db.CreateTable(
+///       aggcache::SchemaBuilder("Header")
+///           .AddColumn("HeaderID", aggcache::ColumnType::kInt64)
+///           .PrimaryKey()
+///           .OwnTid("tid_Header")
+///           .Build());
+///   aggcache::AggregateCacheManager cache(&db);
+///   auto query = aggcache::QueryBuilder()
+///                    .From("Header")... .Build();
+///   auto txn = db.Begin();
+///   auto result = cache.Execute(query, txn);
+
+#include "cache/aggregate_cache_manager.h"
+#include "cache/maintenance.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "objectaware/join_pruning.h"
+#include "objectaware/matching_dependency.h"
+#include "objectaware/predicate_pushdown.h"
+#include "query/aggregate_query.h"
+#include "query/executor.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+#include "storage/delta_merge.h"
+#include "storage/schema.h"
+#include "storage/snapshot.h"
+#include "storage/table.h"
+#include "txn/transaction_manager.h"
+#include "workload/chbench.h"
+#include "workload/csv_loader.h"
+#include "workload/erp_generator.h"
+#include "workload/mixed_workload.h"
+#include "workload/trace.h"
+
+#endif  // AGGCACHE_AGGCACHE_AGGCACHE_H_

@@ -1,0 +1,442 @@
+#include "cache/aggregate_cache_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "txn/consistent_view_manager.h"
+
+namespace aggcache {
+
+const char* ExecutionStrategyToString(ExecutionStrategy strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kUncached:
+      return "uncached";
+    case ExecutionStrategy::kCachedNoPruning:
+      return "cached-no-pruning";
+    case ExecutionStrategy::kCachedEmptyDeltaPruning:
+      return "cached-empty-delta-pruning";
+    case ExecutionStrategy::kCachedFullPruning:
+      return "cached-full-pruning";
+  }
+  return "?";
+}
+
+namespace {
+
+PruneLevel PruneLevelFor(ExecutionStrategy strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kUncached:
+    case ExecutionStrategy::kCachedNoPruning:
+      return PruneLevel::kNone;
+    case ExecutionStrategy::kCachedEmptyDeltaPruning:
+      return PruneLevel::kEmptyPartitions;
+    case ExecutionStrategy::kCachedFullPruning:
+      return PruneLevel::kFull;
+  }
+  return PruneLevel::kNone;
+}
+
+}  // namespace
+
+AggregateCacheManager::AggregateCacheManager(Database* db, Config config)
+    : db_(db), config_(config), executor_(db) {
+  db_->AddMergeObserver(this);
+}
+
+AggregateCacheManager::~AggregateCacheManager() {
+  db_->RemoveMergeObserver(this);
+}
+
+size_t AggregateCacheManager::total_bytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    bytes += entry->metrics().size_bytes;
+  }
+  return bytes;
+}
+
+void AggregateCacheManager::Clear() { entries_.clear(); }
+
+const CacheEntry* AggregateCacheManager::Find(
+    const AggregateQuery& query) const {
+  auto it = entries_.find(MakeCacheKey(query));
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+void AggregateCacheManager::TouchEntry(CacheEntry& entry) {
+  entry.metrics().last_access_ns = ++access_clock_;
+}
+
+Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
+                                           const BoundQuery& bound,
+                                           Snapshot snapshot) {
+  Stopwatch watch;
+  entry.main_partials().clear();
+  uint64_t rows_before = executor_.stats().rows_scanned;
+  // Cross-temperature all-main combos can be pruned logically at build time
+  // (Section 5.4); tid-range pruning is sound here as well.
+  JoinPruner pruner(db_, PruneLevel::kFull);
+  std::vector<MdBinding> mds = ResolveMds(bound);
+  for (const SubjoinCombination& combo :
+       EnumerateAllMainCombinations(bound.tables)) {
+    AggregateResult partial(bound.aggregates.size());
+    if (!pruner.ShouldPrune(bound, mds, combo).pruned) {
+      ASSIGN_OR_RETURN(partial,
+                       executor_.ExecuteSubjoin(bound, combo, snapshot));
+    }
+    entry.main_partials()[combo] = std::move(partial);
+  }
+  RefreshSnapshots(entry, bound, snapshot);
+  entry.RefreshSizeBytes();
+  entry.metrics().main_exec_ms = watch.ElapsedMillis();
+  entry.metrics().main_rows_aggregated =
+      executor_.stats().rows_scanned - rows_before;
+  return Status::Ok();
+}
+
+void AggregateCacheManager::RefreshSnapshots(CacheEntry& entry,
+                                             const BoundQuery& bound,
+                                             Snapshot snapshot) {
+  entry.snapshots().clear();
+  entry.snapshots().resize(bound.tables.size());
+  for (size_t t = 0; t < bound.tables.size(); ++t) {
+    const Table& table = *bound.tables[t];
+    entry.snapshots()[t].resize(table.num_groups());
+    for (size_t g = 0; g < table.num_groups(); ++g) {
+      const Partition& main = table.group(g).main;
+      CacheEntry::MainSnapshot& snap = entry.snapshots()[t][g];
+      snap.visibility = ConsistentViewManager::ComputeVisibility(
+          main.create_tids(), main.invalidate_tids(), snapshot);
+      snap.row_count = main.num_rows();
+      snap.invalidation_count = main.invalidation_count();
+    }
+  }
+}
+
+StatusOr<CacheEntry*> AggregateCacheManager::GetOrCreateEntry(
+    const BoundQuery& bound, Snapshot snapshot, CacheExecStats* stats) {
+  CacheKey key = MakeCacheKey(*bound.query);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    CacheEntry* entry = it->second.get();
+    if (!entry->ShapeMatches(bound.tables)) {
+      // Partition layout changed (hot/cold split or an unobserved merge):
+      // rebuild from scratch.
+      RETURN_IF_ERROR(RebuildEntry(*entry, bound, snapshot));
+      if (stats != nullptr) stats->entry_rebuilt = true;
+    } else if (stats != nullptr) {
+      stats->cache_hit = true;
+    }
+    TouchEntry(*entry);
+    return entry;
+  }
+
+  auto entry = std::make_unique<CacheEntry>(key, *bound.query);
+  RETURN_IF_ERROR(RebuildEntry(*entry, bound, snapshot));
+  if (stats != nullptr) {
+    stats->entry_created = true;
+    stats->main_exec_ms = entry->metrics().main_exec_ms;
+  }
+
+  // Admission: creating the entry already produced the main result; an
+  // unprofitable aggregate is simply not stored (Fig. 3's "profitable
+  // enough" gate) and the caller falls back to uncached execution.
+  if (entry->metrics().main_exec_ms < config_.min_main_exec_ms) {
+    return static_cast<CacheEntry*>(nullptr);
+  }
+  CacheEntry* raw = entry.get();
+  TouchEntry(*raw);
+  entries_.emplace(key, std::move(entry));
+  EvictIfNeeded(raw);
+  return raw;
+}
+
+Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
+                                             const BoundQuery& bound,
+                                             Snapshot snapshot,
+                                             CacheExecStats* stats) {
+  if (!entry.IsDirty(bound.tables)) return Status::Ok();
+  Stopwatch watch;
+  if (bound.tables.size() > 1) {
+    if (config_.incremental_join_main_compensation) {
+      RETURN_IF_ERROR(JoinMainCompensate(entry, bound, snapshot));
+      if (stats != nullptr) stats->main_comp_ms += watch.ElapsedMillis();
+    } else {
+      // The paper's baseline behaviour: recompute the entry.
+      RETURN_IF_ERROR(RebuildEntry(entry, bound, snapshot));
+      if (stats != nullptr) {
+        stats->entry_rebuilt = true;
+        stats->main_comp_ms += watch.ElapsedMillis();
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Single-table entry: bit-vector comparison finds rows invalidated since
+  // the snapshot; subtract their contribution (Section 2.2).
+  const Table& table = *bound.tables[0];
+  for (size_t g = 0; g < table.num_groups(); ++g) {
+    const Partition& main = table.group(g).main;
+    CacheEntry::MainSnapshot& snap = entry.snapshots()[0][g];
+    if (main.invalidation_count() == snap.invalidation_count) continue;
+    BitVector current = ConsistentViewManager::ComputeVisibility(
+        main.create_tids(), main.invalidate_tids(), snapshot);
+    std::vector<uint32_t> invalidated =
+        snap.visibility.OnesClearedIn(current);
+    ASSIGN_OR_RETURN(AggregateResult contribution,
+                     ComputeRowsContribution(bound, g, invalidated));
+    SubjoinCombination combo{
+        PartitionRef{static_cast<uint32_t>(g), PartitionKind::kMain}};
+    auto it = entry.main_partials().find(combo);
+    if (it == entry.main_partials().end()) {
+      return Status::Internal("missing main partial for group");
+    }
+    RETURN_IF_ERROR(it->second.SubtractFrom(contribution));
+    snap.visibility = std::move(current);
+    snap.invalidation_count = main.invalidation_count();
+  }
+  entry.RefreshSizeBytes();
+  if (stats != nullptr) stats->main_comp_ms += watch.ElapsedMillis();
+  return Status::Ok();
+}
+
+Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
+                                                 const BoundQuery& bound,
+                                                 Snapshot snapshot) {
+  const size_t num_tables = bound.tables.size();
+
+  // Invalidated ("negative delta") rows per (table, group) since the entry
+  // snapshot, computed once and shared across combos; snapshots are
+  // refreshed only after every combo is corrected.
+  std::vector<std::vector<std::vector<uint32_t>>> negative(num_tables);
+  std::vector<std::vector<BitVector>> current_visibility(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    const Table& table = *bound.tables[t];
+    negative[t].resize(table.num_groups());
+    current_visibility[t].resize(table.num_groups());
+    for (size_t g = 0; g < table.num_groups(); ++g) {
+      const Partition& main = table.group(g).main;
+      CacheEntry::MainSnapshot& snap = entry.snapshots()[t][g];
+      if (main.invalidation_count() == snap.invalidation_count) continue;
+      current_visibility[t][g] = ConsistentViewManager::ComputeVisibility(
+          main.create_tids(), main.invalidate_tids(), snapshot);
+      negative[t][g] = snap.visibility.OnesClearedIn(current_visibility[t][g]);
+    }
+  }
+
+  for (auto& [combo, partial] : entry.main_partials()) {
+    std::vector<size_t> dirty_tables;
+    for (size_t t = 0; t < num_tables; ++t) {
+      if (!negative[t][combo[t].group].empty()) dirty_tables.push_back(t);
+    }
+    if (dirty_tables.empty()) continue;
+
+    // One correction join per non-empty subset of dirty tables: subset
+    // members restricted to their negative-delta rows, the rest to rows
+    // visible now. All corrections are subtracted (no alternating signs:
+    // prod(C+N) expands into a plain sum over subsets).
+    AggregateResult corrections(bound.aggregates.size());
+    for (uint32_t mask = 1; mask < (1u << dirty_tables.size()); ++mask) {
+      Executor::RowRestriction restriction;
+      restriction.rows.resize(num_tables);
+      restriction.bypass_visibility_for_restricted = true;
+      for (size_t i = 0; i < dirty_tables.size(); ++i) {
+        if (mask & (1u << i)) {
+          size_t t = dirty_tables[i];
+          restriction.rows[t] = negative[t][combo[t].group];
+        }
+      }
+      ASSIGN_OR_RETURN(AggregateResult term,
+                       executor_.ExecuteSubjoin(bound, combo, snapshot,
+                                                /*extra_filters=*/{},
+                                                &restriction));
+      corrections.MergeFrom(term);
+    }
+    RETURN_IF_ERROR(partial.SubtractFrom(corrections));
+  }
+
+  // All combos corrected: refresh the snapshots.
+  for (size_t t = 0; t < num_tables; ++t) {
+    const Table& table = *bound.tables[t];
+    for (size_t g = 0; g < table.num_groups(); ++g) {
+      if (negative[t][g].empty()) continue;
+      CacheEntry::MainSnapshot& snap = entry.snapshots()[t][g];
+      snap.visibility = std::move(current_visibility[t][g]);
+      snap.invalidation_count = table.group(g).main.invalidation_count();
+    }
+  }
+  entry.RefreshSizeBytes();
+  return Status::Ok();
+}
+
+StatusOr<AggregateResult> AggregateCacheManager::Execute(
+    const AggregateQuery& query, const Transaction& txn,
+    const ExecutionOptions& options) {
+  last_stats_ = CacheExecStats();
+  Snapshot snapshot = txn.snapshot();
+  uint64_t subjoins_before = executor_.stats().subjoins_executed;
+
+  if (options.strategy == ExecutionStrategy::kUncached ||
+      !query.IsCacheable()) {
+    ASSIGN_OR_RETURN(AggregateResult result,
+                     executor_.ExecuteUncached(query, snapshot));
+    last_stats_.subjoins_executed =
+        executor_.stats().subjoins_executed - subjoins_before;
+    return result;
+  }
+
+  ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
+  last_stats_.used_cache = true;
+
+  ASSIGN_OR_RETURN(CacheEntry * entry,
+                   GetOrCreateEntry(bound, snapshot, &last_stats_));
+  if (entry == nullptr) {
+    // Not admitted: answer without the cache.
+    last_stats_.used_cache = false;
+    ASSIGN_OR_RETURN(AggregateResult result,
+                     executor_.ExecuteUncached(query, snapshot));
+    last_stats_.subjoins_executed =
+        executor_.stats().subjoins_executed - subjoins_before;
+    return result;
+  }
+  RETURN_IF_ERROR(MainCompensate(*entry, bound, snapshot, &last_stats_));
+
+  Stopwatch delta_watch;
+  JoinPruner pruner(db_, PruneLevelFor(options.strategy));
+  std::vector<MdBinding> mds = ResolveMds(bound);
+  CompensationStats comp_stats;
+  ASSIGN_OR_RETURN(
+      AggregateResult delta_result,
+      DeltaCompensate(executor_, bound, mds, pruner,
+                      options.use_predicate_pushdown, snapshot, &comp_stats));
+  AggregateResult result =
+      entry->MergedMainResult(bound.aggregates.size());
+  result.MergeFrom(delta_result);
+  result = query.ApplyHaving(std::move(result));
+
+  double delta_ms = delta_watch.ElapsedMillis();
+  CacheEntryMetrics& metrics = entry->metrics();
+  metrics.total_delta_comp_ms += delta_ms;
+  ++metrics.delta_comp_count;
+  ++metrics.hit_count;
+
+  last_stats_.delta_comp_ms = delta_ms;
+  last_stats_.subjoins_pruned = comp_stats.subjoins_pruned;
+  last_stats_.subjoins_executed =
+      executor_.stats().subjoins_executed - subjoins_before;
+  prune_stats_.considered += pruner.stats().considered;
+  prune_stats_.pruned_empty += pruner.stats().pruned_empty;
+  prune_stats_.pruned_aging += pruner.stats().pruned_aging;
+  prune_stats_.pruned_tid_range += pruner.stats().pruned_tid_range;
+  return result;
+}
+
+Status AggregateCacheManager::Prewarm(const AggregateQuery& query) {
+  if (!query.IsCacheable()) {
+    return Status::InvalidArgument("query does not qualify for the cache");
+  }
+  ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
+  Snapshot snapshot = db_->txn_manager().GlobalSnapshot();
+  ASSIGN_OR_RETURN(CacheEntry * entry,
+                   GetOrCreateEntry(bound, snapshot, nullptr));
+  if (entry == nullptr) {
+    return Status::FailedPrecondition("aggregate not profitable enough");
+  }
+  return MainCompensate(*entry, bound, snapshot, nullptr);
+}
+
+void AggregateCacheManager::EvictIfNeeded(const CacheEntry* keep) {
+  auto over_budget = [&] {
+    bool over_count =
+        config_.max_entries != 0 && entries_.size() > config_.max_entries;
+    bool over_bytes =
+        config_.max_bytes != 0 && total_bytes() > config_.max_bytes;
+    return (over_count || over_bytes) && entries_.size() > 1;
+  };
+  while (over_budget()) {
+    // Evict the entry with the lowest profit; ties broken by recency. The
+    // just-created entry (`keep`) is never evicted so callers can hold its
+    // pointer.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.get() == keep) continue;
+      if (victim == entries_.end()) {
+        victim = it;
+        continue;
+      }
+      const CacheEntryMetrics& a = it->second->metrics();
+      const CacheEntryMetrics& b = victim->second->metrics();
+      if (a.Profit() < b.Profit() ||
+          (a.Profit() == b.Profit() &&
+           a.last_access_ns < b.last_access_ns)) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;
+    entries_.erase(victim);
+  }
+}
+
+void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
+  Snapshot snapshot = db_->txn_manager().GlobalSnapshot();
+  for (auto& [key, entry] : entries_) {
+    // Find the query-table position of `table`, if the entry uses it.
+    auto bound_or = BoundQuery::Bind(*db_, entry->query());
+    if (!bound_or.ok()) continue;
+    BoundQuery bound = std::move(bound_or).value();
+    size_t table_pos = bound.tables.size();
+    for (size_t t = 0; t < bound.tables.size(); ++t) {
+      if (bound.tables[t] == &table) table_pos = t;
+    }
+    if (table_pos == bound.tables.size()) continue;
+
+    Stopwatch watch;
+    if (!entry->ShapeMatches(bound.tables)) {
+      // Stale shape; rebuild now, the delta rows are still visible so the
+      // rebuilt entry is folded below only if needed. Rebuilding computes
+      // mains only, so fold the delta in unconditionally afterwards.
+      Status status = RebuildEntry(*entry, bound, snapshot);
+      AGGCACHE_CHECK(status.ok()) << status.ToString();
+    } else {
+      Status status = MainCompensate(*entry, bound, snapshot, nullptr);
+      AGGCACHE_CHECK(status.ok()) << status.ToString();
+    }
+
+    // Fold the merging delta into every cached partial whose combination
+    // will absorb it: partial(C) += result(C with this table's main
+    // replaced by its delta), computed while the delta still exists.
+    JoinPruner pruner(db_, PruneLevel::kFull);
+    std::vector<MdBinding> mds = ResolveMds(bound);
+    for (auto& [combo, partial] : entry->main_partials()) {
+      if (combo[table_pos].group != group_index) continue;
+      SubjoinCombination delta_combo = combo;
+      delta_combo[table_pos].kind = PartitionKind::kDelta;
+      if (pruner.ShouldPrune(bound, mds, delta_combo).pruned) continue;
+      auto partial_or =
+          executor_.ExecuteSubjoin(bound, delta_combo, snapshot);
+      AGGCACHE_CHECK(partial_or.ok()) << partial_or.status().ToString();
+      partial.MergeFrom(partial_or.value());
+    }
+    entry->metrics().maintenance_ms += watch.ElapsedMillis();
+  }
+}
+
+void AggregateCacheManager::OnAfterMerge(Table& table, size_t group_index) {
+  (void)group_index;
+  Snapshot snapshot = db_->txn_manager().GlobalSnapshot();
+  for (auto& [key, entry] : entries_) {
+    auto bound_or = BoundQuery::Bind(*db_, entry->query());
+    if (!bound_or.ok()) continue;
+    BoundQuery bound = std::move(bound_or).value();
+    bool uses_table = false;
+    for (const Table* t : bound.tables) {
+      if (t == &table) uses_table = true;
+    }
+    if (!uses_table) continue;
+    RefreshSnapshots(*entry, bound, snapshot);
+    entry->RefreshSizeBytes();
+  }
+}
+
+}  // namespace aggcache

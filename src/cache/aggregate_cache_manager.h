@@ -1,0 +1,168 @@
+#ifndef AGGCACHE_CACHE_AGGREGATE_CACHE_MANAGER_H_
+#define AGGCACHE_CACHE_AGGREGATE_CACHE_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_entry.h"
+#include "cache/compensation.h"
+#include "objectaware/join_pruning.h"
+#include "query/executor.h"
+#include "storage/database.h"
+#include "storage/merge_observer.h"
+
+namespace aggcache {
+
+/// How a query is executed — the four strategies compared throughout the
+/// paper's Section 6 experiments.
+enum class ExecutionStrategy : uint8_t {
+  /// No cache: union of every partition subjoin (Section 2.3.1).
+  kUncached = 0,
+  /// Cache the all-main result; execute every compensation subjoin.
+  kCachedNoPruning = 1,
+  /// Cache + skip compensation subjoins containing an empty partition.
+  kCachedEmptyDeltaPruning = 2,
+  /// Cache + empty, aging-group, and MD tid-range pruning (Section 5.1).
+  kCachedFullPruning = 3,
+};
+
+const char* ExecutionStrategyToString(ExecutionStrategy strategy);
+
+/// Per-call knobs for AggregateCacheManager::Execute.
+struct ExecutionOptions {
+  ExecutionStrategy strategy = ExecutionStrategy::kCachedFullPruning;
+  /// Apply MD-derived local predicates to non-pruned subjoins
+  /// (Section 5.3).
+  bool use_predicate_pushdown = false;
+};
+
+/// Observability for the most recent Execute call.
+struct CacheExecStats {
+  bool used_cache = false;
+  bool cache_hit = false;
+  bool entry_created = false;
+  bool entry_rebuilt = false;
+  uint64_t subjoins_executed = 0;
+  uint64_t subjoins_pruned = 0;
+  double main_exec_ms = 0.0;         ///< Entry build time (on miss).
+  double main_comp_ms = 0.0;         ///< Main compensation time.
+  double delta_comp_ms = 0.0;        ///< Delta compensation time.
+};
+
+/// The aggregate cache manager (Fig. 1/3 of the paper): dynamically caches
+/// aggregate query results computed on main partitions, answers queries by
+/// main + delta compensation, maintains entries incrementally during delta
+/// merges, and manages admission/eviction by profit.
+///
+/// Single-threaded, like the rest of the engine. Register it as a merge
+/// observer (done in the constructor) so merges keep entries consistent.
+class AggregateCacheManager : public MergeObserver {
+ public:
+  struct Config {
+    /// Maximum number of entries; 0 = unlimited.
+    size_t max_entries = 64;
+    /// Maximum total bytes across entries; 0 = unlimited.
+    size_t max_bytes = 256 << 20;
+    /// Entries whose build time is below this are not admitted (cheap
+    /// aggregates are not worth caching). 0 admits everything, which the
+    /// benchmarks rely on for determinism.
+    double min_main_exec_ms = 0.0;
+    /// Compensate main-partition invalidations of join entries
+    /// incrementally via negative-delta correction joins (this library's
+    /// implementation of the paper's Section 8 future work). When false,
+    /// a dirty join entry is rebuilt from scratch instead.
+    bool incremental_join_main_compensation = true;
+  };
+
+  explicit AggregateCacheManager(Database* db)
+      : AggregateCacheManager(db, Config()) {}
+  AggregateCacheManager(Database* db, Config config);
+  ~AggregateCacheManager() override;
+
+  AggregateCacheManager(const AggregateCacheManager&) = delete;
+  AggregateCacheManager& operator=(const AggregateCacheManager&) = delete;
+
+  /// Executes `query` under `txn`'s snapshot with the chosen strategy,
+  /// returning the consistent result. Cached strategies fall back to
+  /// uncached execution when the query does not qualify for the cache
+  /// (non-self-maintainable aggregates).
+  StatusOr<AggregateResult> Execute(const AggregateQuery& query,
+                                    const Transaction& txn,
+                                    const ExecutionOptions& options =
+                                        ExecutionOptions());
+
+  /// Builds (or refreshes) the cache entry for `query` without computing a
+  /// full result, e.g. to warm the cache before a benchmark.
+  Status Prewarm(const AggregateQuery& query);
+
+  /// Entry lookup for inspection; nullptr when absent.
+  const CacheEntry* Find(const AggregateQuery& query) const;
+
+  size_t num_entries() const { return entries_.size(); }
+  size_t total_bytes() const;
+  void Clear();
+
+  /// Stats of the most recent Execute call.
+  const CacheExecStats& last_exec_stats() const { return last_stats_; }
+
+  /// Cumulative pruning statistics across all cached executions.
+  const PruneStats& prune_stats() const { return prune_stats_; }
+  void ResetPruneStats() { prune_stats_ = PruneStats(); }
+
+  // MergeObserver: incremental maintenance during the delta merge
+  // (Section 5.2).
+  void OnBeforeMerge(Table& table, size_t group_index) override;
+  void OnAfterMerge(Table& table, size_t group_index) override;
+
+ private:
+  /// Returns the entry for the bound query, building it on a miss. Returns
+  /// nullptr when the admission policy rejects the aggregate.
+  StatusOr<CacheEntry*> GetOrCreateEntry(const BoundQuery& bound,
+                                         Snapshot snapshot,
+                                         CacheExecStats* stats);
+
+  /// Recomputes all main partials and snapshots under `snapshot`.
+  Status RebuildEntry(CacheEntry& entry, const BoundQuery& bound,
+                      Snapshot snapshot);
+
+  /// Applies pending main-partition invalidations to the entry: bit-vector
+  /// diff + subtract for single-table entries (Section 2.2); for join
+  /// entries, negative-delta correction joins (incremental, see
+  /// JoinMainCompensate) or a full rebuild per the config.
+  Status MainCompensate(CacheEntry& entry, const BoundQuery& bound,
+                        Snapshot snapshot, CacheExecStats* stats);
+
+  /// Incremental main compensation for join entries. Expanding the cached
+  /// all-main join over per-table entry-visible rows V_i = C_i + N_i
+  /// (current rows plus rows invalidated since the snapshot) gives
+  ///
+  ///   prod V_i  =  sum over subsets S of join(N_i for i in S, C_j else),
+  ///
+  /// so the up-to-date result prod C_i is the cached value minus every
+  /// correction join with at least one table restricted to its invalidated
+  /// ("negative delta") rows. The N_i sets are tiny, so each correction is
+  /// cheap — realizing the paper's Section 8 proposal.
+  Status JoinMainCompensate(CacheEntry& entry, const BoundQuery& bound,
+                            Snapshot snapshot);
+
+  void RefreshSnapshots(CacheEntry& entry, const BoundQuery& bound,
+                        Snapshot snapshot);
+
+  void TouchEntry(CacheEntry& entry);
+  void EvictIfNeeded(const CacheEntry* keep = nullptr);
+
+  Database* db_;
+  Config config_;
+  Executor executor_;
+  std::unordered_map<CacheKey, std::unique_ptr<CacheEntry>, CacheKeyHash>
+      entries_;
+  CacheExecStats last_stats_;
+  PruneStats prune_stats_;
+  int64_t access_clock_ = 0;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_CACHE_AGGREGATE_CACHE_MANAGER_H_

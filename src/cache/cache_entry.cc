@@ -1,0 +1,55 @@
+#include "cache/cache_entry.h"
+
+#include "common/logging.h"
+#include "storage/table.h"
+
+namespace aggcache {
+
+AggregateResult CacheEntry::MergedMainResult(size_t num_aggregates) const {
+  AggregateResult merged(num_aggregates);
+  for (const auto& [combo, partial] : main_partials_) {
+    merged.MergeFrom(partial);
+  }
+  return merged;
+}
+
+bool CacheEntry::IsDirty(const std::vector<const Table*>& tables) const {
+  AGGCACHE_CHECK_EQ(tables.size(), snapshots_.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    for (size_t g = 0; g < snapshots_[t].size(); ++g) {
+      if (tables[t]->group(g).main.invalidation_count() !=
+          snapshots_[t][g].invalidation_count) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool CacheEntry::ShapeMatches(const std::vector<const Table*>& tables) const {
+  if (snapshots_.size() != tables.size()) return false;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    if (snapshots_[t].size() != tables[t]->num_groups()) return false;
+    for (size_t g = 0; g < snapshots_[t].size(); ++g) {
+      if (snapshots_[t][g].row_count != tables[t]->group(g).main.num_rows()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void CacheEntry::RefreshSizeBytes() {
+  size_t bytes = 0;
+  for (const auto& [combo, partial] : main_partials_) {
+    bytes += partial.ByteSize() + combo.size() * sizeof(PartitionRef);
+  }
+  for (const auto& per_table : snapshots_) {
+    for (const MainSnapshot& snapshot : per_table) {
+      bytes += snapshot.visibility.ByteSize() + sizeof(MainSnapshot);
+    }
+  }
+  metrics_.size_bytes = bytes;
+}
+
+}  // namespace aggcache

@@ -1,0 +1,85 @@
+#ifndef AGGCACHE_CACHE_CACHE_ENTRY_H_
+#define AGGCACHE_CACHE_CACHE_ENTRY_H_
+
+#include <map>
+#include <vector>
+
+#include "cache/cache_key.h"
+#include "cache/cache_metrics.h"
+#include "common/bit_vector.h"
+#include "query/aggregate_result.h"
+#include "query/subjoin.h"
+
+namespace aggcache {
+
+/// One aggregate cache entry: the result of the query computed on main
+/// partitions only (the cache value), the visibility snapshot of those main
+/// partitions at computation time, and profit metrics — the structure of
+/// Fig. 2 in the paper.
+///
+/// The main-only result is stored per all-main subjoin combination rather
+/// than as one blob. With a single partition group this is exactly one
+/// partial; with hot/cold groups it realizes the paper's per-temperature
+/// caches (Section 5.4): a merge of the hot group only touches partials
+/// whose combination involves that group's main.
+class CacheEntry {
+ public:
+  CacheEntry(CacheKey key, AggregateQuery query)
+      : key_(std::move(key)), query_(std::move(query)) {}
+
+  const CacheKey& key() const { return key_; }
+  const AggregateQuery& query() const { return query_; }
+
+  /// Visibility snapshot of one main partition at entry (re)computation.
+  struct MainSnapshot {
+    BitVector visibility;
+    size_t row_count = 0;
+    /// Invalidation counter at snapshot time; the difference to the
+    /// partition's current counter is the entry's dirty counter.
+    uint64_t invalidation_count = 0;
+  };
+
+  /// Cached partial results keyed by all-main subjoin combination.
+  std::map<SubjoinCombination, AggregateResult>& main_partials() {
+    return main_partials_;
+  }
+  const std::map<SubjoinCombination, AggregateResult>& main_partials() const {
+    return main_partials_;
+  }
+
+  /// Union of all cached partials: the main-only query result.
+  AggregateResult MergedMainResult(size_t num_aggregates) const;
+
+  /// Snapshots indexed [query table][partition group].
+  std::vector<std::vector<MainSnapshot>>& snapshots() { return snapshots_; }
+  const std::vector<std::vector<MainSnapshot>>& snapshots() const {
+    return snapshots_;
+  }
+
+  CacheEntryMetrics& metrics() { return metrics_; }
+  const CacheEntryMetrics& metrics() const { return metrics_; }
+
+  /// True when any referenced main partition saw invalidations since the
+  /// snapshot was taken (the dirty counter is non-zero), i.e. main
+  /// compensation is required before the entry can be used.
+  bool IsDirty(const std::vector<const Table*>& tables) const;
+
+  /// True when the stored snapshot structure still matches the tables'
+  /// partition-group layout (a hot/cold split changes it; the entry must
+  /// then be rebuilt).
+  bool ShapeMatches(const std::vector<const Table*>& tables) const;
+
+  /// Recomputes metrics().size_bytes from the stored partials + snapshots.
+  void RefreshSizeBytes();
+
+ private:
+  CacheKey key_;
+  AggregateQuery query_;
+  std::map<SubjoinCombination, AggregateResult> main_partials_;
+  std::vector<std::vector<MainSnapshot>> snapshots_;
+  CacheEntryMetrics metrics_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_CACHE_CACHE_ENTRY_H_

@@ -1,0 +1,12 @@
+#include "cache/cache_key.h"
+
+namespace aggcache {
+
+CacheKey MakeCacheKey(const AggregateQuery& query) {
+  CacheKey key;
+  key.canonical = query.CanonicalString();
+  key.hash = std::hash<std::string>()(key.canonical);
+  return key;
+}
+
+}  // namespace aggcache

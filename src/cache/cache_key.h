@@ -1,0 +1,34 @@
+#ifndef AGGCACHE_CACHE_CACHE_KEY_H_
+#define AGGCACHE_CACHE_CACHE_KEY_H_
+
+#include <functional>
+#include <string>
+
+#include "query/aggregate_query.h"
+
+namespace aggcache {
+
+/// Unique identifier of an aggregate cache entry, derived from the full
+/// query definition (tables, join conditions, filters, grouping attributes,
+/// aggregate functions) — the "aggregate cache key" of Fig. 2 in the paper.
+struct CacheKey {
+  std::string canonical;
+  size_t hash = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return canonical == other.canonical;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const { return key.hash; }
+};
+
+/// Builds the key for `query`. Queries with identical canonical structure
+/// map to the same entry (exact-match caching, as in the paper's prototype;
+/// subsumption matching is future work there as well).
+CacheKey MakeCacheKey(const AggregateQuery& query);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_CACHE_CACHE_KEY_H_

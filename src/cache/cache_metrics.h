@@ -1,0 +1,47 @@
+#ifndef AGGCACHE_CACHE_CACHE_METRICS_H_
+#define AGGCACHE_CACHE_CACHE_METRICS_H_
+
+#include <cstdint>
+
+namespace aggcache {
+
+/// Per-entry profit metrics (the "aggregate cache metrics" of Fig. 2):
+/// execution times on main and delta partitions, aggregated record counts,
+/// maintenance cost, and usage information. The cache manager uses them for
+/// admission, eviction, and maintenance decisions.
+struct CacheEntryMetrics {
+  /// Approximate bytes held by the cached value (result + snapshots).
+  size_t size_bytes = 0;
+  /// Rows aggregated when the entry was built on the main partitions.
+  uint64_t main_rows_aggregated = 0;
+  /// Time to compute the entry on the main partitions (what a cache hit
+  /// saves).
+  double main_exec_ms = 0.0;
+  /// Accumulated delta-compensation time across uses.
+  double total_delta_comp_ms = 0.0;
+  uint64_t delta_comp_count = 0;
+  /// Accumulated merge-time maintenance cost.
+  double maintenance_ms = 0.0;
+  uint64_t hit_count = 0;
+  /// Monotonic timestamp (ns) of the last use, for eviction tie-breaks.
+  int64_t last_access_ns = 0;
+
+  double AvgDeltaCompMs() const {
+    return delta_comp_count == 0
+               ? 0.0
+               : total_delta_comp_ms / static_cast<double>(delta_comp_count);
+  }
+
+  /// Estimated net benefit of keeping the entry: per-use savings (main
+  /// execution avoided minus delta compensation paid) times observed uses,
+  /// minus what maintenance has cost so far. Entries with higher profit
+  /// survive eviction longer.
+  double Profit() const {
+    double per_use = main_exec_ms - AvgDeltaCompMs();
+    return per_use * static_cast<double>(1 + hit_count) - maintenance_ms;
+  }
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_CACHE_CACHE_METRICS_H_

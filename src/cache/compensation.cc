@@ -1,0 +1,68 @@
+#include "cache/compensation.h"
+
+#include "objectaware/predicate_pushdown.h"
+
+namespace aggcache {
+
+StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
+                                          const BoundQuery& bound,
+                                          const std::vector<MdBinding>& mds,
+                                          JoinPruner& pruner,
+                                          bool use_pushdown, Snapshot snapshot,
+                                          CompensationStats* stats) {
+  AggregateResult result(bound.aggregates.size());
+  for (const SubjoinCombination& combo :
+       EnumerateCompensationCombinations(bound.tables)) {
+    if (stats != nullptr) ++stats->subjoins_considered;
+    PruneDecision decision = pruner.ShouldPrune(bound, mds, combo);
+    if (decision.pruned) {
+      if (stats != nullptr) ++stats->subjoins_pruned;
+      continue;
+    }
+    std::vector<FilterPredicate> extra;
+    if (use_pushdown) {
+      extra = DerivePushdownFilters(bound, mds, combo);
+    }
+    ASSIGN_OR_RETURN(AggregateResult partial,
+                     executor.ExecuteSubjoin(bound, combo, snapshot, extra));
+    if (stats != nullptr) ++stats->subjoins_executed;
+    result.MergeFrom(partial);
+  }
+  return result;
+}
+
+StatusOr<AggregateResult> ComputeRowsContribution(
+    const BoundQuery& bound, size_t group_index,
+    std::span<const uint32_t> rows) {
+  if (bound.tables.size() != 1) {
+    return Status::InvalidArgument(
+        "row-level contribution is defined for single-table queries");
+  }
+  const Partition& main = bound.tables[0]->group(group_index).main;
+  AggregateResult result(bound.aggregates.size());
+  GroupKey key;
+  key.values.resize(bound.group_by.size());
+  std::vector<Value> inputs(bound.aggregates.size());
+  for (uint32_t r : rows) {
+    bool pass = true;
+    for (const BoundQuery::BoundFilter& f : bound.filters) {
+      if (!EvalCompare(f.op, main.column(f.column).GetValue(r), f.operand)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    for (size_t g = 0; g < bound.group_by.size(); ++g) {
+      key.values[g] = main.column(bound.group_by[g].column).GetValue(r);
+    }
+    for (size_t a = 0; a < bound.aggregates.size(); ++a) {
+      const BoundQuery::BoundAggregate& agg = bound.aggregates[a];
+      inputs[a] = agg.is_count_star ? Value()
+                                    : main.column(agg.column).GetValue(r);
+    }
+    result.Accumulate(key, inputs);
+  }
+  return result;
+}
+
+}  // namespace aggcache

@@ -1,0 +1,41 @@
+#ifndef AGGCACHE_CACHE_COMPENSATION_H_
+#define AGGCACHE_CACHE_COMPENSATION_H_
+
+#include <span>
+#include <vector>
+
+#include "objectaware/join_pruning.h"
+#include "objectaware/matching_dependency.h"
+#include "query/executor.h"
+
+namespace aggcache {
+
+/// Work counters for one compensation pass.
+struct CompensationStats {
+  uint64_t subjoins_considered = 0;
+  uint64_t subjoins_executed = 0;
+  uint64_t subjoins_pruned = 0;
+};
+
+/// Delta compensation (Section 2.3.2): executes the non-all-main subjoin
+/// combinations under `snapshot`, skipping those the pruner proves empty
+/// and, when `use_pushdown` is set, applying MD-derived local predicates to
+/// the non-prunable ones (Section 5.3). The union of the returned result
+/// with the cached main result is the consistent query answer.
+StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
+                                          const BoundQuery& bound,
+                                          const std::vector<MdBinding>& mds,
+                                          JoinPruner& pruner,
+                                          bool use_pushdown, Snapshot snapshot,
+                                          CompensationStats* stats);
+
+/// Contribution of specific rows of one main partition to a single-table
+/// aggregate query (filters applied). Used by main compensation to subtract
+/// invalidated rows from a cached entry.
+StatusOr<AggregateResult> ComputeRowsContribution(const BoundQuery& bound,
+                                                  size_t group_index,
+                                                  std::span<const uint32_t> rows);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_CACHE_COMPENSATION_H_

@@ -1,0 +1,67 @@
+#ifndef AGGCACHE_CACHE_MAINTENANCE_H_
+#define AGGCACHE_CACHE_MAINTENANCE_H_
+
+#include <memory>
+
+#include "cache/aggregate_cache_manager.h"
+#include "query/executor.h"
+
+namespace aggcache {
+
+/// Maintenance strategies compared in the paper's Section 6.1 (Fig. 6)
+/// experiment: how a materialized single-table aggregate is kept consistent
+/// in a mixed workload of inserts and aggregate queries.
+enum class MaintenanceStrategy : uint8_t {
+  /// Classical eager incremental view maintenance: the view is updated with
+  /// every insert (Blakeley et al.).
+  kEagerIncremental = 0,
+  /// Classical lazy/deferred maintenance: inserts are logged and applied to
+  /// the view right before it is used by a query (Zhou & Larson).
+  kLazyIncremental = 1,
+  /// The paper's aggregate cache: the view covers main partitions only;
+  /// inserts cost nothing, queries pay delta compensation.
+  kAggregateCache = 2,
+  /// No materialization at all: recompute on every query (baseline).
+  kFullRecompute = 3,
+};
+
+const char* MaintenanceStrategyToString(MaintenanceStrategy strategy);
+
+/// A single-table materialized aggregate maintained under one of the
+/// strategies above. The Fig. 6 driver inserts into the base table and then
+/// calls OnInsertCommitted(); queries go through Query().
+///
+/// The experiment protocol is insert-only (as in the paper, whose evaluation
+/// workload has no updates/deletes); eager/lazy views here do not observe
+/// invalidations.
+class MaterializedAggregate {
+ public:
+  virtual ~MaterializedAggregate() = default;
+
+  /// Notifies the view that one row was just appended to the base table's
+  /// hot delta (the view reads it from there).
+  virtual Status OnInsertCommitted() = 0;
+
+  /// Consistent result for the reading transaction. The lazy strategy
+  /// first applies pending maintenance (committing its own transaction)
+  /// and reads under the post-maintenance snapshot — the engine executes
+  /// serially, so this is the caller's logical read time.
+  virtual StatusOr<AggregateResult> Query(const Transaction& txn) = 0;
+
+  /// Number of maintenance statements (summary-table updates/inserts)
+  /// executed since the last call; the counter resets. The mixed-workload
+  /// driver uses this to charge per-statement overhead to the strategies
+  /// that issue extra statements (classical view maintenance runs through
+  /// the SQL stack, the aggregate cache does not).
+  virtual uint64_t ConsumeMaintenanceStatements() { return 0; }
+};
+
+/// Factory. `manager` is required for kAggregateCache and ignored
+/// otherwise; the query must be single-table and validated.
+StatusOr<std::unique_ptr<MaterializedAggregate>> CreateMaterializedAggregate(
+    MaintenanceStrategy strategy, Database* db, const AggregateQuery& query,
+    AggregateCacheManager* manager);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_CACHE_MAINTENANCE_H_

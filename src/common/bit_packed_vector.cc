@@ -1,0 +1,52 @@
+#include "common/bit_packed_vector.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace aggcache {
+
+BitPackedVector::BitPackedVector(int bits_per_entry)
+    : bits_per_entry_(bits_per_entry < 1 ? 1 : bits_per_entry) {
+  AGGCACHE_CHECK_LE(bits_per_entry_, 32) << "entry width above 32 bits";
+  value_mask_ = bits_per_entry_ == 32
+                    ? ~0U
+                    : ((1U << bits_per_entry_) - 1);
+}
+
+void BitPackedVector::PushBack(uint32_t value) {
+  AGGCACHE_CHECK_EQ(value & value_mask_, value)
+      << "value " << value << " does not fit in " << bits_per_entry_
+      << " bits";
+  size_t bit_pos = size_ * bits_per_entry_;
+  size_t word = bit_pos >> 6;
+  int offset = static_cast<int>(bit_pos & 63);
+  if (word >= words_.size()) words_.push_back(0);
+  words_[word] |= static_cast<uint64_t>(value) << offset;
+  int spill = offset + bits_per_entry_ - 64;
+  if (spill > 0) {
+    words_.push_back(static_cast<uint64_t>(value) >>
+                     (bits_per_entry_ - spill));
+  }
+  ++size_;
+}
+
+uint32_t BitPackedVector::Get(size_t i) const {
+  AGGCACHE_CHECK_LT(i, size_);
+  size_t bit_pos = i * bits_per_entry_;
+  size_t word = bit_pos >> 6;
+  int offset = static_cast<int>(bit_pos & 63);
+  uint64_t bits = words_[word] >> offset;
+  int spill = offset + bits_per_entry_ - 64;
+  if (spill > 0) {
+    bits |= words_[word + 1] << (bits_per_entry_ - spill);
+  }
+  return static_cast<uint32_t>(bits) & value_mask_;
+}
+
+int BitPackedVector::BitsForCardinality(size_t cardinality) {
+  if (cardinality <= 1) return 1;
+  return std::bit_width(cardinality - 1);
+}
+
+}  // namespace aggcache

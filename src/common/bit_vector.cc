@@ -1,0 +1,44 @@
+#include "common/bit_vector.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace aggcache {
+
+BitVector::BitVector(size_t size, bool initial) : size_(size) {
+  words_.resize((size + 63) / 64, initial ? ~0ULL : 0ULL);
+  // Clear padding bits so CountOnes and equality stay exact.
+  if (initial && (size & 63) != 0) {
+    words_.back() &= (1ULL << (size & 63)) - 1;
+  }
+}
+
+void BitVector::PushBack(bool value) {
+  if ((size_ & 63) == 0) words_.push_back(0);
+  ++size_;
+  Set(size_ - 1, value);
+}
+
+size_t BitVector::CountOnes() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+std::vector<uint32_t> BitVector::OnesClearedIn(const BitVector& other) const {
+  AGGCACHE_CHECK_LE(size_, other.size_)
+      << "snapshot is longer than the current visibility vector";
+  std::vector<uint32_t> result;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t diff = words_[w] & ~other.words_[w];
+    while (diff != 0) {
+      int bit = std::countr_zero(diff);
+      result.push_back(static_cast<uint32_t>(w * 64 + bit));
+      diff &= diff - 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace aggcache

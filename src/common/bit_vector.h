@@ -1,0 +1,62 @@
+#ifndef AGGCACHE_COMMON_BIT_VECTOR_H_
+#define AGGCACHE_COMMON_BIT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aggcache {
+
+/// Dense bit vector used for MVCC row-visibility snapshots.
+///
+/// The consistent view manager produces one BitVector per partition per
+/// snapshot; aggregate cache entries store the main-partition vector taken at
+/// entry creation and diff it against the current one to detect invalidated
+/// rows (main compensation, Section 2.2 of the paper).
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t size, bool initial = false);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void Set(size_t i, bool value) {
+    uint64_t mask = 1ULL << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Appends a bit, growing the vector by one.
+  void PushBack(bool value);
+
+  /// Number of set bits.
+  size_t CountOnes() const;
+
+  /// Returns indices i where this[i] == 1 and other[i] == 0. `other` may be
+  /// longer than *this (rows appended after the snapshot); extra rows are
+  /// ignored. This is the bit-vector comparison the paper uses to detect
+  /// rows invalidated since the snapshot was taken.
+  std::vector<uint32_t> OnesClearedIn(const BitVector& other) const;
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Heap footprint in bytes.
+  size_t ByteSize() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_COMMON_BIT_VECTOR_H_

@@ -1,0 +1,44 @@
+#ifndef AGGCACHE_COMMON_LOGGING_H_
+#define AGGCACHE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+
+namespace aggcache {
+namespace internal_logging {
+
+/// Helper that prints the failure message and aborts; used by the CHECK
+/// macros below. Returning a stream lets callers append context with <<.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    std::cerr << "CHECK failed at " << file << ":" << line << ": "
+              << condition << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return std::cerr; }
+};
+
+}  // namespace internal_logging
+}  // namespace aggcache
+
+/// Aborts with a diagnostic when `condition` is false. Used for programming
+/// errors (invariant violations), not for data-dependent failures, which are
+/// reported through Status.
+#define AGGCACHE_CHECK(condition)                                  \
+  if (!(condition))                                                \
+  ::aggcache::internal_logging::CheckFailure(__FILE__, __LINE__,   \
+                                             #condition)           \
+      .stream()
+
+#define AGGCACHE_CHECK_EQ(a, b) AGGCACHE_CHECK((a) == (b))
+#define AGGCACHE_CHECK_NE(a, b) AGGCACHE_CHECK((a) != (b))
+#define AGGCACHE_CHECK_LT(a, b) AGGCACHE_CHECK((a) < (b))
+#define AGGCACHE_CHECK_LE(a, b) AGGCACHE_CHECK((a) <= (b))
+#define AGGCACHE_CHECK_GT(a, b) AGGCACHE_CHECK((a) > (b))
+#define AGGCACHE_CHECK_GE(a, b) AGGCACHE_CHECK((a) >= (b))
+
+#endif  // AGGCACHE_COMMON_LOGGING_H_

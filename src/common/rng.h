@@ -1,0 +1,39 @@
+#ifndef AGGCACHE_COMMON_RNG_H_
+#define AGGCACHE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace aggcache {
+
+/// Deterministic pseudo-random generator used by the workload generators and
+/// the property tests. A thin wrapper around std::mt19937_64 so every
+/// experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi], inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_COMMON_RNG_H_

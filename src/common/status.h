@@ -1,0 +1,150 @@
+#ifndef AGGCACHE_COMMON_STATUS_H_
+#define AGGCACHE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace aggcache {
+
+/// Canonical error codes, a small subset of the usual database taxonomy.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight status object used for error propagation on all fallible
+/// paths. The library does not throw exceptions; every operation that can
+/// fail returns a Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// non-OK StatusOr aborts the process (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or an error, mirroring
+  /// absl::StatusOr so call sites read naturally.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      std::cerr << "StatusOr constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "StatusOr accessed with error: "
+                << std::get<Status>(rep_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace aggcache
+
+/// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::aggcache::Status status_macro_ = (expr);  \
+    if (!status_macro_.ok()) return status_macro_; \
+  } while (false)
+
+#define AGGCACHE_CONCAT_INNER_(x, y) x##y
+#define AGGCACHE_CONCAT_(x, y) AGGCACHE_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a StatusOr), propagating errors; on success assigns the
+/// value to `lhs`.
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                       \
+  auto AGGCACHE_CONCAT_(statusor_, __LINE__) = (rexpr);                    \
+  if (!AGGCACHE_CONCAT_(statusor_, __LINE__).ok())                         \
+    return AGGCACHE_CONCAT_(statusor_, __LINE__).status();                 \
+  lhs = std::move(AGGCACHE_CONCAT_(statusor_, __LINE__)).value()
+
+#endif  // AGGCACHE_COMMON_STATUS_H_

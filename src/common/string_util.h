@@ -1,0 +1,23 @@
+#ifndef AGGCACHE_COMMON_STRING_UTIL_H_
+#define AGGCACHE_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace aggcache {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& separator);
+
+/// Renders a byte count as "12.3 KiB" / "4.5 MiB" etc.
+std::string HumanBytes(size_t bytes);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_COMMON_STRING_UTIL_H_

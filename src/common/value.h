@@ -1,0 +1,99 @@
+#ifndef AGGCACHE_COMMON_VALUE_H_
+#define AGGCACHE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace aggcache {
+
+/// Physical type of a column. Every column stores exactly one of these.
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Returns a lower-case name ("int64", "double", "string").
+const char* ColumnTypeToString(ColumnType type);
+
+/// A dynamically typed SQL value: NULL, INT64, DOUBLE, or STRING.
+///
+/// Values are small and copyable; the columnar store keeps them only inside
+/// dictionaries, so per-row storage cost is one dictionary code, not one
+/// Value.
+class Value {
+ public:
+  /// NULL value.
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  /// Typed accessors; aborts when the value holds a different type.
+  int64_t AsInt64() const {
+    AGGCACHE_CHECK(is_int64()) << "value is not int64";
+    return std::get<int64_t>(rep_);
+  }
+  double AsDouble() const {
+    AGGCACHE_CHECK(is_double()) << "value is not double";
+    return std::get<double>(rep_);
+  }
+  const std::string& AsString() const {
+    AGGCACHE_CHECK(is_string()) << "value is not string";
+    return std::get<std::string>(rep_);
+  }
+
+  /// The numeric content as double: int64 values are widened, doubles are
+  /// returned as-is. Aborts for strings and NULL.
+  double NumericAsDouble() const;
+
+  /// Returns the ColumnType for non-null values; aborts for NULL.
+  ColumnType type() const;
+
+  /// True when this value matches `t` (NULL matches no type).
+  bool MatchesType(ColumnType t) const;
+
+  /// SQL-style rendering, for debugging and result printing.
+  std::string ToString() const;
+
+  /// Approximate heap + inline footprint in bytes, used by the memory
+  /// accounting in the Section 6.2 experiment.
+  size_t ByteSize() const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return rep_ != other.rep_; }
+
+  /// Total order: NULL < int64/double (by numeric value) < string. Mixed
+  /// int64/double compare numerically so dictionaries can hold either.
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  /// Stable hash combining type and content.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+/// Hash functor for use in unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_COMMON_VALUE_H_

@@ -1,0 +1,100 @@
+#include "objectaware/matching_dependency.h"
+
+#include "common/string_util.h"
+
+namespace aggcache {
+
+std::string MdBinding::ToString() const {
+  return StrFormat("MD(join#%zu: t%zu.tid#%zu = t%zu.tid#%zu)", join_index,
+                   left_table, left_tid_column, right_table,
+                   right_tid_column);
+}
+
+namespace {
+
+// Checks one direction: does `ref` (query table index) own the primary key
+// side and `fk_side` the foreign key side of this join, with an MD tid
+// column declared?
+std::optional<MdBinding> TryDirection(const BoundQuery& bound,
+                                      size_t join_index, size_t ref,
+                                      size_t ref_column, size_t fk_side,
+                                      size_t fk_column) {
+  const TableSchema& ref_schema = bound.tables[ref]->schema();
+  const TableSchema& fk_schema = bound.tables[fk_side]->schema();
+  if (!ref_schema.primary_key || *ref_schema.primary_key != ref_column) {
+    return std::nullopt;
+  }
+  if (!ref_schema.own_tid_column) return std::nullopt;
+  for (const ForeignKeyDef& fk : fk_schema.foreign_keys) {
+    if (fk.column != fk_column) continue;
+    if (fk.ref_table != ref_schema.name) continue;
+    if (!fk.tid_column) continue;
+    MdBinding binding;
+    binding.join_index = join_index;
+    binding.left_table = ref;
+    binding.left_tid_column = *ref_schema.own_tid_column;
+    binding.right_table = fk_side;
+    binding.right_tid_column = *fk.tid_column;
+    return binding;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MdBinding> ResolveMdForJoin(const BoundQuery& bound,
+                                          size_t join_index) {
+  const BoundQuery::BoundJoin& join = bound.joins[join_index];
+  if (auto md = TryDirection(bound, join_index, join.outer_table,
+                             join.outer_column, join.inner_table,
+                             join.inner_column)) {
+    return md;
+  }
+  return TryDirection(bound, join_index, join.inner_table, join.inner_column,
+                      join.outer_table, join.outer_column);
+}
+
+std::vector<MdBinding> ResolveMds(const BoundQuery& bound) {
+  std::vector<MdBinding> result;
+  for (size_t j = 0; j < bound.joins.size(); ++j) {
+    if (auto md = ResolveMdForJoin(bound, j)) result.push_back(*md);
+  }
+  return result;
+}
+
+StatusOr<bool> VerifyMdHolds(const Database& db, const std::string& ref_table,
+                             const std::string& fk_table) {
+  ASSIGN_OR_RETURN(const Table* ref, db.GetTable(ref_table));
+  ASSIGN_OR_RETURN(const Table* fk_t, db.GetTable(fk_table));
+  if (!ref->schema().own_tid_column) {
+    return Status::InvalidArgument("referenced table has no own-tid column");
+  }
+  const ForeignKeyDef* fk_def = nullptr;
+  for (const ForeignKeyDef& fk : fk_t->schema().foreign_keys) {
+    if (fk.ref_table == ref_table && fk.tid_column) {
+      fk_def = &fk;
+      break;
+    }
+  }
+  if (fk_def == nullptr) {
+    return Status::InvalidArgument(
+        "no MD foreign key from " + fk_table + " to " + ref_table);
+  }
+  size_t ref_tid_col = *ref->schema().own_tid_column;
+  for (size_t g = 0; g < fk_t->num_groups(); ++g) {
+    const PartitionGroup& group = fk_t->group(g);
+    for (const Partition* p : {&group.main, &group.delta}) {
+      for (size_t r = 0; r < p->num_rows(); ++r) {
+        const Value& fk_value = p->column(fk_def->column).GetValue(r);
+        std::optional<RowLocation> loc = ref->FindByPk(fk_value);
+        if (!loc) continue;  // Referenced row version replaced or deleted.
+        const Value& ref_tid = ref->ValueAt(*loc, ref_tid_col);
+        const Value& local_tid = p->column(*fk_def->tid_column).GetValue(r);
+        if (!(ref_tid == local_tid)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace aggcache

@@ -1,0 +1,342 @@
+#include "query/executor.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aggcache {
+
+StatusOr<BoundQuery> BoundQuery::Bind(const Database& db,
+                                      const AggregateQuery& query) {
+  RETURN_IF_ERROR(query.Validate(db));
+  BoundQuery bound;
+  bound.query = &query;
+  for (const TableRef& ref : query.tables) {
+    ASSIGN_OR_RETURN(const Table* table, db.GetTable(ref.table_name));
+    bound.tables.push_back(table);
+  }
+  for (const JoinCondition& join : query.joins) {
+    // Normalize so the outer table precedes the inner table in query order;
+    // the executor joins tables left-deep in that order.
+    size_t lt = join.left_table;
+    size_t rt = join.right_table;
+    ASSIGN_OR_RETURN(size_t lc,
+                     bound.tables[lt]->schema().ColumnIndex(join.left_column));
+    ASSIGN_OR_RETURN(
+        size_t rc, bound.tables[rt]->schema().ColumnIndex(join.right_column));
+    BoundJoin bj;
+    if (lt < rt) {
+      bj = BoundJoin{lt, lc, rt, rc};
+    } else {
+      bj = BoundJoin{rt, rc, lt, lc};
+    }
+    bound.joins.push_back(bj);
+  }
+  for (const FilterPredicate& filter : query.filters) {
+    ASSIGN_OR_RETURN(size_t col, bound.tables[filter.table_index]
+                                     ->schema()
+                                     .ColumnIndex(filter.column));
+    bound.filters.push_back(
+        BoundFilter{filter.table_index, col, filter.op, filter.operand});
+  }
+  for (const GroupByRef& g : query.group_by) {
+    ASSIGN_OR_RETURN(
+        size_t col, bound.tables[g.table_index]->schema().ColumnIndex(g.column));
+    bound.group_by.push_back(BoundGroupBy{g.table_index, col});
+  }
+  for (const AggregateSpec& agg : query.aggregates) {
+    if (agg.fn == AggregateFunction::kCountStar) {
+      bound.aggregates.push_back(
+          BoundAggregate{agg.fn, 0, 0, /*is_count_star=*/true});
+      continue;
+    }
+    ASSIGN_OR_RETURN(size_t col, bound.tables[agg.table_index]
+                                     ->schema()
+                                     .ColumnIndex(agg.column));
+    bound.aggregates.push_back(
+        BoundAggregate{agg.fn, agg.table_index, col, false});
+  }
+  return bound;
+}
+
+namespace {
+
+// Selection result for one table of a subjoin.
+struct Selection {
+  const Partition* partition = nullptr;
+  std::vector<uint32_t> rows;
+};
+
+}  // namespace
+
+StatusOr<AggregateResult> Executor::ExecuteSubjoin(
+    const BoundQuery& bound, const SubjoinCombination& combination,
+    Snapshot snapshot, const std::vector<FilterPredicate>& extra_filters,
+    const RowRestriction* restriction) {
+  const size_t num_tables = bound.tables.size();
+  if (combination.size() != num_tables) {
+    return Status::InvalidArgument("combination arity mismatch");
+  }
+  ++stats_.subjoins_executed;
+  AggregateResult result(bound.aggregates.size());
+
+  // Resolve extra (pushed-down) filters against schemas.
+  std::vector<BoundQuery::BoundFilter> all_filters = bound.filters;
+  for (const FilterPredicate& filter : extra_filters) {
+    if (filter.table_index >= num_tables) {
+      return Status::InvalidArgument("extra filter table index out of range");
+    }
+    ASSIGN_OR_RETURN(size_t col, bound.tables[filter.table_index]
+                                     ->schema()
+                                     .ColumnIndex(filter.column));
+    all_filters.push_back(BoundQuery::BoundFilter{filter.table_index, col,
+                                                  filter.op, filter.operand});
+  }
+
+  // Selection (visibility + filters) runs lazily, per table, as the join
+  // pipeline reaches it: once an intermediate result is empty, later tables
+  // are never scanned. Dictionary range checks skip scanning partitions no
+  // filter value can match (static partition pruning).
+  std::vector<Selection> selections(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    selections[t].partition =
+        &ResolvePartition(*bound.tables[t], combination[t]);
+  }
+  // A filter compiled against one partition's column: integer code
+  // comparisons where the dictionary allows it (sorted main -> contiguous
+  // code ranges; delta equality -> a single code), value comparison
+  // otherwise.
+  struct CompiledFilter {
+    const Column* column = nullptr;
+    enum class Kind : uint8_t { kCodeRange, kCodeEq, kValue } kind =
+        Kind::kValue;
+    ValueId lo = 0;
+    ValueId hi = 0;
+    const BoundQuery::BoundFilter* filter = nullptr;
+
+    bool Pass(uint32_t row) const {
+      switch (kind) {
+        case Kind::kCodeRange: {
+          ValueId code = column->code(row);
+          return lo <= code && code <= hi;
+        }
+        case Kind::kCodeEq:
+          return column->code(row) == lo;
+        case Kind::kValue:
+          return EvalCompare(filter->op, column->GetValue(row),
+                             filter->operand);
+      }
+      return false;
+    }
+  };
+
+  auto select_rows = [&](size_t t) {
+    Selection& sel = selections[t];
+    const Partition& p = *sel.partition;
+    if (p.empty()) return;
+
+    bool can_match = true;
+    std::vector<CompiledFilter> table_filters;
+    for (const BoundQuery::BoundFilter& f : all_filters) {
+      if (f.table != t) continue;
+      const Column& column = p.column(f.column);
+      if (!PredicateCanMatch(f.op, f.operand, column.dictionary())) {
+        can_match = false;
+        break;
+      }
+      CompiledFilter compiled;
+      compiled.column = &column;
+      compiled.filter = &f;
+      if (auto range = SortedDictionaryCodeRange(f.op, f.operand,
+                                                 column.dictionary())) {
+        compiled.kind = CompiledFilter::Kind::kCodeRange;
+        compiled.lo = range->first;
+        compiled.hi = range->second;
+      } else if (f.op == CompareOp::kEq) {
+        std::optional<ValueId> code = column.dictionary().Find(f.operand);
+        if (!code.has_value()) {
+          can_match = false;  // Equality with an absent value: no rows.
+          break;
+        }
+        compiled.kind = CompiledFilter::Kind::kCodeEq;
+        compiled.lo = *code;
+      } else if (f.op != CompareOp::kNe &&
+                 column.dictionary().mode() ==
+                     Dictionary::Mode::kSortedMain) {
+        // A sorted dictionary yields no code range for a range/equality
+        // predicate only when no code matches. (`<>` never compiles to a
+        // range and must fall back to value comparison.)
+        can_match = false;
+        break;
+      }
+      table_filters.push_back(compiled);
+    }
+    if (!can_match) return;
+
+    const std::vector<uint32_t>* candidates = nullptr;
+    if (restriction != nullptr && t < restriction->rows.size() &&
+        restriction->rows[t].has_value()) {
+      candidates = &*restriction->rows[t];
+    }
+    bool check_visibility =
+        candidates == nullptr ||
+        !restriction->bypass_visibility_for_restricted;
+    size_t num_candidates = candidates ? candidates->size() : p.num_rows();
+    stats_.rows_scanned += num_candidates;
+    for (size_t i = 0; i < num_candidates; ++i) {
+      uint32_t r = candidates ? (*candidates)[i] : static_cast<uint32_t>(i);
+      if (check_visibility &&
+          !snapshot.RowVisible(p.create_tid(r), p.invalidate_tid(r))) {
+        continue;
+      }
+      bool pass = true;
+      for (const CompiledFilter& f : table_filters) {
+        if (!f.Pass(r)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) sel.rows.push_back(r);
+    }
+    stats_.rows_selected += sel.rows.size();
+  };
+
+  // Left-deep hash joins in query-table order. `tuples` holds row ids
+  // flattened with stride = number of joined tables so far.
+  select_rows(0);
+  std::vector<uint32_t> tuples;
+  tuples.reserve(selections[0].rows.size());
+  for (uint32_t r : selections[0].rows) tuples.push_back(r);
+  size_t stride = 1;
+
+  for (size_t t = 1; t < num_tables; ++t) {
+    if (tuples.empty()) break;
+    select_rows(t);
+    // Join conditions attaching table t to earlier tables: the first drives
+    // the hash join, the rest are evaluated as post-join filters.
+    std::vector<const BoundQuery::BoundJoin*> conds;
+    for (const BoundQuery::BoundJoin& j : bound.joins) {
+      if (j.inner_table == t) conds.push_back(&j);
+    }
+    AGGCACHE_CHECK(!conds.empty()) << "table not connected (validated)";
+    const BoundQuery::BoundJoin& drive = *conds[0];
+
+    const Partition& inner = *selections[t].partition;
+    const Column& inner_key = inner.column(drive.inner_column);
+    const Partition& outer_part = *selections[drive.outer_table].partition;
+    const Column& outer_key = outer_part.column(drive.outer_column);
+
+    // Residual join conditions between table t and other earlier tables,
+    // evaluated on each candidate (tuple, inner row) pair.
+    auto residuals_pass = [&](size_t base, uint32_t inner_row) {
+      for (size_t c = 1; c < conds.size(); ++c) {
+        const BoundQuery::BoundJoin& extra = *conds[c];
+        uint32_t other_row = tuples[base + extra.outer_table];
+        const Value& lhs = selections[extra.outer_table]
+                               .partition->column(extra.outer_column)
+                               .GetValue(other_row);
+        const Value& rhs =
+            inner.column(extra.inner_column).GetValue(inner_row);
+        if (!(lhs == rhs)) return false;
+      }
+      return true;
+    };
+
+    // Build the hash table on the smaller input — the optimization that
+    // makes subjoins with a tiny delta on one side cheap even when the
+    // other side is a large main partition.
+    size_t num_tuples = stride == 0 ? 0 : tuples.size() / stride;
+    std::vector<uint32_t> next;
+    if (selections[t].rows.size() <= num_tuples) {
+      // Build on the inner (new) table, probe with the joined tuples.
+      std::unordered_map<Value, std::vector<uint32_t>, ValueHash> hash_table;
+      hash_table.reserve(selections[t].rows.size());
+      for (uint32_t r : selections[t].rows) {
+        hash_table[inner_key.GetValue(r)].push_back(r);
+      }
+      for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
+        uint32_t outer_row = tuples[base + drive.outer_table];
+        auto it = hash_table.find(outer_key.GetValue(outer_row));
+        if (it == hash_table.end()) continue;
+        for (uint32_t inner_row : it->second) {
+          if (!residuals_pass(base, inner_row)) continue;
+          for (size_t k = 0; k < stride; ++k) {
+            next.push_back(tuples[base + k]);
+          }
+          next.push_back(inner_row);
+        }
+      }
+    } else {
+      // Build on the joined tuples, probe with the inner table's rows.
+      std::unordered_map<Value, std::vector<uint32_t>, ValueHash> hash_table;
+      hash_table.reserve(num_tuples);
+      for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
+        uint32_t outer_row = tuples[base + drive.outer_table];
+        hash_table[outer_key.GetValue(outer_row)].push_back(
+            static_cast<uint32_t>(base));
+      }
+      for (uint32_t inner_row : selections[t].rows) {
+        auto it = hash_table.find(inner_key.GetValue(inner_row));
+        if (it == hash_table.end()) continue;
+        for (uint32_t base : it->second) {
+          if (!residuals_pass(base, inner_row)) continue;
+          for (size_t k = 0; k < stride; ++k) {
+            next.push_back(tuples[base + k]);
+          }
+          next.push_back(inner_row);
+        }
+      }
+    }
+    tuples = std::move(next);
+    stride += 1;
+    if (tuples.empty()) break;
+  }
+
+  if (stride != num_tables && num_tables > 1) {
+    // Join pipeline ended early on an empty intermediate result.
+    return result;
+  }
+  stats_.tuples_joined += tuples.size() / stride;
+
+  // Phase 3: hash aggregation over the joined tuples.
+  GroupKey key;
+  key.values.resize(bound.group_by.size());
+  std::vector<Value> inputs(bound.aggregates.size());
+  for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
+    for (size_t g = 0; g < bound.group_by.size(); ++g) {
+      const BoundQuery::BoundGroupBy& gb = bound.group_by[g];
+      key.values[g] = selections[gb.table]
+                          .partition->column(gb.column)
+                          .GetValue(tuples[base + gb.table]);
+    }
+    for (size_t a = 0; a < bound.aggregates.size(); ++a) {
+      const BoundQuery::BoundAggregate& agg = bound.aggregates[a];
+      if (agg.is_count_star) {
+        inputs[a] = Value();
+      } else {
+        inputs[a] = selections[agg.table]
+                        .partition->column(agg.column)
+                        .GetValue(tuples[base + agg.table]);
+      }
+    }
+    result.Accumulate(key, inputs);
+  }
+  return result;
+}
+
+StatusOr<AggregateResult> Executor::ExecuteUncached(
+    const AggregateQuery& query, Snapshot snapshot) {
+  ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
+  AggregateResult result(bound.aggregates.size());
+  for (const SubjoinCombination& combo :
+       EnumerateAllCombinations(bound.tables)) {
+    ASSIGN_OR_RETURN(AggregateResult partial,
+                     ExecuteSubjoin(bound, combo, snapshot));
+    result.MergeFrom(partial);
+  }
+  // HAVING applies to whole groups, so only after every subjoin is merged.
+  return query.ApplyHaving(std::move(result));
+}
+
+}  // namespace aggcache

@@ -1,0 +1,113 @@
+#ifndef AGGCACHE_QUERY_EXECUTOR_H_
+#define AGGCACHE_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "query/aggregate_query.h"
+#include "query/aggregate_result.h"
+#include "query/subjoin.h"
+#include "storage/database.h"
+#include "txn/types.h"
+
+namespace aggcache {
+
+/// An AggregateQuery with every table and column reference resolved against
+/// the catalog. Binding happens once per execution; the pruning and
+/// pushdown modules consume the same structure.
+struct BoundQuery {
+  const AggregateQuery* query = nullptr;
+  std::vector<const Table*> tables;
+
+  struct BoundJoin {
+    size_t outer_table = 0;  ///< Earlier table in query order.
+    size_t outer_column = 0;
+    size_t inner_table = 0;  ///< Later table in query order.
+    size_t inner_column = 0;
+  };
+  std::vector<BoundJoin> joins;
+
+  struct BoundFilter {
+    size_t table = 0;
+    size_t column = 0;
+    CompareOp op = CompareOp::kEq;
+    Value operand;
+  };
+  std::vector<BoundFilter> filters;
+
+  struct BoundGroupBy {
+    size_t table = 0;
+    size_t column = 0;
+  };
+  std::vector<BoundGroupBy> group_by;
+
+  struct BoundAggregate {
+    AggregateFunction fn = AggregateFunction::kSum;
+    size_t table = 0;
+    size_t column = 0;
+    bool is_count_star = false;
+  };
+  std::vector<BoundAggregate> aggregates;
+
+  /// Validates `query` and resolves all references.
+  static StatusOr<BoundQuery> Bind(const Database& db,
+                                   const AggregateQuery& query);
+};
+
+/// Counters accumulated across executor calls; benches and tests reset and
+/// read them to observe how much work each strategy performed.
+struct ExecutorStats {
+  uint64_t subjoins_executed = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_selected = 0;
+  uint64_t tuples_joined = 0;
+
+  void Reset() { *this = ExecutorStats(); }
+};
+
+/// Single-threaded aggregate query executor over the main-delta columnar
+/// store: per-table selection (with dictionary-range static pruning of
+/// filters), left-deep hash joins in query-table order, and hash
+/// aggregation.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Optional per-table row restriction for ExecuteSubjoin: when
+  /// `rows[t]` is set, table t's selection considers only those row ids of
+  /// its partition (visibility and filters still apply on top). Used by the
+  /// incremental main compensation of join entries, whose correction joins
+  /// restrict some tables to their invalidated ("negative delta") rows.
+  struct RowRestriction {
+    std::vector<std::optional<std::vector<uint32_t>>> rows;
+    /// When true, restricted tables skip the per-row visibility check: the
+    /// caller vouches for the row set. Main compensation passes the rows
+    /// invalidated since the entry snapshot, which are exactly the rows a
+    /// current snapshot would hide.
+    bool bypass_visibility_for_restricted = false;
+  };
+
+  /// Executes the query over one subjoin combination under `snapshot`.
+  /// `extra_filters` carries pushed-down predicates (Section 5.3) that
+  /// apply only to this subjoin; `restriction`, when non-null, limits the
+  /// candidate rows per table.
+  StatusOr<AggregateResult> ExecuteSubjoin(
+      const BoundQuery& bound, const SubjoinCombination& combination,
+      Snapshot snapshot,
+      const std::vector<FilterPredicate>& extra_filters = {},
+      const RowRestriction* restriction = nullptr);
+
+  /// Uncached execution (Section 2.3.1): evaluates and unions every
+  /// partition combination.
+  StatusOr<AggregateResult> ExecuteUncached(const AggregateQuery& query,
+                                            Snapshot snapshot);
+
+  ExecutorStats& stats() { return stats_; }
+
+ private:
+  const Database* db_;
+  ExecutorStats stats_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_QUERY_EXECUTOR_H_

@@ -1,0 +1,131 @@
+#include "query/predicate.h"
+
+#include "common/string_util.h"
+
+namespace aggcache {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string FilterPredicate::ToString() const {
+  return StrFormat("t%zu.%s %s %s", table_index, column.c_str(),
+                   CompareOpToString(op), operand.ToString().c_str());
+}
+
+bool EvalCompare(CompareOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+std::optional<std::pair<ValueId, ValueId>> SortedDictionaryCodeRange(
+    CompareOp op, const Value& operand, const Dictionary& dict) {
+  if (dict.mode() != Dictionary::Mode::kSortedMain || dict.empty() ||
+      op == CompareOp::kNe) {
+    return std::nullopt;
+  }
+  const ValueId size = static_cast<ValueId>(dict.size());
+  // lower_bound: first code with value >= operand.
+  ValueId lower = 0;
+  {
+    ValueId lo = 0;
+    ValueId hi = size;
+    while (lo < hi) {
+      ValueId mid = lo + (hi - lo) / 2;
+      if (dict.value(mid) < operand) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    lower = lo;
+  }
+  // upper_bound: first code with value > operand.
+  ValueId upper = lower;
+  while (upper < size && !(operand < dict.value(upper))) ++upper;
+
+  ValueId lo = 0;
+  ValueId hi = 0;
+  switch (op) {
+    case CompareOp::kEq:
+      if (lower == upper) return std::nullopt;  // Operand absent.
+      lo = lower;
+      hi = upper - 1;
+      break;
+    case CompareOp::kLt:
+      if (lower == 0) return std::nullopt;
+      lo = 0;
+      hi = lower - 1;
+      break;
+    case CompareOp::kLe:
+      if (upper == 0) return std::nullopt;
+      lo = 0;
+      hi = upper - 1;
+      break;
+    case CompareOp::kGt:
+      if (upper == size) return std::nullopt;
+      lo = upper;
+      hi = size - 1;
+      break;
+    case CompareOp::kGe:
+      if (lower == size) return std::nullopt;
+      lo = lower;
+      hi = size - 1;
+      break;
+    case CompareOp::kNe:
+      return std::nullopt;
+  }
+  return std::make_pair(lo, hi);
+}
+
+bool PredicateCanMatch(CompareOp op, const Value& operand,
+                       const Dictionary& dict) {
+  if (dict.empty()) return false;
+  const Value& lo = dict.min_value();
+  const Value& hi = dict.max_value();
+  switch (op) {
+    case CompareOp::kEq:
+      return !(operand < lo) && !(hi < operand);
+    case CompareOp::kNe:
+      // Only a single-valued dictionary equal to the operand excludes all.
+      return !(lo == hi && lo == operand);
+    case CompareOp::kLt:
+      return lo < operand;
+    case CompareOp::kLe:
+      return lo <= operand;
+    case CompareOp::kGt:
+      return operand < hi;
+    case CompareOp::kGe:
+      return operand <= hi;
+  }
+  return true;
+}
+
+}  // namespace aggcache

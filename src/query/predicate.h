@@ -1,0 +1,52 @@
+#ifndef AGGCACHE_QUERY_PREDICATE_H_
+#define AGGCACHE_QUERY_PREDICATE_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/value.h"
+#include "storage/dictionary.h"
+
+namespace aggcache {
+
+/// Comparison operators supported in filter predicates.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// A column-vs-constant filter, bound to one table of a query by index.
+/// Conjunctions are expressed as multiple predicates.
+struct FilterPredicate {
+  size_t table_index = 0;
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value operand;
+
+  std::string ToString() const;
+};
+
+/// Evaluates `lhs op rhs`.
+bool EvalCompare(CompareOp op, const Value& lhs, const Value& rhs);
+
+/// Conservative partition-level test using the dictionary's value range:
+/// returns false only when no value in the dictionary can satisfy the
+/// predicate, enabling static partition pruning during scans. Empty
+/// dictionaries always return false (nothing can match).
+bool PredicateCanMatch(CompareOp op, const Value& operand,
+                       const Dictionary& dict);
+
+/// Compiles a predicate against a *sorted* (main) dictionary into the
+/// inclusive code range [lo, hi] whose values satisfy `op operand`: because
+/// sorted dictionaries assign codes in value order, every range predicate
+/// maps to a contiguous code interval, and scans can then compare integer
+/// codes instead of decoded values — the value-id predicate evaluation of
+/// dictionary-encoded column stores. Returns nullopt when the dictionary is
+/// unsorted, empty, the operator is `<>`, or no code matches (callers fall
+/// back to value comparison or skip the scan).
+std::optional<std::pair<ValueId, ValueId>> SortedDictionaryCodeRange(
+    CompareOp op, const Value& operand, const Dictionary& dict);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_QUERY_PREDICATE_H_

@@ -1,0 +1,88 @@
+#include "query/subjoin.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aggcache {
+namespace {
+
+// Per-table list of partition refs, then cross product.
+std::vector<PartitionRef> PartitionRefsFor(const Table& table,
+                                           bool mains_only) {
+  std::vector<PartitionRef> refs;
+  for (uint32_t g = 0; g < table.num_groups(); ++g) {
+    refs.push_back(PartitionRef{g, PartitionKind::kMain});
+    if (!mains_only) refs.push_back(PartitionRef{g, PartitionKind::kDelta});
+  }
+  return refs;
+}
+
+std::vector<SubjoinCombination> CrossProduct(
+    std::span<const Table* const> tables, bool mains_only) {
+  std::vector<SubjoinCombination> result;
+  if (tables.empty()) return result;
+  result.push_back({});
+  for (const Table* table : tables) {
+    std::vector<PartitionRef> refs = PartitionRefsFor(*table, mains_only);
+    std::vector<SubjoinCombination> extended;
+    extended.reserve(result.size() * refs.size());
+    for (const SubjoinCombination& combo : result) {
+      for (const PartitionRef& ref : refs) {
+        SubjoinCombination next = combo;
+        next.push_back(ref);
+        extended.push_back(std::move(next));
+      }
+    }
+    result = std::move(extended);
+  }
+  return result;
+}
+
+}  // namespace
+
+const Partition& ResolvePartition(const Table& table,
+                                  const PartitionRef& ref) {
+  AGGCACHE_CHECK_LT(ref.group, table.num_groups());
+  const PartitionGroup& group = table.group(ref.group);
+  return ref.kind == PartitionKind::kMain ? group.main : group.delta;
+}
+
+std::vector<SubjoinCombination> EnumerateAllCombinations(
+    std::span<const Table* const> tables) {
+  return CrossProduct(tables, /*mains_only=*/false);
+}
+
+bool IsAllMain(const SubjoinCombination& combination) {
+  for (const PartitionRef& ref : combination) {
+    if (ref.kind != PartitionKind::kMain) return false;
+  }
+  return true;
+}
+
+std::vector<SubjoinCombination> EnumerateCompensationCombinations(
+    std::span<const Table* const> tables) {
+  std::vector<SubjoinCombination> all = EnumerateAllCombinations(tables);
+  std::vector<SubjoinCombination> result;
+  result.reserve(all.size());
+  for (SubjoinCombination& combo : all) {
+    if (!IsAllMain(combo)) result.push_back(std::move(combo));
+  }
+  return result;
+}
+
+std::vector<SubjoinCombination> EnumerateAllMainCombinations(
+    std::span<const Table* const> tables) {
+  return CrossProduct(tables, /*mains_only=*/true);
+}
+
+std::string CombinationToString(const SubjoinCombination& combination) {
+  std::vector<std::string> parts;
+  parts.reserve(combination.size());
+  for (const PartitionRef& ref : combination) {
+    parts.push_back(StrFormat("g%u/%s", ref.group,
+                              PartitionKindToString(ref.kind)));
+  }
+  return "[" + StrJoin(parts, ", ") + "]";
+}
+
+}  // namespace aggcache

@@ -1,0 +1,62 @@
+#ifndef AGGCACHE_QUERY_SUBJOIN_H_
+#define AGGCACHE_QUERY_SUBJOIN_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace aggcache {
+
+/// Addresses one partition of a table: a group (hot/cold) and a kind
+/// (main/delta).
+struct PartitionRef {
+  uint32_t group = 0;
+  PartitionKind kind = PartitionKind::kMain;
+
+  bool operator==(const PartitionRef& other) const {
+    return group == other.group && kind == other.kind;
+  }
+  bool operator<(const PartitionRef& other) const {
+    if (group != other.group) return group < other.group;
+    return static_cast<int>(kind) < static_cast<int>(other.kind);
+  }
+};
+
+/// One subjoin of a join query: the partition chosen for each query table,
+/// in query-table order. A join of t tables with k_i partitions each has
+/// prod(k_i) subjoins — the combinatorial blow-up of Section 2.3 that the
+/// paper's pruning attacks.
+using SubjoinCombination = std::vector<PartitionRef>;
+
+/// Resolves a combination entry to the actual partition.
+const Partition& ResolvePartition(const Table& table, const PartitionRef& ref);
+
+/// All partition combinations for the given tables (the JnoCache set of
+/// Section 2.3.1): the cross product over each table's partitions.
+std::vector<SubjoinCombination> EnumerateAllCombinations(
+    std::span<const Table* const> tables);
+
+/// True when every entry references a main partition; the union of all-main
+/// subjoins is exactly what the aggregate cache materializes.
+bool IsAllMain(const SubjoinCombination& combination);
+
+/// The compensation set JwithCache = JnoCache minus the all-main
+/// combinations (Section 2.3.2): everything that must be computed on the
+/// fly when answering from the cache.
+std::vector<SubjoinCombination> EnumerateCompensationCombinations(
+    std::span<const Table* const> tables);
+
+/// The cached set: all-main combinations only. With a single partition
+/// group per table this is one combination; with hot/cold groups there is
+/// one per group assignment (Section 5.4's per-temperature caches).
+std::vector<SubjoinCombination> EnumerateAllMainCombinations(
+    std::span<const Table* const> tables);
+
+/// Debug rendering like "[hot/main, hot/delta, cold/main]".
+std::string CombinationToString(const SubjoinCombination& combination);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_QUERY_SUBJOIN_H_

@@ -1,0 +1,58 @@
+#ifndef AGGCACHE_SQL_PARSER_H_
+#define AGGCACHE_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/aggregate_query.h"
+#include "storage/database.h"
+
+namespace aggcache {
+
+/// A parsed SQL statement, dispatched on `kind`.
+struct ParsedStatement {
+  enum class Kind : uint8_t { kSelect, kInsert, kCreateTable };
+
+  Kind kind = Kind::kSelect;
+  /// kSelect: the aggregate query (already validated against the catalog).
+  AggregateQuery select;
+  /// kInsert: target table and the user-column values in schema order
+  /// (numeric literals coerced to the column types).
+  std::string insert_table;
+  std::vector<Value> insert_values;
+  /// kCreateTable: the schema to create.
+  TableSchema create_schema;
+};
+
+/// Parses one SQL statement of the dialect this engine supports:
+///
+///   SELECT <group columns and aggregates>
+///   FROM t1, t2, ...
+///   [WHERE <equi-join conditions AND column-vs-literal filters>]
+///   GROUP BY col [, col ...]
+///
+///   INSERT INTO t VALUES (v1, v2, ...)
+///
+///   CREATE TABLE t (
+///     col BIGINT|DOUBLE|VARCHAR [PRIMARY KEY]
+///         [REFERENCES other [TID md_tid_column]],
+///     ...,
+///     [OWN TID tid_column]
+///   )
+///
+/// Aggregates: SUM, COUNT, AVG, MIN, MAX, COUNT(*). Column references may
+/// be qualified (`table.column`) or unqualified when unambiguous across
+/// the FROM tables. `REFERENCES ... TID c` declares a foreign key with a
+/// matching-dependency tid column; `OWN TID c` declares the table's own
+/// temporal column (Section 5 of the paper). A trailing semicolon is
+/// allowed. SELECT statements are validated against `db`.
+StatusOr<ParsedStatement> ParseStatement(const std::string& sql,
+                                         const Database& db);
+
+/// Executes a parsed non-SELECT statement against the database (INSERT
+/// runs in its own transaction; CREATE TABLE registers the schema).
+Status ApplyStatement(const ParsedStatement& statement, Database* db);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_SQL_PARSER_H_

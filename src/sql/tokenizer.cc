@@ -1,0 +1,110 @@
+#include "sql/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace aggcache {
+
+bool Token::IsKeyword(const std::string& keyword) const {
+  if (type != TokenType::kIdentifier) return false;
+  if (text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenType::kIdentifier, sql.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      if (c == '-') ++i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          if (is_double) break;  // Second dot ends the literal.
+          is_double = true;
+        }
+        ++i;
+      }
+      tokens.push_back({is_double ? TokenType::kDouble : TokenType::kInteger,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          // Doubled quote is an escaped quote.
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(StrFormat(
+            "unterminated string literal at position %zu", start));
+      }
+      tokens.push_back({TokenType::kString, value, start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+        tokens.push_back({TokenType::kSymbol, two == "!=" ? "<>" : two,
+                          start});
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),.*=<>;").find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unexpected character '%c' at position %zu", c, start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace aggcache

@@ -1,0 +1,43 @@
+#ifndef AGGCACHE_SQL_TOKENIZER_H_
+#define AGGCACHE_SQL_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aggcache {
+
+/// Token kinds produced by the SQL tokenizer.
+enum class TokenType : uint8_t {
+  kIdentifier,  ///< Unquoted name (keywords are identifiers until parsed).
+  kInteger,     ///< 64-bit integer literal.
+  kDouble,      ///< Floating-point literal.
+  kString,      ///< 'single-quoted' string literal (quotes stripped).
+  kSymbol,      ///< Punctuation / operator: ( ) , . * = <> < <= > >= ;
+  kEnd,         ///< End of input sentinel.
+};
+
+/// One token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  ///< Identifier/symbol text or literal spelling.
+  size_t position = 0;
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive identifier comparison (SQL keywords).
+  bool IsKeyword(const std::string& keyword) const;
+  bool IsSymbol(const std::string& symbol) const {
+    return type == TokenType::kSymbol && text == symbol;
+  }
+};
+
+/// Splits `sql` into tokens. Supports identifiers, integer/double and
+/// string literals, the comparison operators, and basic punctuation; SQL
+/// line comments (`-- ...`) are skipped. Returns InvalidArgument on
+/// malformed input (unterminated string, stray character).
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_SQL_TOKENIZER_H_

@@ -1,0 +1,41 @@
+#include "storage/column.h"
+
+#include "common/logging.h"
+
+namespace aggcache {
+
+Column Column::MakeDelta(ColumnType type) {
+  return Column(Dictionary(type, Dictionary::Mode::kUnsortedDelta),
+                /*is_main=*/false);
+}
+
+Column Column::MakeMain(Dictionary dict, const std::vector<ValueId>& codes) {
+  AGGCACHE_CHECK(dict.mode() == Dictionary::Mode::kSortedMain)
+      << "main column requires a sorted dictionary";
+  Column column(std::move(dict), /*is_main=*/true);
+  column.main_codes_ = BitPackedVector(
+      BitPackedVector::BitsForCardinality(column.dict_.size()));
+  for (ValueId code : codes) {
+    AGGCACHE_CHECK_LT(code, column.dict_.size()) << "code out of range";
+    column.main_codes_.PushBack(code);
+  }
+  return column;
+}
+
+Status Column::Append(const Value& v) {
+  if (is_main_) {
+    return Status::FailedPrecondition("append to immutable main column");
+  }
+  ASSIGN_OR_RETURN(ValueId id, dict_.GetOrAdd(v));
+  delta_codes_.push_back(id);
+  return Status::Ok();
+}
+
+size_t Column::ByteSize() const {
+  size_t codes_bytes = is_main_
+                           ? main_codes_.ByteSize()
+                           : delta_codes_.capacity() * sizeof(ValueId);
+  return codes_bytes + dict_.ByteSize();
+}
+
+}  // namespace aggcache

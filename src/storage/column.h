@@ -1,0 +1,66 @@
+#ifndef AGGCACHE_STORAGE_COLUMN_H_
+#define AGGCACHE_STORAGE_COLUMN_H_
+
+#include <vector>
+
+#include "common/bit_packed_vector.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/dictionary.h"
+
+namespace aggcache {
+
+/// One dictionary-encoded column of a partition.
+///
+/// Delta columns are append-only: codes live in a plain uint32 vector over an
+/// unsorted dictionary (write-optimized). Main columns are immutable: codes
+/// are bit-packed to ceil(log2(|dict|)) bits over a sorted dictionary
+/// (read-optimized, compressed) and are produced by the delta merge.
+class Column {
+ public:
+  /// Creates an empty, appendable delta column.
+  static Column MakeDelta(ColumnType type);
+
+  /// Creates an immutable main column from a sorted dictionary and one code
+  /// per row (codes must reference `dict`).
+  static Column MakeMain(Dictionary dict, const std::vector<ValueId>& codes);
+
+  ColumnType type() const { return dict_.type(); }
+  size_t size() const { return is_main_ ? main_codes_.size()
+                                        : delta_codes_.size(); }
+  bool is_main() const { return is_main_; }
+
+  /// Appends a value (delta columns only).
+  Status Append(const Value& v);
+
+  /// Dictionary code of row `row`.
+  ValueId code(size_t row) const {
+    return is_main_ ? main_codes_.Get(row) : delta_codes_[row];
+  }
+
+  /// Decoded value of row `row`.
+  const Value& GetValue(size_t row) const { return dict_.value(code(row)); }
+
+  /// Fast path for int64 columns (tid columns, keys).
+  int64_t GetInt64(size_t row) const { return GetValue(row).AsInt64(); }
+
+  const Dictionary& dictionary() const { return dict_; }
+
+  /// Approximate heap footprint: codes plus dictionary. The compression gap
+  /// between main (bit-packed) and delta (32-bit codes) feeds the Section
+  /// 6.2 memory-overhead experiment.
+  size_t ByteSize() const;
+
+ private:
+  Column(Dictionary dict, bool is_main)
+      : dict_(std::move(dict)), is_main_(is_main) {}
+
+  Dictionary dict_;
+  bool is_main_;
+  std::vector<ValueId> delta_codes_;
+  BitPackedVector main_codes_{32};
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_COLUMN_H_

@@ -1,0 +1,124 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace aggcache {
+
+StatusOr<Table*> Database::CreateTable(const TableSchema& schema) {
+  RETURN_IF_ERROR(schema.Validate());
+  if (tables_.contains(schema.name)) {
+    return Status::AlreadyExists("table '" + schema.name +
+                                 "' already exists");
+  }
+  auto table = std::unique_ptr<Table>(new Table(schema));
+  RETURN_IF_ERROR(table->ResolveForeignKeys(this));
+  Table* raw = table.get();
+  tables_.emplace(schema.name, std::move(table));
+  return raw;
+}
+
+StatusOr<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+StatusOr<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Database::Merge(const std::string& table_name,
+                       const MergeOptions& options) {
+  ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  for (size_t g = 0; g < table->num_groups(); ++g) {
+    for (MergeObserver* observer : merge_observers_) {
+      observer->OnBeforeMerge(*table, g);
+    }
+    RETURN_IF_ERROR(MergeTableGroup(*table, g, options));
+    for (MergeObserver* observer : merge_observers_) {
+      observer->OnAfterMerge(*table, g);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Database::MergeTables(const std::vector<std::string>& table_names,
+                             const MergeOptions& options) {
+  for (const std::string& name : table_names) {
+    RETURN_IF_ERROR(Merge(name, options));
+  }
+  return Status::Ok();
+}
+
+Status Database::MergeAll(const MergeOptions& options) {
+  return MergeTables(TableNames(), options);
+}
+
+void Database::AddMergeObserver(MergeObserver* observer) {
+  merge_observers_.push_back(observer);
+}
+
+void Database::RemoveMergeObserver(MergeObserver* observer) {
+  merge_observers_.erase(
+      std::remove(merge_observers_.begin(), merge_observers_.end(), observer),
+      merge_observers_.end());
+}
+
+void Database::RegisterAgingGroup(std::vector<std::string> table_names) {
+  aging_groups_.push_back(std::move(table_names));
+}
+
+void Database::RegisterMergeGroup(std::vector<std::string> table_names,
+                                  size_t delta_row_threshold) {
+  merge_groups_.push_back(
+      MergeGroup{std::move(table_names), delta_row_threshold});
+}
+
+StatusOr<size_t> Database::AutoMergeTick(const MergeOptions& options) {
+  size_t merged = 0;
+  for (const MergeGroup& group : merge_groups_) {
+    bool due = false;
+    for (const std::string& name : group.tables) {
+      ASSIGN_OR_RETURN(const Table* table, GetTable(name));
+      size_t delta_rows = 0;
+      for (size_t g = 0; g < table->num_groups(); ++g) {
+        delta_rows += table->group(g).delta.num_rows();
+      }
+      if (delta_rows >= group.delta_row_threshold) {
+        due = true;
+        break;
+      }
+    }
+    if (!due) continue;
+    RETURN_IF_ERROR(MergeTables(group.tables, options));
+    ++merged;
+  }
+  return merged;
+}
+
+bool Database::InSameAgingGroup(const std::string& a,
+                                const std::string& b) const {
+  for (const std::vector<std::string>& group : aging_groups_) {
+    bool has_a = std::find(group.begin(), group.end(), a) != group.end();
+    bool has_b = std::find(group.begin(), group.end(), b) != group.end();
+    if (has_a && has_b) return true;
+  }
+  return false;
+}
+
+}  // namespace aggcache

@@ -1,0 +1,102 @@
+#ifndef AGGCACHE_STORAGE_DATABASE_H_
+#define AGGCACHE_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/delta_merge.h"
+#include "storage/merge_observer.h"
+#include "storage/table.h"
+#include "txn/transaction_manager.h"
+
+namespace aggcache {
+
+/// The catalog: owns tables, the transaction manager, merge observers, and
+/// the object-aware metadata (consistent aging groups, Section 5.4). Table
+/// pointers returned by CreateTable/GetTable remain stable for the lifetime
+/// of the database.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table. Referenced tables (foreign keys) must already exist.
+  StatusOr<Table*> CreateTable(const TableSchema& schema);
+
+  StatusOr<Table*> GetTable(const std::string& name);
+  StatusOr<const Table*> GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  TransactionManager& txn_manager() { return txn_manager_; }
+  const TransactionManager& txn_manager() const { return txn_manager_; }
+
+  /// Starts a new transaction.
+  Transaction Begin() { return txn_manager_.Begin(); }
+
+  /// Merges all partition groups of `table_name`, notifying merge observers
+  /// around each group merge.
+  Status Merge(const std::string& table_name,
+               const MergeOptions& options = MergeOptions());
+
+  /// Synchronized merge of several tables (Section 5.2): merging related
+  /// transactional tables together keeps matching tuples on the same side
+  /// of the main/delta boundary, which is what makes dynamic join pruning
+  /// succeed.
+  Status MergeTables(const std::vector<std::string>& table_names,
+                     const MergeOptions& options = MergeOptions());
+
+  /// Merges every table in the catalog.
+  Status MergeAll(const MergeOptions& options = MergeOptions());
+
+  /// Observers are notified around every group merge; not owned.
+  void AddMergeObserver(MergeObserver* observer);
+  void RemoveMergeObserver(MergeObserver* observer);
+
+  /// Declares that `table_names` are aged under a consistent definition:
+  /// matching rows always share the same temperature, so subjoins between a
+  /// cold partition of one and a hot partition of another are logically
+  /// empty and can be pruned (Section 5.4).
+  void RegisterAgingGroup(std::vector<std::string> table_names);
+
+  /// True when both tables belong to one registered aging group.
+  bool InSameAgingGroup(const std::string& a, const std::string& b) const;
+
+  /// All registered aging groups (snapshot persistence).
+  const std::vector<std::vector<std::string>>& aging_groups() const {
+    return aging_groups_;
+  }
+
+  /// Declarative auto-merge policy operationalizing Section 5.2: the tables
+  /// of one merge group are always merged *together*, as soon as any
+  /// member's delta holds at least `delta_row_threshold` rows. Merging
+  /// related transactional tables synchronously keeps matching tuples on
+  /// the same side of the main/delta boundary, which is what maximizes the
+  /// join-pruning success rate.
+  void RegisterMergeGroup(std::vector<std::string> table_names,
+                          size_t delta_row_threshold);
+
+  /// Evaluates every registered merge group and merges those over their
+  /// threshold. Call after write transactions (cheap when nothing is due).
+  /// Returns the number of groups merged.
+  StatusOr<size_t> AutoMergeTick(const MergeOptions& options = MergeOptions());
+
+ private:
+  struct MergeGroup {
+    std::vector<std::string> tables;
+    size_t delta_row_threshold = 0;
+  };
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  TransactionManager txn_manager_;
+  std::vector<MergeObserver*> merge_observers_;
+  std::vector<std::vector<std::string>> aging_groups_;
+  std::vector<MergeGroup> merge_groups_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_DATABASE_H_

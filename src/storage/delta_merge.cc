@@ -1,0 +1,62 @@
+#include "storage/delta_merge.h"
+
+#include "common/logging.h"
+#include "storage/table.h"
+
+namespace aggcache {
+
+MainPartitionBuilder::MainPartitionBuilder(const TableSchema& schema)
+    : schema_(schema), column_values_(schema.columns.size()) {}
+
+void MainPartitionBuilder::AddRow(std::vector<Value> values, Tid create_tid,
+                                  Tid invalidate_tid) {
+  AGGCACHE_CHECK_EQ(values.size(), column_values_.size());
+  for (size_t c = 0; c < values.size(); ++c) {
+    column_values_[c].push_back(std::move(values[c]));
+  }
+  create_tids_.push_back(create_tid);
+  invalidate_tids_.push_back(invalidate_tid);
+}
+
+Partition MainPartitionBuilder::Build() {
+  std::vector<Column> columns;
+  columns.reserve(column_values_.size());
+  for (size_t c = 0; c < column_values_.size(); ++c) {
+    Dictionary dict = Dictionary::BuildSorted(schema_.columns[c].type,
+                                              column_values_[c]);
+    std::vector<ValueId> codes;
+    codes.reserve(column_values_[c].size());
+    for (const Value& v : column_values_[c]) {
+      std::optional<ValueId> id = dict.Find(v);
+      AGGCACHE_CHECK(id.has_value());
+      codes.push_back(*id);
+    }
+    columns.push_back(Column::MakeMain(std::move(dict), codes));
+    column_values_[c].clear();
+    column_values_[c].shrink_to_fit();
+  }
+  return Partition::MakeMain(std::move(columns), std::move(create_tids_),
+                             std::move(invalidate_tids_));
+}
+
+Status MergeTableGroup(Table& table, size_t group_index,
+                       const MergeOptions& options) {
+  if (group_index >= table.num_groups()) {
+    return Status::OutOfRange("partition group index out of range");
+  }
+  PartitionGroup& group = table.mutable_group(group_index);
+
+  MainPartitionBuilder builder(table.schema());
+  for (const Partition* p : {&group.main, &group.delta}) {
+    for (size_t r = 0; r < p->num_rows(); ++r) {
+      if (p->RowInvalidated(r) && !options.keep_invalidated) continue;
+      builder.AddRow(p->GetRow(r), p->create_tid(r), p->invalidate_tid(r));
+    }
+  }
+  group.main = builder.Build();
+  group.delta = Partition::MakeDelta(table.schema());
+  table.RebuildPkIndex();
+  return Status::Ok();
+}
+
+}  // namespace aggcache

@@ -1,0 +1,56 @@
+#ifndef AGGCACHE_STORAGE_DELTA_MERGE_H_
+#define AGGCACHE_STORAGE_DELTA_MERGE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/partition.h"
+#include "storage/schema.h"
+#include "txn/types.h"
+
+namespace aggcache {
+
+class Table;
+
+/// Options for the delta merge.
+struct MergeOptions {
+  /// Keep invalidated rows in the rebuilt main (with their invalidate_tid)
+  /// so temporal queries on historical data remain possible, as the paper
+  /// notes in Section 2. When false, invalidated rows are physically
+  /// removed during the merge.
+  bool keep_invalidated = false;
+};
+
+/// Accumulates rows and builds a read-optimized main partition: per-column
+/// sorted dictionaries and bit-packed codes.
+class MainPartitionBuilder {
+ public:
+  explicit MainPartitionBuilder(const TableSchema& schema);
+
+  /// Adds one row (decoded values, full schema arity) with its MVCC
+  /// timestamps.
+  void AddRow(std::vector<Value> values, Tid create_tid, Tid invalidate_tid);
+
+  size_t num_rows() const { return create_tids_.size(); }
+
+  /// Builds the partition; the builder is consumed.
+  Partition Build();
+
+ private:
+  const TableSchema& schema_;
+  std::vector<std::vector<Value>> column_values_;  // [column][row]
+  std::vector<Tid> create_tids_;
+  std::vector<Tid> invalidate_tids_;
+};
+
+/// Merges the delta of one partition group into its main: surviving rows
+/// (plus invalidated ones when keep_invalidated) are rebuilt into a fresh
+/// main with sorted dictionaries, and the delta is emptied. The table's
+/// primary-key index is rebuilt. Use Database::Merge to also notify merge
+/// observers (aggregate cache maintenance).
+Status MergeTableGroup(Table& table, size_t group_index,
+                       const MergeOptions& options);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_DELTA_MERGE_H_

@@ -1,0 +1,75 @@
+#include "storage/dictionary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aggcache {
+
+Dictionary::Dictionary(ColumnType type, Mode mode)
+    : type_(type), mode_(mode) {}
+
+Dictionary Dictionary::BuildSorted(ColumnType type,
+                                   std::vector<Value> values) {
+  for (const Value& v : values) {
+    AGGCACHE_CHECK(v.MatchesType(type)) << "value/type mismatch in BuildSorted";
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Dictionary dict(type, Mode::kSortedMain);
+  dict.values_ = std::move(values);
+  dict.index_.reserve(dict.values_.size());
+  for (size_t i = 0; i < dict.values_.size(); ++i) {
+    dict.index_.emplace(dict.values_[i], static_cast<ValueId>(i));
+  }
+  return dict;
+}
+
+StatusOr<ValueId> Dictionary::GetOrAdd(const Value& v) {
+  if (mode_ != Mode::kUnsortedDelta) {
+    return Status::FailedPrecondition("GetOrAdd on immutable main dictionary");
+  }
+  if (v.is_null()) {
+    return Status::InvalidArgument("NULL values are not supported");
+  }
+  if (!v.MatchesType(type_)) {
+    return Status::InvalidArgument("value type does not match column type");
+  }
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.push_back(v);
+  index_.emplace(v, id);
+  if (min_id_ == kInvalidValueId || v < values_[min_id_]) min_id_ = id;
+  if (max_id_ == kInvalidValueId || values_[max_id_] < v) max_id_ = id;
+  return id;
+}
+
+std::optional<ValueId> Dictionary::Find(const Value& v) const {
+  auto it = index_.find(v);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Value& Dictionary::min_value() const {
+  AGGCACHE_CHECK(!values_.empty()) << "min_value of empty dictionary";
+  if (mode_ == Mode::kSortedMain) return values_.front();
+  return values_[min_id_];
+}
+
+const Value& Dictionary::max_value() const {
+  AGGCACHE_CHECK(!values_.empty()) << "max_value of empty dictionary";
+  if (mode_ == Mode::kSortedMain) return values_.back();
+  return values_[max_id_];
+}
+
+size_t Dictionary::ByteSize() const {
+  size_t bytes = 0;
+  for (const Value& v : values_) bytes += v.ByteSize();
+  // Hash index: bucket array plus one node per entry, rough but consistent.
+  bytes += index_.bucket_count() * sizeof(void*);
+  bytes += index_.size() * (sizeof(Value) + sizeof(ValueId) + sizeof(void*));
+  return bytes;
+}
+
+}  // namespace aggcache

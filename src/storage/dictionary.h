@@ -1,0 +1,82 @@
+#ifndef AGGCACHE_STORAGE_DICTIONARY_H_
+#define AGGCACHE_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace aggcache {
+
+/// Code assigned to a distinct value within one column's dictionary.
+using ValueId = uint32_t;
+
+inline constexpr ValueId kInvalidValueId = ~0U;
+
+/// Per-column dictionary mapping distinct values to dense codes.
+///
+/// Two modes mirror the main-delta architecture:
+///  * kSortedMain — immutable, value-ordered (codes preserve value order, so
+///    code 0 is the minimum and the last code the maximum). Built during
+///    delta merge.
+///  * kUnsortedDelta — append-only in arrival order with a hash index;
+///    min/max are tracked incrementally.
+///
+/// The O(1) min/max of both modes is what makes the paper's dynamic join
+/// pruning prefilter (Eq. 5) essentially free: "min() and max() can be
+/// obtained from current dictionaries of the respective partitions".
+class Dictionary {
+ public:
+  enum class Mode { kSortedMain, kUnsortedDelta };
+
+  /// Creates an empty dictionary. Unsorted dictionaries grow via GetOrAdd;
+  /// sorted ones are produced by BuildSorted.
+  Dictionary(ColumnType type, Mode mode);
+
+  /// Builds an immutable sorted dictionary from `values` (sorted and
+  /// de-duplicated here; values of the wrong type abort).
+  static Dictionary BuildSorted(ColumnType type, std::vector<Value> values);
+
+  ColumnType type() const { return type_; }
+  Mode mode() const { return mode_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Code for `v`, inserting it when absent. Only valid in delta mode;
+  /// returns InvalidArgument for NULL or type-mismatched values.
+  StatusOr<ValueId> GetOrAdd(const Value& v);
+
+  /// Code for `v` when present.
+  std::optional<ValueId> Find(const Value& v) const;
+
+  /// Value for a code.
+  const Value& value(ValueId id) const {
+    AGGCACHE_CHECK_LT(id, values_.size());
+    return values_[id];
+  }
+
+  /// Smallest / largest value currently in the dictionary. Aborts on empty
+  /// dictionaries — callers must check empty() first (empty partitions are
+  /// pruned before range tests, as in the paper's Section 5.1).
+  const Value& min_value() const;
+  const Value& max_value() const;
+
+  /// Approximate heap footprint (values plus hash index).
+  size_t ByteSize() const;
+
+ private:
+  ColumnType type_;
+  Mode mode_;
+  std::vector<Value> values_;
+  std::unordered_map<Value, ValueId, ValueHash> index_;
+  // Codes of the extreme values; only meaningful for unsorted mode.
+  ValueId min_id_ = kInvalidValueId;
+  ValueId max_id_ = kInvalidValueId;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_DICTIONARY_H_

@@ -1,0 +1,29 @@
+#ifndef AGGCACHE_STORAGE_MERGE_OBSERVER_H_
+#define AGGCACHE_STORAGE_MERGE_OBSERVER_H_
+
+#include <cstddef>
+
+namespace aggcache {
+
+class Table;
+
+/// Callback interface fired around delta merges. The aggregate cache manager
+/// registers one to run its incremental maintenance: entries are folded
+/// forward (cached main aggregate + delta aggregate) while the delta is
+/// still present, then re-snapshotted after the merge — the merge-time
+/// maintenance of Section 5.2.
+class MergeObserver {
+ public:
+  virtual ~MergeObserver() = default;
+
+  /// Called before the delta of `table`'s group `group_index` is merged;
+  /// the delta rows are still visible here.
+  virtual void OnBeforeMerge(Table& table, size_t group_index) = 0;
+
+  /// Called after the merge: the group has a rebuilt main and empty delta.
+  virtual void OnAfterMerge(Table& table, size_t group_index) = 0;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_MERGE_OBSERVER_H_

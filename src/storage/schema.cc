@@ -1,0 +1,125 @@
+#include "storage/schema.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aggcache {
+
+StatusOr<size_t> TableSchema::ColumnIndex(
+    const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return i;
+  }
+  return Status::NotFound(
+      StrFormat("column '%s' not in table '%s'", column_name.c_str(),
+                name.c_str()));
+}
+
+size_t TableSchema::NumUserColumns() const {
+  size_t n = 0;
+  for (const ColumnDef& c : columns) {
+    if (!c.is_tid) ++n;
+  }
+  return n;
+}
+
+Status TableSchema::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("table name empty");
+  if (columns.empty()) {
+    return Status::InvalidArgument("table '" + name + "' has no columns");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name.empty()) {
+      return Status::InvalidArgument("unnamed column in table " + name);
+    }
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (columns[i].name == columns[j].name) {
+        return Status::InvalidArgument("duplicate column '" +
+                                       columns[i].name + "' in " + name);
+      }
+    }
+    if (columns[i].is_tid && columns[i].type != ColumnType::kInt64) {
+      return Status::InvalidArgument("tid column '" + columns[i].name +
+                                     "' must be int64");
+    }
+  }
+  if (primary_key && *primary_key >= columns.size()) {
+    return Status::InvalidArgument("primary key index out of range");
+  }
+  if (own_tid_column) {
+    if (*own_tid_column >= columns.size()) {
+      return Status::InvalidArgument("own-tid column index out of range");
+    }
+    if (!columns[*own_tid_column].is_tid) {
+      return Status::InvalidArgument("own-tid column must be marked is_tid");
+    }
+  }
+  for (const ForeignKeyDef& fk : foreign_keys) {
+    if (fk.column >= columns.size()) {
+      return Status::InvalidArgument("foreign key column index out of range");
+    }
+    if (fk.ref_table.empty()) {
+      return Status::InvalidArgument("foreign key without referenced table");
+    }
+    if (fk.tid_column) {
+      if (*fk.tid_column >= columns.size()) {
+        return Status::InvalidArgument("FK tid column index out of range");
+      }
+      if (!columns[*fk.tid_column].is_tid) {
+        return Status::InvalidArgument("FK tid column must be marked is_tid");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+SchemaBuilder::SchemaBuilder(std::string table_name) {
+  schema_.name = std::move(table_name);
+}
+
+SchemaBuilder& SchemaBuilder::AddColumn(const std::string& name,
+                                        ColumnType type) {
+  schema_.columns.push_back(ColumnDef{name, type, /*is_tid=*/false});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::PrimaryKey() {
+  AGGCACHE_CHECK(!schema_.columns.empty()) << "PrimaryKey() before AddColumn";
+  schema_.primary_key = schema_.columns.size() - 1;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::References(const std::string& ref_table,
+                                         const std::string& md_tid_column) {
+  AGGCACHE_CHECK(!schema_.columns.empty()) << "References() before AddColumn";
+  ForeignKeyDef fk;
+  fk.column = schema_.columns.size() - 1;
+  fk.ref_table = ref_table;
+  if (!md_tid_column.empty()) {
+    schema_.columns.push_back(
+        ColumnDef{md_tid_column, ColumnType::kInt64, /*is_tid=*/true});
+    fk.tid_column = schema_.columns.size() - 1;
+  }
+  schema_.foreign_keys.push_back(std::move(fk));
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::OwnTid(const std::string& name) {
+  schema_.columns.push_back(
+      ColumnDef{name, ColumnType::kInt64, /*is_tid=*/true});
+  schema_.own_tid_column = schema_.columns.size() - 1;
+  return *this;
+}
+
+TableSchema SchemaBuilder::Build() {
+  Status status = schema_.Validate();
+  AGGCACHE_CHECK(status.ok()) << "invalid schema: " << status.ToString();
+  return schema_;
+}
+
+StatusOr<TableSchema> SchemaBuilder::TryBuild() const {
+  RETURN_IF_ERROR(schema_.Validate());
+  return schema_;
+}
+
+}  // namespace aggcache

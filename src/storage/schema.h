@@ -1,0 +1,97 @@
+#ifndef AGGCACHE_STORAGE_SCHEMA_H_
+#define AGGCACHE_STORAGE_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace aggcache {
+
+/// One column of a table schema.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// True for temporal (tid) columns that the engine maintains itself at
+  /// insert time: either the table's own transaction id or the tid copied
+  /// from a referenced row to enforce a matching dependency (Section 5).
+  bool is_tid = false;
+};
+
+/// Declarative foreign key with an optional matching-dependency column.
+///
+/// When `tid_column` is set, inserts into this table copy the referenced
+/// row's own-tid value into that local column, enforcing the matching
+/// dependency MD = (R, S, (R[pk] = S[fk]) => (R[tid] = S[tid])) from Eq. 3/6
+/// of the paper. The referenced table must declare an own-tid column.
+struct ForeignKeyDef {
+  size_t column = 0;              ///< Local FK column index.
+  std::string ref_table;          ///< Referenced table (joined on its PK).
+  std::optional<size_t> tid_column;  ///< Local MD tid column index.
+};
+
+/// Schema of a table: columns, single-column primary key, foreign keys, and
+/// the auto-maintained temporal columns.
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::optional<size_t> primary_key;
+  /// Column auto-filled with the inserting transaction's tid.
+  std::optional<size_t> own_tid_column;
+  std::vector<ForeignKeyDef> foreign_keys;
+
+  /// Index of the column named `name`.
+  StatusOr<size_t> ColumnIndex(const std::string& column_name) const;
+
+  /// Number of columns the caller supplies on insert (non-tid columns).
+  size_t NumUserColumns() const;
+
+  /// Structural validation: indices in range, tid columns are int64, the
+  /// own-tid column is marked is_tid, etc.
+  Status Validate() const;
+};
+
+/// Fluent builder for TableSchema, used by examples and workload generators.
+///
+///   TableSchema schema = SchemaBuilder("Header")
+///       .AddColumn("HeaderID", ColumnType::kInt64).PrimaryKey()
+///       .AddColumn("FiscalYear", ColumnType::kInt64)
+///       .OwnTid("tid_Header")
+///       .Build();
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string table_name);
+
+  /// Appends a user column; subsequent PrimaryKey()/References() apply to it.
+  SchemaBuilder& AddColumn(const std::string& name, ColumnType type);
+
+  /// Marks the last added column as the primary key.
+  SchemaBuilder& PrimaryKey();
+
+  /// Declares a foreign key from the last added column to `ref_table`'s
+  /// primary key. When `md_tid_column` is non-empty, also appends a tid
+  /// column with that name and ties it to the foreign key (the matching
+  /// dependency of Section 5).
+  SchemaBuilder& References(const std::string& ref_table,
+                            const std::string& md_tid_column = "");
+
+  /// Appends the table's own-tid column.
+  SchemaBuilder& OwnTid(const std::string& name);
+
+  /// Finalizes the schema; aborts on structural errors (programming bug).
+  TableSchema Build();
+
+  /// Like Build(), but reports structural errors as a Status instead of
+  /// aborting — for schemas assembled from untrusted input (SQL parser).
+  StatusOr<TableSchema> TryBuild() const;
+
+ private:
+  TableSchema schema_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_SCHEMA_H_

@@ -1,0 +1,32 @@
+#ifndef AGGCACHE_STORAGE_SNAPSHOT_H_
+#define AGGCACHE_STORAGE_SNAPSHOT_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace aggcache {
+
+/// Database snapshot persistence: a versioned, line-oriented text format
+/// capturing the full catalog (schemas, foreign keys, aging groups), every
+/// partition of every table (including partition kind, temperature, row
+/// values, and MVCC timestamps — so historical versions and pending deltas
+/// survive a round trip), and the transaction counter.
+///
+/// Snapshots capture base data only; aggregate cache entries are runtime
+/// state and are rebuilt on first use after a restore.
+
+/// Writes the whole database to `out`.
+Status WriteSnapshot(const Database& db, std::ostream& out);
+
+/// Restores a snapshot into `db`, which must be empty (no tables, no
+/// transactions issued). Tables are recreated in a dependency-compatible
+/// order, partitions are rebuilt exactly as stored, and the transaction
+/// counter resumes after the snapshot's last tid.
+Status ReadSnapshot(std::istream& in, Database* db);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_SNAPSHOT_H_

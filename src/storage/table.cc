@@ -1,0 +1,285 @@
+#include "storage/table.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/database.h"
+#include "storage/delta_merge.h"
+
+namespace aggcache {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  groups_.push_back(PartitionGroup{
+      AgeClass::kHot,
+      Partition::MakeMain(/*columns=*/{}, /*create_tids=*/{},
+                          /*invalidate_tids=*/{}),
+      Partition::MakeDelta(schema_)});
+  // A freshly created table has an empty main partition; represent it with
+  // empty main columns so the executor can treat every group uniformly.
+  std::vector<Column> empty_columns;
+  for (const ColumnDef& def : schema_.columns) {
+    empty_columns.push_back(Column::MakeMain(
+        Dictionary::BuildSorted(def.type, {}), /*codes=*/{}));
+  }
+  groups_[0].main = Partition::MakeMain(std::move(empty_columns), {}, {});
+}
+
+Status Table::ResolveForeignKeys(Database* db) {
+  fk_tables_.clear();
+  for (const ForeignKeyDef& fk : schema_.foreign_keys) {
+    ASSIGN_OR_RETURN(const Table* ref,
+                     static_cast<const Database*>(db)->GetTable(fk.ref_table));
+    if (!ref->schema().primary_key) {
+      return Status::InvalidArgument(
+          StrFormat("table '%s' referenced by '%s' has no primary key",
+                    fk.ref_table.c_str(), name().c_str()));
+    }
+    if (fk.tid_column && !ref->schema().own_tid_column) {
+      return Status::InvalidArgument(StrFormat(
+          "matching dependency on '%s' -> '%s' requires the referenced "
+          "table to declare an own-tid column",
+          name().c_str(), fk.ref_table.c_str()));
+    }
+    fk_tables_.push_back(ref);
+  }
+  return Status::Ok();
+}
+
+Status Table::BuildRow(const Transaction& txn,
+                       const std::vector<Value>& user_values,
+                       const InsertOptions& options,
+                       std::optional<int64_t> own_tid_override,
+                       std::vector<Value>* row) const {
+  if (user_values.size() != schema_.NumUserColumns()) {
+    return Status::InvalidArgument(StrFormat(
+        "table '%s' expects %zu user values, got %zu", name().c_str(),
+        schema_.NumUserColumns(), user_values.size()));
+  }
+  row->clear();
+  row->reserve(schema_.columns.size());
+  size_t next_user = 0;
+  for (size_t i = 0; i < schema_.columns.size(); ++i) {
+    if (schema_.columns[i].is_tid) {
+      // Own-tid columns take the inserting transaction's id; MD tid columns
+      // are filled from the referenced row below.
+      int64_t tid_value = 0;
+      if (schema_.own_tid_column == i) {
+        tid_value = own_tid_override.has_value()
+                        ? *own_tid_override
+                        : static_cast<int64_t>(txn.tid());
+      }
+      row->push_back(Value(tid_value));
+    } else {
+      row->push_back(user_values[next_user++]);
+    }
+  }
+
+  for (size_t f = 0; f < schema_.foreign_keys.size(); ++f) {
+    const ForeignKeyDef& fk = schema_.foreign_keys[f];
+    bool needs_lookup = options.check_referential_integrity ||
+                        (options.maintain_tid_columns && fk.tid_column);
+    if (!needs_lookup) continue;
+    const Table* ref = fk_tables_[f];
+    std::optional<RowLocation> loc = ref->FindByPk((*row)[fk.column]);
+    if (!loc) {
+      if (options.check_referential_integrity ||
+          (options.maintain_tid_columns && fk.tid_column)) {
+        return Status::FailedPrecondition(StrFormat(
+            "foreign key violation: %s.%s = %s has no match in %s",
+            name().c_str(), schema_.columns[fk.column].name.c_str(),
+            (*row)[fk.column].ToString().c_str(), fk.ref_table.c_str()));
+      }
+      continue;
+    }
+    if (options.maintain_tid_columns && fk.tid_column) {
+      // Enforce the matching dependency: copy the referenced row's own tid.
+      const Value& ref_tid =
+          ref->ValueAt(*loc, *ref->schema().own_tid_column);
+      (*row)[*fk.tid_column] = ref_tid;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Table::Insert(const Transaction& txn,
+                     const std::vector<Value>& user_values,
+                     const InsertOptions& options) {
+  return InsertInternal(txn, user_values, options, std::nullopt);
+}
+
+Status Table::InsertInternal(const Transaction& txn,
+                             const std::vector<Value>& user_values,
+                             const InsertOptions& options,
+                             std::optional<int64_t> own_tid_override) {
+  std::vector<Value> row;
+  RETURN_IF_ERROR(BuildRow(txn, user_values, options, own_tid_override, &row));
+
+  if (schema_.primary_key) {
+    const Value& pk = row[*schema_.primary_key];
+    if (pk_index_.contains(pk)) {
+      return Status::AlreadyExists(
+          StrFormat("duplicate primary key %s in table '%s'",
+                    pk.ToString().c_str(), name().c_str()));
+    }
+  }
+
+  // New rows always enter the hot delta (group 0), per Section 5.4.
+  Partition& delta = groups_[0].delta;
+  RETURN_IF_ERROR(delta.AppendRow(row, txn.tid()));
+  if (schema_.primary_key) {
+    pk_index_.emplace(row[*schema_.primary_key],
+                      RowLocation{0, PartitionKind::kDelta,
+                                  static_cast<uint32_t>(delta.num_rows() - 1)});
+  }
+  return Status::Ok();
+}
+
+Status Table::UpdateByPk(const Transaction& txn, const Value& pk,
+                         const std::vector<Value>& new_user_values,
+                         const InsertOptions& options) {
+  if (!schema_.primary_key) {
+    return Status::FailedPrecondition("update requires a primary key");
+  }
+  auto it = pk_index_.find(pk);
+  if (it == pk_index_.end()) {
+    return Status::NotFound(StrFormat("no row with primary key %s in '%s'",
+                                      pk.ToString().c_str(), name().c_str()));
+  }
+  RowLocation old_loc = it->second;
+  // Preserve the object tid across the update (see header comment).
+  std::optional<int64_t> preserved_tid;
+  if (schema_.own_tid_column) {
+    preserved_tid = ValueAt(old_loc, *schema_.own_tid_column).AsInt64();
+  }
+  PartitionGroup& g = groups_[old_loc.group];
+  Partition& old_partition =
+      old_loc.kind == PartitionKind::kMain ? g.main : g.delta;
+  old_partition.InvalidateRow(old_loc.row, txn.tid());
+  pk_index_.erase(it);
+  return InsertInternal(txn, new_user_values, options, preserved_tid);
+}
+
+Status Table::DeleteByPk(const Transaction& txn, const Value& pk) {
+  if (!schema_.primary_key) {
+    return Status::FailedPrecondition("delete requires a primary key");
+  }
+  auto it = pk_index_.find(pk);
+  if (it == pk_index_.end()) {
+    return Status::NotFound(StrFormat("no row with primary key %s in '%s'",
+                                      pk.ToString().c_str(), name().c_str()));
+  }
+  RowLocation loc = it->second;
+  PartitionGroup& g = groups_[loc.group];
+  Partition& partition = loc.kind == PartitionKind::kMain ? g.main : g.delta;
+  partition.InvalidateRow(loc.row, txn.tid());
+  pk_index_.erase(it);
+  return Status::Ok();
+}
+
+std::optional<RowLocation> Table::FindByPk(const Value& pk) const {
+  auto it = pk_index_.find(pk);
+  if (it == pk_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Value& Table::ValueAt(const RowLocation& loc, size_t column) const {
+  return partition(loc).column(column).GetValue(loc.row);
+}
+
+size_t Table::TotalRows() const {
+  size_t total = 0;
+  for (const PartitionGroup& g : groups_) {
+    total += g.main.num_rows() + g.delta.num_rows();
+  }
+  return total;
+}
+
+size_t Table::VisibleRows(Snapshot snapshot) const {
+  size_t total = 0;
+  for (const PartitionGroup& g : groups_) {
+    for (const Partition* p : {&g.main, &g.delta}) {
+      for (size_t r = 0; r < p->num_rows(); ++r) {
+        if (snapshot.RowVisible(p->create_tid(r), p->invalidate_tid(r))) {
+          ++total;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+size_t Table::ColumnByteSize() const {
+  size_t total = 0;
+  for (const PartitionGroup& g : groups_) {
+    total += g.main.ColumnByteSize() + g.delta.ColumnByteSize();
+  }
+  return total;
+}
+
+uint64_t Table::MainInvalidationCount() const {
+  uint64_t total = 0;
+  for (const PartitionGroup& g : groups_) {
+    total += g.main.invalidation_count();
+  }
+  return total;
+}
+
+Status Table::SplitHotCold(const std::string& column,
+                           const Value& cold_below) {
+  if (groups_.size() != 1) {
+    return Status::FailedPrecondition("table is already split");
+  }
+  if (!groups_[0].delta.empty()) {
+    return Status::FailedPrecondition(
+        "run a delta merge before splitting hot/cold");
+  }
+  ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+
+  const Partition& old_main = groups_[0].main;
+  MainPartitionBuilder hot_builder(schema_);
+  MainPartitionBuilder cold_builder(schema_);
+  for (size_t r = 0; r < old_main.num_rows(); ++r) {
+    const Value& v = old_main.column(col).GetValue(r);
+    MainPartitionBuilder& builder =
+        v < cold_below ? cold_builder : hot_builder;
+    builder.AddRow(old_main.GetRow(r), old_main.create_tid(r),
+                   old_main.invalidate_tid(r));
+  }
+
+  std::vector<PartitionGroup> new_groups;
+  new_groups.push_back(PartitionGroup{AgeClass::kHot, hot_builder.Build(),
+                                      Partition::MakeDelta(schema_)});
+  new_groups.push_back(PartitionGroup{AgeClass::kCold, cold_builder.Build(),
+                                      Partition::MakeDelta(schema_)});
+  groups_ = std::move(new_groups);
+  RebuildPkIndex();
+  return Status::Ok();
+}
+
+void Table::RestoreGroups(std::vector<PartitionGroup> groups) {
+  AGGCACHE_CHECK(!groups.empty()) << "a table needs at least one group";
+  for (const PartitionGroup& g : groups) {
+    AGGCACHE_CHECK_EQ(g.main.num_columns(), schema_.columns.size());
+    AGGCACHE_CHECK_EQ(g.delta.num_columns(), schema_.columns.size());
+  }
+  groups_ = std::move(groups);
+  RebuildPkIndex();
+}
+
+void Table::RebuildPkIndex() {
+  pk_index_.clear();
+  if (!schema_.primary_key) return;
+  size_t pk_col = *schema_.primary_key;
+  for (uint32_t g = 0; g < groups_.size(); ++g) {
+    for (PartitionKind kind : {PartitionKind::kMain, PartitionKind::kDelta}) {
+      const Partition& p =
+          kind == PartitionKind::kMain ? groups_[g].main : groups_[g].delta;
+      for (uint32_t r = 0; r < p.num_rows(); ++r) {
+        if (p.RowInvalidated(r)) continue;
+        pk_index_.emplace(p.column(pk_col).GetValue(r),
+                          RowLocation{g, kind, r});
+      }
+    }
+  }
+}
+
+}  // namespace aggcache

@@ -1,0 +1,31 @@
+#include "txn/consistent_view_manager.h"
+
+#include "common/logging.h"
+
+namespace aggcache {
+
+BitVector ConsistentViewManager::ComputeVisibility(
+    std::span<const Tid> create_tids, std::span<const Tid> invalidate_tids,
+    Snapshot snapshot) {
+  AGGCACHE_CHECK_EQ(create_tids.size(), invalidate_tids.size());
+  BitVector result(create_tids.size(), false);
+  for (size_t i = 0; i < create_tids.size(); ++i) {
+    if (snapshot.RowVisible(create_tids[i], invalidate_tids[i])) {
+      result.Set(i, true);
+    }
+  }
+  return result;
+}
+
+size_t ConsistentViewManager::CountVisible(
+    std::span<const Tid> create_tids, std::span<const Tid> invalidate_tids,
+    Snapshot snapshot) {
+  AGGCACHE_CHECK_EQ(create_tids.size(), invalidate_tids.size());
+  size_t count = 0;
+  for (size_t i = 0; i < create_tids.size(); ++i) {
+    if (snapshot.RowVisible(create_tids[i], invalidate_tids[i])) ++count;
+  }
+  return count;
+}
+
+}  // namespace aggcache

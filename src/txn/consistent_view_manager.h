@@ -1,0 +1,34 @@
+#ifndef AGGCACHE_TXN_CONSISTENT_VIEW_MANAGER_H_
+#define AGGCACHE_TXN_CONSISTENT_VIEW_MANAGER_H_
+
+#include <span>
+
+#include "common/bit_vector.h"
+#include "txn/types.h"
+
+namespace aggcache {
+
+/// Builds row-visibility bit vectors from per-row MVCC timestamps, the
+/// component the paper calls the Consistent View Manager (Fig. 1).
+///
+/// A partition hands in its create/invalidate tid arrays; the result has one
+/// bit per row, set when the row is visible to `snapshot`. Aggregate cache
+/// entries capture this vector for main partitions at creation time and
+/// compare it against the current one to find invalidated rows (main
+/// compensation).
+class ConsistentViewManager {
+ public:
+  /// Visibility vector for rows with the given MVCC timestamps.
+  static BitVector ComputeVisibility(std::span<const Tid> create_tids,
+                                     std::span<const Tid> invalidate_tids,
+                                     Snapshot snapshot);
+
+  /// Number of rows visible to `snapshot` without materializing the vector.
+  static size_t CountVisible(std::span<const Tid> create_tids,
+                             std::span<const Tid> invalidate_tids,
+                             Snapshot snapshot);
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_TXN_CONSISTENT_VIEW_MANAGER_H_

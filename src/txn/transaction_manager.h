@@ -1,0 +1,60 @@
+#ifndef AGGCACHE_TXN_TRANSACTION_MANAGER_H_
+#define AGGCACHE_TXN_TRANSACTION_MANAGER_H_
+
+#include "txn/types.h"
+
+namespace aggcache {
+
+class TransactionManager;
+
+/// Handle for one transaction. The engine executes transactions serially
+/// (single-writer), so a transaction is considered committed as soon as its
+/// writes are applied; the tid doubles as the commit timestamp. This mirrors
+/// the role the transaction token plays for the aggregate cache in the
+/// paper: inserts tag rows with the auto-incremented tid, and the tid is the
+/// temporal attribute the matching dependencies copy across tables.
+class Transaction {
+ public:
+  Tid tid() const { return tid_; }
+
+  /// Snapshot under which this transaction reads: its own writes plus
+  /// everything committed before it started.
+  Snapshot snapshot() const { return Snapshot{tid_}; }
+
+ private:
+  friend class TransactionManager;
+  explicit Transaction(Tid tid) : tid_(tid) {}
+  Tid tid_;
+};
+
+/// Issues monotonically increasing transaction ids and tracks the latest
+/// committed one (the "global visibility" the cache manager uses when it
+/// materializes a new entry).
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Starts the next transaction.
+  Transaction Begin() { return Transaction(++last_tid_); }
+
+  /// The most recently issued (and therefore committed) tid.
+  Tid last_committed() const { return last_tid_; }
+
+  /// Snapshot covering everything committed so far.
+  Snapshot GlobalSnapshot() const { return Snapshot{last_tid_}; }
+
+  /// Fast-forwards the tid counter to at least `tid`; used when restoring
+  /// a snapshot so new transactions continue after the restored history.
+  void AdvanceTo(Tid tid) {
+    if (tid > last_tid_) last_tid_ = tid;
+  }
+
+ private:
+  Tid last_tid_ = 0;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,31 @@
+#ifndef AGGCACHE_TXN_TYPES_H_
+#define AGGCACHE_TXN_TYPES_H_
+
+#include <cstdint>
+
+namespace aggcache {
+
+/// Monotonically increasing transaction identifier. Tid 0 is reserved as
+/// "none": a row whose invalidate_tid is kNoTid has not been invalidated.
+using Tid = uint64_t;
+
+inline constexpr Tid kNoTid = 0;
+
+/// A point-in-time view of the database. A row is visible to a snapshot when
+/// it was created at or before `read_tid` and not invalidated at or before
+/// `read_tid`. Transactions read under their own tid, so they see their own
+/// writes; the engine processes transactions serially, so every tid at or
+/// below the latest issued one is committed.
+struct Snapshot {
+  Tid read_tid = 0;
+
+  /// True when a row with the given MVCC timestamps is visible.
+  bool RowVisible(Tid create_tid, Tid invalidate_tid) const {
+    if (create_tid > read_tid) return false;
+    return invalidate_tid == kNoTid || invalidate_tid > read_tid;
+  }
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_TXN_TYPES_H_

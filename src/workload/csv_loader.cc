@@ -1,0 +1,153 @@
+#include "workload/csv_loader.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aggcache {
+namespace {
+
+/// Splits one CSV line into fields, honouring double quotes.
+StatusOr<std::vector<std::string>> SplitLine(const std::string& line,
+                                             char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // Tolerate CRLF input.
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+StatusOr<Value> ParseField(const std::string& field, ColumnType type,
+                           size_t line_number, size_t column_index) {
+  switch (type) {
+    case ColumnType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("line %zu, field %zu: '%s' is not an integer",
+                      line_number, column_index, field.c_str()));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ColumnType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("line %zu, field %zu: '%s' is not a number",
+                      line_number, column_index, field.c_str()));
+      }
+      return Value(v);
+    }
+    case ColumnType::kString:
+      return Value(field);
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+StatusOr<size_t> LoadCsv(Database* db, const std::string& table_name,
+                         std::istream& input,
+                         const CsvLoadOptions& options) {
+  if (options.rows_per_transaction == 0) {
+    return Status::InvalidArgument("rows_per_transaction must be positive");
+  }
+  ASSIGN_OR_RETURN(Table * table, db->GetTable(table_name));
+  std::vector<const ColumnDef*> user_columns;
+  for (const ColumnDef& def : table->schema().columns) {
+    if (!def.is_tid) user_columns.push_back(&def);
+  }
+
+  std::string line;
+  size_t line_number = 0;
+  if (options.has_header) {
+    if (!std::getline(input, line)) {
+      return Status::InvalidArgument("missing CSV header line");
+    }
+    ++line_number;
+    ASSIGN_OR_RETURN(std::vector<std::string> names,
+                     SplitLine(line, options.delimiter));
+    if (names.size() != user_columns.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "header has %zu fields, table '%s' has %zu user columns",
+          names.size(), table_name.c_str(), user_columns.size()));
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] != user_columns[i]->name) {
+        return Status::InvalidArgument(StrFormat(
+            "header field %zu is '%s', expected column '%s'", i,
+            names[i].c_str(), user_columns[i]->name.c_str()));
+      }
+    }
+  }
+
+  size_t inserted = 0;
+  size_t in_current_txn = 0;
+  std::optional<Transaction> txn;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                     SplitLine(line, options.delimiter));
+    if (fields.size() != user_columns.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "line %zu has %zu fields, expected %zu", line_number,
+          fields.size(), user_columns.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      ASSIGN_OR_RETURN(Value v, ParseField(fields[i], user_columns[i]->type,
+                                           line_number, i));
+      row.push_back(std::move(v));
+    }
+    if (!txn || in_current_txn == options.rows_per_transaction) {
+      txn = db->Begin();
+      in_current_txn = 0;
+    }
+    RETURN_IF_ERROR(table->Insert(*txn, row));
+    ++in_current_txn;
+    ++inserted;
+  }
+  return inserted;
+}
+
+StatusOr<size_t> LoadCsvFromString(Database* db,
+                                   const std::string& table_name,
+                                   const std::string& csv,
+                                   const CsvLoadOptions& options) {
+  std::istringstream stream(csv);
+  return LoadCsv(db, table_name, stream, options);
+}
+
+}  // namespace aggcache

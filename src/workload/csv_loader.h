@@ -1,0 +1,41 @@
+#ifndef AGGCACHE_WORKLOAD_CSV_LOADER_H_
+#define AGGCACHE_WORKLOAD_CSV_LOADER_H_
+
+#include <istream>
+#include <string>
+
+#include "storage/database.h"
+
+namespace aggcache {
+
+/// Options for CSV bulk loading.
+struct CsvLoadOptions {
+  char delimiter = ',';
+  /// First line holds column names; they must match the table's user
+  /// columns (the non-tid columns) in order.
+  bool has_header = true;
+  /// Rows inserted per transaction. Rows sharing a transaction share a tid
+  /// — load business objects together to preserve temporal locality.
+  size_t rows_per_transaction = 1;
+};
+
+/// Loads delimiter-separated rows from `input` into `table_name`. Values
+/// are parsed by the corresponding user column's type (int64, double,
+/// string); fields may be double-quoted with `""` escapes. Tid columns are
+/// maintained by the engine as usual, so foreign keys must reference
+/// already-loaded rows. Returns the number of rows inserted; fails fast on
+/// the first malformed or rejected row (rows of earlier transactions stay).
+StatusOr<size_t> LoadCsv(Database* db, const std::string& table_name,
+                         std::istream& input,
+                         const CsvLoadOptions& options = CsvLoadOptions());
+
+/// Convenience overload over an in-memory string.
+StatusOr<size_t> LoadCsvFromString(Database* db,
+                                   const std::string& table_name,
+                                   const std::string& csv,
+                                   const CsvLoadOptions& options =
+                                       CsvLoadOptions());
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_WORKLOAD_CSV_LOADER_H_

@@ -1,0 +1,149 @@
+#include "workload/erp_generator.h"
+
+#include "common/string_util.h"
+
+namespace aggcache {
+
+namespace {
+
+constexpr const char* kTxnTypes[] = {"DEBIT", "CREDIT", "TRANSFER"};
+
+}  // namespace
+
+StatusOr<ErpDataset> ErpDataset::Create(Database* db,
+                                        const ErpConfig& config) {
+  ErpDataset dataset(db, config);
+  dataset.load_rng_ = Rng(config.seed);
+  RETURN_IF_ERROR(dataset.CreateTables());
+  RETURN_IF_ERROR(dataset.LoadInitialData());
+  return dataset;
+}
+
+Status ErpDataset::CreateTables() {
+  const bool tid = config_.with_tid_columns;
+
+  SchemaBuilder category_builder("ProductCategory");
+  category_builder.AddColumn("CategoryID", ColumnType::kInt64).PrimaryKey();
+  category_builder.AddColumn("Name", ColumnType::kString);
+  category_builder.AddColumn("Language", ColumnType::kString);
+  if (tid) category_builder.OwnTid("tid_Category");
+  ASSIGN_OR_RETURN(category_, db_->CreateTable(category_builder.Build()));
+
+  SchemaBuilder header_builder("Header");
+  header_builder.AddColumn("HeaderID", ColumnType::kInt64).PrimaryKey();
+  header_builder.AddColumn("FiscalYear", ColumnType::kInt64);
+  header_builder.AddColumn("TxnType", ColumnType::kString);
+  if (tid) header_builder.OwnTid("tid_Header");
+  ASSIGN_OR_RETURN(header_, db_->CreateTable(header_builder.Build()));
+
+  SchemaBuilder item_builder("Item");
+  item_builder.AddColumn("ItemID", ColumnType::kInt64).PrimaryKey();
+  item_builder.AddColumn("HeaderID", ColumnType::kInt64)
+      .References("Header", tid ? "tid_Header" : "");
+  item_builder.AddColumn("CategoryID", ColumnType::kInt64)
+      .References("ProductCategory", tid ? "tid_Category" : "");
+  item_builder.AddColumn("Price", ColumnType::kDouble);
+  item_builder.AddColumn("Quantity", ColumnType::kInt64);
+  if (tid) item_builder.OwnTid("tid_Item");
+  ASSIGN_OR_RETURN(item_, db_->CreateTable(item_builder.Build()));
+  return Status::Ok();
+}
+
+Status ErpDataset::LoadInitialData() {
+  // Dimension data: every category exists in every language.
+  {
+    Transaction txn = db_->Begin();
+    for (size_t c = 0; c < config_.num_categories; ++c) {
+      for (size_t l = 0; l < config_.languages.size(); ++l) {
+        int64_t id = static_cast<int64_t>(
+            c * config_.languages.size() + l + 1);
+        RETURN_IF_ERROR(category_->Insert(
+            txn, {Value(id), Value(StrFormat("Category-%zu", c)),
+                  Value(config_.languages[l])}));
+      }
+    }
+  }
+  for (size_t h = 0; h < config_.num_headers_main; ++h) {
+    ASSIGN_OR_RETURN(size_t ignored, InsertBusinessObject(load_rng_));
+    (void)ignored;
+  }
+  return db_->MergeTables({"ProductCategory", "Header", "Item"});
+}
+
+StatusOr<size_t> ErpDataset::InsertBusinessObject(Rng& rng) {
+  Transaction txn = db_->Begin();
+  int64_t header_id = next_header_id_++;
+  int64_t year = config_.fiscal_years[static_cast<size_t>(rng.UniformInt(
+      0, static_cast<int64_t>(config_.fiscal_years.size()) - 1))];
+  const char* txn_type = kTxnTypes[rng.UniformInt(0, 2)];
+  RETURN_IF_ERROR(header_->Insert(
+      txn, {Value(header_id), Value(year), Value(txn_type)}));
+
+  size_t avg = config_.avg_items_per_header;
+  size_t num_items = static_cast<size_t>(
+      rng.UniformInt(1, static_cast<int64_t>(2 * avg) - 1));
+  size_t num_language_rows = config_.languages.size();
+  for (size_t i = 0; i < num_items; ++i) {
+    int64_t category_id =
+        rng.UniformInt(0, static_cast<int64_t>(config_.num_categories) - 1) *
+            static_cast<int64_t>(num_language_rows) +
+        1;  // Always reference the first-language row of the category.
+    RETURN_IF_ERROR(item_->Insert(
+        txn, {Value(next_item_id_++), Value(header_id), Value(category_id),
+              Value(rng.UniformDouble(1.0, 1000.0)),
+              Value(rng.UniformInt(1, 20))}));
+  }
+  return num_items;
+}
+
+Status ErpDataset::InsertLateItems(Rng& rng, size_t count) {
+  if (next_header_id_ <= 1) {
+    return Status::FailedPrecondition("no headers to attach items to");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    Transaction txn = db_->Begin();
+    int64_t header_id = rng.UniformInt(1, next_header_id_ - 1);
+    int64_t category_id =
+        rng.UniformInt(0, static_cast<int64_t>(config_.num_categories) - 1) *
+            static_cast<int64_t>(config_.languages.size()) +
+        1;
+    RETURN_IF_ERROR(item_->Insert(
+        txn, {Value(next_item_id_++), Value(header_id), Value(category_id),
+              Value(rng.UniformDouble(1.0, 1000.0)),
+              Value(rng.UniformInt(1, 20))}));
+  }
+  return Status::Ok();
+}
+
+AggregateQuery ErpDataset::ProfitByCategoryQuery(int64_t fiscal_year) const {
+  return QueryBuilder()
+      .From("Header")
+      .Join("Item", "HeaderID", "HeaderID")
+      .Join("ProductCategory", "CategoryID", "CategoryID")
+      .Filter("ProductCategory", "Language", CompareOp::kEq, Value("ENG"))
+      .Filter("Header", "FiscalYear", CompareOp::kEq, Value(fiscal_year))
+      .GroupBy("ProductCategory", "Name")
+      .Sum("Item", "Price", "Profit")
+      .Build();
+}
+
+AggregateQuery ErpDataset::RevenueByYearQuery() const {
+  return QueryBuilder()
+      .From("Header")
+      .Join("Item", "HeaderID", "HeaderID")
+      .GroupBy("Header", "FiscalYear")
+      .Sum("Item", "Price", "Revenue")
+      .CountStar("NumItems")
+      .Build();
+}
+
+AggregateQuery ErpDataset::ItemTotalsByCategoryQuery() const {
+  return QueryBuilder()
+      .From("Item")
+      .GroupBy("Item", "CategoryID")
+      .Sum("Item", "Price", "Total")
+      .CountStar("NumItems")
+      .Build();
+}
+
+}  // namespace aggcache

@@ -1,0 +1,90 @@
+#ifndef AGGCACHE_WORKLOAD_ERP_GENERATOR_H_
+#define AGGCACHE_WORKLOAD_ERP_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/aggregate_query.h"
+#include "storage/database.h"
+
+namespace aggcache {
+
+/// Configuration of the synthetic ERP dataset that stands in for the
+/// paper's customer financial-accounting data (Section 6): a Header table,
+/// an Item table (~10 items per header), and a small ProductCategory
+/// dimension — the header/item/dimension pattern of Section 3.
+struct ErpConfig {
+  /// Business objects (header + items) loaded and merged into main.
+  size_t num_headers_main = 10000;
+  /// Expected items per header (uniform in [1, 2*avg-1]).
+  size_t avg_items_per_header = 10;
+  size_t num_categories = 50;
+  std::vector<int64_t> fiscal_years = {2012, 2013, 2014};
+  std::vector<std::string> languages = {"ENG", "GER"};
+  /// Create the tid columns and enforce matching dependencies. Disabled
+  /// only by the Section 6.2 memory experiment's baseline schema.
+  bool with_tid_columns = true;
+  uint64_t seed = 42;
+};
+
+/// Owns the ERP tables inside a Database and generates workload against
+/// them. Business objects are inserted transactionally (header + items in
+/// one transaction), giving the temporal locality the paper's object-aware
+/// pruning exploits; InsertLateItems violates that locality on purpose.
+class ErpDataset {
+ public:
+  /// Creates the three tables, loads `num_headers_main` business objects,
+  /// and merges everything into the main partitions.
+  static StatusOr<ErpDataset> Create(Database* db, const ErpConfig& config);
+
+  Table* header() const { return header_; }
+  Table* item() const { return item_; }
+  Table* category() const { return category_; }
+  const ErpConfig& config() const { return config_; }
+
+  /// Inserts one business object (a header and its items) in a single
+  /// transaction into the deltas. Returns the number of items inserted.
+  StatusOr<size_t> InsertBusinessObject(Rng& rng);
+
+  /// Inserts `count` items attached to random existing headers — late item
+  /// additions that break the temporal soft-constraint (Section 3.2's CRM
+  /// pattern). Join pruning between Header_main and Item_delta then fails,
+  /// exercising the pushdown path.
+  Status InsertLateItems(Rng& rng, size_t count);
+
+  /// The paper's Listing 1: profit per category for one fiscal year.
+  ///   SELECT D.Name, SUM(I.Price) FROM Header H, Item I, ProductCategory D
+  ///   WHERE I.HeaderID = H.HeaderID AND I.CategoryID = D.CategoryID
+  ///     AND D.Language = 'ENG' AND H.FiscalYear = <year>
+  ///   GROUP BY D.Name
+  AggregateQuery ProfitByCategoryQuery(int64_t fiscal_year) const;
+
+  /// Two-table variant (header ⋈ item): revenue per fiscal year.
+  AggregateQuery RevenueByYearQuery() const;
+
+  /// Single-table aggregate over Item, used by the Fig. 6 maintenance
+  /// experiment: SUM(Price), COUNT(*) grouped by CategoryID.
+  AggregateQuery ItemTotalsByCategoryQuery() const;
+
+ private:
+  ErpDataset(Database* db, ErpConfig config)
+      : db_(db), config_(std::move(config)) {}
+
+  Status CreateTables();
+  Status LoadInitialData();
+
+  Database* db_;
+  ErpConfig config_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+  Table* category_ = nullptr;
+  int64_t next_header_id_ = 1;
+  int64_t next_item_id_ = 1;
+  Rng load_rng_{0};
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_WORKLOAD_ERP_GENERATOR_H_

@@ -1,0 +1,54 @@
+#include "workload/mixed_workload.h"
+
+#include "common/stopwatch.h"
+
+namespace aggcache {
+namespace {
+
+// Busy-waits for the simulated statement-stack cost.
+void SimulateStatementOverhead(double micros, uint64_t statements) {
+  if (micros <= 0.0 || statements == 0) return;
+  Stopwatch watch;
+  double target_ns = micros * 1e3 * static_cast<double>(statements);
+  while (static_cast<double>(watch.ElapsedNanos()) < target_ns) {
+  }
+}
+
+}  // namespace
+
+StatusOr<MixedWorkloadResult> RunMixedWorkload(
+    Database* db, const AggregateQuery& query, MaintenanceStrategy strategy,
+    AggregateCacheManager* manager, const MixedWorkloadConfig& config,
+    const std::function<Status(Rng&)>& insert_one_row) {
+  ASSIGN_OR_RETURN(std::unique_ptr<MaterializedAggregate> view,
+                   CreateMaterializedAggregate(strategy, db, query, manager));
+  Rng rng(config.seed);
+  MixedWorkloadResult result;
+  Stopwatch total;
+  for (size_t op = 0; op < config.num_operations; ++op) {
+    if (rng.Chance(config.insert_ratio)) {
+      Stopwatch watch;
+      RETURN_IF_ERROR(insert_one_row(rng));
+      RETURN_IF_ERROR(view->OnInsertCommitted());
+      SimulateStatementOverhead(
+          config.statement_overhead_us,
+          1 + view->ConsumeMaintenanceStatements());
+      result.insert_ms += watch.ElapsedMillis();
+      ++result.inserts;
+    } else {
+      Stopwatch watch;
+      Transaction txn = db->Begin();
+      ASSIGN_OR_RETURN(AggregateResult ignored, view->Query(txn));
+      (void)ignored;
+      SimulateStatementOverhead(
+          config.statement_overhead_us,
+          1 + view->ConsumeMaintenanceStatements());
+      result.query_ms += watch.ElapsedMillis();
+      ++result.queries;
+    }
+  }
+  result.total_ms = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace aggcache

@@ -1,0 +1,117 @@
+#include "workload/trace.h"
+
+#include <sstream>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace aggcache {
+namespace {
+
+// Strips leading/trailing whitespace.
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Status TraceReplayer::ExecuteSql(const std::string& sql,
+                                 TraceReport* report) {
+  ASSIGN_OR_RETURN(ParsedStatement statement, ParseStatement(sql, *db_));
+  Stopwatch watch;
+  switch (statement.kind) {
+    case ParsedStatement::Kind::kSelect: {
+      Transaction txn = db_->Begin();
+      ASSIGN_OR_RETURN(AggregateResult result,
+                       cache_->Execute(statement.select, txn, options_));
+      report->last_query_groups = result.num_groups();
+      report->query_ms += watch.ElapsedMillis();
+      ++report->queries;
+      break;
+    }
+    case ParsedStatement::Kind::kInsert:
+      RETURN_IF_ERROR(ApplyStatement(statement, db_));
+      report->insert_ms += watch.ElapsedMillis();
+      ++report->inserts;
+      break;
+    case ParsedStatement::Kind::kCreateTable:
+      RETURN_IF_ERROR(ApplyStatement(statement, db_));
+      ++report->ddl;
+      break;
+  }
+  ++report->statements;
+  return Status::Ok();
+}
+
+Status TraceReplayer::ExecuteMerge(const std::string& args,
+                                   TraceReport* report) {
+  Stopwatch watch;
+  if (Trim(args).empty()) {
+    RETURN_IF_ERROR(db_->MergeAll());
+  } else {
+    std::istringstream stream(args);
+    std::vector<std::string> tables;
+    std::string name;
+    while (stream >> name) tables.push_back(name);
+    RETURN_IF_ERROR(db_->MergeTables(tables));
+  }
+  report->merge_ms += watch.ElapsedMillis();
+  ++report->merges;
+  return Status::Ok();
+}
+
+StatusOr<TraceReport> TraceReplayer::Replay(std::istream& trace) {
+  TraceReport report;
+  Stopwatch total;
+  std::string line;
+  std::string statement;
+  size_t line_number = 0;
+  while (std::getline(trace, line)) {
+    ++line_number;
+    std::string trimmed = Trim(line);
+    if (statement.empty()) {
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (trimmed[0] == '!') {
+        if (trimmed.rfind("!merge", 0) == 0) {
+          Status status = ExecuteMerge(trimmed.substr(6), &report);
+          if (!status.ok()) {
+            return Status(status.code(),
+                          StrFormat("trace line %zu: %s", line_number,
+                                    status.message().c_str()));
+          }
+          continue;
+        }
+        return Status::InvalidArgument(StrFormat(
+            "trace line %zu: unknown meta operation '%s'", line_number,
+            trimmed.c_str()));
+      }
+    }
+    statement += line + "\n";
+    if (trimmed.find(';') != std::string::npos) {
+      Status status = ExecuteSql(statement, &report);
+      if (!status.ok()) {
+        return Status(status.code(),
+                      StrFormat("trace line %zu: %s", line_number,
+                                status.message().c_str()));
+      }
+      statement.clear();
+    }
+  }
+  if (!Trim(statement).empty()) {
+    return Status::InvalidArgument(
+        "trace ends mid-statement (missing ';')");
+  }
+  report.total_ms = total.ElapsedMillis();
+  return report;
+}
+
+StatusOr<TraceReport> TraceReplayer::ReplayString(const std::string& trace) {
+  std::istringstream stream(trace);
+  return Replay(stream);
+}
+
+}  // namespace aggcache

@@ -1,0 +1,166 @@
+#include "query/aggregate_query.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+class AggregateQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::CreateHeaderItemTables(&db_, &header_, &item_);
+  }
+
+  Database db_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+};
+
+TEST_F(AggregateQueryTest, ValidQueryPasses) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  EXPECT_OK(query.Validate(db_));
+}
+
+TEST_F(AggregateQueryTest, UnknownTableFails) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  query.tables[1].table_name = "Nope";
+  EXPECT_FALSE(query.Validate(db_).ok());
+}
+
+TEST_F(AggregateQueryTest, UnknownColumnFails) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  query.group_by[0].column = "Nope";
+  EXPECT_FALSE(query.Validate(db_).ok());
+}
+
+TEST_F(AggregateQueryTest, JoinTypeMismatchFails) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  query.joins[0].right_column = "Amount";  // double vs int64.
+  EXPECT_FALSE(query.Validate(db_).ok());
+}
+
+TEST_F(AggregateQueryTest, DisconnectedTableFails) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  query.joins.clear();
+  Status status = query.Validate(db_);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AggregateQueryTest, SelfJoinRejected) {
+  AggregateQuery query;
+  query.tables = {TableRef{"Header"}, TableRef{"Header"}};
+  query.joins = {JoinCondition{0, "HeaderID", 1, "HeaderID"}};
+  query.group_by = {GroupByRef{0, "FiscalYear"}};
+  query.aggregates = {
+      AggregateSpec{AggregateFunction::kCountStar, 0, "", "n"}};
+  EXPECT_FALSE(query.Validate(db_).ok());
+}
+
+TEST_F(AggregateQueryTest, MissingGroupByOrAggregatesFails) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  AggregateQuery no_group = query;
+  no_group.group_by.clear();
+  EXPECT_FALSE(no_group.Validate(db_).ok());
+  AggregateQuery no_aggs = query;
+  no_aggs.aggregates.clear();
+  EXPECT_FALSE(no_aggs.Validate(db_).ok());
+}
+
+TEST_F(AggregateQueryTest, SumOverStringRejected) {
+  AggregateQuery query = QueryBuilder()
+                             .From("Header")
+                             .GroupBy("Header", "FiscalYear")
+                             .Sum("Header", "FiscalYear", "ok")
+                             .Build();
+  EXPECT_OK(query.Validate(db_));
+  // Now point the SUM at a string column via a fresh query on a table with
+  // a string column.
+  Database db2;
+  auto t = db2.CreateTable(SchemaBuilder("S")
+                               .AddColumn("k", ColumnType::kInt64)
+                               .AddColumn("s", ColumnType::kString)
+                               .Build());
+  ASSERT_TRUE(t.ok());
+  AggregateQuery bad = QueryBuilder()
+                           .From("S")
+                           .GroupBy("S", "k")
+                           .Sum("S", "s", "bad")
+                           .Build();
+  EXPECT_FALSE(bad.Validate(db2).ok());
+}
+
+TEST_F(AggregateQueryTest, FilterOperandTypeMismatchFails) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  query.filters.push_back(
+      FilterPredicate{0, "FiscalYear", CompareOp::kEq, Value("2013")});
+  EXPECT_FALSE(query.Validate(db_).ok());
+}
+
+TEST_F(AggregateQueryTest, CacheabilityDependsOnFunctions) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  EXPECT_TRUE(query.IsCacheable());
+  query.aggregates.push_back(
+      AggregateSpec{AggregateFunction::kMax, 1, "Amount", "m"});
+  EXPECT_FALSE(query.IsCacheable());
+}
+
+TEST_F(AggregateQueryTest, CanonicalStringIsStable) {
+  AggregateQuery a = testing_util::HeaderItemQuery();
+  AggregateQuery b = testing_util::HeaderItemQuery();
+  EXPECT_EQ(a.CanonicalString(), b.CanonicalString());
+  b.filters.push_back(
+      FilterPredicate{0, "FiscalYear", CompareOp::kEq,
+                      Value(int64_t{2013})});
+  EXPECT_NE(a.CanonicalString(), b.CanonicalString());
+}
+
+TEST_F(AggregateQueryTest, ToSqlRendersAllClauses) {
+  AggregateQuery query = QueryBuilder()
+                             .From("Header")
+                             .Join("Item", "HeaderID", "HeaderID")
+                             .Filter("Header", "FiscalYear", CompareOp::kEq,
+                                     Value(int64_t{2013}))
+                             .GroupBy("Header", "FiscalYear")
+                             .Sum("Item", "Amount", "Revenue")
+                             .Build();
+  std::string sql = query.ToSql();
+  EXPECT_NE(sql.find("SELECT"), std::string::npos);
+  EXPECT_NE(sql.find("SUM(Item.Amount) AS Revenue"), std::string::npos);
+  EXPECT_NE(sql.find("Header.HeaderID = Item.HeaderID"), std::string::npos);
+  EXPECT_NE(sql.find("Header.FiscalYear = 2013"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY Header.FiscalYear"), std::string::npos);
+}
+
+TEST_F(AggregateQueryTest, BuilderJoinViaExplicitTable) {
+  // Star join: both Item-like tables join to Header (table 0).
+  auto extra = db_.CreateTable(SchemaBuilder("Note")
+                                   .AddColumn("NoteID", ColumnType::kInt64)
+                                   .PrimaryKey()
+                                   .AddColumn("HeaderID",
+                                              ColumnType::kInt64)
+                                   .References("Header")
+                                   .Build());
+  ASSERT_TRUE(extra.ok());
+  AggregateQuery query = QueryBuilder()
+                             .From("Header")
+                             .Join("Item", "HeaderID", "HeaderID")
+                             .Join("Note", "HeaderID", "HeaderID", /*via=*/0)
+                             .GroupBy("Header", "FiscalYear")
+                             .CountStar("n")
+                             .Build();
+  EXPECT_OK(query.Validate(db_));
+  EXPECT_EQ(query.joins[1].left_table, 0u);
+  EXPECT_EQ(query.joins[1].right_table, 2u);
+}
+
+TEST_F(AggregateQueryTest, AggregateFunctionsList) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  auto fns = query.AggregateFunctions();
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0], AggregateFunction::kSum);
+  EXPECT_EQ(fns[1], AggregateFunction::kCountStar);
+}
+
+}  // namespace
+}  // namespace aggcache

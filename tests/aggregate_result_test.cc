@@ -1,0 +1,201 @@
+#include "query/aggregate_result.h"
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+GroupKey Key(int64_t v) { return GroupKey{{Value(v)}}; }
+
+TEST(AggregateFunctionTest, SelfMaintainability) {
+  EXPECT_TRUE(IsSelfMaintainable(AggregateFunction::kSum));
+  EXPECT_TRUE(IsSelfMaintainable(AggregateFunction::kCount));
+  EXPECT_TRUE(IsSelfMaintainable(AggregateFunction::kAvg));
+  EXPECT_TRUE(IsSelfMaintainable(AggregateFunction::kCountStar));
+  EXPECT_FALSE(IsSelfMaintainable(AggregateFunction::kMin));
+  EXPECT_FALSE(IsSelfMaintainable(AggregateFunction::kMax));
+}
+
+TEST(AggregateStateTest, IntSum) {
+  AggregateState state;
+  state.Add(Value(int64_t{3}));
+  state.Add(Value(int64_t{4}));
+  EXPECT_EQ(state.Finalize(AggregateFunction::kSum), Value(int64_t{7}));
+  EXPECT_EQ(state.Finalize(AggregateFunction::kCount), Value(int64_t{2}));
+}
+
+TEST(AggregateStateTest, DoubleSumKeepsType) {
+  AggregateState state;
+  state.Add(Value(1.5));
+  state.Add(Value(-1.5));
+  // Sums to zero but remains a double.
+  EXPECT_EQ(state.Finalize(AggregateFunction::kSum), Value(0.0));
+}
+
+TEST(AggregateStateTest, AvgIsSumOverCount) {
+  AggregateState state;
+  state.Add(Value(2.0));
+  state.Add(Value(4.0));
+  state.Add(Value(9.0));
+  Value avg = state.Finalize(AggregateFunction::kAvg);
+  EXPECT_DOUBLE_EQ(avg.AsDouble(), 5.0);
+}
+
+TEST(AggregateStateTest, AvgOfNothingIsNull) {
+  AggregateState state;
+  EXPECT_TRUE(state.Finalize(AggregateFunction::kAvg).is_null());
+}
+
+TEST(AggregateStateTest, MinMax) {
+  AggregateState state;
+  state.Add(Value(int64_t{5}));
+  state.Add(Value(int64_t{2}));
+  state.Add(Value(int64_t{8}));
+  EXPECT_EQ(state.Finalize(AggregateFunction::kMin), Value(int64_t{2}));
+  EXPECT_EQ(state.Finalize(AggregateFunction::kMax), Value(int64_t{8}));
+}
+
+TEST(AggregateStateTest, MergeCombines) {
+  AggregateState a;
+  a.Add(Value(int64_t{1}));
+  a.Add(Value(int64_t{2}));
+  AggregateState b;
+  b.Add(Value(int64_t{10}));
+  a.Merge(b);
+  EXPECT_EQ(a.Finalize(AggregateFunction::kSum), Value(int64_t{13}));
+  EXPECT_EQ(a.Finalize(AggregateFunction::kCount), Value(int64_t{3}));
+  EXPECT_EQ(a.Finalize(AggregateFunction::kMin), Value(int64_t{1}));
+  EXPECT_EQ(a.Finalize(AggregateFunction::kMax), Value(int64_t{10}));
+}
+
+TEST(AggregateStateTest, SubtractUndoesAdd) {
+  AggregateState total;
+  total.Add(Value(int64_t{5}));
+  total.Add(Value(int64_t{7}));
+  AggregateState removed;
+  removed.Add(Value(int64_t{7}));
+  total.Subtract(removed);
+  EXPECT_EQ(total.Finalize(AggregateFunction::kSum), Value(int64_t{5}));
+  EXPECT_EQ(total.Finalize(AggregateFunction::kCount), Value(int64_t{1}));
+}
+
+TEST(GroupKeyTest, EqualityAndHash) {
+  GroupKey a{{Value(int64_t{1}), Value("x")}};
+  GroupKey b{{Value(int64_t{1}), Value("x")}};
+  GroupKey c{{Value(int64_t{1}), Value("y")}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(GroupKeyHash()(a), GroupKeyHash()(b));
+  EXPECT_EQ(a.ToString(), "(1, 'x')");
+}
+
+TEST(AggregateResultTest, AccumulateGroups) {
+  AggregateResult result(1);
+  result.Accumulate(Key(1), {Value(int64_t{10})});
+  result.Accumulate(Key(1), {Value(int64_t{5})});
+  result.Accumulate(Key(2), {Value(int64_t{3})});
+  EXPECT_EQ(result.num_groups(), 2u);
+  auto rows = result.Rows({AggregateFunction::kSum});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<Value>{Value(int64_t{1}),
+                                         Value(int64_t{15})}));
+  EXPECT_EQ(rows[1], (std::vector<Value>{Value(int64_t{2}),
+                                         Value(int64_t{3})}));
+}
+
+TEST(AggregateResultTest, MergeFromIsUnion) {
+  AggregateResult a(1);
+  a.Accumulate(Key(1), {Value(int64_t{1})});
+  AggregateResult b(1);
+  b.Accumulate(Key(1), {Value(int64_t{2})});
+  b.Accumulate(Key(2), {Value(int64_t{5})});
+  a.MergeFrom(b);
+  EXPECT_EQ(a.num_groups(), 2u);
+  auto rows = a.Rows({AggregateFunction::kSum});
+  EXPECT_EQ(rows[0][1], Value(int64_t{3}));
+  EXPECT_EQ(rows[1][1], Value(int64_t{5}));
+}
+
+TEST(AggregateResultTest, SubtractRemovesEmptyGroups) {
+  AggregateResult total(1);
+  total.Accumulate(Key(1), {Value(int64_t{10})});
+  total.Accumulate(Key(2), {Value(int64_t{20})});
+  AggregateResult removed(1);
+  removed.Accumulate(Key(2), {Value(int64_t{20})});
+  ASSERT_TRUE(total.SubtractFrom(removed).ok());
+  EXPECT_EQ(total.num_groups(), 1u);
+  EXPECT_TRUE(total.groups().contains(Key(1)));
+  EXPECT_FALSE(total.groups().contains(Key(2)));
+}
+
+TEST(AggregateResultTest, SubtractDetectsUnderflow) {
+  AggregateResult total(1);
+  total.Accumulate(Key(1), {Value(int64_t{10})});
+  AggregateResult removed(1);
+  removed.Accumulate(Key(1), {Value(int64_t{10})});
+  removed.Accumulate(Key(1), {Value(int64_t{10})});
+  EXPECT_EQ(total.SubtractFrom(removed).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AggregateResultTest, SubtractMissingGroupFails) {
+  AggregateResult total(1);
+  total.Accumulate(Key(1), {Value(int64_t{10})});
+  AggregateResult removed(1);
+  removed.Accumulate(Key(9), {Value(int64_t{1})});
+  EXPECT_EQ(total.SubtractFrom(removed).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AggregateResultTest, SubtractArityMismatch) {
+  AggregateResult a(1);
+  AggregateResult b(2);
+  EXPECT_EQ(a.SubtractFrom(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AggregateResultTest, ApproxEquals) {
+  AggregateResult a(1);
+  a.Accumulate(Key(1), {Value(1.0)});
+  AggregateResult b(1);
+  b.Accumulate(Key(1), {Value(1.0 + 1e-12)});
+  std::string diff;
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-9, &diff)) << diff;
+  AggregateResult c(1);
+  c.Accumulate(Key(1), {Value(2.0)});
+  EXPECT_FALSE(a.ApproxEquals(c, 1e-9, &diff));
+  EXPECT_FALSE(diff.empty());
+}
+
+TEST(AggregateResultTest, ApproxEqualsDetectsGroupDifferences) {
+  AggregateResult a(1);
+  a.Accumulate(Key(1), {Value(int64_t{1})});
+  AggregateResult b(1);
+  b.Accumulate(Key(2), {Value(int64_t{1})});
+  EXPECT_FALSE(a.ApproxEquals(b));
+  AggregateResult c(1);
+  EXPECT_FALSE(a.ApproxEquals(c));
+}
+
+TEST(AggregateResultTest, MixedSumAndCountStar) {
+  AggregateResult result(2);
+  result.Accumulate(Key(1), {Value(2.5), Value()});
+  result.Accumulate(Key(1), {Value(0.5), Value()});
+  auto rows = result.Rows(
+      {AggregateFunction::kSum, AggregateFunction::kCountStar});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 3.0);
+  EXPECT_EQ(rows[0][2], Value(int64_t{2}));
+}
+
+TEST(AggregateResultTest, ByteSizeGrowsWithGroups) {
+  AggregateResult small(1);
+  small.Accumulate(Key(1), {Value(int64_t{1})});
+  AggregateResult large(1);
+  for (int64_t g = 0; g < 100; ++g) {
+    large.Accumulate(Key(g), {Value(int64_t{1})});
+  }
+  EXPECT_GT(large.ByteSize(), small.ByteSize());
+}
+
+}  // namespace
+}  // namespace aggcache

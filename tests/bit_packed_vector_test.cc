@@ -1,0 +1,85 @@
+#include "common/bit_packed_vector.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(BitPackedVectorTest, BitsForCardinality) {
+  EXPECT_EQ(BitPackedVector::BitsForCardinality(0), 1);
+  EXPECT_EQ(BitPackedVector::BitsForCardinality(1), 1);
+  EXPECT_EQ(BitPackedVector::BitsForCardinality(2), 1);
+  EXPECT_EQ(BitPackedVector::BitsForCardinality(3), 2);
+  EXPECT_EQ(BitPackedVector::BitsForCardinality(4), 2);
+  EXPECT_EQ(BitPackedVector::BitsForCardinality(5), 3);
+  EXPECT_EQ(BitPackedVector::BitsForCardinality(1 << 20), 20);
+  EXPECT_EQ(BitPackedVector::BitsForCardinality((1 << 20) + 1), 21);
+}
+
+TEST(BitPackedVectorTest, EmptyVector) {
+  BitPackedVector v(7);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.bits_per_entry(), 7);
+}
+
+TEST(BitPackedVectorTest, WidthZeroPromotedToOne) {
+  BitPackedVector v(0);
+  EXPECT_EQ(v.bits_per_entry(), 1);
+  v.PushBack(0);
+  v.PushBack(1);
+  EXPECT_EQ(v.Get(0), 0u);
+  EXPECT_EQ(v.Get(1), 1u);
+}
+
+// Round-trip property: any sequence of values fitting the width comes back
+// unchanged, for every width 1..32 (crossing word boundaries).
+class BitPackedRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackedRoundTripTest, RoundTrips) {
+  int bits = GetParam();
+  uint64_t mask = bits == 32 ? 0xffffffffULL : ((1ULL << bits) - 1);
+  BitPackedVector v(bits);
+  Rng rng(static_cast<uint64_t>(bits));
+  std::vector<uint32_t> expected;
+  for (int i = 0; i < 500; ++i) {
+    uint32_t value = static_cast<uint32_t>(
+        static_cast<uint64_t>(rng.UniformInt(0, int64_t{0xffffffff})) & mask);
+    expected.push_back(value);
+    v.PushBack(value);
+  }
+  ASSERT_EQ(v.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(v.Get(i), expected[i]) << "bits=" << bits << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackedRoundTripTest,
+                         ::testing::Range(1, 33));
+
+TEST(BitPackedVectorTest, MaxValuesAtEachWidth) {
+  for (int bits = 1; bits <= 32; ++bits) {
+    uint32_t max_value =
+        bits == 32 ? 0xffffffffU : ((1U << bits) - 1);
+    BitPackedVector v(bits);
+    v.PushBack(max_value);
+    v.PushBack(0);
+    v.PushBack(max_value);
+    EXPECT_EQ(v.Get(0), max_value) << bits;
+    EXPECT_EQ(v.Get(1), 0u) << bits;
+    EXPECT_EQ(v.Get(2), max_value) << bits;
+  }
+}
+
+TEST(BitPackedVectorTest, CompressionBeatsPlainCodes) {
+  // 1000 entries at 4 bits should use roughly 1/8 the space of 32-bit codes.
+  BitPackedVector v(4);
+  for (int i = 0; i < 1000; ++i) v.PushBack(static_cast<uint32_t>(i % 16));
+  EXPECT_LE(v.ByteSize(), 1000u);  // ~500 bytes + slack.
+}
+
+}  // namespace
+}  // namespace aggcache

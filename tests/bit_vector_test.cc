@@ -1,0 +1,93 @@
+#include "common/bit_vector.h"
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(BitVectorTest, ConstructAllClear) {
+  BitVector bv(130, false);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.CountOnes(), 0u);
+  for (size_t i = 0; i < bv.size(); ++i) EXPECT_FALSE(bv.Get(i));
+}
+
+TEST(BitVectorTest, ConstructAllSetClearsPadding) {
+  BitVector bv(70, true);
+  EXPECT_EQ(bv.CountOnes(), 70u);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(bv.Get(i));
+}
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector bv(128, false);
+  bv.Set(0, true);
+  bv.Set(63, true);
+  bv.Set(64, true);
+  bv.Set(127, true);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(127));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.CountOnes(), 4u);
+  bv.Set(63, false);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.CountOnes(), 3u);
+}
+
+TEST(BitVectorTest, PushBackGrows) {
+  BitVector bv;
+  for (int i = 0; i < 100; ++i) bv.PushBack(i % 3 == 0);
+  EXPECT_EQ(bv.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(bv.Get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVectorTest, Equality) {
+  BitVector a(10, false);
+  BitVector b(10, false);
+  EXPECT_TRUE(a == b);
+  b.Set(5, true);
+  EXPECT_FALSE(a == b);
+  BitVector c(11, false);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVectorTest, OnesClearedInFindsInvalidatedRows) {
+  // Snapshot: rows 0..9 visible. Current: rows 3 and 7 invalidated.
+  BitVector snapshot(10, true);
+  BitVector current(10, true);
+  current.Set(3, false);
+  current.Set(7, false);
+  std::vector<uint32_t> cleared = snapshot.OnesClearedIn(current);
+  ASSERT_EQ(cleared.size(), 2u);
+  EXPECT_EQ(cleared[0], 3u);
+  EXPECT_EQ(cleared[1], 7u);
+}
+
+TEST(BitVectorTest, OnesClearedInIgnoresRowsAppendedAfterSnapshot) {
+  BitVector snapshot(5, true);
+  BitVector current(9, true);  // Four rows appended later.
+  current.Set(2, false);
+  std::vector<uint32_t> cleared = snapshot.OnesClearedIn(current);
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0], 2u);
+}
+
+TEST(BitVectorTest, OnesClearedInAcrossWordBoundary) {
+  BitVector snapshot(200, true);
+  BitVector current(200, true);
+  current.Set(63, false);
+  current.Set(64, false);
+  current.Set(199, false);
+  std::vector<uint32_t> cleared = snapshot.OnesClearedIn(current);
+  EXPECT_EQ(cleared, (std::vector<uint32_t>{63, 64, 199}));
+}
+
+TEST(BitVectorTest, OnesClearedInEmpty) {
+  BitVector snapshot;
+  BitVector current(4, true);
+  EXPECT_TRUE(snapshot.OnesClearedIn(current).empty());
+}
+
+}  // namespace
+}  // namespace aggcache

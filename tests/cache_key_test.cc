@@ -1,0 +1,52 @@
+#include "cache/cache_key.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+TEST(CacheKeyTest, EqualQueriesProduceEqualKeys) {
+  AggregateQuery a = testing_util::HeaderItemQuery();
+  AggregateQuery b = testing_util::HeaderItemQuery();
+  CacheKey ka = MakeCacheKey(a);
+  CacheKey kb = MakeCacheKey(b);
+  EXPECT_EQ(ka, kb);
+  EXPECT_EQ(ka.hash, kb.hash);
+  EXPECT_EQ(CacheKeyHash()(ka), ka.hash);
+}
+
+TEST(CacheKeyTest, DifferentFiltersDifferentKeys) {
+  AggregateQuery a = testing_util::HeaderItemQuery();
+  AggregateQuery b = a;
+  b.filters.push_back(FilterPredicate{0, "FiscalYear", CompareOp::kEq,
+                                      Value(int64_t{2013})});
+  EXPECT_FALSE(MakeCacheKey(a) == MakeCacheKey(b));
+}
+
+TEST(CacheKeyTest, DifferentOperandsDifferentKeys) {
+  AggregateQuery a = testing_util::HeaderItemQuery();
+  a.filters.push_back(FilterPredicate{0, "FiscalYear", CompareOp::kEq,
+                                      Value(int64_t{2013})});
+  AggregateQuery b = testing_util::HeaderItemQuery();
+  b.filters.push_back(FilterPredicate{0, "FiscalYear", CompareOp::kEq,
+                                      Value(int64_t{2014})});
+  EXPECT_FALSE(MakeCacheKey(a) == MakeCacheKey(b));
+}
+
+TEST(CacheKeyTest, DifferentAggregatesDifferentKeys) {
+  AggregateQuery a = testing_util::HeaderItemQuery();
+  AggregateQuery b = a;
+  b.aggregates[0].fn = AggregateFunction::kAvg;
+  EXPECT_FALSE(MakeCacheKey(a) == MakeCacheKey(b));
+}
+
+TEST(CacheKeyTest, DifferentGroupByDifferentKeys) {
+  AggregateQuery a = testing_util::HeaderItemQuery();
+  AggregateQuery b = a;
+  b.group_by[0].column = "HeaderID";
+  EXPECT_FALSE(MakeCacheKey(a) == MakeCacheKey(b));
+}
+
+}  // namespace
+}  // namespace aggcache

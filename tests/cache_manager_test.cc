@@ -1,0 +1,322 @@
+#include "cache/aggregate_cache_manager.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+using testing_util::ExpectAllStrategiesAgree;
+
+class CacheManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::CreateHeaderItemTables(&db_, &header_, &item_);
+    cache_ = std::make_unique<AggregateCacheManager>(&db_);
+    for (int64_t h = 1; h <= 10; ++h) {
+      ASSERT_OK(testing_util::InsertBusinessObject(
+          &db_, header_, item_, h, h % 2 == 0 ? 2014 : 2013, 2, 10.0,
+          &next_item_id_));
+    }
+    ASSERT_OK(db_.MergeTables({"Header", "Item"}));
+  }
+
+  Database db_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+  std::unique_ptr<AggregateCacheManager> cache_;
+  int64_t next_item_id_ = 1;
+  AggregateQuery query_ = testing_util::HeaderItemQuery();
+};
+
+TEST_F(CacheManagerTest, MissCreatesEntryHitReuses) {
+  Transaction txn = db_.Begin();
+  auto first = cache_->Execute(query_, txn);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(cache_->last_exec_stats().entry_created);
+  EXPECT_FALSE(cache_->last_exec_stats().cache_hit);
+  EXPECT_EQ(cache_->num_entries(), 1u);
+
+  auto second = cache_->Execute(query_, txn);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(cache_->last_exec_stats().cache_hit);
+  EXPECT_FALSE(cache_->last_exec_stats().entry_created);
+  std::string diff;
+  EXPECT_TRUE(first->ApproxEquals(*second, 1e-9, &diff)) << diff;
+}
+
+TEST_F(CacheManagerTest, CachedEqualsUncachedOnCleanState) {
+  ExpectAllStrategiesAgree(&db_, cache_.get(), query_);
+}
+
+TEST_F(CacheManagerTest, CachedEqualsUncachedWithDeltaRows) {
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, warm).ok());
+  for (int64_t h = 11; h <= 14; ++h) {
+    ASSERT_OK(testing_util::InsertBusinessObject(
+        &db_, header_, item_, h, 2014, 3, 5.0, &next_item_id_));
+  }
+  Transaction txn = db_.Begin();
+  ASSERT_OK(item_->Insert(
+      txn, {Value(next_item_id_++), Value(int64_t{1}), Value(7.0)}));
+  ExpectAllStrategiesAgree(&db_, cache_.get(), query_);
+}
+
+TEST_F(CacheManagerTest, FullPruningSkipsSubjoins) {
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, warm).ok());
+  ASSERT_OK(testing_util::InsertBusinessObject(&db_, header_, item_, 20,
+                                               2014, 2, 1.0,
+                                               &next_item_id_));
+  Transaction txn = db_.Begin();
+  ExecutionOptions no_pruning;
+  no_pruning.strategy = ExecutionStrategy::kCachedNoPruning;
+  ASSERT_TRUE(cache_->Execute(query_, txn, no_pruning).ok());
+  uint64_t subjoins_no_pruning = cache_->last_exec_stats().subjoins_executed;
+
+  ExecutionOptions full;
+  full.strategy = ExecutionStrategy::kCachedFullPruning;
+  ASSERT_TRUE(cache_->Execute(query_, txn, full).ok());
+  uint64_t subjoins_full = cache_->last_exec_stats().subjoins_executed;
+  EXPECT_EQ(subjoins_no_pruning, 3u);  // 2^2 - 1.
+  EXPECT_EQ(subjoins_full, 1u);        // Only delta x delta.
+  EXPECT_EQ(cache_->last_exec_stats().subjoins_pruned, 2u);
+}
+
+TEST_F(CacheManagerTest, MainCompensationAfterDelete) {
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, warm).ok());
+  // Delete a header (its items become dangling but the join drops them).
+  Transaction txn = db_.Begin();
+  ASSERT_OK(header_->DeleteByPk(txn, Value(int64_t{1})));
+  ExpectAllStrategiesAgree(&db_, cache_.get(), query_);
+}
+
+TEST_F(CacheManagerTest, SingleTableMainCompensationIsIncremental) {
+  AggregateQuery single = QueryBuilder()
+                              .From("Item")
+                              .GroupBy("Item", "HeaderID")
+                              .Sum("Item", "Amount", "total")
+                              .CountStar("n")
+                              .Build();
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(single, warm).ok());
+  // Delete two items from main.
+  Transaction txn = db_.Begin();
+  ASSERT_OK(item_->DeleteByPk(txn, Value(int64_t{1})));
+  ASSERT_OK(item_->DeleteByPk(txn, Value(int64_t{2})));
+  Transaction query_txn = db_.Begin();
+  auto result = cache_->Execute(single, query_txn);
+  ASSERT_TRUE(result.ok());
+  // Single-table entries are compensated, not rebuilt.
+  EXPECT_FALSE(cache_->last_exec_stats().entry_rebuilt);
+  EXPECT_GT(cache_->last_exec_stats().main_comp_ms, 0.0);
+  ExpectAllStrategiesAgree(&db_, cache_.get(), single);
+}
+
+TEST_F(CacheManagerTest, JoinEntryCompensatedIncrementallyByDefault) {
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, warm).ok());
+  Transaction txn = db_.Begin();
+  ASSERT_OK(header_->UpdateByPk(txn, Value(int64_t{2}),
+                                {Value(int64_t{2}), Value(int64_t{2013})}));
+  Transaction query_txn = db_.Begin();
+  auto result = cache_->Execute(query_, query_txn);
+  ASSERT_TRUE(result.ok());
+  // The default config corrects the entry via negative-delta joins, no
+  // rebuild (the Section 8 extension).
+  EXPECT_FALSE(cache_->last_exec_stats().entry_rebuilt);
+  EXPECT_GT(cache_->last_exec_stats().main_comp_ms, 0.0);
+  ExpectAllStrategiesAgree(&db_, cache_.get(), query_);
+}
+
+TEST_F(CacheManagerTest, JoinEntryRebuiltWhenIncrementalDisabled) {
+  AggregateCacheManager::Config config;
+  config.incremental_join_main_compensation = false;
+  AggregateCacheManager rebuild_cache(&db_, config);
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(rebuild_cache.Execute(query_, warm).ok());
+  Transaction txn = db_.Begin();
+  ASSERT_OK(header_->UpdateByPk(txn, Value(int64_t{2}),
+                                {Value(int64_t{2}), Value(int64_t{2013})}));
+  Transaction query_txn = db_.Begin();
+  auto result = rebuild_cache.Execute(query_, query_txn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(rebuild_cache.last_exec_stats().entry_rebuilt);
+  ExpectAllStrategiesAgree(&db_, &rebuild_cache, query_);
+}
+
+TEST_F(CacheManagerTest, IncrementalAndRebuildCompensationAgree) {
+  AggregateCacheManager::Config rebuild_config;
+  rebuild_config.incremental_join_main_compensation = false;
+  AggregateCacheManager rebuild_cache(&db_, rebuild_config);
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, warm).ok());
+  ASSERT_TRUE(rebuild_cache.Execute(query_, warm).ok());
+
+  // A batch of updates and deletes on both join sides.
+  Transaction txn = db_.Begin();
+  ASSERT_OK(header_->UpdateByPk(txn, Value(int64_t{1}),
+                                {Value(int64_t{1}), Value(int64_t{2014})}));
+  ASSERT_OK(header_->DeleteByPk(txn, Value(int64_t{3})));
+  ASSERT_OK(item_->DeleteByPk(txn, Value(int64_t{5})));
+  ASSERT_OK(item_->DeleteByPk(txn, Value(int64_t{6})));
+
+  Transaction query_txn = db_.Begin();
+  auto incremental = cache_->Execute(query_, query_txn);
+  auto rebuilt = rebuild_cache.Execute(query_, query_txn);
+  ASSERT_TRUE(incremental.ok() && rebuilt.ok());
+  std::string diff;
+  EXPECT_TRUE(incremental->ApproxEquals(*rebuilt, 1e-9, &diff)) << diff;
+}
+
+TEST_F(CacheManagerTest, MergeMaintainsEntryIncrementally) {
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, warm).ok());
+  for (int64_t h = 30; h <= 32; ++h) {
+    ASSERT_OK(testing_util::InsertBusinessObject(
+        &db_, header_, item_, h, 2013, 2, 4.0, &next_item_id_));
+  }
+  ASSERT_OK(db_.MergeTables({"Header", "Item"}));
+  // Entry was maintained during the merge: using it is a plain hit with no
+  // rebuild, and the result matches uncached execution.
+  Transaction txn = db_.Begin();
+  auto result = cache_->Execute(query_, txn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(cache_->last_exec_stats().cache_hit);
+  EXPECT_FALSE(cache_->last_exec_stats().entry_rebuilt);
+  const CacheEntry* entry = cache_->Find(query_);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GT(entry->metrics().maintenance_ms, 0.0);
+  ExpectAllStrategiesAgree(&db_, cache_.get(), query_);
+}
+
+TEST_F(CacheManagerTest, MergeWithKeepInvalidated) {
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, warm).ok());
+  Transaction txn = db_.Begin();
+  ASSERT_OK(header_->DeleteByPk(txn, Value(int64_t{3})));
+  MergeOptions keep;
+  keep.keep_invalidated = true;
+  ASSERT_OK(db_.Merge("Header", keep));
+  ASSERT_OK(db_.Merge("Item", keep));
+  ExpectAllStrategiesAgree(&db_, cache_.get(), query_);
+}
+
+TEST_F(CacheManagerTest, NonCacheableQueryFallsBack) {
+  AggregateQuery minmax = QueryBuilder()
+                              .From("Item")
+                              .GroupBy("Item", "HeaderID")
+                              .Max("Item", "Amount", "m")
+                              .Build();
+  Transaction txn = db_.Begin();
+  auto result = cache_->Execute(minmax, txn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(cache_->last_exec_stats().used_cache);
+  EXPECT_EQ(cache_->num_entries(), 0u);
+}
+
+TEST_F(CacheManagerTest, AdmissionRejectsCheapAggregates) {
+  AggregateCacheManager::Config config;
+  config.min_main_exec_ms = 1e9;  // Nothing is ever this expensive.
+  AggregateCacheManager picky(&db_, config);
+  Transaction txn = db_.Begin();
+  auto result = picky.Execute(query_, txn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(picky.num_entries(), 0u);
+  EXPECT_FALSE(picky.last_exec_stats().used_cache);
+  // The result is still correct.
+  ExecutionOptions uncached;
+  uncached.strategy = ExecutionStrategy::kUncached;
+  auto baseline = picky.Execute(query_, txn, uncached);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_TRUE(result->ApproxEquals(*baseline));
+}
+
+TEST_F(CacheManagerTest, EvictionRespectsMaxEntries) {
+  AggregateCacheManager::Config config;
+  config.max_entries = 2;
+  AggregateCacheManager small(&db_, config);
+  Transaction txn = db_.Begin();
+  for (int64_t year : {2013, 2014, 2015}) {
+    AggregateQuery q = QueryBuilder()
+                           .From("Header")
+                           .Join("Item", "HeaderID", "HeaderID")
+                           .Filter("Header", "FiscalYear", CompareOp::kEq,
+                                   Value(year))
+                           .GroupBy("Header", "FiscalYear")
+                           .Sum("Item", "Amount", "s")
+                           .Build();
+    ASSERT_TRUE(small.Execute(q, txn).ok());
+  }
+  EXPECT_EQ(small.num_entries(), 2u);
+}
+
+TEST_F(CacheManagerTest, ClearRemovesEntries) {
+  Transaction txn = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, txn).ok());
+  EXPECT_EQ(cache_->num_entries(), 1u);
+  EXPECT_GT(cache_->total_bytes(), 0u);
+  cache_->Clear();
+  EXPECT_EQ(cache_->num_entries(), 0u);
+  EXPECT_EQ(cache_->total_bytes(), 0u);
+}
+
+TEST_F(CacheManagerTest, PrewarmBuildsEntry) {
+  ASSERT_OK(cache_->Prewarm(query_));
+  EXPECT_EQ(cache_->num_entries(), 1u);
+  Transaction txn = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, txn).ok());
+  EXPECT_TRUE(cache_->last_exec_stats().cache_hit);
+}
+
+TEST_F(CacheManagerTest, PrewarmRejectsNonCacheable) {
+  AggregateQuery minmax = QueryBuilder()
+                              .From("Item")
+                              .GroupBy("Item", "HeaderID")
+                              .Min("Item", "Amount", "m")
+                              .Build();
+  EXPECT_FALSE(cache_->Prewarm(minmax).ok());
+}
+
+TEST_F(CacheManagerTest, EntryRebuiltAfterHotColdSplit) {
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, warm).ok());
+  ASSERT_OK(header_->SplitHotCold("HeaderID", Value(int64_t{6})));
+  ASSERT_OK(item_->SplitHotCold("HeaderID", Value(int64_t{6})));
+  db_.RegisterAgingGroup({"Header", "Item"});
+  Transaction txn = db_.Begin();
+  auto result = cache_->Execute(query_, txn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(cache_->last_exec_stats().entry_rebuilt);
+  ExpectAllStrategiesAgree(&db_, cache_.get(), query_);
+}
+
+TEST_F(CacheManagerTest, MetricsAccumulate) {
+  Transaction txn = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, txn).ok());
+  ASSERT_TRUE(cache_->Execute(query_, txn).ok());
+  const CacheEntry* entry = cache_->Find(query_);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->metrics().delta_comp_count, 2u);
+  EXPECT_EQ(entry->metrics().hit_count, 2u);
+  EXPECT_GT(entry->metrics().size_bytes, 0u);
+  EXPECT_GT(entry->metrics().main_rows_aggregated, 0u);
+}
+
+TEST_F(CacheManagerTest, StrategyNames) {
+  EXPECT_STREQ(ExecutionStrategyToString(ExecutionStrategy::kUncached),
+               "uncached");
+  EXPECT_STREQ(
+      ExecutionStrategyToString(ExecutionStrategy::kCachedNoPruning),
+      "cached-no-pruning");
+  EXPECT_STREQ(
+      ExecutionStrategyToString(ExecutionStrategy::kCachedEmptyDeltaPruning),
+      "cached-empty-delta-pruning");
+  EXPECT_STREQ(
+      ExecutionStrategyToString(ExecutionStrategy::kCachedFullPruning),
+      "cached-full-pruning");
+}
+
+}  // namespace
+}  // namespace aggcache

@@ -1,0 +1,74 @@
+#include "storage/column.h"
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(ColumnTest, DeltaAppendAndRead) {
+  Column col = Column::MakeDelta(ColumnType::kInt64);
+  EXPECT_FALSE(col.is_main());
+  ASSERT_TRUE(col.Append(Value(int64_t{7})).ok());
+  ASSERT_TRUE(col.Append(Value(int64_t{3})).ok());
+  ASSERT_TRUE(col.Append(Value(int64_t{7})).ok());
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.GetValue(0), Value(int64_t{7}));
+  EXPECT_EQ(col.GetValue(1), Value(int64_t{3}));
+  EXPECT_EQ(col.GetValue(2), Value(int64_t{7}));
+  EXPECT_EQ(col.code(0), col.code(2));  // Same dictionary code.
+  EXPECT_NE(col.code(0), col.code(1));
+  EXPECT_EQ(col.GetInt64(1), 3);
+}
+
+TEST(ColumnTest, DeltaAppendRejectsWrongType) {
+  Column col = Column::MakeDelta(ColumnType::kDouble);
+  EXPECT_FALSE(col.Append(Value(int64_t{1})).ok());
+  EXPECT_FALSE(col.Append(Value()).ok());
+  EXPECT_TRUE(col.Append(Value(1.5)).ok());
+}
+
+TEST(ColumnTest, MainColumnRoundTrip) {
+  Dictionary dict = Dictionary::BuildSorted(
+      ColumnType::kString, {Value("x"), Value("y"), Value("z")});
+  Column col = Column::MakeMain(std::move(dict), {2, 0, 1, 0});
+  EXPECT_TRUE(col.is_main());
+  EXPECT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.GetValue(0), Value("z"));
+  EXPECT_EQ(col.GetValue(1), Value("x"));
+  EXPECT_EQ(col.GetValue(2), Value("y"));
+  EXPECT_EQ(col.GetValue(3), Value("x"));
+}
+
+TEST(ColumnTest, MainColumnIsImmutable) {
+  Dictionary dict = Dictionary::BuildSorted(ColumnType::kInt64,
+                                            {Value(int64_t{1})});
+  Column col = Column::MakeMain(std::move(dict), {0});
+  EXPECT_EQ(col.Append(Value(int64_t{2})).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ColumnTest, MainCompressesSmallerThanDelta) {
+  // Same content: 10k rows over 4 distinct values. Main should be several
+  // times smaller thanks to 2-bit packing (vs 32-bit delta codes).
+  Column delta = Column::MakeDelta(ColumnType::kInt64);
+  std::vector<Value> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(Value(static_cast<int64_t>(i % 4)));
+    ASSERT_TRUE(delta.Append(values.back()).ok());
+  }
+  std::vector<ValueId> codes;
+  Dictionary dict = Dictionary::BuildSorted(ColumnType::kInt64, values);
+  for (const Value& v : values) codes.push_back(*dict.Find(v));
+  Column main = Column::MakeMain(std::move(dict), codes);
+  EXPECT_LT(main.ByteSize() * 4, delta.ByteSize());
+}
+
+TEST(ColumnTest, EmptyMainColumn) {
+  Column col = Column::MakeMain(
+      Dictionary::BuildSorted(ColumnType::kInt64, {}), {});
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_TRUE(col.dictionary().empty());
+}
+
+}  // namespace
+}  // namespace aggcache

@@ -1,0 +1,192 @@
+#include "cache/compensation.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+class CompensationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::CreateHeaderItemTables(&db_, &header_, &item_);
+    for (int64_t h = 1; h <= 6; ++h) {
+      ASSERT_OK(testing_util::InsertBusinessObject(
+          &db_, header_, item_, h, h <= 3 ? 2013 : 2014, 2, 10.0,
+          &next_item_id_));
+    }
+    ASSERT_OK(db_.MergeTables({"Header", "Item"}));
+    // Two new business objects in the deltas.
+    for (int64_t h = 7; h <= 8; ++h) {
+      ASSERT_OK(testing_util::InsertBusinessObject(
+          &db_, header_, item_, h, 2014, 2, 5.0, &next_item_id_));
+    }
+  }
+
+  Snapshot Now() { return db_.txn_manager().GlobalSnapshot(); }
+
+  Database db_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+  int64_t next_item_id_ = 1;
+};
+
+TEST_F(CompensationTest, DeltaCompensationCompletesTheCachedResult) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  auto bound = BoundQuery::Bind(db_, query);
+  ASSERT_TRUE(bound.ok());
+  Executor executor(&db_);
+
+  // Cached part: the all-main subjoin.
+  SubjoinCombination all_main = {{0, PartitionKind::kMain},
+                                 {0, PartitionKind::kMain}};
+  auto cached = executor.ExecuteSubjoin(*bound, all_main, Now());
+  ASSERT_TRUE(cached.ok());
+
+  std::vector<MdBinding> mds = ResolveMds(*bound);
+  JoinPruner pruner(&db_, PruneLevel::kFull);
+  CompensationStats stats;
+  auto delta = DeltaCompensate(executor, *bound, mds, pruner,
+                               /*use_pushdown=*/false, Now(), &stats);
+  ASSERT_TRUE(delta.ok());
+
+  AggregateResult combined = *cached;
+  combined.MergeFrom(*delta);
+  auto uncached = executor.ExecuteUncached(query, Now());
+  ASSERT_TRUE(uncached.ok());
+  std::string diff;
+  EXPECT_TRUE(combined.ApproxEquals(*uncached, 1e-9, &diff)) << diff;
+
+  // Stats add up: 3 compensation combos considered, 2 prunable (perfect
+  // temporal locality), 1 executed.
+  EXPECT_EQ(stats.subjoins_considered, 3u);
+  EXPECT_EQ(stats.subjoins_pruned, 2u);
+  EXPECT_EQ(stats.subjoins_executed, 1u);
+}
+
+TEST_F(CompensationTest, PushdownDoesNotChangeDeltaCompensation) {
+  // Add a late item so a main x delta subjoin survives pruning.
+  Transaction txn = db_.Begin();
+  ASSERT_OK(item_->Insert(
+      txn, {Value(next_item_id_++), Value(int64_t{1}), Value(3.0)}));
+
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  auto bound = BoundQuery::Bind(db_, query);
+  ASSERT_TRUE(bound.ok());
+  Executor executor(&db_);
+  std::vector<MdBinding> mds = ResolveMds(*bound);
+
+  JoinPruner pruner_a(&db_, PruneLevel::kFull);
+  auto plain = DeltaCompensate(executor, *bound, mds, pruner_a, false,
+                               Now(), nullptr);
+  JoinPruner pruner_b(&db_, PruneLevel::kFull);
+  auto pushed = DeltaCompensate(executor, *bound, mds, pruner_b, true,
+                                Now(), nullptr);
+  ASSERT_TRUE(plain.ok() && pushed.ok());
+  std::string diff;
+  EXPECT_TRUE(plain->ApproxEquals(*pushed, 1e-9, &diff)) << diff;
+}
+
+TEST_F(CompensationTest, RowsContributionMatchesFilters) {
+  AggregateQuery query = QueryBuilder()
+                             .From("Item")
+                             .Filter("Item", "Amount", CompareOp::kGt,
+                                     Value(7.0))
+                             .GroupBy("Item", "HeaderID")
+                             .Sum("Item", "Amount", "s")
+                             .CountStar("n")
+                             .Build();
+  auto bound = BoundQuery::Bind(db_, query);
+  ASSERT_TRUE(bound.ok());
+
+  // Contribution of the first three main rows (amount 10.0, passing the
+  // filter).
+  std::vector<uint32_t> rows = {0, 1, 2};
+  auto contribution = ComputeRowsContribution(*bound, 0, rows);
+  ASSERT_TRUE(contribution.ok());
+  int64_t total = 0;
+  for (const auto& [key, entry] : contribution->groups()) {
+    total += entry.count_star;
+  }
+  EXPECT_EQ(total, 3);
+
+  // With a filter nothing passes (amounts in delta are 5.0 <= 7.0): rows
+  // from the delta would not contribute, but here we check main rows only.
+  AggregateQuery strict = QueryBuilder()
+                              .From("Item")
+                              .Filter("Item", "Amount", CompareOp::kGt,
+                                      Value(100.0))
+                              .GroupBy("Item", "HeaderID")
+                              .Sum("Item", "Amount", "s")
+                              .Build();
+  auto strict_bound = BoundQuery::Bind(db_, strict);
+  ASSERT_TRUE(strict_bound.ok());
+  auto empty = ComputeRowsContribution(*strict_bound, 0, rows);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(CompensationTest, RowsContributionRejectsJoins) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  auto bound = BoundQuery::Bind(db_, query);
+  ASSERT_TRUE(bound.ok());
+  std::vector<uint32_t> rows = {0};
+  EXPECT_FALSE(ComputeRowsContribution(*bound, 0, rows).ok());
+}
+
+TEST_F(CompensationTest, RestrictedSubjoinSeesOnlyGivenRows) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  auto bound = BoundQuery::Bind(db_, query);
+  ASSERT_TRUE(bound.ok());
+  Executor executor(&db_);
+  SubjoinCombination all_main = {{0, PartitionKind::kMain},
+                                 {0, PartitionKind::kMain}};
+  // Restrict Header to its first main row: only that header's items join.
+  Executor::RowRestriction restriction;
+  restriction.rows.resize(2);
+  restriction.rows[0] = std::vector<uint32_t>{0};
+  auto result = executor.ExecuteSubjoin(*bound, all_main, Now(), {},
+                                        &restriction);
+  ASSERT_TRUE(result.ok());
+  int64_t total = 0;
+  for (const auto& [key, entry] : result->groups()) {
+    total += entry.count_star;
+  }
+  EXPECT_EQ(total, 2);  // Two items per header.
+}
+
+TEST_F(CompensationTest, RestrictionBypassesVisibilityWhenAsked) {
+  // Delete a header in main; under the current snapshot it is invisible,
+  // but a bypassing restriction can still join it (the negative-delta
+  // correction case).
+  Transaction txn = db_.Begin();
+  auto loc = header_->FindByPk(Value(int64_t{2}));
+  ASSERT_TRUE(loc.has_value());
+  uint32_t deleted_row = loc->row;
+  ASSERT_OK(header_->DeleteByPk(txn, Value(int64_t{2})));
+
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  auto bound = BoundQuery::Bind(db_, query);
+  ASSERT_TRUE(bound.ok());
+  Executor executor(&db_);
+  SubjoinCombination all_main = {{0, PartitionKind::kMain},
+                                 {0, PartitionKind::kMain}};
+
+  Executor::RowRestriction no_bypass;
+  no_bypass.rows.resize(2);
+  no_bypass.rows[0] = std::vector<uint32_t>{deleted_row};
+  auto hidden = executor.ExecuteSubjoin(*bound, all_main, Now(), {},
+                                        &no_bypass);
+  ASSERT_TRUE(hidden.ok());
+  EXPECT_TRUE(hidden->empty());
+
+  Executor::RowRestriction bypass = no_bypass;
+  bypass.bypass_visibility_for_restricted = true;
+  auto visible = executor.ExecuteSubjoin(*bound, all_main, Now(), {},
+                                         &bypass);
+  ASSERT_TRUE(visible.ok());
+  EXPECT_FALSE(visible->empty());
+}
+
+}  // namespace
+}  // namespace aggcache

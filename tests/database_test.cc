@@ -1,0 +1,162 @@
+#include "storage/database.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+TEST(DatabaseTest, CreateAndGetTable) {
+  Database db;
+  auto created = db.CreateTable(SchemaBuilder("T")
+                                    .AddColumn("a", ColumnType::kInt64)
+                                    .Build());
+  ASSERT_TRUE(created.ok());
+  auto fetched = db.GetTable("T");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*created, *fetched);
+  EXPECT_EQ(db.GetTable("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.TableNames(), std::vector<std::string>{"T"});
+}
+
+TEST(DatabaseTest, DuplicateTableRejected) {
+  Database db;
+  TableSchema schema =
+      SchemaBuilder("T").AddColumn("a", ColumnType::kInt64).Build();
+  ASSERT_TRUE(db.CreateTable(schema).ok());
+  EXPECT_EQ(db.CreateTable(schema).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, InvalidSchemaRejected) {
+  Database db;
+  TableSchema bad;  // No name, no columns.
+  EXPECT_FALSE(db.CreateTable(bad).ok());
+}
+
+TEST(DatabaseTest, AgingGroups) {
+  Database db;
+  db.RegisterAgingGroup({"Header", "Item"});
+  EXPECT_TRUE(db.InSameAgingGroup("Header", "Item"));
+  EXPECT_TRUE(db.InSameAgingGroup("Item", "Header"));
+  EXPECT_FALSE(db.InSameAgingGroup("Header", "Other"));
+  EXPECT_FALSE(db.InSameAgingGroup("X", "Y"));
+}
+
+class RecordingObserver : public MergeObserver {
+ public:
+  void OnBeforeMerge(Table& table, size_t group) override {
+    before.emplace_back(table.name(), group);
+  }
+  void OnAfterMerge(Table& table, size_t group) override {
+    after.emplace_back(table.name(), group);
+  }
+  std::vector<std::pair<std::string, size_t>> before;
+  std::vector<std::pair<std::string, size_t>> after;
+};
+
+TEST(DatabaseTest, MergeNotifiesObservers) {
+  Database db;
+  Table* header = nullptr;
+  Table* item = nullptr;
+  testing_util::CreateHeaderItemTables(&db, &header, &item);
+  RecordingObserver observer;
+  db.AddMergeObserver(&observer);
+  ASSERT_TRUE(db.Merge("Header").ok());
+  ASSERT_EQ(observer.before.size(), 1u);
+  EXPECT_EQ(observer.before[0], (std::pair<std::string, size_t>{"Header", 0}));
+  ASSERT_EQ(observer.after.size(), 1u);
+
+  db.RemoveMergeObserver(&observer);
+  ASSERT_TRUE(db.Merge("Header").ok());
+  EXPECT_EQ(observer.before.size(), 1u);  // No further notifications.
+}
+
+TEST(DatabaseTest, MergeTablesInOrder) {
+  Database db;
+  Table* header = nullptr;
+  Table* item = nullptr;
+  testing_util::CreateHeaderItemTables(&db, &header, &item);
+  RecordingObserver observer;
+  db.AddMergeObserver(&observer);
+  ASSERT_TRUE(db.MergeTables({"Item", "Header"}).ok());
+  ASSERT_EQ(observer.before.size(), 2u);
+  EXPECT_EQ(observer.before[0].first, "Item");
+  EXPECT_EQ(observer.before[1].first, "Header");
+  db.RemoveMergeObserver(&observer);
+}
+
+TEST(DatabaseTest, MergeUnknownTable) {
+  Database db;
+  EXPECT_EQ(db.Merge("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, AutoMergeTickRespectsThreshold) {
+  Database db;
+  Table* header = nullptr;
+  Table* item = nullptr;
+  testing_util::CreateHeaderItemTables(&db, &header, &item);
+  db.RegisterMergeGroup({"Header", "Item"}, /*delta_row_threshold=*/5);
+
+  int64_t next_item = 1;
+  for (int64_t h = 1; h <= 2; ++h) {
+    ASSERT_OK(testing_util::InsertBusinessObject(&db, header, item, h, 2013,
+                                                 2, 1.0, &next_item));
+  }
+  // Item delta has 4 rows (< 5), header 2: nothing due.
+  auto merged = db.AutoMergeTick();
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 0u);
+  EXPECT_EQ(header->group(0).main.num_rows(), 0u);
+
+  // One more business object pushes the item delta to 6: the whole group
+  // merges together (Section 5.2 synchronization).
+  ASSERT_OK(testing_util::InsertBusinessObject(&db, header, item, 3, 2013,
+                                               2, 1.0, &next_item));
+  merged = db.AutoMergeTick();
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 1u);
+  EXPECT_EQ(header->group(0).main.num_rows(), 3u);
+  EXPECT_EQ(item->group(0).main.num_rows(), 6u);
+  EXPECT_TRUE(header->group(0).delta.empty());
+  EXPECT_TRUE(item->group(0).delta.empty());
+
+  // Idempotent when nothing new arrived.
+  merged = db.AutoMergeTick();
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, 0u);
+}
+
+TEST(DatabaseTest, AutoMergeKeepsCacheConsistent) {
+  Database db;
+  Table* header = nullptr;
+  Table* item = nullptr;
+  testing_util::CreateHeaderItemTables(&db, &header, &item);
+  AggregateCacheManager cache(&db);
+  db.RegisterMergeGroup({"Header", "Item"}, 4);
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  int64_t next_item = 1;
+  for (int64_t h = 1; h <= 6; ++h) {
+    ASSERT_OK(testing_util::InsertBusinessObject(&db, header, item, h, 2013,
+                                                 2, 2.0, &next_item));
+    auto merged = db.AutoMergeTick();
+    ASSERT_TRUE(merged.ok());
+    testing_util::ExpectAllStrategiesAgree(&db, &cache, query);
+  }
+}
+
+TEST(DatabaseTest, AutoMergeTickUnknownTableFails) {
+  Database db;
+  db.RegisterMergeGroup({"Nope"}, 0);
+  EXPECT_FALSE(db.AutoMergeTick().ok());
+}
+
+TEST(DatabaseTest, TransactionsAdvance) {
+  Database db;
+  Transaction t1 = db.Begin();
+  Transaction t2 = db.Begin();
+  EXPECT_GT(t2.tid(), t1.tid());
+}
+
+}  // namespace
+}  // namespace aggcache

@@ -1,0 +1,97 @@
+#include "storage/dictionary.h"
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(DictionaryTest, DeltaGetOrAddAssignsDenseCodes) {
+  Dictionary dict(ColumnType::kInt64, Dictionary::Mode::kUnsortedDelta);
+  auto a = dict.GetOrAdd(Value(int64_t{10}));
+  auto b = dict.GetOrAdd(Value(int64_t{20}));
+  auto c = dict.GetOrAdd(Value(int64_t{10}));  // Duplicate.
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(*c, 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.value(0), Value(int64_t{10}));
+  EXPECT_EQ(dict.value(1), Value(int64_t{20}));
+}
+
+TEST(DictionaryTest, DeltaRejectsNullAndTypeMismatch) {
+  Dictionary dict(ColumnType::kInt64, Dictionary::Mode::kUnsortedDelta);
+  EXPECT_EQ(dict.GetOrAdd(Value()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dict.GetOrAdd(Value("string")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DictionaryTest, DeltaTracksMinMaxIncrementally) {
+  Dictionary dict(ColumnType::kInt64, Dictionary::Mode::kUnsortedDelta);
+  ASSERT_TRUE(dict.GetOrAdd(Value(int64_t{5})).ok());
+  EXPECT_EQ(dict.min_value(), Value(int64_t{5}));
+  EXPECT_EQ(dict.max_value(), Value(int64_t{5}));
+  ASSERT_TRUE(dict.GetOrAdd(Value(int64_t{2})).ok());
+  ASSERT_TRUE(dict.GetOrAdd(Value(int64_t{9})).ok());
+  ASSERT_TRUE(dict.GetOrAdd(Value(int64_t{7})).ok());
+  EXPECT_EQ(dict.min_value(), Value(int64_t{2}));
+  EXPECT_EQ(dict.max_value(), Value(int64_t{9}));
+}
+
+TEST(DictionaryTest, SortedMainIsValueOrdered) {
+  Dictionary dict = Dictionary::BuildSorted(
+      ColumnType::kInt64,
+      {Value(int64_t{30}), Value(int64_t{10}), Value(int64_t{20}),
+       Value(int64_t{10})});
+  EXPECT_EQ(dict.size(), 3u);  // De-duplicated.
+  EXPECT_EQ(dict.value(0), Value(int64_t{10}));
+  EXPECT_EQ(dict.value(1), Value(int64_t{20}));
+  EXPECT_EQ(dict.value(2), Value(int64_t{30}));
+  EXPECT_EQ(dict.min_value(), Value(int64_t{10}));
+  EXPECT_EQ(dict.max_value(), Value(int64_t{30}));
+}
+
+TEST(DictionaryTest, SortedMainIsImmutable) {
+  Dictionary dict = Dictionary::BuildSorted(ColumnType::kInt64,
+                                            {Value(int64_t{1})});
+  EXPECT_EQ(dict.GetOrAdd(Value(int64_t{2})).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DictionaryTest, Find) {
+  Dictionary dict = Dictionary::BuildSorted(
+      ColumnType::kString, {Value("b"), Value("a"), Value("c")});
+  EXPECT_EQ(*dict.Find(Value("a")), 0u);
+  EXPECT_EQ(*dict.Find(Value("c")), 2u);
+  EXPECT_FALSE(dict.Find(Value("z")).has_value());
+}
+
+TEST(DictionaryTest, StringMinMax) {
+  Dictionary dict(ColumnType::kString, Dictionary::Mode::kUnsortedDelta);
+  ASSERT_TRUE(dict.GetOrAdd(Value("mango")).ok());
+  ASSERT_TRUE(dict.GetOrAdd(Value("apple")).ok());
+  ASSERT_TRUE(dict.GetOrAdd(Value("zebra")).ok());
+  EXPECT_EQ(dict.min_value(), Value("apple"));
+  EXPECT_EQ(dict.max_value(), Value("zebra"));
+}
+
+TEST(DictionaryTest, EmptySortedDictionary) {
+  Dictionary dict = Dictionary::BuildSorted(ColumnType::kInt64, {});
+  EXPECT_TRUE(dict.empty());
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_FALSE(dict.Find(Value(int64_t{1})).has_value());
+}
+
+TEST(DictionaryTest, ByteSizeGrowsWithContent) {
+  Dictionary small(ColumnType::kString, Dictionary::Mode::kUnsortedDelta);
+  ASSERT_TRUE(small.GetOrAdd(Value("a")).ok());
+  Dictionary large(ColumnType::kString, Dictionary::Mode::kUnsortedDelta);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(large.GetOrAdd(Value("value-" + std::to_string(i))).ok());
+  }
+  EXPECT_GT(large.ByteSize(), small.ByteSize());
+}
+
+}  // namespace
+}  // namespace aggcache

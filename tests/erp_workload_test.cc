@@ -1,0 +1,134 @@
+#include "workload/erp_generator.h"
+
+#include "gtest/gtest.h"
+#include "objectaware/matching_dependency.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+ErpConfig SmallConfig() {
+  ErpConfig config;
+  config.num_headers_main = 100;
+  config.num_categories = 5;
+  config.avg_items_per_header = 4;
+  return config;
+}
+
+TEST(ErpGeneratorTest, CreateLoadsAndMerges) {
+  Database db;
+  auto dataset_or = ErpDataset::Create(&db, SmallConfig());
+  ASSERT_TRUE(dataset_or.ok()) << dataset_or.status();
+  ErpDataset dataset = std::move(dataset_or).value();
+  EXPECT_EQ(dataset.header()->group(0).main.num_rows(), 100u);
+  EXPECT_TRUE(dataset.header()->group(0).delta.empty());
+  EXPECT_GT(dataset.item()->group(0).main.num_rows(), 100u);
+  EXPECT_TRUE(dataset.item()->group(0).delta.empty());
+  // 5 categories x 2 languages.
+  EXPECT_EQ(dataset.category()->group(0).main.num_rows(), 10u);
+}
+
+TEST(ErpGeneratorTest, MatchingDependenciesHoldAfterLoad) {
+  Database db;
+  auto dataset_or = ErpDataset::Create(&db, SmallConfig());
+  ASSERT_TRUE(dataset_or.ok());
+  ErpDataset& dataset = dataset_or.value();
+  auto header_md = VerifyMdHolds(db, "Header", "Item");
+  ASSERT_TRUE(header_md.ok());
+  EXPECT_TRUE(*header_md);
+  auto category_md = VerifyMdHolds(db, "ProductCategory", "Item");
+  ASSERT_TRUE(category_md.ok());
+  EXPECT_TRUE(*category_md);
+
+  // Still true after new business objects and late items.
+  Rng rng(1);
+  ASSERT_TRUE(dataset.InsertBusinessObject(rng).ok());
+  ASSERT_OK(dataset.InsertLateItems(rng, 5));
+  header_md = VerifyMdHolds(db, "Header", "Item");
+  ASSERT_TRUE(header_md.ok());
+  EXPECT_TRUE(*header_md);
+}
+
+TEST(ErpGeneratorTest, BusinessObjectInsertsAreTransactional) {
+  Database db;
+  auto dataset_or = ErpDataset::Create(&db, SmallConfig());
+  ASSERT_TRUE(dataset_or.ok());
+  ErpDataset& dataset = dataset_or.value();
+  Rng rng(7);
+  Tid before = db.txn_manager().last_committed();
+  auto items = dataset.InsertBusinessObject(rng);
+  ASSERT_TRUE(items.ok());
+  // One transaction for the header and all its items.
+  EXPECT_EQ(db.txn_manager().last_committed(), before + 1);
+  EXPECT_EQ(dataset.header()->group(0).delta.num_rows(), 1u);
+  EXPECT_EQ(dataset.item()->group(0).delta.num_rows(), *items);
+}
+
+TEST(ErpGeneratorTest, QueriesValidate) {
+  Database db;
+  auto dataset_or = ErpDataset::Create(&db, SmallConfig());
+  ASSERT_TRUE(dataset_or.ok());
+  ErpDataset& dataset = dataset_or.value();
+  EXPECT_OK(dataset.ProfitByCategoryQuery(2013).Validate(db));
+  EXPECT_OK(dataset.RevenueByYearQuery().Validate(db));
+  EXPECT_OK(dataset.ItemTotalsByCategoryQuery().Validate(db));
+  EXPECT_TRUE(dataset.ProfitByCategoryQuery(2013).IsCacheable());
+}
+
+TEST(ErpGeneratorTest, ProfitQueryCachedMatchesUncached) {
+  Database db;
+  auto dataset_or = ErpDataset::Create(&db, SmallConfig());
+  ASSERT_TRUE(dataset_or.ok());
+  ErpDataset& dataset = dataset_or.value();
+  AggregateCacheManager cache(&db);
+  AggregateQuery query = dataset.ProfitByCategoryQuery(2013);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(dataset.InsertBusinessObject(rng).ok());
+  }
+  ASSERT_OK(dataset.InsertLateItems(rng, 3));
+  testing_util::ExpectAllStrategiesAgree(&db, &cache, query);
+}
+
+TEST(ErpGeneratorTest, SchemaWithoutTidColumns) {
+  Database db;
+  ErpConfig config = SmallConfig();
+  config.with_tid_columns = false;
+  auto dataset_or = ErpDataset::Create(&db, config);
+  ASSERT_TRUE(dataset_or.ok()) << dataset_or.status();
+  ErpDataset& dataset = dataset_or.value();
+  // No tid columns anywhere.
+  for (const Table* t : {dataset.header(), dataset.item(),
+                         dataset.category()}) {
+    for (const ColumnDef& c : t->schema().columns) {
+      EXPECT_FALSE(c.is_tid) << t->name() << "." << c.name;
+    }
+  }
+  // The tid-less schema is strictly smaller (Section 6.2's baseline).
+  Database db2;
+  auto with_tids = ErpDataset::Create(&db2, SmallConfig());
+  ASSERT_TRUE(with_tids.ok());
+  EXPECT_LT(dataset.item()->ColumnByteSize(),
+            with_tids->item()->ColumnByteSize());
+}
+
+TEST(ErpGeneratorTest, DeterministicForSameSeed) {
+  Database db1;
+  Database db2;
+  auto d1 = ErpDataset::Create(&db1, SmallConfig());
+  auto d2 = ErpDataset::Create(&db2, SmallConfig());
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(d1->item()->group(0).main.num_rows(),
+            d2->item()->group(0).main.num_rows());
+  Executor e1(&db1);
+  Executor e2(&db2);
+  auto r1 = e1.ExecuteUncached(d1->RevenueByYearQuery(),
+                               db1.txn_manager().GlobalSnapshot());
+  auto r2 = e2.ExecuteUncached(d2->RevenueByYearQuery(),
+                               db2.txn_manager().GlobalSnapshot());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->ApproxEquals(*r2, 1e-9));
+}
+
+}  // namespace
+}  // namespace aggcache

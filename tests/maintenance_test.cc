@@ -1,0 +1,155 @@
+#include "cache/maintenance.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/mixed_workload.h"
+
+namespace aggcache {
+namespace {
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::CreateHeaderItemTables(&db_, &header_, &item_);
+    cache_ = std::make_unique<AggregateCacheManager>(&db_);
+    for (int64_t h = 1; h <= 5; ++h) {
+      ASSERT_OK(testing_util::InsertBusinessObject(
+          &db_, header_, item_, h, 2013, 2, 10.0, &next_item_id_));
+    }
+    ASSERT_OK(db_.MergeTables({"Header", "Item"}));
+    query_ = QueryBuilder()
+                 .From("Item")
+                 .GroupBy("Item", "HeaderID")
+                 .Sum("Item", "Amount", "total")
+                 .CountStar("n")
+                 .Build();
+  }
+
+  Status InsertItem(int64_t header_id, double amount) {
+    Transaction txn = db_.Begin();
+    return item_->Insert(
+        txn, {Value(next_item_id_++), Value(header_id), Value(amount)});
+  }
+
+  AggregateResult Expected() {
+    Executor executor(&db_);
+    auto result = executor.ExecuteUncached(
+        query_, db_.txn_manager().GlobalSnapshot());
+    AGGCACHE_CHECK(result.ok());
+    return std::move(result).value();
+  }
+
+  Database db_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+  std::unique_ptr<AggregateCacheManager> cache_;
+  int64_t next_item_id_ = 1;
+  AggregateQuery query_;
+};
+
+class MaintenanceStrategyTest
+    : public MaintenanceTest,
+      public ::testing::WithParamInterface<MaintenanceStrategy> {};
+
+// Every strategy must produce the correct result through a sequence of
+// inserts and queries.
+TEST_P(MaintenanceStrategyTest, StaysConsistentUnderInserts) {
+  auto view_or = CreateMaterializedAggregate(GetParam(), &db_, query_,
+                                             cache_.get());
+  ASSERT_TRUE(view_or.ok()) << view_or.status();
+  std::unique_ptr<MaterializedAggregate> view = std::move(view_or).value();
+
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_OK(InsertItem(/*header_id=*/round % 5 + 1, 1.5));
+    ASSERT_OK(view->OnInsertCommitted());
+    Transaction txn = db_.Begin();
+    auto result = view->Query(txn);
+    ASSERT_TRUE(result.ok()) << result.status();
+    std::string diff;
+    EXPECT_TRUE(result->ApproxEquals(Expected(), 1e-9, &diff))
+        << MaintenanceStrategyToString(GetParam()) << " round " << round
+        << ": " << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, MaintenanceStrategyTest,
+    ::testing::Values(MaintenanceStrategy::kEagerIncremental,
+                      MaintenanceStrategy::kLazyIncremental,
+                      MaintenanceStrategy::kAggregateCache,
+                      MaintenanceStrategy::kFullRecompute),
+    [](const ::testing::TestParamInfo<MaintenanceStrategy>& info) {
+      std::string name = MaintenanceStrategyToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_F(MaintenanceTest, LazyDefersWorkUntilQuery) {
+  auto view_or = CreateMaterializedAggregate(
+      MaintenanceStrategy::kLazyIncremental, &db_, query_, nullptr);
+  ASSERT_TRUE(view_or.ok());
+  auto view = std::move(view_or).value();
+  // Inserts are free for the lazy view; results still correct at query.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(InsertItem(1, 2.0));
+    ASSERT_OK(view->OnInsertCommitted());
+  }
+  Transaction txn = db_.Begin();
+  auto result = view->Query(txn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ApproxEquals(Expected(), 1e-9));
+}
+
+TEST_F(MaintenanceTest, JoinQueryRejected) {
+  auto view = CreateMaterializedAggregate(
+      MaintenanceStrategy::kEagerIncremental, &db_,
+      testing_util::HeaderItemQuery(), nullptr);
+  EXPECT_FALSE(view.ok());
+}
+
+TEST_F(MaintenanceTest, AggregateCacheStrategyRequiresManager) {
+  auto view = CreateMaterializedAggregate(
+      MaintenanceStrategy::kAggregateCache, &db_, query_, nullptr);
+  EXPECT_FALSE(view.ok());
+}
+
+TEST_F(MaintenanceTest, MixedWorkloadDriverRunsAllStrategies) {
+  MixedWorkloadConfig config;
+  config.num_operations = 60;
+  config.insert_ratio = 0.5;
+  for (MaintenanceStrategy strategy :
+       {MaintenanceStrategy::kEagerIncremental,
+        MaintenanceStrategy::kLazyIncremental,
+        MaintenanceStrategy::kAggregateCache}) {
+    auto result = RunMixedWorkload(
+        &db_, query_, strategy, cache_.get(), config, [&](Rng& rng) {
+          return InsertItem(rng.UniformInt(1, 5),
+                            rng.UniformDouble(1.0, 10.0));
+        });
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->inserts + result->queries, config.num_operations);
+    EXPECT_GT(result->inserts, 0u);
+    EXPECT_GT(result->queries, 0u);
+    EXPECT_GT(result->total_ms, 0.0);
+  }
+}
+
+TEST_F(MaintenanceTest, StrategyNames) {
+  EXPECT_STREQ(
+      MaintenanceStrategyToString(MaintenanceStrategy::kEagerIncremental),
+      "eager-incremental");
+  EXPECT_STREQ(
+      MaintenanceStrategyToString(MaintenanceStrategy::kLazyIncremental),
+      "lazy-incremental");
+  EXPECT_STREQ(
+      MaintenanceStrategyToString(MaintenanceStrategy::kAggregateCache),
+      "aggregate-cache");
+  EXPECT_STREQ(
+      MaintenanceStrategyToString(MaintenanceStrategy::kFullRecompute),
+      "full-recompute");
+}
+
+}  // namespace
+}  // namespace aggcache

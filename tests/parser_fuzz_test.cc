@@ -1,0 +1,107 @@
+// Robustness property tests for the SQL front end: arbitrary byte strings
+// and mutated valid statements must never crash the tokenizer or parser —
+// they either parse or come back as a clean Status.
+
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sql/parser.h"
+#include "sql/tokenizer.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    testing_util::CreateHeaderItemTables(&db_, &header_, &item_);
+  }
+
+  Database db_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+};
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string input;
+    int length = static_cast<int>(rng.UniformInt(0, 80));
+    for (int i = 0; i < length; ++i) {
+      input += static_cast<char>(rng.UniformInt(32, 126));
+    }
+    // Must not crash; a Status of either kind is acceptable.
+    auto tokens = Tokenize(input);
+    auto parsed = ParseStatement(input, db_);
+    (void)tokens;
+    (void)parsed;
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidStatementsNeverCrash) {
+  const std::string base =
+      "SELECT FiscalYear, SUM(Amount) AS revenue, COUNT(*) AS n "
+      "FROM Header, Item WHERE Header.HeaderID = Item.HeaderID "
+      "AND Amount > 1.5 GROUP BY FiscalYear;";
+  Rng rng(GetParam() * 31 + 7);
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = base;
+    int edits = static_cast<int>(rng.UniformInt(1, 5));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // Replace a character.
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:  // Delete a character.
+          mutated.erase(pos, 1);
+          break;
+        default:  // Duplicate a slice.
+          mutated.insert(pos, mutated.substr(
+                                  pos, std::min<size_t>(8, mutated.size() -
+                                                               pos)));
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    auto parsed = ParseStatement(mutated, db_);
+    (void)parsed;
+  }
+}
+
+TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  static const char* kPieces[] = {
+      "SELECT", "FROM",  "WHERE",  "GROUP", "BY",    "AND",   "SUM",
+      "COUNT",  "AVG",   "(",      ")",     "*",     ",",     ".",
+      "=",      "<>",    "<=",     "'x'",   "42",    "3.5",   "Header",
+      "Item",   "Amount", "HeaderID", "FiscalYear", "AS",  "INSERT",
+      "INTO",   "VALUES", "CREATE", "TABLE", "BIGINT", "PRIMARY", "KEY",
+      "REFERENCES", "TID", "OWN", ";"};
+  Rng rng(GetParam() * 17 + 3);
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    int pieces = static_cast<int>(rng.UniformInt(1, 25));
+    for (int i = 0; i < pieces; ++i) {
+      input += kPieces[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(kPieces)) - 1)];
+      input += ' ';
+    }
+    auto parsed = ParseStatement(input, db_);
+    // Successfully parsed SELECTs must also be executable without crashing.
+    if (parsed.ok() && parsed->kind == ParsedStatement::Kind::kSelect) {
+      Executor executor(&db_);
+      auto result = executor.ExecuteUncached(
+          parsed->select, db_.txn_manager().GlobalSnapshot());
+      (void)result;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace aggcache

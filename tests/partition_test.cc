@@ -1,0 +1,80 @@
+#include "storage/partition.h"
+
+#include "gtest/gtest.h"
+#include "storage/schema.h"
+
+namespace aggcache {
+namespace {
+
+TableSchema TwoColumnSchema() {
+  return SchemaBuilder("T")
+      .AddColumn("id", ColumnType::kInt64)
+      .PrimaryKey()
+      .AddColumn("name", ColumnType::kString)
+      .Build();
+}
+
+TEST(PartitionTest, DeltaAppendRows) {
+  Partition delta = Partition::MakeDelta(TwoColumnSchema());
+  EXPECT_EQ(delta.kind(), PartitionKind::kDelta);
+  EXPECT_TRUE(delta.empty());
+  ASSERT_TRUE(delta.AppendRow({Value(int64_t{1}), Value("a")}, 10).ok());
+  ASSERT_TRUE(delta.AppendRow({Value(int64_t{2}), Value("b")}, 11).ok());
+  EXPECT_EQ(delta.num_rows(), 2u);
+  EXPECT_EQ(delta.create_tid(0), 10u);
+  EXPECT_EQ(delta.create_tid(1), 11u);
+  EXPECT_EQ(delta.GetRow(1), (std::vector<Value>{Value(int64_t{2}),
+                                                 Value("b")}));
+}
+
+TEST(PartitionTest, AppendRejectsBadRows) {
+  Partition delta = Partition::MakeDelta(TwoColumnSchema());
+  // Wrong arity.
+  EXPECT_FALSE(delta.AppendRow({Value(int64_t{1})}, 1).ok());
+  // Wrong type.
+  EXPECT_FALSE(delta.AppendRow({Value("x"), Value("a")}, 1).ok());
+  // NULL.
+  EXPECT_FALSE(delta.AppendRow({Value(int64_t{1}), Value()}, 1).ok());
+  // A failed append must not half-mutate the partition.
+  EXPECT_EQ(delta.num_rows(), 0u);
+  EXPECT_EQ(delta.column(0).size(), 0u);
+  EXPECT_EQ(delta.column(1).size(), 0u);
+}
+
+TEST(PartitionTest, InvalidationTracking) {
+  Partition delta = Partition::MakeDelta(TwoColumnSchema());
+  ASSERT_TRUE(delta.AppendRow({Value(int64_t{1}), Value("a")}, 5).ok());
+  EXPECT_FALSE(delta.RowInvalidated(0));
+  EXPECT_EQ(delta.invalidation_count(), 0u);
+  delta.InvalidateRow(0, 9);
+  EXPECT_TRUE(delta.RowInvalidated(0));
+  EXPECT_EQ(delta.invalidate_tid(0), 9u);
+  EXPECT_EQ(delta.invalidation_count(), 1u);
+}
+
+TEST(PartitionTest, MakeMainCarriesMvccState) {
+  std::vector<Column> columns;
+  columns.push_back(Column::MakeMain(
+      Dictionary::BuildSorted(ColumnType::kInt64,
+                              {Value(int64_t{1}), Value(int64_t{2})}),
+      {0, 1}));
+  Partition main = Partition::MakeMain(std::move(columns), {3, 4},
+                                       {kNoTid, 6});
+  EXPECT_EQ(main.kind(), PartitionKind::kMain);
+  EXPECT_EQ(main.num_rows(), 2u);
+  EXPECT_EQ(main.invalidation_count(), 1u);
+  EXPECT_FALSE(main.RowInvalidated(0));
+  EXPECT_TRUE(main.RowInvalidated(1));
+  // Appending to a main partition is rejected.
+  EXPECT_FALSE(main.AppendRow({Value(int64_t{9})}, 1).ok());
+}
+
+TEST(PartitionTest, KindNames) {
+  EXPECT_STREQ(PartitionKindToString(PartitionKind::kMain), "main");
+  EXPECT_STREQ(PartitionKindToString(PartitionKind::kDelta), "delta");
+  EXPECT_STREQ(AgeClassToString(AgeClass::kHot), "hot");
+  EXPECT_STREQ(AgeClassToString(AgeClass::kCold), "cold");
+}
+
+}  // namespace
+}  // namespace aggcache

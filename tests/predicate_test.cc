@@ -1,0 +1,156 @@
+#include "query/predicate.h"
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(EvalCompareTest, IntComparisons) {
+  Value five(int64_t{5});
+  Value six(int64_t{6});
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, five, five));
+  EXPECT_FALSE(EvalCompare(CompareOp::kEq, five, six));
+  EXPECT_TRUE(EvalCompare(CompareOp::kNe, five, six));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLt, five, six));
+  EXPECT_FALSE(EvalCompare(CompareOp::kLt, five, five));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLe, five, five));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGt, six, five));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGe, five, five));
+  EXPECT_FALSE(EvalCompare(CompareOp::kGe, five, six));
+}
+
+TEST(EvalCompareTest, StringComparisons) {
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, Value("abc"), Value("abc")));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLt, Value("abc"), Value("abd")));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGt, Value("b"), Value("a")));
+}
+
+TEST(FilterPredicateTest, ToString) {
+  FilterPredicate f{1, "Price", CompareOp::kGe, Value(2.5)};
+  EXPECT_EQ(f.ToString(), "t1.Price >= 2.5");
+}
+
+TEST(CompareOpTest, Names) {
+  EXPECT_STREQ(CompareOpToString(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kNe), "<>");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kGt), ">");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kGe), ">=");
+}
+
+class PredicateCanMatchTest : public ::testing::Test {
+ protected:
+  // Dictionary over {10, 20, 30}.
+  Dictionary dict_ = Dictionary::BuildSorted(
+      ColumnType::kInt64,
+      {Value(int64_t{10}), Value(int64_t{20}), Value(int64_t{30})});
+};
+
+TEST_F(PredicateCanMatchTest, EqInsideAndOutsideRange) {
+  EXPECT_TRUE(PredicateCanMatch(CompareOp::kEq, Value(int64_t{10}), dict_));
+  EXPECT_TRUE(PredicateCanMatch(CompareOp::kEq, Value(int64_t{25}), dict_));
+  EXPECT_FALSE(PredicateCanMatch(CompareOp::kEq, Value(int64_t{5}), dict_));
+  EXPECT_FALSE(PredicateCanMatch(CompareOp::kEq, Value(int64_t{31}), dict_));
+}
+
+TEST_F(PredicateCanMatchTest, RangeOps) {
+  EXPECT_FALSE(PredicateCanMatch(CompareOp::kLt, Value(int64_t{10}), dict_));
+  EXPECT_TRUE(PredicateCanMatch(CompareOp::kLe, Value(int64_t{10}), dict_));
+  EXPECT_TRUE(PredicateCanMatch(CompareOp::kLt, Value(int64_t{11}), dict_));
+  EXPECT_FALSE(PredicateCanMatch(CompareOp::kGt, Value(int64_t{30}), dict_));
+  EXPECT_TRUE(PredicateCanMatch(CompareOp::kGe, Value(int64_t{30}), dict_));
+  EXPECT_TRUE(PredicateCanMatch(CompareOp::kGt, Value(int64_t{29}), dict_));
+}
+
+TEST_F(PredicateCanMatchTest, NeOnlyFailsForSingletonMatch) {
+  EXPECT_TRUE(PredicateCanMatch(CompareOp::kNe, Value(int64_t{10}), dict_));
+  Dictionary singleton =
+      Dictionary::BuildSorted(ColumnType::kInt64, {Value(int64_t{7})});
+  EXPECT_FALSE(
+      PredicateCanMatch(CompareOp::kNe, Value(int64_t{7}), singleton));
+  EXPECT_TRUE(
+      PredicateCanMatch(CompareOp::kNe, Value(int64_t{8}), singleton));
+}
+
+TEST_F(PredicateCanMatchTest, EmptyDictionaryNeverMatches) {
+  Dictionary empty = Dictionary::BuildSorted(ColumnType::kInt64, {});
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_FALSE(PredicateCanMatch(op, Value(int64_t{1}), empty));
+  }
+}
+
+TEST(SortedCodeRangeTest, RangesMatchPredicateSemantics) {
+  // Dictionary over {10, 20, 30, 40}; for every op and operand, code-range
+  // membership must equal direct evaluation.
+  Dictionary dict = Dictionary::BuildSorted(
+      ColumnType::kInt64, {Value(int64_t{40}), Value(int64_t{10}),
+                           Value(int64_t{30}), Value(int64_t{20})});
+  for (int op_int = 0; op_int < 6; ++op_int) {
+    CompareOp op = static_cast<CompareOp>(op_int);
+    for (int64_t operand = 5; operand <= 45; operand += 5) {
+      auto range = SortedDictionaryCodeRange(op, Value(operand), dict);
+      for (ValueId code = 0; code < dict.size(); ++code) {
+        bool in_range = range.has_value() && range->first <= code &&
+                        code <= range->second;
+        bool matches = EvalCompare(op, dict.value(code), Value(operand));
+        if (op == CompareOp::kNe) {
+          // kNe never compiles to a range.
+          EXPECT_FALSE(range.has_value());
+        } else {
+          EXPECT_EQ(in_range, matches)
+              << CompareOpToString(op) << " " << operand << " code "
+              << code;
+        }
+      }
+    }
+  }
+}
+
+TEST(SortedCodeRangeTest, UnsortedAndEmptyDictionariesDecline) {
+  Dictionary delta(ColumnType::kInt64, Dictionary::Mode::kUnsortedDelta);
+  ASSERT_TRUE(delta.GetOrAdd(Value(int64_t{1})).ok());
+  EXPECT_FALSE(SortedDictionaryCodeRange(CompareOp::kEq, Value(int64_t{1}),
+                                         delta)
+                   .has_value());
+  Dictionary empty = Dictionary::BuildSorted(ColumnType::kInt64, {});
+  EXPECT_FALSE(SortedDictionaryCodeRange(CompareOp::kGe, Value(int64_t{1}),
+                                         empty)
+                   .has_value());
+}
+
+TEST(SortedCodeRangeTest, StringDictionary) {
+  Dictionary dict = Dictionary::BuildSorted(
+      ColumnType::kString, {Value("pear"), Value("apple"), Value("mango")});
+  auto range = SortedDictionaryCodeRange(CompareOp::kGe, Value("mango"),
+                                         dict);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->first, 1u);   // mango.
+  EXPECT_EQ(range->second, 2u);  // pear.
+  auto eq = SortedDictionaryCodeRange(CompareOp::kEq, Value("banana"), dict);
+  EXPECT_FALSE(eq.has_value());
+}
+
+// Property: PredicateCanMatch is conservative — whenever any dictionary
+// value satisfies the predicate, it must return true.
+TEST_F(PredicateCanMatchTest, NeverPrunesAMatch) {
+  for (int op_int = 0; op_int < 6; ++op_int) {
+    CompareOp op = static_cast<CompareOp>(op_int);
+    for (int64_t operand = 0; operand <= 40; ++operand) {
+      bool any_match = false;
+      for (size_t i = 0; i < dict_.size(); ++i) {
+        if (EvalCompare(op, dict_.value(i), Value(operand))) {
+          any_match = true;
+        }
+      }
+      if (any_match) {
+        EXPECT_TRUE(PredicateCanMatch(op, Value(operand), dict_))
+            << CompareOpToString(op) << " " << operand;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aggcache

@@ -1,0 +1,278 @@
+// Randomized end-to-end property tests: under an arbitrary interleaving of
+// inserts, updates, deletes, and merges, every cached execution strategy
+// (with and without pruning and pushdown) must agree with uncached
+// execution — the paper's guarantee that compensation and dynamic pruning
+// are always correct.
+
+#include <map>
+#include <set>
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "objectaware/matching_dependency.h"
+#include "storage/snapshot.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    testing_util::CreateHeaderItemTables(&db_, &header_, &item_);
+    cache_ = std::make_unique<AggregateCacheManager>(&db_);
+    rng_ = Rng(GetParam());
+  }
+
+  void InsertBusinessObject() {
+    Transaction txn = db_.Begin();
+    int64_t header_id = next_header_id_++;
+    ASSERT_OK(header_->Insert(
+        txn, {Value(header_id),
+              Value(int64_t{2010} + rng_.UniformInt(0, 4))}));
+    live_headers_.insert(header_id);
+    int items = static_cast<int>(rng_.UniformInt(1, 4));
+    for (int i = 0; i < items; ++i) {
+      int64_t item_id = next_item_id_++;
+      ASSERT_OK(item_->Insert(txn, {Value(item_id), Value(header_id),
+                                    Value(rng_.UniformDouble(1.0, 50.0))}));
+      live_items_[item_id] = header_id;
+    }
+  }
+
+  void InsertLateItem() {
+    if (live_headers_.empty()) return;
+    Transaction txn = db_.Begin();
+    int64_t header_id = RandomFrom(live_headers_);
+    int64_t item_id = next_item_id_++;
+    ASSERT_OK(item_->Insert(txn, {Value(item_id), Value(header_id),
+                                  Value(rng_.UniformDouble(1.0, 50.0))}));
+    live_items_[item_id] = header_id;
+  }
+
+  void UpdateHeader() {
+    if (live_headers_.empty()) return;
+    Transaction txn = db_.Begin();
+    int64_t header_id = RandomFrom(live_headers_);
+    ASSERT_OK(header_->UpdateByPk(
+        txn, Value(header_id),
+        {Value(header_id), Value(int64_t{2010} + rng_.UniformInt(0, 4))}));
+  }
+
+  void UpdateItem() {
+    if (live_items_.empty()) return;
+    Transaction txn = db_.Begin();
+    auto it = live_items_.begin();
+    std::advance(it, rng_.UniformInt(
+                         0, static_cast<int64_t>(live_items_.size()) - 1));
+    ASSERT_OK(item_->UpdateByPk(
+        txn, Value(it->first),
+        {Value(it->first), Value(it->second),
+         Value(rng_.UniformDouble(1.0, 50.0))}));
+  }
+
+  void DeleteItem() {
+    if (live_items_.empty()) return;
+    Transaction txn = db_.Begin();
+    auto it = live_items_.begin();
+    std::advance(it, rng_.UniformInt(
+                         0, static_cast<int64_t>(live_items_.size()) - 1));
+    ASSERT_OK(item_->DeleteByPk(txn, Value(it->first)));
+    live_items_.erase(it);
+  }
+
+  void DeleteHeaderWithItems() {
+    if (live_headers_.empty()) return;
+    Transaction txn = db_.Begin();
+    int64_t header_id = RandomFrom(live_headers_);
+    // Business-object delete: items first, then the header.
+    for (auto it = live_items_.begin(); it != live_items_.end();) {
+      if (it->second == header_id) {
+        ASSERT_OK(item_->DeleteByPk(txn, Value(it->first)));
+        it = live_items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ASSERT_OK(header_->DeleteByPk(txn, Value(header_id)));
+    live_headers_.erase(header_id);
+  }
+
+  void MergeSomething() {
+    int64_t choice = rng_.UniformInt(0, 3);
+    MergeOptions options;
+    options.keep_invalidated = rng_.Chance(0.3);
+    if (choice == 0) {
+      ASSERT_OK(db_.Merge("Header", options));
+    } else if (choice == 1) {
+      ASSERT_OK(db_.Merge("Item", options));
+    } else {
+      ASSERT_OK(db_.MergeTables({"Header", "Item"}, options));
+    }
+  }
+
+  void RunOneStep() {
+    int64_t op = rng_.UniformInt(0, 9);
+    switch (op) {
+      case 0:
+      case 1:
+      case 2:
+        InsertBusinessObject();
+        break;
+      case 3:
+        InsertLateItem();
+        break;
+      case 4:
+        UpdateHeader();
+        break;
+      case 5:
+        UpdateItem();
+        break;
+      case 6:
+        DeleteItem();
+        break;
+      case 7:
+        DeleteHeaderWithItems();
+        break;
+      default:
+        MergeSomething();
+        break;
+    }
+  }
+
+  int64_t RandomFrom(const std::set<int64_t>& ids) {
+    auto it = ids.begin();
+    std::advance(it, rng_.UniformInt(
+                         0, static_cast<int64_t>(ids.size()) - 1));
+    return *it;
+  }
+
+  Database db_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+  std::unique_ptr<AggregateCacheManager> cache_;
+  Rng rng_{0};
+  int64_t next_header_id_ = 1;
+  int64_t next_item_id_ = 1;
+  std::set<int64_t> live_headers_;
+  std::map<int64_t, int64_t> live_items_;  // item -> header.
+};
+
+TEST_P(RandomWorkloadTest, AllStrategiesAlwaysAgree) {
+  AggregateQuery join_query = testing_util::HeaderItemQuery();
+  AggregateQuery single_query = QueryBuilder()
+                                    .From("Item")
+                                    .GroupBy("Item", "HeaderID")
+                                    .Sum("Item", "Amount", "total")
+                                    .CountStar("n")
+                                    .Build();
+  for (int step = 0; step < 60; ++step) {
+    RunOneStep();
+    if (step % 5 == 4) {
+      testing_util::ExpectAllStrategiesAgree(&db_, cache_.get(), join_query);
+      testing_util::ExpectAllStrategiesAgree(&db_, cache_.get(),
+                                             single_query);
+      if (HasFatalFailure() || HasNonfatalFailure()) {
+        FAIL() << "diverged at step " << step << " (seed " << GetParam()
+               << ")";
+      }
+    }
+  }
+}
+
+TEST_P(RandomWorkloadTest, MatchingDependencyAlwaysHolds) {
+  for (int step = 0; step < 60; ++step) {
+    RunOneStep();
+    if (step % 10 == 9) {
+      auto holds = VerifyMdHolds(db_, "Header", "Item");
+      ASSERT_TRUE(holds.ok());
+      EXPECT_TRUE(*holds) << "MD violated at step " << step;
+    }
+  }
+}
+
+TEST_P(RandomWorkloadTest, PrunedSubjoinsAreEmpty) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  for (int step = 0; step < 40; ++step) {
+    RunOneStep();
+    if (step % 8 != 7) continue;
+    auto bound = BoundQuery::Bind(db_, query);
+    ASSERT_TRUE(bound.ok());
+    std::vector<MdBinding> mds = ResolveMds(*bound);
+    JoinPruner pruner(&db_, PruneLevel::kFull);
+    Executor executor(&db_);
+    Snapshot now = db_.txn_manager().GlobalSnapshot();
+    for (const SubjoinCombination& combo :
+         EnumerateAllCombinations(bound->tables)) {
+      if (!pruner.ShouldPrune(*bound, mds, combo).pruned) continue;
+      auto result = executor.ExecuteSubjoin(*bound, combo, now);
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(result->empty())
+          << "pruned non-empty subjoin " << CombinationToString(combo)
+          << " at step " << step << " (seed " << GetParam() << ")";
+    }
+  }
+}
+
+TEST_P(RandomWorkloadTest, SnapshotRoundTripPreservesEverything) {
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  for (int step = 0; step < 30; ++step) {
+    RunOneStep();
+    if (step % 10 != 9) continue;
+    std::ostringstream out;
+    ASSERT_OK(WriteSnapshot(db_, out));
+    Database restored;
+    std::istringstream in(out.str());
+    ASSERT_OK(ReadSnapshot(in, &restored));
+    // Same visible data, same query results, same transaction counter.
+    EXPECT_EQ(restored.txn_manager().last_committed(),
+              db_.txn_manager().last_committed());
+    Executor original_exec(&db_);
+    Executor restored_exec(&restored);
+    auto a = original_exec.ExecuteUncached(
+        query, db_.txn_manager().GlobalSnapshot());
+    auto b = restored_exec.ExecuteUncached(
+        query, restored.txn_manager().GlobalSnapshot());
+    ASSERT_TRUE(a.ok() && b.ok());
+    std::string diff;
+    EXPECT_TRUE(a->ApproxEquals(*b, 1e-12, &diff))
+        << "step " << step << " (seed " << GetParam() << "): " << diff;
+    // A second-generation snapshot is byte-identical (canonical form).
+    std::ostringstream out2;
+    ASSERT_OK(WriteSnapshot(restored, out2));
+    EXPECT_EQ(out.str(), out2.str()) << "snapshot not canonical at step "
+                                     << step;
+  }
+}
+
+TEST_P(RandomWorkloadTest, HavingAgreesAcrossStrategies) {
+  AggregateQuery query = QueryBuilder()
+                             .From("Header")
+                             .Join("Item", "HeaderID", "HeaderID")
+                             .GroupBy("Header", "FiscalYear")
+                             .Sum("Item", "Amount", "revenue")
+                             .Having(CompareOp::kGt, Value(40.0))
+                             .CountStar("n")
+                             .Build();
+  for (int step = 0; step < 30; ++step) {
+    RunOneStep();
+    if (step % 6 != 5) continue;
+    testing_util::ExpectAllStrategiesAgree(&db_, cache_.get(), query);
+  }
+}
+
+TEST_P(RandomWorkloadTest, VisibleRowCountsConsistentAcrossMerges) {
+  for (int step = 0; step < 40; ++step) {
+    RunOneStep();
+    Snapshot now = db_.txn_manager().GlobalSnapshot();
+    EXPECT_EQ(header_->VisibleRows(now), live_headers_.size());
+    EXPECT_EQ(item_->VisibleRows(now), live_items_.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace aggcache

@@ -1,0 +1,109 @@
+#include "storage/schema.h"
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(SchemaBuilderTest, BuildsHeaderItemPattern) {
+  TableSchema schema = SchemaBuilder("Item")
+                           .AddColumn("ItemID", ColumnType::kInt64)
+                           .PrimaryKey()
+                           .AddColumn("HeaderID", ColumnType::kInt64)
+                           .References("Header", "tid_Header")
+                           .AddColumn("Amount", ColumnType::kDouble)
+                           .OwnTid("tid_Item")
+                           .Build();
+  EXPECT_EQ(schema.name, "Item");
+  ASSERT_EQ(schema.columns.size(), 5u);
+  EXPECT_EQ(schema.columns[0].name, "ItemID");
+  EXPECT_EQ(schema.columns[1].name, "HeaderID");
+  EXPECT_EQ(schema.columns[2].name, "tid_Header");
+  EXPECT_TRUE(schema.columns[2].is_tid);
+  EXPECT_EQ(schema.columns[3].name, "Amount");
+  EXPECT_EQ(schema.columns[4].name, "tid_Item");
+  EXPECT_EQ(*schema.primary_key, 0u);
+  EXPECT_EQ(*schema.own_tid_column, 4u);
+  ASSERT_EQ(schema.foreign_keys.size(), 1u);
+  EXPECT_EQ(schema.foreign_keys[0].column, 1u);
+  EXPECT_EQ(schema.foreign_keys[0].ref_table, "Header");
+  EXPECT_EQ(*schema.foreign_keys[0].tid_column, 2u);
+}
+
+TEST(SchemaBuilderTest, ReferencesWithoutMdColumn) {
+  TableSchema schema = SchemaBuilder("T")
+                           .AddColumn("id", ColumnType::kInt64)
+                           .PrimaryKey()
+                           .AddColumn("ref", ColumnType::kInt64)
+                           .References("Other")
+                           .Build();
+  ASSERT_EQ(schema.foreign_keys.size(), 1u);
+  EXPECT_FALSE(schema.foreign_keys[0].tid_column.has_value());
+  EXPECT_EQ(schema.columns.size(), 2u);  // No extra tid column.
+}
+
+TEST(SchemaTest, ColumnIndex) {
+  TableSchema schema = SchemaBuilder("T")
+                           .AddColumn("a", ColumnType::kInt64)
+                           .AddColumn("b", ColumnType::kString)
+                           .Build();
+  auto a = schema.ColumnIndex("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(schema.ColumnIndex("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, NumUserColumnsExcludesTidColumns) {
+  TableSchema schema = SchemaBuilder("T")
+                           .AddColumn("a", ColumnType::kInt64)
+                           .PrimaryKey()
+                           .AddColumn("b", ColumnType::kInt64)
+                           .References("R", "tid_R")
+                           .OwnTid("tid_T")
+                           .Build();
+  EXPECT_EQ(schema.columns.size(), 4u);
+  EXPECT_EQ(schema.NumUserColumns(), 2u);
+}
+
+TEST(SchemaValidateTest, RejectsBadSchemas) {
+  TableSchema no_name;
+  no_name.columns.push_back({"a", ColumnType::kInt64, false});
+  EXPECT_FALSE(no_name.Validate().ok());
+
+  TableSchema no_columns;
+  no_columns.name = "T";
+  EXPECT_FALSE(no_columns.Validate().ok());
+
+  TableSchema duplicate;
+  duplicate.name = "T";
+  duplicate.columns.push_back({"a", ColumnType::kInt64, false});
+  duplicate.columns.push_back({"a", ColumnType::kString, false});
+  EXPECT_FALSE(duplicate.Validate().ok());
+
+  TableSchema string_tid;
+  string_tid.name = "T";
+  string_tid.columns.push_back({"t", ColumnType::kString, true});
+  EXPECT_FALSE(string_tid.Validate().ok());
+
+  TableSchema bad_pk;
+  bad_pk.name = "T";
+  bad_pk.columns.push_back({"a", ColumnType::kInt64, false});
+  bad_pk.primary_key = 3;
+  EXPECT_FALSE(bad_pk.Validate().ok());
+
+  TableSchema own_tid_not_marked;
+  own_tid_not_marked.name = "T";
+  own_tid_not_marked.columns.push_back({"a", ColumnType::kInt64, false});
+  own_tid_not_marked.own_tid_column = 0;
+  EXPECT_FALSE(own_tid_not_marked.Validate().ok());
+
+  TableSchema fk_no_table;
+  fk_no_table.name = "T";
+  fk_no_table.columns.push_back({"a", ColumnType::kInt64, false});
+  fk_no_table.foreign_keys.push_back({0, "", std::nullopt});
+  EXPECT_FALSE(fk_no_table.Validate().ok());
+}
+
+}  // namespace
+}  // namespace aggcache

@@ -1,0 +1,94 @@
+#include "common/status.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("no such table");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "no such table");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: no such table");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::InvalidArgument("bad");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  *out = value * 2;
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  Status status = UseAssignOrReturn(-1, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+Status UseReturnIfError(bool fail) {
+  RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace aggcache

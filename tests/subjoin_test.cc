@@ -1,0 +1,99 @@
+#include "query/subjoin.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+class SubjoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::CreateHeaderItemTables(&db_, &header_, &item_);
+    tables_ = {header_, item_};
+  }
+
+  Database db_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+  std::vector<const Table*> tables_;
+};
+
+TEST_F(SubjoinTest, TwoTablesSingleGroupGiveFourCombinations) {
+  auto all = EnumerateAllCombinations(tables_);
+  EXPECT_EQ(all.size(), 4u);  // 2^2.
+  auto compensation = EnumerateCompensationCombinations(tables_);
+  EXPECT_EQ(compensation.size(), 3u);  // 2^2 - 1.
+  auto mains = EnumerateAllMainCombinations(tables_);
+  ASSERT_EQ(mains.size(), 1u);
+  EXPECT_TRUE(IsAllMain(mains[0]));
+  for (const SubjoinCombination& combo : compensation) {
+    EXPECT_FALSE(IsAllMain(combo));
+  }
+}
+
+TEST_F(SubjoinTest, ExponentialGrowthWithTables) {
+  // The paper's 2^t blow-up: 3 tables -> 8 subjoins, 7 to compensate.
+  std::vector<const Table*> three = {header_, item_, header_};
+  EXPECT_EQ(EnumerateAllCombinations(three).size(), 8u);
+  EXPECT_EQ(EnumerateCompensationCombinations(three).size(), 7u);
+  std::vector<const Table*> four = {header_, item_, header_, item_};
+  EXPECT_EQ(EnumerateAllCombinations(four).size(), 16u);
+  EXPECT_EQ(EnumerateCompensationCombinations(four).size(), 15u);
+}
+
+TEST_F(SubjoinTest, HotColdDoublesPartitionsPerTable) {
+  // Split Header into hot/cold: 4 partitions for it, 2 for Item -> 8 total
+  // combos, 2 all-main combos (hot-main, cold-main) x Item main.
+  ASSERT_OK(db_.Merge("Header"));
+  Transaction txn = db_.Begin();
+  ASSERT_OK(header_->Insert(txn, {Value(int64_t{1}), Value(int64_t{2010})}));
+  ASSERT_OK(db_.Merge("Header"));
+  ASSERT_OK(header_->SplitHotCold("FiscalYear", Value(int64_t{2012})));
+  auto all = EnumerateAllCombinations(tables_);
+  EXPECT_EQ(all.size(), 8u);
+  auto mains = EnumerateAllMainCombinations(tables_);
+  EXPECT_EQ(mains.size(), 2u);
+  EXPECT_EQ(EnumerateCompensationCombinations(tables_).size(), 6u);
+}
+
+TEST_F(SubjoinTest, ResolvePartition) {
+  const Partition& main =
+      ResolvePartition(*header_, {0, PartitionKind::kMain});
+  EXPECT_EQ(main.kind(), PartitionKind::kMain);
+  const Partition& delta =
+      ResolvePartition(*header_, {0, PartitionKind::kDelta});
+  EXPECT_EQ(delta.kind(), PartitionKind::kDelta);
+}
+
+TEST_F(SubjoinTest, PartitionRefOrderingAndEquality) {
+  PartitionRef a{0, PartitionKind::kMain};
+  PartitionRef b{0, PartitionKind::kDelta};
+  PartitionRef c{1, PartitionKind::kMain};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == PartitionRef({0, PartitionKind::kMain}));
+  EXPECT_FALSE(a == b);
+}
+
+TEST_F(SubjoinTest, CombinationToString) {
+  SubjoinCombination combo = {{0, PartitionKind::kMain},
+                              {0, PartitionKind::kDelta}};
+  EXPECT_EQ(CombinationToString(combo), "[g0/main, g0/delta]");
+}
+
+TEST_F(SubjoinTest, CombinationsPartitionTheCrossProduct) {
+  // Every (partition choice per table) appears exactly once.
+  auto all = EnumerateAllCombinations(tables_);
+  std::set<std::string> seen;
+  for (const SubjoinCombination& combo : all) {
+    EXPECT_TRUE(seen.insert(CombinationToString(combo)).second);
+    EXPECT_EQ(combo.size(), tables_.size());
+  }
+}
+
+}  // namespace
+}  // namespace aggcache

@@ -1,0 +1,92 @@
+#include "sql/tokenizer.h"
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(TokenizerTest, EmptyInput) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_TRUE((*tokens)[0].Is(TokenType::kEnd));
+}
+
+TEST(TokenizerTest, IdentifiersAndKeywords) {
+  auto tokens = Tokenize("SELECT revenue FROM sales_2024");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].text, "revenue");
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+  EXPECT_EQ((*tokens)[3].text, "sales_2024");
+}
+
+TEST(TokenizerTest, NumberLiterals) {
+  auto tokens = Tokenize("42 -17 3.5 -0.25");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].Is(TokenType::kInteger));
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_TRUE((*tokens)[1].Is(TokenType::kInteger));
+  EXPECT_EQ((*tokens)[1].text, "-17");
+  EXPECT_TRUE((*tokens)[2].Is(TokenType::kDouble));
+  EXPECT_EQ((*tokens)[2].text, "3.5");
+  EXPECT_TRUE((*tokens)[3].Is(TokenType::kDouble));
+  EXPECT_EQ((*tokens)[3].text, "-0.25");
+}
+
+TEST(TokenizerTest, StringLiterals) {
+  auto tokens = Tokenize("'ENG' 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].Is(TokenType::kString));
+  EXPECT_EQ((*tokens)[0].text, "ENG");
+  EXPECT_EQ((*tokens)[1].text, "it's");
+}
+
+TEST(TokenizerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(TokenizerTest, OperatorsAndPunctuation) {
+  auto tokens = Tokenize("a = b <> c <= d >= e < f > g (h, i.*);");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> symbols;
+  for (const Token& t : *tokens) {
+    if (t.Is(TokenType::kSymbol)) symbols.push_back(t.text);
+  }
+  EXPECT_EQ(symbols, (std::vector<std::string>{"=", "<>", "<=", ">=", "<",
+                                               ">", "(", ",", ".", "*", ")",
+                                               ";"}));
+}
+
+TEST(TokenizerTest, BangEqualsNormalizedToNotEquals) {
+  auto tokens = Tokenize("a != b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<>"));
+}
+
+TEST(TokenizerTest, LineCommentsSkipped) {
+  auto tokens = Tokenize("SELECT -- the select keyword\n1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].text, "1");
+}
+
+TEST(TokenizerTest, StrayCharacterFails) {
+  auto result = Tokenize("SELECT @");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(TokenizerTest, PositionsTrackSource) {
+  auto tokens = Tokenize("ab  cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 4u);
+}
+
+}  // namespace
+}  // namespace aggcache

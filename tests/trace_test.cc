@@ -1,0 +1,160 @@
+#include "workload/trace.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_ = std::make_unique<AggregateCacheManager>(&db_);
+    replayer_ = std::make_unique<TraceReplayer>(&db_, cache_.get());
+  }
+
+  Database db_;
+  std::unique_ptr<AggregateCacheManager> cache_;
+  std::unique_ptr<TraceReplayer> replayer_;
+};
+
+constexpr const char* kSetupTrace = R"(
+# Build the object-aware header/item schema and load a little data.
+CREATE TABLE Header (
+  HeaderID BIGINT PRIMARY KEY,
+  FiscalYear BIGINT,
+  OWN TID tid_Header
+);
+CREATE TABLE Item (
+  ItemID BIGINT PRIMARY KEY,
+  HeaderID BIGINT REFERENCES Header TID tid_Header,
+  Amount DOUBLE,
+  OWN TID tid_Item
+);
+INSERT INTO Header VALUES (1, 2013);
+INSERT INTO Item VALUES (10, 1, 12.5);
+INSERT INTO Item VALUES (11, 1, 7.5);
+INSERT INTO Header VALUES (2, 2014);
+INSERT INTO Item VALUES (20, 2, 30.0);
+)";
+
+TEST_F(TraceTest, ReplaysDdlInsertsQueriesAndMerges) {
+  std::string trace = std::string(kSetupTrace) + R"(
+!merge
+SELECT FiscalYear, SUM(Amount) AS revenue FROM Header, Item
+WHERE Header.HeaderID = Item.HeaderID GROUP BY FiscalYear;
+INSERT INTO Header VALUES (3, 2014);
+INSERT INTO Item VALUES (30, 3, 2.0);
+SELECT FiscalYear, SUM(Amount) AS revenue FROM Header, Item
+WHERE Header.HeaderID = Item.HeaderID GROUP BY FiscalYear;
+)";
+  auto report = replayer_->ReplayString(trace);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->ddl, 2u);
+  EXPECT_EQ(report->inserts, 7u);
+  EXPECT_EQ(report->queries, 2u);
+  EXPECT_EQ(report->merges, 1u);
+  EXPECT_EQ(report->statements, 11u);
+  EXPECT_EQ(report->last_query_groups, 2u);
+  EXPECT_GT(report->total_ms, 0.0);
+
+  // The replay left consistent data behind.
+  auto header = db_.GetTable("Header");
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ((*header)->VisibleRows(db_.txn_manager().GlobalSnapshot()), 3u);
+  // The query went through the cache: one entry exists.
+  EXPECT_EQ(cache_->num_entries(), 1u);
+}
+
+TEST_F(TraceTest, MergeSpecificTables) {
+  std::string trace = std::string(kSetupTrace) + "!merge Header Item\n";
+  auto report = replayer_->ReplayString(trace);
+  ASSERT_TRUE(report.ok()) << report.status();
+  auto header = db_.GetTable("Header");
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ((*header)->group(0).main.num_rows(), 2u);
+  EXPECT_TRUE((*header)->group(0).delta.empty());
+}
+
+TEST_F(TraceTest, ErrorsCarryLineNumbers) {
+  auto report = replayer_->ReplayString("SELECT nothing;\n");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("trace line 1"),
+            std::string::npos);
+
+  auto bad_merge = replayer_->ReplayString("!merge NoSuchTable\n");
+  ASSERT_FALSE(bad_merge.ok());
+  EXPECT_NE(bad_merge.status().message().find("trace line 1"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, UnknownMetaOperationRejected) {
+  auto report = replayer_->ReplayString("!vacuum\n");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("unknown meta operation"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, DanglingStatementRejected) {
+  auto report = replayer_->ReplayString("INSERT INTO Header VALUES (1, 2)");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("missing ';'"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, FailedStatementStopsReplay) {
+  std::string trace = std::string(kSetupTrace) +
+                      "INSERT INTO Item VALUES (99, 999, 1.0);\n"  // Bad FK.
+                      "INSERT INTO Header VALUES (50, 2020);\n";
+  auto report = replayer_->ReplayString(trace);
+  ASSERT_FALSE(report.ok());
+  // The statement after the failure never ran.
+  auto header = db_.GetTable("Header");
+  ASSERT_TRUE(header.ok());
+  EXPECT_FALSE((*header)->FindByPk(Value(int64_t{50})).has_value());
+}
+
+TEST_F(TraceTest, ReplayMatchesDirectExecution) {
+  ASSERT_TRUE(replayer_->ReplayString(kSetupTrace).ok());
+  // Trace-driven state equals what direct API calls produce.
+  Database direct;
+  Table* header = nullptr;
+  Table* item = nullptr;
+  testing_util::CreateHeaderItemTables(&direct, &header, &item);
+  {
+    Transaction txn = direct.Begin();
+    ASSERT_OK(header->Insert(txn, {Value(int64_t{1}), Value(int64_t{2013})}));
+  }
+  {
+    Transaction txn = direct.Begin();
+    ASSERT_OK(item->Insert(
+        txn, {Value(int64_t{10}), Value(int64_t{1}), Value(12.5)}));
+  }
+  {
+    Transaction txn = direct.Begin();
+    ASSERT_OK(item->Insert(
+        txn, {Value(int64_t{11}), Value(int64_t{1}), Value(7.5)}));
+  }
+  {
+    Transaction txn = direct.Begin();
+    ASSERT_OK(header->Insert(txn, {Value(int64_t{2}), Value(int64_t{2014})}));
+  }
+  {
+    Transaction txn = direct.Begin();
+    ASSERT_OK(item->Insert(
+        txn, {Value(int64_t{20}), Value(int64_t{2}), Value(30.0)}));
+  }
+  Executor traced_exec(&db_);
+  Executor direct_exec(&direct);
+  AggregateQuery query = testing_util::HeaderItemQuery();
+  auto traced = traced_exec.ExecuteUncached(
+      query, db_.txn_manager().GlobalSnapshot());
+  auto expected = direct_exec.ExecuteUncached(
+      query, direct.txn_manager().GlobalSnapshot());
+  ASSERT_TRUE(traced.ok() && expected.ok());
+  std::string diff;
+  EXPECT_TRUE(traced->ApproxEquals(*expected, 1e-9, &diff)) << diff;
+}
+
+}  // namespace
+}  // namespace aggcache

@@ -1,0 +1,87 @@
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "txn/consistent_view_manager.h"
+#include "txn/transaction_manager.h"
+#include "txn/types.h"
+
+namespace aggcache {
+namespace {
+
+TEST(TransactionManagerTest, TidsAreMonotonic) {
+  TransactionManager manager;
+  EXPECT_EQ(manager.last_committed(), 0u);
+  Transaction t1 = manager.Begin();
+  Transaction t2 = manager.Begin();
+  Transaction t3 = manager.Begin();
+  EXPECT_LT(t1.tid(), t2.tid());
+  EXPECT_LT(t2.tid(), t3.tid());
+  EXPECT_EQ(manager.last_committed(), t3.tid());
+}
+
+TEST(TransactionManagerTest, GlobalSnapshotTracksLastCommit) {
+  TransactionManager manager;
+  Transaction t1 = manager.Begin();
+  EXPECT_EQ(manager.GlobalSnapshot().read_tid, t1.tid());
+}
+
+TEST(SnapshotTest, RowVisibility) {
+  Snapshot snap{5};
+  // Created before/at the snapshot, never invalidated.
+  EXPECT_TRUE(snap.RowVisible(/*create=*/3, kNoTid));
+  EXPECT_TRUE(snap.RowVisible(5, kNoTid));
+  // Created after the snapshot.
+  EXPECT_FALSE(snap.RowVisible(6, kNoTid));
+  // Invalidated after the snapshot: still visible.
+  EXPECT_TRUE(snap.RowVisible(3, 7));
+  // Invalidated at or before the snapshot: invisible.
+  EXPECT_FALSE(snap.RowVisible(3, 5));
+  EXPECT_FALSE(snap.RowVisible(3, 4));
+}
+
+TEST(SnapshotTest, TransactionSeesOwnWrites) {
+  TransactionManager manager;
+  Transaction txn = manager.Begin();
+  EXPECT_TRUE(txn.snapshot().RowVisible(txn.tid(), kNoTid));
+}
+
+TEST(ConsistentViewManagerTest, ComputesVisibilityVector) {
+  std::vector<Tid> create = {1, 2, 3, 4, 5};
+  std::vector<Tid> invalidate = {kNoTid, 4, kNoTid, kNoTid, kNoTid};
+  BitVector visibility = ConsistentViewManager::ComputeVisibility(
+      create, invalidate, Snapshot{4});
+  ASSERT_EQ(visibility.size(), 5u);
+  EXPECT_TRUE(visibility.Get(0));   // created at 1.
+  EXPECT_FALSE(visibility.Get(1));  // invalidated at 4.
+  EXPECT_TRUE(visibility.Get(2));
+  EXPECT_TRUE(visibility.Get(3));
+  EXPECT_FALSE(visibility.Get(4));  // created at 5 > 4.
+  EXPECT_EQ(ConsistentViewManager::CountVisible(create, invalidate,
+                                                Snapshot{4}),
+            3u);
+}
+
+TEST(ConsistentViewManagerTest, EmptyPartition) {
+  BitVector visibility =
+      ConsistentViewManager::ComputeVisibility({}, {}, Snapshot{10});
+  EXPECT_EQ(visibility.size(), 0u);
+  EXPECT_EQ(ConsistentViewManager::CountVisible({}, {}, Snapshot{10}), 0u);
+}
+
+TEST(ConsistentViewManagerTest, VisibilityMatchesCount) {
+  std::vector<Tid> create;
+  std::vector<Tid> invalidate;
+  for (Tid t = 1; t <= 100; ++t) {
+    create.push_back(t);
+    invalidate.push_back(t % 7 == 0 ? t + 1 : kNoTid);
+  }
+  for (Tid read : {0ULL, 1ULL, 50ULL, 100ULL, 200ULL}) {
+    BitVector v = ConsistentViewManager::ComputeVisibility(
+        create, invalidate, Snapshot{read});
+    EXPECT_EQ(v.CountOnes(), ConsistentViewManager::CountVisible(
+                                 create, invalidate, Snapshot{read}));
+  }
+}
+
+}  // namespace
+}  // namespace aggcache

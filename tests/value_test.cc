@@ -1,0 +1,103 @@
+#include "common/value.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int64());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(std::string("xyz")).AsString(), "xyz");
+}
+
+TEST(ValueTest, TypeClassification) {
+  EXPECT_EQ(Value(int64_t{1}).type(), ColumnType::kInt64);
+  EXPECT_EQ(Value(1.0).type(), ColumnType::kDouble);
+  EXPECT_EQ(Value("s").type(), ColumnType::kString);
+  EXPECT_TRUE(Value(int64_t{1}).MatchesType(ColumnType::kInt64));
+  EXPECT_FALSE(Value(int64_t{1}).MatchesType(ColumnType::kDouble));
+  EXPECT_FALSE(Value().MatchesType(ColumnType::kInt64));
+}
+
+TEST(ValueTest, NumericAsDouble) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).NumericAsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).NumericAsDouble(), 2.5);
+}
+
+TEST(ValueTest, EqualityIsTypeSensitive) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // Different variants.
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.5), Value(2.5));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_FALSE(Value(int64_t{2}) < Value(int64_t{2}));
+  EXPECT_TRUE(Value(int64_t{2}) <= Value(int64_t{2}));
+  EXPECT_TRUE(Value(int64_t{3}) > Value(int64_t{2}));
+  EXPECT_TRUE(Value(int64_t{3}) >= Value(int64_t{3}));
+}
+
+TEST(ValueTest, OrderingAcrossTypes) {
+  // NULL < numeric < string; int64 and double compare numerically.
+  EXPECT_LT(Value(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));
+  EXPECT_LT(Value(int64_t{1}), Value(1.5));
+  EXPECT_LT(Value(0.5), Value(int64_t{1}));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{9}).Hash(), Value(int64_t{9}).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value("k").Hash());
+  // Different variants with the same numeric value hash differently (they
+  // are unequal).
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(int64_t{1}));
+  set.insert(Value(int64_t{1}));
+  set.insert(Value("one"));
+  set.insert(Value());
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(Value(int64_t{1})));
+  EXPECT_TRUE(set.contains(Value("one")));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, ByteSizeCountsStringHeap) {
+  EXPECT_GE(Value(std::string(100, 'x')).ByteSize(),
+            sizeof(Value) + 100);
+  EXPECT_EQ(Value(int64_t{1}).ByteSize(), sizeof(Value));
+}
+
+TEST(ColumnTypeTest, Names) {
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kInt64), "int64");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kDouble), "double");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kString), "string");
+}
+
+}  // namespace
+}  // namespace aggcache
