@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_main_comp.dir/bench/bench_ablation_main_comp.cpp.o"
+  "CMakeFiles/bench_ablation_main_comp.dir/bench/bench_ablation_main_comp.cpp.o.d"
+  "bench/bench_ablation_main_comp"
+  "bench/bench_ablation_main_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_main_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_merge_sync.dir/bench/bench_ablation_merge_sync.cpp.o"
+  "CMakeFiles/bench_ablation_merge_sync.dir/bench/bench_ablation_merge_sync.cpp.o.d"
+  "bench/bench_ablation_merge_sync"
+  "bench/bench_ablation_merge_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_merge_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subjoins.dir/bench/bench_ablation_subjoins.cpp.o"
+  "CMakeFiles/bench_ablation_subjoins.dir/bench/bench_ablation_subjoins.cpp.o.d"
+  "bench/bench_ablation_subjoins"
+  "bench/bench_ablation_subjoins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subjoins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_pushdown.dir/bench/bench_fig10_pushdown.cpp.o"
+  "CMakeFiles/bench_fig10_pushdown.dir/bench/bench_fig10_pushdown.cpp.o.d"
+  "bench/bench_fig10_pushdown"
+  "bench/bench_fig10_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

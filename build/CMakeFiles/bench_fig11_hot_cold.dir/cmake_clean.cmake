@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hot_cold.dir/bench/bench_fig11_hot_cold.cpp.o"
+  "CMakeFiles/bench_fig11_hot_cold.dir/bench/bench_fig11_hot_cold.cpp.o.d"
+  "bench/bench_fig11_hot_cold"
+  "bench/bench_fig11_hot_cold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hot_cold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

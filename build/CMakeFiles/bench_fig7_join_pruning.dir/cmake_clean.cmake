@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_join_pruning.dir/bench/bench_fig7_join_pruning.cpp.o"
+  "CMakeFiles/bench_fig7_join_pruning.dir/bench/bench_fig7_join_pruning.cpp.o.d"
+  "bench/bench_fig7_join_pruning"
+  "bench/bench_fig7_join_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_join_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

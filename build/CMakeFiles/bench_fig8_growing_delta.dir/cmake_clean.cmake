@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_growing_delta.dir/bench/bench_fig8_growing_delta.cpp.o"
+  "CMakeFiles/bench_fig8_growing_delta.dir/bench/bench_fig8_growing_delta.cpp.o.d"
+  "bench/bench_fig8_growing_delta"
+  "bench/bench_fig8_growing_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_growing_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_chbench.dir/bench/bench_fig9_chbench.cpp.o"
+  "CMakeFiles/bench_fig9_chbench.dir/bench/bench_fig9_chbench.cpp.o.d"
+  "bench/bench_fig9_chbench"
+  "bench/bench_fig9_chbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_chbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

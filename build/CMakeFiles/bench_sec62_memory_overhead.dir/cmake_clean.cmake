@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_memory_overhead.dir/bench/bench_sec62_memory_overhead.cpp.o"
+  "CMakeFiles/bench_sec62_memory_overhead.dir/bench/bench_sec62_memory_overhead.cpp.o.d"
+  "bench/bench_sec62_memory_overhead"
+  "bench/bench_sec62_memory_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_memory_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_inspection.dir/cache_inspection.cpp.o"
+  "CMakeFiles/cache_inspection.dir/cache_inspection.cpp.o.d"
+  "cache_inspection"
+  "cache_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erp_profit_analysis.dir/erp_profit_analysis.cpp.o"
+  "CMakeFiles/erp_profit_analysis.dir/erp_profit_analysis.cpp.o.d"
+  "erp_profit_analysis"
+  "erp_profit_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erp_profit_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_cold_aging.dir/hot_cold_aging.cpp.o"
+  "CMakeFiles/hot_cold_aging.dir/hot_cold_aging.cpp.o.d"
+  "hot_cold_aging"
+  "hot_cold_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_cold_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materials_management.dir/materials_management.cpp.o"
+  "CMakeFiles/materials_management.dir/materials_management.cpp.o.d"
+  "materials_management"
+  "materials_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materials_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/aggregate_cache_manager.cc" "src/CMakeFiles/aggcache.dir/cache/aggregate_cache_manager.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/cache/aggregate_cache_manager.cc.o.d"
+  "/root/repo/src/cache/cache_entry.cc" "src/CMakeFiles/aggcache.dir/cache/cache_entry.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/cache/cache_entry.cc.o.d"
+  "/root/repo/src/cache/cache_key.cc" "src/CMakeFiles/aggcache.dir/cache/cache_key.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/cache/cache_key.cc.o.d"
+  "/root/repo/src/cache/compensation.cc" "src/CMakeFiles/aggcache.dir/cache/compensation.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/cache/compensation.cc.o.d"
+  "/root/repo/src/cache/maintenance.cc" "src/CMakeFiles/aggcache.dir/cache/maintenance.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/cache/maintenance.cc.o.d"
+  "/root/repo/src/common/bit_packed_vector.cc" "src/CMakeFiles/aggcache.dir/common/bit_packed_vector.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/common/bit_packed_vector.cc.o.d"
+  "/root/repo/src/common/bit_vector.cc" "src/CMakeFiles/aggcache.dir/common/bit_vector.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/common/bit_vector.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/aggcache.dir/common/status.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/aggcache.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/aggcache.dir/common/value.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/common/value.cc.o.d"
+  "/root/repo/src/objectaware/join_pruning.cc" "src/CMakeFiles/aggcache.dir/objectaware/join_pruning.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/objectaware/join_pruning.cc.o.d"
+  "/root/repo/src/objectaware/matching_dependency.cc" "src/CMakeFiles/aggcache.dir/objectaware/matching_dependency.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/objectaware/matching_dependency.cc.o.d"
+  "/root/repo/src/objectaware/predicate_pushdown.cc" "src/CMakeFiles/aggcache.dir/objectaware/predicate_pushdown.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/objectaware/predicate_pushdown.cc.o.d"
+  "/root/repo/src/query/aggregate_query.cc" "src/CMakeFiles/aggcache.dir/query/aggregate_query.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/query/aggregate_query.cc.o.d"
+  "/root/repo/src/query/aggregate_result.cc" "src/CMakeFiles/aggcache.dir/query/aggregate_result.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/query/aggregate_result.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/aggcache.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/aggcache.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/subjoin.cc" "src/CMakeFiles/aggcache.dir/query/subjoin.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/query/subjoin.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/aggcache.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/tokenizer.cc" "src/CMakeFiles/aggcache.dir/sql/tokenizer.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/sql/tokenizer.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/aggcache.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/aggcache.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/delta_merge.cc" "src/CMakeFiles/aggcache.dir/storage/delta_merge.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/storage/delta_merge.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/CMakeFiles/aggcache.dir/storage/dictionary.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/storage/dictionary.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/CMakeFiles/aggcache.dir/storage/partition.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/storage/partition.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/aggcache.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/CMakeFiles/aggcache.dir/storage/snapshot.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/storage/snapshot.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/aggcache.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/storage/table.cc.o.d"
+  "/root/repo/src/txn/consistent_view_manager.cc" "src/CMakeFiles/aggcache.dir/txn/consistent_view_manager.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/txn/consistent_view_manager.cc.o.d"
+  "/root/repo/src/workload/chbench.cc" "src/CMakeFiles/aggcache.dir/workload/chbench.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/workload/chbench.cc.o.d"
+  "/root/repo/src/workload/csv_loader.cc" "src/CMakeFiles/aggcache.dir/workload/csv_loader.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/workload/csv_loader.cc.o.d"
+  "/root/repo/src/workload/erp_generator.cc" "src/CMakeFiles/aggcache.dir/workload/erp_generator.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/workload/erp_generator.cc.o.d"
+  "/root/repo/src/workload/mixed_workload.cc" "src/CMakeFiles/aggcache.dir/workload/mixed_workload.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/workload/mixed_workload.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/aggcache.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/aggcache.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_entry_test.cc" "tests/CMakeFiles/cache_tests.dir/cache_entry_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache_entry_test.cc.o.d"
+  "/root/repo/tests/cache_key_test.cc" "tests/CMakeFiles/cache_tests.dir/cache_key_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache_key_test.cc.o.d"
+  "/root/repo/tests/cache_manager_test.cc" "tests/CMakeFiles/cache_tests.dir/cache_manager_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache_manager_test.cc.o.d"
+  "/root/repo/tests/compensation_test.cc" "tests/CMakeFiles/cache_tests.dir/compensation_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/compensation_test.cc.o.d"
+  "/root/repo/tests/maintenance_test.cc" "tests/CMakeFiles/cache_tests.dir/maintenance_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/maintenance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aggcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

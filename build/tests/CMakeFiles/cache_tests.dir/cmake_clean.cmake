@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_tests.dir/cache_entry_test.cc.o"
+  "CMakeFiles/cache_tests.dir/cache_entry_test.cc.o.d"
+  "CMakeFiles/cache_tests.dir/cache_key_test.cc.o"
+  "CMakeFiles/cache_tests.dir/cache_key_test.cc.o.d"
+  "CMakeFiles/cache_tests.dir/cache_manager_test.cc.o"
+  "CMakeFiles/cache_tests.dir/cache_manager_test.cc.o.d"
+  "CMakeFiles/cache_tests.dir/compensation_test.cc.o"
+  "CMakeFiles/cache_tests.dir/compensation_test.cc.o.d"
+  "CMakeFiles/cache_tests.dir/maintenance_test.cc.o"
+  "CMakeFiles/cache_tests.dir/maintenance_test.cc.o.d"
+  "cache_tests"
+  "cache_tests.pdb"
+  "cache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

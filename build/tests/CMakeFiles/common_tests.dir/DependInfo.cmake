@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bit_packed_vector_test.cc" "tests/CMakeFiles/common_tests.dir/bit_packed_vector_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/bit_packed_vector_test.cc.o.d"
+  "/root/repo/tests/bit_vector_test.cc" "tests/CMakeFiles/common_tests.dir/bit_vector_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/bit_vector_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/common_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/string_util_test.cc" "tests/CMakeFiles/common_tests.dir/string_util_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/string_util_test.cc.o.d"
+  "/root/repo/tests/txn_test.cc" "tests/CMakeFiles/common_tests.dir/txn_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/txn_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/common_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aggcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/bit_packed_vector_test.cc.o"
+  "CMakeFiles/common_tests.dir/bit_packed_vector_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/bit_vector_test.cc.o"
+  "CMakeFiles/common_tests.dir/bit_vector_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/status_test.cc.o"
+  "CMakeFiles/common_tests.dir/status_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/string_util_test.cc.o"
+  "CMakeFiles/common_tests.dir/string_util_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/txn_test.cc.o"
+  "CMakeFiles/common_tests.dir/txn_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/value_test.cc.o"
+  "CMakeFiles/common_tests.dir/value_test.cc.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

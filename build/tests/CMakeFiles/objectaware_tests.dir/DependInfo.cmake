@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/join_pruning_test.cc" "tests/CMakeFiles/objectaware_tests.dir/join_pruning_test.cc.o" "gcc" "tests/CMakeFiles/objectaware_tests.dir/join_pruning_test.cc.o.d"
+  "/root/repo/tests/matching_dependency_test.cc" "tests/CMakeFiles/objectaware_tests.dir/matching_dependency_test.cc.o" "gcc" "tests/CMakeFiles/objectaware_tests.dir/matching_dependency_test.cc.o.d"
+  "/root/repo/tests/predicate_pushdown_test.cc" "tests/CMakeFiles/objectaware_tests.dir/predicate_pushdown_test.cc.o" "gcc" "tests/CMakeFiles/objectaware_tests.dir/predicate_pushdown_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aggcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

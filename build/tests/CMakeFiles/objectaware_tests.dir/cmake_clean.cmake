@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objectaware_tests.dir/join_pruning_test.cc.o"
+  "CMakeFiles/objectaware_tests.dir/join_pruning_test.cc.o.d"
+  "CMakeFiles/objectaware_tests.dir/matching_dependency_test.cc.o"
+  "CMakeFiles/objectaware_tests.dir/matching_dependency_test.cc.o.d"
+  "CMakeFiles/objectaware_tests.dir/predicate_pushdown_test.cc.o"
+  "CMakeFiles/objectaware_tests.dir/predicate_pushdown_test.cc.o.d"
+  "objectaware_tests"
+  "objectaware_tests.pdb"
+  "objectaware_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objectaware_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregate_query_test.cc" "tests/CMakeFiles/query_tests.dir/aggregate_query_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/aggregate_query_test.cc.o.d"
+  "/root/repo/tests/aggregate_result_test.cc" "tests/CMakeFiles/query_tests.dir/aggregate_result_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/aggregate_result_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/query_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/having_test.cc" "tests/CMakeFiles/query_tests.dir/having_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/having_test.cc.o.d"
+  "/root/repo/tests/predicate_test.cc" "tests/CMakeFiles/query_tests.dir/predicate_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/predicate_test.cc.o.d"
+  "/root/repo/tests/subjoin_test.cc" "tests/CMakeFiles/query_tests.dir/subjoin_test.cc.o" "gcc" "tests/CMakeFiles/query_tests.dir/subjoin_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aggcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_tests.dir/aggregate_query_test.cc.o"
+  "CMakeFiles/query_tests.dir/aggregate_query_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/aggregate_result_test.cc.o"
+  "CMakeFiles/query_tests.dir/aggregate_result_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/executor_test.cc.o"
+  "CMakeFiles/query_tests.dir/executor_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/having_test.cc.o"
+  "CMakeFiles/query_tests.dir/having_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/predicate_test.cc.o"
+  "CMakeFiles/query_tests.dir/predicate_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/subjoin_test.cc.o"
+  "CMakeFiles/query_tests.dir/subjoin_test.cc.o.d"
+  "query_tests"
+  "query_tests.pdb"
+  "query_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_tests.dir/parser_fuzz_test.cc.o"
+  "CMakeFiles/sql_tests.dir/parser_fuzz_test.cc.o.d"
+  "CMakeFiles/sql_tests.dir/parser_test.cc.o"
+  "CMakeFiles/sql_tests.dir/parser_test.cc.o.d"
+  "CMakeFiles/sql_tests.dir/tokenizer_test.cc.o"
+  "CMakeFiles/sql_tests.dir/tokenizer_test.cc.o.d"
+  "sql_tests"
+  "sql_tests.pdb"
+  "sql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

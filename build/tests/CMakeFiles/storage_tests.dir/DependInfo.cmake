@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/column_test.cc" "tests/CMakeFiles/storage_tests.dir/column_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/column_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/storage_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/delta_merge_test.cc" "tests/CMakeFiles/storage_tests.dir/delta_merge_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/delta_merge_test.cc.o.d"
+  "/root/repo/tests/dictionary_test.cc" "tests/CMakeFiles/storage_tests.dir/dictionary_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/dictionary_test.cc.o.d"
+  "/root/repo/tests/hot_cold_test.cc" "tests/CMakeFiles/storage_tests.dir/hot_cold_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/hot_cold_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/storage_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/storage_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/snapshot_test.cc" "tests/CMakeFiles/storage_tests.dir/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/snapshot_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/storage_tests.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aggcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tests.dir/column_test.cc.o"
+  "CMakeFiles/storage_tests.dir/column_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/database_test.cc.o"
+  "CMakeFiles/storage_tests.dir/database_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/delta_merge_test.cc.o"
+  "CMakeFiles/storage_tests.dir/delta_merge_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/dictionary_test.cc.o"
+  "CMakeFiles/storage_tests.dir/dictionary_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/hot_cold_test.cc.o"
+  "CMakeFiles/storage_tests.dir/hot_cold_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/partition_test.cc.o"
+  "CMakeFiles/storage_tests.dir/partition_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/schema_test.cc.o"
+  "CMakeFiles/storage_tests.dir/schema_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/snapshot_test.cc.o"
+  "CMakeFiles/storage_tests.dir/snapshot_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/table_test.cc.o"
+  "CMakeFiles/storage_tests.dir/table_test.cc.o.d"
+  "storage_tests"
+  "storage_tests.pdb"
+  "storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
