@@ -74,7 +74,9 @@ void Run() {
 }  // namespace bench
 }  // namespace aggcache
 
-int main() {
+int main(int argc, char** argv) {
+  size_t threads = aggcache::bench::ApplyThreadsFlag(argc, argv);
+  std::printf("threads: %zu\n", threads);
   aggcache::bench::Run();
   return 0;
 }

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -10,9 +12,30 @@
 #include "aggcache/aggcache.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace aggcache {
 namespace bench {
+
+/// Parses a --threads=N flag (overriding the AGGCACHE_THREADS env var) and
+/// sizes the global subjoin worker pool accordingly. Returns the applied
+/// parallelism. Call first thing in main().
+inline size_t ApplyThreadsFlag(int argc, char** argv) {
+  constexpr const char* kPrefix = "--threads=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, std::strlen(kPrefix)) == 0) {
+      const char* value = argv[i] + std::strlen(kPrefix);
+      char* end = nullptr;
+      long n = std::strtol(value, &end, 10);
+      if (end != value && *end == '\0' && n >= 1) {
+        ThreadPool::SetGlobalParallelism(n);
+      } else {
+        std::fprintf(stderr, "ignoring malformed %s\n", argv[i]);
+      }
+    }
+  }
+  return ThreadPool::Global().parallelism();
+}
 
 /// Runs `fn` `reps` times and returns the median wall-clock milliseconds.
 inline double MedianMs(int reps, const std::function<void()>& fn) {

@@ -15,6 +15,7 @@ set(AGGCACHE_BENCH_TARGETS
   bench_ablation_merge_sync
   bench_ablation_main_comp
   bench_ablation_locality
+  bench_parallel_scaling
 )
 
 foreach(target ${AGGCACHE_BENCH_TARGETS})

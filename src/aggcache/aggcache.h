@@ -24,6 +24,7 @@
 #include "cache/aggregate_cache_manager.h"
 #include "cache/maintenance.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/value.h"
 #include "objectaware/join_pruning.h"
 #include "objectaware/matching_dependency.h"

@@ -1,9 +1,11 @@
 #include "cache/aggregate_cache_manager.h"
 
 #include <algorithm>
+#include <iostream>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "txn/consistent_view_manager.h"
 
 namespace aggcache {
@@ -37,6 +39,16 @@ PruneLevel PruneLevelFor(ExecutionStrategy strategy) {
   return PruneLevel::kNone;
 }
 
+/// Cheap membership test on table names — avoids re-binding every cached
+/// query against the catalog on every merge just to discover the entry does
+/// not reference the merged table.
+bool QueryUsesTable(const AggregateQuery& query, const Table& table) {
+  for (const TableRef& ref : query.tables) {
+    if (ref.table_name == table.name()) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 AggregateCacheManager::AggregateCacheManager(Database* db, Config config)
@@ -48,7 +60,7 @@ AggregateCacheManager::~AggregateCacheManager() {
   db_->RemoveMergeObserver(this);
 }
 
-size_t AggregateCacheManager::total_bytes() const {
+size_t AggregateCacheManager::RecomputeTotalBytes() const {
   size_t bytes = 0;
   for (const auto& [key, entry] : entries_) {
     bytes += entry->metrics().size_bytes;
@@ -56,7 +68,31 @@ size_t AggregateCacheManager::total_bytes() const {
   return bytes;
 }
 
-void AggregateCacheManager::Clear() { entries_.clear(); }
+size_t AggregateCacheManager::total_bytes() const {
+  AssertByteAccounting();
+  return total_bytes_;
+}
+
+void AggregateCacheManager::AssertByteAccounting() const {
+#ifndef NDEBUG
+  AGGCACHE_CHECK(total_bytes_ == RecomputeTotalBytes())
+      << "running byte total " << total_bytes_
+      << " != recomputed " << RecomputeTotalBytes();
+#endif
+}
+
+void AggregateCacheManager::RefreshEntrySize(CacheEntry& entry) {
+  auto it = entries_.find(entry.key());
+  bool resident = it != entries_.end() && it->second.get() == &entry;
+  if (resident) total_bytes_ -= entry.metrics().size_bytes;
+  entry.RefreshSizeBytes();
+  if (resident) total_bytes_ += entry.metrics().size_bytes;
+}
+
+void AggregateCacheManager::Clear() {
+  entries_.clear();
+  total_bytes_ = 0;
+}
 
 const CacheEntry* AggregateCacheManager::Find(
     const AggregateQuery& query) const {
@@ -73,25 +109,47 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
                                            Snapshot snapshot) {
   Stopwatch watch;
   entry.main_partials().clear();
-  uint64_t rows_before = executor_.stats().rows_scanned;
   // Cross-temperature all-main combos can be pruned logically at build time
-  // (Section 5.4); tid-range pruning is sound here as well.
+  // (Section 5.4); tid-range pruning is sound here as well. Prune decisions
+  // stay on the calling thread; the surviving subjoins fan out.
   JoinPruner pruner(db_, PruneLevel::kFull);
   std::vector<MdBinding> mds = ResolveMds(bound);
-  for (const SubjoinCombination& combo :
-       EnumerateAllMainCombinations(bound.tables)) {
-    AggregateResult partial(bound.aggregates.size());
-    if (!pruner.ShouldPrune(bound, mds, combo).pruned) {
-      ASSIGN_OR_RETURN(partial,
-                       executor_.ExecuteSubjoin(bound, combo, snapshot));
+  std::vector<SubjoinCombination> combos =
+      EnumerateAllMainCombinations(bound.tables);
+  std::vector<char> pruned(combos.size(), 0);
+  for (size_t i = 0; i < combos.size(); ++i) {
+    pruned[i] = pruner.ShouldPrune(bound, mds, combos[i]).pruned ? 1 : 0;
+  }
+  std::vector<AggregateResult> partials(combos.size());
+  std::vector<ExecutorStats> task_stats(combos.size());
+  std::vector<Status> task_status(combos.size());
+  ParallelFor(combos.size(), [&](size_t i) {
+    if (pruned[i]) {
+      partials[i] = AggregateResult(bound.aggregates.size());
+      return;
     }
-    entry.main_partials()[combo] = std::move(partial);
+    auto partial =
+        executor_.ExecuteSubjoin(bound, combos[i], snapshot,
+                                 /*extra_filters=*/{},
+                                 /*restriction=*/nullptr, &task_stats[i]);
+    if (partial.ok()) {
+      partials[i] = std::move(partial).value();
+    } else {
+      task_status[i] = partial.status();
+    }
+  });
+  uint64_t rows_aggregated = 0;
+  for (size_t i = 0; i < combos.size(); ++i) {
+    RETURN_IF_ERROR(task_status[i]);
+    executor_.stats().MergeFrom(task_stats[i]);
+    rows_aggregated += task_stats[i].rows_scanned;
+    entry.main_partials()[std::move(combos[i])] = std::move(partials[i]);
   }
   RefreshSnapshots(entry, bound, snapshot);
-  entry.RefreshSizeBytes();
+  RefreshEntrySize(entry);
   entry.metrics().main_exec_ms = watch.ElapsedMillis();
-  entry.metrics().main_rows_aggregated =
-      executor_.stats().rows_scanned - rows_before;
+  entry.metrics().main_rows_aggregated = rows_aggregated;
+  entry.ClearRebuildMark();
   return Status::Ok();
 }
 
@@ -124,7 +182,10 @@ StatusOr<CacheEntry*> AggregateCacheManager::GetOrCreateEntry(
       // Partition layout changed (hot/cold split or an unobserved merge):
       // rebuild from scratch.
       RETURN_IF_ERROR(RebuildEntry(*entry, bound, snapshot));
-      if (stats != nullptr) stats->entry_rebuilt = true;
+      if (stats != nullptr) {
+        stats->entry_rebuilt = true;
+        stats->main_exec_ms = entry->metrics().main_exec_ms;
+      }
     } else if (stats != nullptr) {
       stats->cache_hit = true;
     }
@@ -148,6 +209,7 @@ StatusOr<CacheEntry*> AggregateCacheManager::GetOrCreateEntry(
   CacheEntry* raw = entry.get();
   TouchEntry(*raw);
   entries_.emplace(key, std::move(entry));
+  total_bytes_ += raw->metrics().size_bytes;
   EvictIfNeeded(raw);
   return raw;
 }
@@ -167,6 +229,7 @@ Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
       RETURN_IF_ERROR(RebuildEntry(entry, bound, snapshot));
       if (stats != nullptr) {
         stats->entry_rebuilt = true;
+        stats->main_exec_ms = entry.metrics().main_exec_ms;
         stats->main_comp_ms += watch.ElapsedMillis();
       }
     }
@@ -196,7 +259,7 @@ Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
     snap.visibility = std::move(current);
     snap.invalidation_count = main.invalidation_count();
   }
-  entry.RefreshSizeBytes();
+  RefreshEntrySize(entry);
   if (stats != nullptr) stats->main_comp_ms += watch.ElapsedMillis();
   return Status::Ok();
 }
@@ -225,35 +288,69 @@ Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
     }
   }
 
+  // One correction join per (dirty combo, non-empty subset of its dirty
+  // tables): subset members restricted to their negative-delta rows, the
+  // rest to rows visible now. All corrections are subtracted (no
+  // alternating signs: prod(C+N) expands into a plain sum over subsets).
+  // The 2^d - 1 joins per combo are independent, so every (combo, mask)
+  // pair fans out across the pool; corrections merge back per combo in
+  // mask order for determinism.
+  struct CorrectionJob {
+    size_t combo_index = 0;
+    const SubjoinCombination* combo = nullptr;
+    Executor::RowRestriction restriction;
+  };
+  std::vector<AggregateResult*> dirty_partials;
+  std::vector<CorrectionJob> jobs;
   for (auto& [combo, partial] : entry.main_partials()) {
     std::vector<size_t> dirty_tables;
     for (size_t t = 0; t < num_tables; ++t) {
       if (!negative[t][combo[t].group].empty()) dirty_tables.push_back(t);
     }
     if (dirty_tables.empty()) continue;
-
-    // One correction join per non-empty subset of dirty tables: subset
-    // members restricted to their negative-delta rows, the rest to rows
-    // visible now. All corrections are subtracted (no alternating signs:
-    // prod(C+N) expands into a plain sum over subsets).
-    AggregateResult corrections(bound.aggregates.size());
+    size_t combo_index = dirty_partials.size();
+    dirty_partials.push_back(&partial);
     for (uint32_t mask = 1; mask < (1u << dirty_tables.size()); ++mask) {
-      Executor::RowRestriction restriction;
-      restriction.rows.resize(num_tables);
-      restriction.bypass_visibility_for_restricted = true;
+      CorrectionJob job;
+      job.combo_index = combo_index;
+      job.combo = &combo;
+      job.restriction.rows.resize(num_tables);
+      job.restriction.bypass_visibility_for_restricted = true;
       for (size_t i = 0; i < dirty_tables.size(); ++i) {
         if (mask & (1u << i)) {
           size_t t = dirty_tables[i];
-          restriction.rows[t] = negative[t][combo[t].group];
+          job.restriction.rows[t] = negative[t][combo[t].group];
         }
       }
-      ASSIGN_OR_RETURN(AggregateResult term,
-                       executor_.ExecuteSubjoin(bound, combo, snapshot,
-                                                /*extra_filters=*/{},
-                                                &restriction));
-      corrections.MergeFrom(term);
+      jobs.push_back(std::move(job));
     }
-    RETURN_IF_ERROR(partial.SubtractFrom(corrections));
+  }
+
+  std::vector<AggregateResult> terms(jobs.size());
+  std::vector<ExecutorStats> task_stats(jobs.size());
+  std::vector<Status> task_status(jobs.size());
+  ParallelFor(jobs.size(), [&](size_t j) {
+    auto term =
+        executor_.ExecuteSubjoin(bound, *jobs[j].combo, snapshot,
+                                 /*extra_filters=*/{}, &jobs[j].restriction,
+                                 &task_stats[j]);
+    if (term.ok()) {
+      terms[j] = std::move(term).value();
+    } else {
+      task_status[j] = term.status();
+    }
+  });
+
+  // Jobs were emitted combo-major in mask order; replay that order exactly.
+  size_t j = 0;
+  for (size_t c = 0; c < dirty_partials.size(); ++c) {
+    AggregateResult corrections(bound.aggregates.size());
+    for (; j < jobs.size() && jobs[j].combo_index == c; ++j) {
+      RETURN_IF_ERROR(task_status[j]);
+      executor_.stats().MergeFrom(task_stats[j]);
+      corrections.MergeFrom(terms[j]);
+    }
+    RETURN_IF_ERROR(dirty_partials[c]->SubtractFrom(corrections));
   }
 
   // All combos corrected: refresh the snapshots.
@@ -266,7 +363,7 @@ Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
       snap.invalidation_count = table.group(g).main.invalidation_count();
     }
   }
-  entry.RefreshSizeBytes();
+  RefreshEntrySize(entry);
   return Status::Ok();
 }
 
@@ -316,10 +413,15 @@ StatusOr<AggregateResult> AggregateCacheManager::Execute(
   result = query.ApplyHaving(std::move(result));
 
   double delta_ms = delta_watch.ElapsedMillis();
-  CacheEntryMetrics& metrics = entry->metrics();
-  metrics.total_delta_comp_ms += delta_ms;
-  ++metrics.delta_comp_count;
-  ++metrics.hit_count;
+  // Only true hits count toward profit: the miss that just created (or the
+  // access that rebuilt) the entry saved nothing, and crediting it would
+  // inflate Profit() for new entries and skew eviction.
+  if (last_stats_.cache_hit) {
+    CacheEntryMetrics& metrics = entry->metrics();
+    metrics.total_delta_comp_ms += delta_ms;
+    ++metrics.delta_comp_count;
+    ++metrics.hit_count;
+  }
 
   last_stats_.delta_comp_ms = delta_ms;
   last_stats_.subjoins_pruned = comp_stats.subjoins_pruned;
@@ -347,43 +449,70 @@ Status AggregateCacheManager::Prewarm(const AggregateQuery& query) {
 }
 
 void AggregateCacheManager::EvictIfNeeded(const CacheEntry* keep) {
+  AssertByteAccounting();
+  // The running byte total makes the budget check O(1); the old
+  // implementation recomputed total_bytes() (O(entries)) on every loop
+  // iteration and rescanned all entries per victim — O(n^2) per eviction
+  // storm.
   auto over_budget = [&] {
     bool over_count =
         config_.max_entries != 0 && entries_.size() > config_.max_entries;
     bool over_bytes =
-        config_.max_bytes != 0 && total_bytes() > config_.max_bytes;
+        config_.max_bytes != 0 && total_bytes_ > config_.max_bytes;
     return (over_count || over_bytes) && entries_.size() > 1;
   };
-  while (over_budget()) {
-    // Evict the entry with the lowest profit; ties broken by recency. The
-    // just-created entry (`keep`) is never evicted so callers can hold its
-    // pointer.
-    auto victim = entries_.end();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second.get() == keep) continue;
-      if (victim == entries_.end()) {
-        victim = it;
-        continue;
-      }
-      const CacheEntryMetrics& a = it->second->metrics();
-      const CacheEntryMetrics& b = victim->second->metrics();
-      if (a.Profit() < b.Profit() ||
-          (a.Profit() == b.Profit() &&
-           a.last_access_ns < b.last_access_ns)) {
-        victim = it;
-      }
-    }
-    if (victim == entries_.end()) break;
+  if (!over_budget()) return;
+
+  // Rank victims once by (profit asc, recency asc); metrics do not change
+  // while evicting, so one sort replaces the per-victim rescans. The
+  // just-created entry (`keep`) is never evicted so callers can hold its
+  // pointer.
+  using EntryIter = decltype(entries_)::iterator;
+  std::vector<EntryIter> victims;
+  victims.reserve(entries_.size());
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.get() != keep) victims.push_back(it);
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const EntryIter& a, const EntryIter& b) {
+              const CacheEntryMetrics& ma = a->second->metrics();
+              const CacheEntryMetrics& mb = b->second->metrics();
+              if (ma.Profit() != mb.Profit()) {
+                return ma.Profit() < mb.Profit();
+              }
+              return ma.last_access_ns < mb.last_access_ns;
+            });
+  for (EntryIter victim : victims) {
+    if (!over_budget()) break;
+    total_bytes_ -= victim->second->metrics().size_bytes;
     entries_.erase(victim);
   }
+  AssertByteAccounting();
+}
+
+void AggregateCacheManager::RecordMaintenanceFailure(CacheEntry& entry,
+                                                     const Status& status) {
+  // Merge-time maintenance is best-effort: an executor error must not take
+  // the process down. The entry is marked so the next access rebuilds it
+  // from scratch instead of serving a half-maintained value.
+  ++entry.metrics().maintenance_failures;
+  entry.MarkForRebuild();
+  std::cerr << "aggcache: merge maintenance failed for entry "
+            << entry.key().canonical << ": " << status.ToString()
+            << " (marked for rebuild)\n";
 }
 
 void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
   Snapshot snapshot = db_->txn_manager().GlobalSnapshot();
   for (auto& [key, entry] : entries_) {
-    // Find the query-table position of `table`, if the entry uses it.
+    // Skip entries that don't reference the merging table before paying for
+    // a catalog bind.
+    if (!QueryUsesTable(entry->query(), table)) continue;
     auto bound_or = BoundQuery::Bind(*db_, entry->query());
-    if (!bound_or.ok()) continue;
+    if (!bound_or.ok()) {
+      RecordMaintenanceFailure(*entry, bound_or.status());
+      continue;
+    }
     BoundQuery bound = std::move(bound_or).value();
     size_t table_pos = bound.tables.size();
     for (size_t t = 0; t < bound.tables.size(); ++t) {
@@ -397,10 +526,16 @@ void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
       // rebuilt entry is folded below only if needed. Rebuilding computes
       // mains only, so fold the delta in unconditionally afterwards.
       Status status = RebuildEntry(*entry, bound, snapshot);
-      AGGCACHE_CHECK(status.ok()) << status.ToString();
+      if (!status.ok()) {
+        RecordMaintenanceFailure(*entry, status);
+        continue;
+      }
     } else {
       Status status = MainCompensate(*entry, bound, snapshot, nullptr);
-      AGGCACHE_CHECK(status.ok()) << status.ToString();
+      if (!status.ok()) {
+        RecordMaintenanceFailure(*entry, status);
+        continue;
+      }
     }
 
     // Fold the merging delta into every cached partial whose combination
@@ -408,6 +543,7 @@ void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
     // replaced by its delta), computed while the delta still exists.
     JoinPruner pruner(db_, PruneLevel::kFull);
     std::vector<MdBinding> mds = ResolveMds(bound);
+    bool fold_failed = false;
     for (auto& [combo, partial] : entry->main_partials()) {
       if (combo[table_pos].group != group_index) continue;
       SubjoinCombination delta_combo = combo;
@@ -415,9 +551,15 @@ void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
       if (pruner.ShouldPrune(bound, mds, delta_combo).pruned) continue;
       auto partial_or =
           executor_.ExecuteSubjoin(bound, delta_combo, snapshot);
-      AGGCACHE_CHECK(partial_or.ok()) << partial_or.status().ToString();
+      if (!partial_or.ok()) {
+        RecordMaintenanceFailure(*entry, partial_or.status());
+        fold_failed = true;
+        break;
+      }
       partial.MergeFrom(partial_or.value());
     }
+    if (fold_failed) continue;
+    RefreshEntrySize(*entry);
     entry->metrics().maintenance_ms += watch.ElapsedMillis();
   }
 }
@@ -426,8 +568,13 @@ void AggregateCacheManager::OnAfterMerge(Table& table, size_t group_index) {
   (void)group_index;
   Snapshot snapshot = db_->txn_manager().GlobalSnapshot();
   for (auto& [key, entry] : entries_) {
+    if (!QueryUsesTable(entry->query(), table)) continue;
+    if (entry->needs_rebuild()) continue;  // Deferred to the next access.
     auto bound_or = BoundQuery::Bind(*db_, entry->query());
-    if (!bound_or.ok()) continue;
+    if (!bound_or.ok()) {
+      RecordMaintenanceFailure(*entry, bound_or.status());
+      continue;
+    }
     BoundQuery bound = std::move(bound_or).value();
     bool uses_table = false;
     for (const Table* t : bound.tables) {
@@ -435,7 +582,7 @@ void AggregateCacheManager::OnAfterMerge(Table& table, size_t group_index) {
     }
     if (!uses_table) continue;
     RefreshSnapshots(*entry, bound, snapshot);
-    entry->RefreshSizeBytes();
+    RefreshEntrySize(*entry);
   }
 }
 

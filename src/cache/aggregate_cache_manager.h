@@ -56,8 +56,11 @@ struct CacheExecStats {
 /// main + delta compensation, maintains entries incrementally during delta
 /// merges, and manages admission/eviction by profit.
 ///
-/// Single-threaded, like the rest of the engine. Register it as a merge
-/// observer (done in the constructor) so merges keep entries consistent.
+/// Callers drive the manager from one thread; internally, independent
+/// subjoins (entry builds, delta compensation, correction joins) fan out
+/// across the global ThreadPool and merge deterministically in enumeration
+/// order. Register it as a merge observer (done in the constructor) so
+/// merges keep entries consistent.
 class AggregateCacheManager : public MergeObserver {
  public:
   struct Config {
@@ -101,7 +104,12 @@ class AggregateCacheManager : public MergeObserver {
   const CacheEntry* Find(const AggregateQuery& query) const;
 
   size_t num_entries() const { return entries_.size(); }
+  /// O(1): a running total maintained on insert, erase, and size refresh;
+  /// asserted against RecomputeTotalBytes() in debug builds.
   size_t total_bytes() const;
+  /// O(entries) recomputation from per-entry metrics, for debug assertions
+  /// and tests of the running total.
+  size_t RecomputeTotalBytes() const;
   void Clear();
 
   /// Stats of the most recent Execute call.
@@ -153,11 +161,26 @@ class AggregateCacheManager : public MergeObserver {
   void TouchEntry(CacheEntry& entry);
   void EvictIfNeeded(const CacheEntry* keep = nullptr);
 
+  /// Refreshes the entry's size_bytes, keeping the running byte total in
+  /// step when the entry is resident in the map (entries under construction
+  /// are counted at insertion instead).
+  void RefreshEntrySize(CacheEntry& entry);
+
+  /// Records a failed merge-time maintenance attempt: the entry is marked
+  /// for rebuild on next access instead of crashing the process.
+  void RecordMaintenanceFailure(CacheEntry& entry, const Status& status);
+
+  /// Debug-build consistency check of the running byte total.
+  void AssertByteAccounting() const;
+
   Database* db_;
   Config config_;
   Executor executor_;
   std::unordered_map<CacheKey, std::unique_ptr<CacheEntry>, CacheKeyHash>
       entries_;
+  /// Sum of metrics().size_bytes over entries_, maintained incrementally so
+  /// eviction decisions are O(1) instead of O(entries).
+  size_t total_bytes_ = 0;
   CacheExecStats last_stats_;
   PruneStats prune_stats_;
   int64_t access_clock_ = 0;

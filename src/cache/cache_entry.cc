@@ -27,6 +27,7 @@ bool CacheEntry::IsDirty(const std::vector<const Table*>& tables) const {
 }
 
 bool CacheEntry::ShapeMatches(const std::vector<const Table*>& tables) const {
+  if (needs_rebuild_) return false;
   if (snapshots_.size() != tables.size()) return false;
   for (size_t t = 0; t < tables.size(); ++t) {
     if (snapshots_[t].size() != tables[t]->num_groups()) return false;

@@ -66,8 +66,15 @@ class CacheEntry {
 
   /// True when the stored snapshot structure still matches the tables'
   /// partition-group layout (a hot/cold split changes it; the entry must
-  /// then be rebuilt).
+  /// then be rebuilt). Also false while the entry is marked for rebuild.
   bool ShapeMatches(const std::vector<const Table*>& tables) const;
+
+  /// Flags the cached value as unusable until the next rebuild — set when
+  /// merge-time maintenance fails partway, instead of aborting the process.
+  /// ShapeMatches() reports false until RebuildEntry clears the mark.
+  void MarkForRebuild() { needs_rebuild_ = true; }
+  void ClearRebuildMark() { needs_rebuild_ = false; }
+  bool needs_rebuild() const { return needs_rebuild_; }
 
   /// Recomputes metrics().size_bytes from the stored partials + snapshots.
   void RefreshSizeBytes();
@@ -78,6 +85,7 @@ class CacheEntry {
   std::map<SubjoinCombination, AggregateResult> main_partials_;
   std::vector<std::vector<MainSnapshot>> snapshots_;
   CacheEntryMetrics metrics_;
+  bool needs_rebuild_ = false;
 };
 
 }  // namespace aggcache

@@ -22,6 +22,9 @@ struct CacheEntryMetrics {
   uint64_t delta_comp_count = 0;
   /// Accumulated merge-time maintenance cost.
   double maintenance_ms = 0.0;
+  /// Merge-time maintenance attempts that failed and left the entry marked
+  /// for rebuild instead of aborting the process.
+  uint64_t maintenance_failures = 0;
   uint64_t hit_count = 0;
   /// Monotonic timestamp (ns) of the last use, for eviction tie-breaks.
   int64_t last_access_ns = 0;

@@ -1,5 +1,6 @@
 #include "cache/compensation.h"
 
+#include "common/thread_pool.h"
 #include "objectaware/predicate_pushdown.h"
 
 namespace aggcache {
@@ -10,8 +11,15 @@ StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
                                           JoinPruner& pruner,
                                           bool use_pushdown, Snapshot snapshot,
                                           CompensationStats* stats) {
-  AggregateResult result(bound.aggregates.size());
-  for (const SubjoinCombination& combo :
+  // Prune decisions (and pushdown derivation) stay on the calling thread:
+  // they are cheap, and JoinPruner accumulates stats that must stay
+  // race-free. Only the surviving subjoins fan out.
+  struct Subjoin {
+    SubjoinCombination combo;
+    std::vector<FilterPredicate> extra;
+  };
+  std::vector<Subjoin> subjoins;
+  for (SubjoinCombination& combo :
        EnumerateCompensationCombinations(bound.tables)) {
     if (stats != nullptr) ++stats->subjoins_considered;
     PruneDecision decision = pruner.ShouldPrune(bound, mds, combo);
@@ -23,10 +31,32 @@ StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
     if (use_pushdown) {
       extra = DerivePushdownFilters(bound, mds, combo);
     }
-    ASSIGN_OR_RETURN(AggregateResult partial,
-                     executor.ExecuteSubjoin(bound, combo, snapshot, extra));
+    subjoins.push_back(Subjoin{std::move(combo), std::move(extra)});
+  }
+
+  std::vector<AggregateResult> partials(subjoins.size());
+  std::vector<ExecutorStats> task_stats(subjoins.size());
+  std::vector<Status> task_status(subjoins.size());
+  ParallelFor(subjoins.size(), [&](size_t i) {
+    auto partial =
+        executor.ExecuteSubjoin(bound, subjoins[i].combo, snapshot,
+                                subjoins[i].extra,
+                                /*restriction=*/nullptr, &task_stats[i]);
+    if (partial.ok()) {
+      partials[i] = std::move(partial).value();
+    } else {
+      task_status[i] = partial.status();
+    }
+  });
+
+  // Merge in enumeration order so results are deterministic at any thread
+  // count (floating-point sums are order-sensitive).
+  AggregateResult result(bound.aggregates.size());
+  for (size_t i = 0; i < subjoins.size(); ++i) {
+    RETURN_IF_ERROR(task_status[i]);
+    executor.stats().MergeFrom(task_stats[i]);
     if (stats != nullptr) ++stats->subjoins_executed;
-    result.MergeFrom(partial);
+    result.MergeFrom(partials[i]);
   }
   return result;
 }

@@ -1,0 +1,142 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace aggcache {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+size_t DefaultParallelism() {
+  if (const char* env = std::getenv("AGGCACHE_THREADS")) {
+    // strtol, not strtoul: "-3" must read as malformed, not wrap to 2^64-3.
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct GlobalPoolHolder {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPoolHolder& Holder() {
+  static GlobalPoolHolder* holder = new GlobalPoolHolder();
+  return *holder;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t parallelism) {
+  // Cap absurd requests (e.g. a wrapped negative from strtoul) instead of
+  // letting vector::reserve throw while spawning 2^64 threads.
+  parallelism = std::min(parallelism, kMaxParallelism);
+  size_t num_workers = parallelism < 2 ? 0 : parallelism - 1;
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  GlobalPoolHolder& holder = Holder();
+  std::lock_guard<std::mutex> lock(holder.mu);
+  if (holder.pool == nullptr) {
+    holder.pool = std::make_unique<ThreadPool>(DefaultParallelism());
+  }
+  return *holder.pool;
+}
+
+void ThreadPool::SetGlobalParallelism(size_t parallelism) {
+  GlobalPoolHolder& holder = Holder();
+  std::lock_guard<std::mutex> lock(holder.mu);
+  holder.pool = std::make_unique<ThreadPool>(std::max<size_t>(1, parallelism));
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  if (pool_.num_workers() == 0 || ThreadPool::InWorker()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_.Submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 ThreadPool& pool) {
+  if (n == 0) return;
+  size_t parallelism = std::min(pool.parallelism(), n);
+  if (parallelism <= 1 || ThreadPool::InWorker()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto drain = [&next, &fn, n] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+  };
+  TaskGroup group(pool);
+  for (size_t w = 1; w < parallelism; ++w) group.Run(drain);
+  drain();
+  group.Wait();
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, fn, ThreadPool::Global());
+}
+
+}  // namespace aggcache

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace aggcache {
 
@@ -73,12 +74,13 @@ struct Selection {
 StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     const BoundQuery& bound, const SubjoinCombination& combination,
     Snapshot snapshot, const std::vector<FilterPredicate>& extra_filters,
-    const RowRestriction* restriction) {
+    const RowRestriction* restriction, ExecutorStats* stats) const {
   const size_t num_tables = bound.tables.size();
   if (combination.size() != num_tables) {
     return Status::InvalidArgument("combination arity mismatch");
   }
-  ++stats_.subjoins_executed;
+  ExecutorStats& counters = stats != nullptr ? *stats : stats_;
+  ++counters.subjoins_executed;
   AggregateResult result(bound.aggregates.size());
 
   // Resolve extra (pushed-down) filters against schemas.
@@ -183,7 +185,7 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
         candidates == nullptr ||
         !restriction->bypass_visibility_for_restricted;
     size_t num_candidates = candidates ? candidates->size() : p.num_rows();
-    stats_.rows_scanned += num_candidates;
+    counters.rows_scanned += num_candidates;
     for (size_t i = 0; i < num_candidates; ++i) {
       uint32_t r = candidates ? (*candidates)[i] : static_cast<uint32_t>(i);
       if (check_visibility &&
@@ -199,7 +201,7 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
       }
       if (pass) sel.rows.push_back(r);
     }
-    stats_.rows_selected += sel.rows.size();
+    counters.rows_selected += sel.rows.size();
   };
 
   // Left-deep hash joins in query-table order. `tuples` holds row ids
@@ -297,7 +299,7 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     // Join pipeline ended early on an empty intermediate result.
     return result;
   }
-  stats_.tuples_joined += tuples.size() / stride;
+  counters.tuples_joined += tuples.size() / stride;
 
   // Phase 3: hash aggregation over the joined tuples.
   GroupKey key;
@@ -326,14 +328,28 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
 }
 
 StatusOr<AggregateResult> Executor::ExecuteUncached(
-    const AggregateQuery& query, Snapshot snapshot) {
+    const AggregateQuery& query, Snapshot snapshot) const {
   ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
+  std::vector<SubjoinCombination> combos =
+      EnumerateAllCombinations(bound.tables);
+  std::vector<AggregateResult> partials(combos.size());
+  std::vector<ExecutorStats> task_stats(combos.size());
+  std::vector<Status> task_status(combos.size());
+  ParallelFor(combos.size(), [&](size_t i) {
+    auto partial =
+        ExecuteSubjoin(bound, combos[i], snapshot, /*extra_filters=*/{},
+                       /*restriction=*/nullptr, &task_stats[i]);
+    if (partial.ok()) {
+      partials[i] = std::move(partial).value();
+    } else {
+      task_status[i] = partial.status();
+    }
+  });
   AggregateResult result(bound.aggregates.size());
-  for (const SubjoinCombination& combo :
-       EnumerateAllCombinations(bound.tables)) {
-    ASSIGN_OR_RETURN(AggregateResult partial,
-                     ExecuteSubjoin(bound, combo, snapshot));
-    result.MergeFrom(partial);
+  for (size_t i = 0; i < combos.size(); ++i) {
+    RETURN_IF_ERROR(task_status[i]);
+    stats_.MergeFrom(task_stats[i]);
+    result.MergeFrom(partials[i]);
   }
   // HAVING applies to whole groups, so only after every subjoin is merged.
   return query.ApplyHaving(std::move(result));

@@ -62,12 +62,29 @@ struct ExecutorStats {
   uint64_t tuples_joined = 0;
 
   void Reset() { *this = ExecutorStats(); }
+
+  /// Folds another stats block in; used to merge per-task counters
+  /// collected by parallel subjoin fan-outs back into the shared totals.
+  void MergeFrom(const ExecutorStats& other) {
+    subjoins_executed += other.subjoins_executed;
+    rows_scanned += other.rows_scanned;
+    rows_selected += other.rows_selected;
+    tuples_joined += other.tuples_joined;
+  }
 };
 
-/// Single-threaded aggregate query executor over the main-delta columnar
-/// store: per-table selection (with dictionary-range static pruning of
-/// filters), left-deep hash joins in query-table order, and hash
-/// aggregation.
+/// Aggregate query executor over the main-delta columnar store: per-table
+/// selection (with dictionary-range static pruning of filters), left-deep
+/// hash joins in query-table order, and hash aggregation.
+///
+/// Threading model: ExecuteSubjoin is const and re-entrant — concurrent
+/// calls on one instance are safe as long as each passes its own
+/// ExecutorStats out-parameter (with `stats == nullptr` the call falls back
+/// to the shared member counters and must not run concurrently). Top-level
+/// entry points (ExecuteUncached and the cache manager) fan subjoins out
+/// across the global ThreadPool with per-task stats and merge both results
+/// and counters in enumeration order, so results and stats are
+/// deterministic at any thread count.
 class Executor {
  public:
   explicit Executor(const Database* db) : db_(db) {}
@@ -89,23 +106,29 @@ class Executor {
   /// Executes the query over one subjoin combination under `snapshot`.
   /// `extra_filters` carries pushed-down predicates (Section 5.3) that
   /// apply only to this subjoin; `restriction`, when non-null, limits the
-  /// candidate rows per table.
+  /// candidate rows per table. Work counters accumulate into `stats` when
+  /// given, otherwise into the shared stats() member; parallel callers must
+  /// pass a per-task block.
   StatusOr<AggregateResult> ExecuteSubjoin(
       const BoundQuery& bound, const SubjoinCombination& combination,
       Snapshot snapshot,
       const std::vector<FilterPredicate>& extra_filters = {},
-      const RowRestriction* restriction = nullptr);
+      const RowRestriction* restriction = nullptr,
+      ExecutorStats* stats = nullptr) const;
 
   /// Uncached execution (Section 2.3.1): evaluates and unions every
-  /// partition combination.
+  /// partition combination, fanning the subjoins out across the global
+  /// ThreadPool and merging partials in enumeration order.
   StatusOr<AggregateResult> ExecuteUncached(const AggregateQuery& query,
-                                            Snapshot snapshot);
+                                            Snapshot snapshot) const;
 
-  ExecutorStats& stats() { return stats_; }
+  ExecutorStats& stats() const { return stats_; }
 
  private:
   const Database* db_;
-  ExecutorStats stats_;
+  /// Mutable so the const, re-entrant execution paths can keep feeding the
+  /// shared counters that benches and the cache manager read.
+  mutable ExecutorStats stats_;
 };
 
 }  // namespace aggcache

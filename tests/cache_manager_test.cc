@@ -298,10 +298,105 @@ TEST_F(CacheManagerTest, MetricsAccumulate) {
   ASSERT_TRUE(cache_->Execute(query_, txn).ok());
   const CacheEntry* entry = cache_->Find(query_);
   ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->metrics().delta_comp_count, 2u);
-  EXPECT_EQ(entry->metrics().hit_count, 2u);
+  // The first Execute is the miss that created the entry; only the second
+  // is a hit that exercises delta compensation for profit accounting.
+  EXPECT_EQ(entry->metrics().delta_comp_count, 1u);
+  EXPECT_EQ(entry->metrics().hit_count, 1u);
   EXPECT_GT(entry->metrics().size_bytes, 0u);
   EXPECT_GT(entry->metrics().main_rows_aggregated, 0u);
+}
+
+TEST_F(CacheManagerTest, ColdExecuteLeavesHitCountZero) {
+  Transaction txn = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, txn).ok());
+  ASSERT_TRUE(cache_->last_exec_stats().entry_created);
+  const CacheEntry* entry = cache_->Find(query_);
+  ASSERT_NE(entry, nullptr);
+  // The miss that created the entry saved nothing: it must not be credited
+  // as a hit, nor may its compensation time skew AvgDeltaCompMs().
+  EXPECT_EQ(entry->metrics().hit_count, 0u);
+  EXPECT_EQ(entry->metrics().delta_comp_count, 0u);
+  EXPECT_EQ(entry->metrics().total_delta_comp_ms, 0.0);
+}
+
+TEST_F(CacheManagerTest, CreateAndRebuildSurfaceMainExecMs) {
+  Transaction txn = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, txn).ok());
+  ASSERT_TRUE(cache_->last_exec_stats().entry_created);
+  EXPECT_GT(cache_->last_exec_stats().main_exec_ms, 0.0);
+
+  // A hot/cold split changes the partition layout, forcing the rebuild path
+  // of GetOrCreateEntry; callers must see the build cost there too.
+  ASSERT_OK(header_->SplitHotCold("HeaderID", Value(int64_t{6})));
+  ASSERT_OK(item_->SplitHotCold("HeaderID", Value(int64_t{6})));
+  db_.RegisterAgingGroup({"Header", "Item"});
+  Transaction txn2 = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(query_, txn2).ok());
+  ASSERT_TRUE(cache_->last_exec_stats().entry_rebuilt);
+  EXPECT_GT(cache_->last_exec_stats().main_exec_ms, 0.0);
+}
+
+TEST_F(CacheManagerTest, EvictionByteAccountingMatchesRecomputation) {
+  AggregateCacheManager::Config config;
+  config.max_bytes = 1;  // Every insertion triggers an eviction storm.
+  AggregateCacheManager small(&db_, config);
+  Transaction txn = db_.Begin();
+  for (int64_t year : {2013, 2014, 2015}) {
+    AggregateQuery q = QueryBuilder()
+                           .From("Header")
+                           .Join("Item", "HeaderID", "HeaderID")
+                           .Filter("Header", "FiscalYear", CompareOp::kEq,
+                                   Value(year))
+                           .GroupBy("Header", "FiscalYear")
+                           .Sum("Item", "Amount", "s")
+                           .Build();
+    ASSERT_TRUE(small.Execute(q, txn).ok());
+    EXPECT_EQ(small.total_bytes(), small.RecomputeTotalBytes());
+  }
+  // The byte budget keeps exactly the one unevictable entry alive.
+  EXPECT_EQ(small.num_entries(), 1u);
+  EXPECT_EQ(small.total_bytes(), small.RecomputeTotalBytes());
+
+  // Mutations that resize resident entries keep the running total in step.
+  ASSERT_OK(testing_util::InsertBusinessObject(&db_, header_, item_, 40,
+                                               2015, 2, 3.0,
+                                               &next_item_id_));
+  ASSERT_OK(db_.MergeTables({"Header", "Item"}));
+  EXPECT_EQ(small.total_bytes(), small.RecomputeTotalBytes());
+}
+
+TEST_F(CacheManagerTest, MergeSkipsEntriesNotReferencingMergedTable) {
+  // An entry on an unrelated table must not be bound or maintained when
+  // Header/Item merge.
+  auto other_or = db_.CreateTable(SchemaBuilder("Other")
+                                      .AddColumn("K", ColumnType::kInt64)
+                                      .PrimaryKey()
+                                      .AddColumn("V", ColumnType::kInt64)
+                                      .Build());
+  ASSERT_TRUE(other_or.ok()) << other_or.status();
+  Table* other = other_or.value();
+  Transaction setup = db_.Begin();
+  ASSERT_OK(other->Insert(setup, {Value(int64_t{1}), Value(int64_t{7})}));
+  AggregateQuery other_query = QueryBuilder()
+                                   .From("Other")
+                                   .GroupBy("Other", "K")
+                                   .Sum("Other", "V", "s")
+                                   .Build();
+  Transaction warm = db_.Begin();
+  ASSERT_TRUE(cache_->Execute(other_query, warm).ok());
+  ASSERT_TRUE(cache_->Execute(query_, warm).ok());
+
+  ASSERT_OK(testing_util::InsertBusinessObject(&db_, header_, item_, 50,
+                                               2014, 2, 2.0,
+                                               &next_item_id_));
+  ASSERT_OK(db_.MergeTables({"Header", "Item"}));
+
+  const CacheEntry* other_entry = cache_->Find(other_query);
+  ASSERT_NE(other_entry, nullptr);
+  EXPECT_EQ(other_entry->metrics().maintenance_ms, 0.0);
+  EXPECT_EQ(other_entry->metrics().maintenance_failures, 0u);
+  ExpectAllStrategiesAgree(&db_, cache_.get(), query_);
+  ExpectAllStrategiesAgree(&db_, cache_.get(), other_query);
 }
 
 TEST_F(CacheManagerTest, StrategyNames) {
