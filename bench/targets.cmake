@@ -27,3 +27,11 @@ foreach(target ${AGGCACHE_BENCH_TARGETS})
 endforeach()
 
 target_link_libraries(bench_sec63_insert_overhead PRIVATE benchmark::benchmark)
+
+# Differential correctness harness (src/verify): not a benchmark, but a
+# runnable tool shipped next to them. See bench/verify_fuzz.cpp for usage.
+add_executable(verify_fuzz bench/verify_fuzz.cpp)
+target_link_libraries(verify_fuzz PRIVATE aggcache)
+target_include_directories(verify_fuzz PRIVATE ${CMAKE_SOURCE_DIR})
+set_target_properties(verify_fuzz PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

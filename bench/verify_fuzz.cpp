@@ -1,0 +1,212 @@
+// Differential correctness harness driver (see src/verify/).
+//
+//   verify_fuzz --seeds=64                 sweep seeds 1..64, clean + faults
+//   verify_fuzz --seeds=10-20 --faults=off clean runs for a seed range
+//   verify_fuzz --seed=7 --steps=200       one long seed
+//   verify_fuzz --self-test                prove a divergence gets reported
+//   verify_fuzz --replay=trace.txt         re-run a recorded failure trace
+//
+// Exit status: 0 when every run matched the oracle (or the self-test
+// detected its planted divergence), 1 on the first divergence/failure
+// (prints the seed and its replayable trace), 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cache/aggregate_cache_manager.h"
+#include "storage/database.h"
+#include "verify/fault_injector.h"
+#include "verify/fuzzer.h"
+#include "workload/trace.h"
+
+namespace {
+
+using aggcache::AggregateCacheManager;
+using aggcache::Database;
+using aggcache::FuzzOptions;
+using aggcache::FuzzReport;
+using aggcache::RunFuzzSeed;
+using aggcache::TraceReplayer;
+
+struct Flags {
+  uint64_t seed_lo = 1;
+  uint64_t seed_hi = 16;
+  size_t steps = 60;
+  size_t check_every = 6;
+  std::string faults = "both";  // both | only | off
+  bool self_test = false;
+  std::string replay_file;
+  size_t max_entries = 64;
+  bool incremental = true;
+};
+
+bool ParseUint(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  uint64_t v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seeds=N | --seeds=A-B | --seed=N] [--steps=N]\n"
+      "          [--check-every=N] [--faults=both|only|off] [--self-test]\n"
+      "          [--replay=FILE [--max-entries=N] [--incremental=0|1]]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    uint64_t n = 0;
+    if (const char* v = value_of("--seeds=")) {
+      const char* dash = std::strchr(v, '-');
+      if (dash != nullptr) {
+        std::string lo(v, dash - v);
+        if (!ParseUint(lo.c_str(), &flags->seed_lo) ||
+            !ParseUint(dash + 1, &flags->seed_hi)) {
+          return false;
+        }
+      } else {
+        if (!ParseUint(v, &flags->seed_hi)) return false;
+        flags->seed_lo = 1;
+      }
+    } else if (const char* v = value_of("--seed=")) {
+      if (!ParseUint(v, &n)) return false;
+      flags->seed_lo = flags->seed_hi = n;
+    } else if (const char* v = value_of("--steps=")) {
+      if (!ParseUint(v, &n)) return false;
+      flags->steps = n;
+    } else if (const char* v = value_of("--check-every=")) {
+      if (!ParseUint(v, &n) || n == 0) return false;
+      flags->check_every = n;
+    } else if (const char* v = value_of("--faults=")) {
+      flags->faults = v;
+      if (flags->faults != "both" && flags->faults != "only" &&
+          flags->faults != "off") {
+        return false;
+      }
+    } else if (std::strcmp(arg, "--self-test") == 0) {
+      flags->self_test = true;
+    } else if (const char* v = value_of("--replay=")) {
+      flags->replay_file = v;
+    } else if (const char* v = value_of("--max-entries=")) {
+      if (!ParseUint(v, &n)) return false;
+      flags->max_entries = n;
+    } else if (const char* v = value_of("--incremental=")) {
+      if (!ParseUint(v, &n) || n > 1) return false;
+      flags->incremental = n == 1;
+    } else {
+      return false;
+    }
+  }
+  return flags->seed_lo <= flags->seed_hi;
+}
+
+int RunReplay(const Flags& flags) {
+  std::ifstream file(flags.replay_file);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", flags.replay_file.c_str());
+    return 2;
+  }
+  Database db;
+  AggregateCacheManager::Config config;
+  config.max_entries = flags.max_entries;
+  config.incremental_join_main_compensation = flags.incremental;
+  AggregateCacheManager cache(&db, config);
+  TraceReplayer replayer(&db, &cache);
+  auto report_or = replayer.Replay(file);
+  aggcache::FaultInjector::Global().DisarmAll();
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 report_or.status().ToString().c_str());
+    return 1;
+  }
+  const aggcache::TraceReport& r = report_or.value();
+  std::printf(
+      "replay ok: %zu statements (%zu inserts, %zu queries, %zu ddl), "
+      "%zu updates, %zu deletes, %zu merges (%zu faulted), %zu splits\n",
+      r.statements, r.inserts, r.queries, r.ddl, r.updates, r.deletes,
+      r.merges, r.faulted_merges, r.splits);
+  return 0;
+}
+
+int RunSelfTest(const Flags& flags) {
+  FuzzOptions options;
+  options.steps = flags.steps;
+  options.check_every = flags.check_every;
+  options.inject_divergence = true;
+  FuzzReport report = RunFuzzSeed(flags.seed_lo, options);
+  std::printf("%s\n", report.Summary().c_str());
+  if (report.ok) {
+    std::fprintf(stderr,
+                 "self-test FAILED: planted divergence was not detected\n");
+    return 1;
+  }
+  std::printf("--- replayable trace ---\n%s--- end trace ---\n",
+              report.trace.c_str());
+  std::printf("self-test ok: planted divergence detected and reported\n");
+  return 0;
+}
+
+int ReportFailure(const FuzzReport& report, bool with_faults) {
+  std::printf("%s\n", report.Summary().c_str());
+  std::fprintf(stderr, "first failing seed: %llu (%s)\n",
+               static_cast<unsigned long long>(report.seed),
+               with_faults ? "with faults" : "clean");
+  std::printf("--- replayable trace (feed to --replay) ---\n%s--- end "
+              "trace ---\n",
+              report.trace.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage(argv[0]);
+  if (!flags.replay_file.empty()) return RunReplay(flags);
+  if (flags.self_test) return RunSelfTest(flags);
+
+  FuzzOptions options;
+  options.steps = flags.steps;
+  options.check_every = flags.check_every;
+
+  size_t runs = 0;
+  size_t combos = 0;
+  uint64_t faults = 0;
+  for (uint64_t seed = flags.seed_lo; seed <= flags.seed_hi; ++seed) {
+    if (flags.faults != "only") {
+      options.with_faults = false;
+      FuzzReport report = RunFuzzSeed(seed, options);
+      if (!report.ok) return ReportFailure(report, false);
+      std::printf("%s\n", report.Summary().c_str());
+      ++runs;
+      combos += report.combos_checked;
+    }
+    if (flags.faults != "off") {
+      options.with_faults = true;
+      FuzzReport report = RunFuzzSeed(seed, options);
+      if (!report.ok) return ReportFailure(report, true);
+      std::printf("[faults] %s\n", report.Summary().c_str());
+      ++runs;
+      combos += report.combos_checked;
+      faults += report.faults_fired;
+    }
+  }
+  std::printf(
+      "all %zu runs matched the oracle (%zu strategy combinations, %llu "
+      "injected faults fired)\n",
+      runs, combos, static_cast<unsigned long long>(faults));
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "txn/consistent_view_manager.h"
+#include "verify/fault_injector.h"
 
 namespace aggcache {
 
@@ -450,6 +451,21 @@ Status AggregateCacheManager::Prewarm(const AggregateQuery& query) {
 
 void AggregateCacheManager::EvictIfNeeded(const CacheEntry* keep) {
   AssertByteAccounting();
+  if (!FaultInjector::Global().MaybeFail("cache.evict_all").ok()) {
+    // Simulated memory pressure: drop every entry except the one the
+    // caller still holds a pointer to. Results must stay correct — the
+    // next access simply rebuilds from scratch.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.get() == keep) {
+        ++it;
+        continue;
+      }
+      total_bytes_ -= it->second->metrics().size_bytes;
+      it = entries_.erase(it);
+    }
+    AssertByteAccounting();
+    return;
+  }
   // The running byte total makes the budget check O(1); the old
   // implementation recomputed total_bytes() (O(entries)) on every loop
   // iteration and rescanned all entries per victim — O(n^2) per eviction
@@ -508,7 +524,9 @@ void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
     // Skip entries that don't reference the merging table before paying for
     // a catalog bind.
     if (!QueryUsesTable(entry->query(), table)) continue;
-    auto bound_or = BoundQuery::Bind(*db_, entry->query());
+    Status bind_fault = FaultInjector::Global().MaybeFail("maintenance.bind");
+    auto bound_or = bind_fault.ok() ? BoundQuery::Bind(*db_, entry->query())
+                                    : StatusOr<BoundQuery>(bind_fault);
     if (!bound_or.ok()) {
       RecordMaintenanceFailure(*entry, bound_or.status());
       continue;
@@ -525,13 +543,19 @@ void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
       // Stale shape; rebuild now, the delta rows are still visible so the
       // rebuilt entry is folded below only if needed. Rebuilding computes
       // mains only, so fold the delta in unconditionally afterwards.
-      Status status = RebuildEntry(*entry, bound, snapshot);
+      Status status =
+          FaultInjector::Global().MaybeFail("maintenance.rebuild");
+      if (status.ok()) status = RebuildEntry(*entry, bound, snapshot);
       if (!status.ok()) {
         RecordMaintenanceFailure(*entry, status);
         continue;
       }
     } else {
-      Status status = MainCompensate(*entry, bound, snapshot, nullptr);
+      Status status =
+          FaultInjector::Global().MaybeFail("maintenance.compensate");
+      if (status.ok()) {
+        status = MainCompensate(*entry, bound, snapshot, nullptr);
+      }
       if (!status.ok()) {
         RecordMaintenanceFailure(*entry, status);
         continue;
@@ -549,6 +573,12 @@ void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
       SubjoinCombination delta_combo = combo;
       delta_combo[table_pos].kind = PartitionKind::kDelta;
       if (pruner.ShouldPrune(bound, mds, delta_combo).pruned) continue;
+      Status fold_fault = FaultInjector::Global().MaybeFail("maintenance.fold");
+      if (!fold_fault.ok()) {
+        RecordMaintenanceFailure(*entry, fold_fault);
+        fold_failed = true;
+        break;
+      }
       auto partial_or =
           executor_.ExecuteSubjoin(bound, delta_combo, snapshot);
       if (!partial_or.ok()) {
@@ -570,7 +600,9 @@ void AggregateCacheManager::OnAfterMerge(Table& table, size_t group_index) {
   for (auto& [key, entry] : entries_) {
     if (!QueryUsesTable(entry->query(), table)) continue;
     if (entry->needs_rebuild()) continue;  // Deferred to the next access.
-    auto bound_or = BoundQuery::Bind(*db_, entry->query());
+    Status bind_fault = FaultInjector::Global().MaybeFail("maintenance.bind");
+    auto bound_or = bind_fault.ok() ? BoundQuery::Bind(*db_, entry->query())
+                                    : StatusOr<BoundQuery>(bind_fault);
     if (!bound_or.ok()) {
       RecordMaintenanceFailure(*entry, bound_or.status());
       continue;
@@ -583,6 +615,21 @@ void AggregateCacheManager::OnAfterMerge(Table& table, size_t group_index) {
     if (!uses_table) continue;
     RefreshSnapshots(*entry, bound, snapshot);
     RefreshEntrySize(*entry);
+  }
+}
+
+void AggregateCacheManager::OnMergeAborted(Table& table, size_t group_index) {
+  (void)group_index;
+  // OnBeforeMerge already folded the merging delta into the affected
+  // entries, but the delta survived the abort — a cached read would now
+  // double-count it. There is no cheap undo (the fold mutated the
+  // partials), so every entry touching the table degrades to a rebuild on
+  // next access.
+  for (auto& [key, entry] : entries_) {
+    if (!QueryUsesTable(entry->query(), table)) continue;
+    RecordMaintenanceFailure(
+        *entry, Status::Internal("merge of '" + table.name() +
+                                 "' aborted after forward maintenance"));
   }
 }
 

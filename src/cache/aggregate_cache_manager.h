@@ -123,6 +123,7 @@ class AggregateCacheManager : public MergeObserver {
   // (Section 5.2).
   void OnBeforeMerge(Table& table, size_t group_index) override;
   void OnAfterMerge(Table& table, size_t group_index) override;
+  void OnMergeAborted(Table& table, size_t group_index) override;
 
  private:
   /// Returns the entry for the bound query, building it on a miss. Returns

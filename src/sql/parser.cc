@@ -357,6 +357,33 @@ class Parser {
         return Status::InvalidArgument(
             "HAVING aggregate does not appear in the SELECT list");
       }
+      // Type-check the comparison literal. SUM/COUNT/AVG (and COUNT(*))
+      // always finalize to a number; MIN/MAX finalize to the column's
+      // type. Comparing across that divide can never be meant literally,
+      // so it is rejected here instead of evaluating to false per group.
+      const AggregateSpec& spec = query.aggregates[matched];
+      bool numeric_aggregate = true;
+      if (spec.fn == AggregateFunction::kMin ||
+          spec.fn == AggregateFunction::kMax) {
+        ASSIGN_OR_RETURN(
+            const Table* table,
+            db_.GetTable(query.tables[spec.table_index].table_name));
+        ASSIGN_OR_RETURN(size_t col,
+                         table->schema().ColumnIndex(spec.column));
+        numeric_aggregate =
+            table->schema().columns[col].type != ColumnType::kString;
+      }
+      bool numeric_operand =
+          raw.operand.is_int64() || raw.operand.is_double();
+      if (!raw.operand.is_null() && numeric_aggregate != numeric_operand) {
+        return Status::InvalidArgument(
+            "HAVING compares " +
+            std::string(numeric_aggregate ? "a numeric aggregate"
+                                          : "a string aggregate") +
+            " with " +
+            std::string(numeric_operand ? "a numeric literal"
+                                        : "a string literal"));
+      }
       query.having.push_back(
           HavingPredicate{matched, raw.op, raw.operand});
     }

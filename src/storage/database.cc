@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "verify/fault_injector.h"
 
 namespace aggcache {
 
@@ -49,7 +50,17 @@ Status Database::Merge(const std::string& table_name,
     for (MergeObserver* observer : merge_observers_) {
       observer->OnBeforeMerge(*table, g);
     }
-    RETURN_IF_ERROR(MergeTableGroup(*table, g, options));
+    // The fault point sits after OnBeforeMerge on purpose: observers have
+    // already folded the delta forward, so an abort here exercises their
+    // worst-case recovery path (OnMergeAborted).
+    Status merged = FaultInjector::Global().MaybeFail("storage.merge");
+    if (merged.ok()) merged = MergeTableGroup(*table, g, options);
+    if (!merged.ok()) {
+      for (MergeObserver* observer : merge_observers_) {
+        observer->OnMergeAborted(*table, g);
+      }
+      return merged;
+    }
     for (MergeObserver* observer : merge_observers_) {
       observer->OnAfterMerge(*table, g);
     }

@@ -22,6 +22,16 @@ class MergeObserver {
 
   /// Called after the merge: the group has a rebuilt main and empty delta.
   virtual void OnAfterMerge(Table& table, size_t group_index) = 0;
+
+  /// Called when a merge fails *between* OnBeforeMerge and OnAfterMerge:
+  /// the group still has its old main and a non-empty delta, but observers
+  /// may already have applied forward-looking maintenance (the cache folds
+  /// deltas into its entries in OnBeforeMerge) and must undo or invalidate
+  /// it here, or the next cached read double-counts the surviving delta.
+  virtual void OnMergeAborted(Table& table, size_t group_index) {
+    (void)table;
+    (void)group_index;
+  }
 };
 
 }  // namespace aggcache

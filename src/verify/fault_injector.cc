@@ -1,0 +1,157 @@
+#include "verify/fault_injector.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+
+namespace aggcache {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* fi = new FaultInjector();
+    if (const char* seed = std::getenv("AGGCACHE_FAULT_SEED")) {
+      fi->Reseed(std::strtoull(seed, nullptr, 10));
+    }
+    if (const char* spec = std::getenv("AGGCACHE_FAULT")) {
+      Status status = fi->ArmFromSpec(spec);
+      if (!status.ok()) {
+        std::cerr << "aggcache: ignoring malformed AGGCACHE_FAULT: "
+                  << status.ToString() << "\n";
+      }
+    }
+    return fi;
+  }();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() : rng_(42) {}
+
+void FaultInjector::Arm(const std::string& point, PointConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  p.config = config;
+  p.armed = true;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+  bool any = false;
+  for (const auto& [name, p] : points_) any = any || p.armed;
+  any_armed_.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, p] : points_) p.armed = false;
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  std::string trimmed;
+  for (char c : spec) {
+    if (c != ' ' && c != '\t') trimmed += c;
+  }
+  if (trimmed.empty() || trimmed == "off") {
+    DisarmAll();
+    return Status::Ok();
+  }
+  size_t begin = 0;
+  while (begin <= trimmed.size()) {
+    size_t end = trimmed.find(',', begin);
+    if (end == std::string::npos) end = trimmed.size();
+    std::string element = trimmed.substr(begin, end - begin);
+    begin = end + 1;
+    if (element.empty()) continue;
+    size_t colon = element.find(':');
+    std::string point = element.substr(0, colon);
+    if (point.empty()) {
+      return Status::InvalidArgument("fault spec element has no point name: '" +
+                                     element + "'");
+    }
+    PointConfig config;
+    if (colon != std::string::npos) {
+      std::string rest = element.substr(colon + 1);
+      size_t colon2 = rest.find(':');
+      std::string prob = rest.substr(0, colon2);
+      char* endp = nullptr;
+      config.probability = std::strtod(prob.c_str(), &endp);
+      if (endp == prob.c_str() || *endp != '\0' || config.probability < 0.0 ||
+          config.probability > 1.0) {
+        return Status::InvalidArgument("bad fault probability in '" + element +
+                                       "'");
+      }
+      if (colon2 != std::string::npos) {
+        std::string max = rest.substr(colon2 + 1);
+        config.max_fires = std::strtoll(max.c_str(), &endp, 10);
+        if (endp == max.c_str() || *endp != '\0') {
+          return Status::InvalidArgument("bad fault max_fires in '" + element +
+                                         "'");
+        }
+      }
+    }
+    Arm(point, config);
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.seed(seed);
+}
+
+Status FaultInjector::MaybeFail(const char* point) {
+  if (!any_armed_.load(std::memory_order_relaxed)) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return Status::Ok();
+  Point& p = it->second;
+  ++p.stats.hits;
+  if (p.config.max_fires >= 0 &&
+      p.stats.fired >= static_cast<uint64_t>(p.config.max_fires)) {
+    return Status::Ok();
+  }
+  if (p.config.probability < 1.0 &&
+      std::uniform_real_distribution<double>(0.0, 1.0)(rng_) >=
+          p.config.probability) {
+    return Status::Ok();
+  }
+  ++p.stats.fired;
+  return Status::Internal(StrFormat("%s fault at %s (#%llu)",
+                                    kInjectedFaultTag, point,
+                                    static_cast<unsigned long long>(
+                                        p.stats.fired)));
+}
+
+bool FaultInjector::AnyArmed() const {
+  return any_armed_.load(std::memory_order_relaxed);
+}
+
+FaultInjector::PointStats FaultInjector::stats(
+    const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? PointStats() : it->second.stats;
+}
+
+uint64_t FaultInjector::TotalFired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t fired = 0;
+  for (const auto& [name, p] : points_) fired += p.stats.fired;
+  return fired;
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, p] : points_) p.stats = PointStats();
+}
+
+bool FaultInjector::IsInjectedFault(const Status& status) {
+  return !status.ok() &&
+         status.message().find(kInjectedFaultTag) != std::string::npos;
+}
+
+}  // namespace aggcache

@@ -1,0 +1,113 @@
+#ifndef AGGCACHE_VERIFY_FAULT_INJECTOR_H_
+#define AGGCACHE_VERIFY_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aggcache {
+
+/// Process-wide fault-injection registry consulted by the failure-handling
+/// paths of the engine (cache maintenance, entry rebuild, eviction, delta
+/// merge). Production code calls MaybeFail("point") at each hook; when the
+/// point is armed the call returns an error Status with a recognizable
+/// message, and the surrounding code must degrade gracefully — the property
+/// the differential harness (src/verify/fuzzer.h) asserts under randomized
+/// fault schedules.
+///
+/// Points shipped with the engine:
+///   storage.merge           Database::Merge, before a group merge runs.
+///   maintenance.bind        Merge-time query re-bind against the catalog.
+///   maintenance.compensate  Merge-time main compensation of an entry.
+///   maintenance.rebuild     Merge-time rebuild of a stale-shaped entry.
+///   maintenance.fold        Folding the merging delta into a cached partial.
+///   cache.evict_all         EvictIfNeeded; firing simulates memory pressure
+///                           by dropping every evictable entry.
+///
+/// Arming is programmatic (Arm/ArmFromSpec) or via the AGGCACHE_FAULT
+/// environment variable, read once on first use:
+///
+///   AGGCACHE_FAULT="maintenance.fold:0.5,storage.merge:0.1:3"
+///
+/// Each comma-separated element is point:probability[:max_fires]. The draw
+/// sequence is deterministic for a given seed (AGGCACHE_FAULT_SEED, default
+/// 42) and arming order.
+///
+/// With nothing armed, MaybeFail is a single relaxed atomic load — cheap
+/// enough to leave the hooks in production builds.
+class FaultInjector {
+ public:
+  struct PointConfig {
+    /// Chance that one MaybeFail call at this point fails.
+    double probability = 1.0;
+    /// Maximum number of failures this point may produce; < 0 = unlimited.
+    int64_t max_fires = -1;
+  };
+
+  /// Counters for one point, for tests and the fuzz report.
+  struct PointStats {
+    uint64_t hits = 0;   ///< MaybeFail calls while armed.
+    uint64_t fired = 0;  ///< Calls that returned an error.
+  };
+
+  /// The process-wide injector. First use parses AGGCACHE_FAULT.
+  static FaultInjector& Global();
+
+  /// Arms `point`; MaybeFail(point) then fails per `config`.
+  void Arm(const std::string& point, PointConfig config);
+
+  /// Disarms one point / every point. Counters survive until
+  /// ResetCounters().
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Parses "point:prob[:max],point:prob[:max],..." and arms each element.
+  /// "off" (or an empty spec) disarms everything.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Reseeds the deterministic draw sequence.
+  void Reseed(uint64_t seed);
+
+  /// Consulted by engine hooks: OK when the point is not armed or the draw
+  /// passes, an Internal error carrying kInjectedFaultTag otherwise.
+  Status MaybeFail(const char* point);
+
+  /// True when any point is currently armed (cheap pre-check; also lets
+  /// replay tooling decide whether a failed merge was expected).
+  bool AnyArmed() const;
+
+  PointStats stats(const std::string& point) const;
+  uint64_t TotalFired() const;
+  void ResetCounters();
+
+  /// Marker embedded in every injected error message.
+  static constexpr const char* kInjectedFaultTag = "[injected-fault]";
+
+  /// True when `status` was produced by MaybeFail (vs. a genuine failure).
+  static bool IsInjectedFault(const Status& status);
+
+ private:
+  FaultInjector();
+
+  struct Point {
+    PointConfig config;
+    PointStats stats;
+    bool armed = false;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;
+  std::mt19937_64 rng_;
+  /// Lock-free fast path: set iff any point is armed.
+  std::atomic<bool> any_armed_{false};
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_VERIFY_FAULT_INJECTOR_H_

@@ -1,0 +1,72 @@
+#ifndef AGGCACHE_VERIFY_FUZZER_H_
+#define AGGCACHE_VERIFY_FUZZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aggcache {
+
+/// Knobs for one differential fuzz run (one seed).
+struct FuzzOptions {
+  /// Workload steps interleaving inserts, updates, deletes, merges,
+  /// hot/cold splits, fault-schedule changes, and query checkpoints.
+  size_t steps = 60;
+  /// A query checkpoint is forced at least every `check_every` steps.
+  size_t check_every = 6;
+  /// Global thread-pool parallelism values swept per checkpoint query.
+  std::vector<size_t> thread_counts = {1, 4};
+  /// Interleave randomized AGGCACHE_FAULT-style schedules into the
+  /// workload (maintenance, merge, and eviction failures).
+  bool with_faults = false;
+  /// Per-point arming probability when drawing a fault schedule.
+  double fault_probability = 0.35;
+  /// Corrupt the oracle at the first checkpoint to prove the harness
+  /// reports a divergence (self-test of the reporting pipeline).
+  bool inject_divergence = false;
+  /// Relative tolerance for double aggregates (summation order differs).
+  double tolerance = 1e-9;
+};
+
+/// First divergence (or unexpected error) found by a run.
+struct FuzzFailure {
+  /// Strategy/pushdown/threads combination, or the failing operation.
+  std::string where;
+  /// SQL of the diverging query, when applicable.
+  std::string query_sql;
+  /// Oracle-vs-engine diff or error status.
+  std::string description;
+};
+
+/// Outcome of one seed.
+struct FuzzReport {
+  bool ok = true;
+  uint64_t seed = 0;
+  size_t steps_executed = 0;
+  size_t queries_checked = 0;
+  /// Strategy × pushdown × threads executions diffed against the oracle.
+  size_t combos_checked = 0;
+  /// Injected faults that actually fired during the run.
+  uint64_t faults_fired = 0;
+  std::optional<FuzzFailure> failure;
+  /// Replayable trace (workload/trace.h format) of everything executed,
+  /// including fault-schedule meta ops; printed on failure so any seed can
+  /// be reproduced and minimized by hand.
+  std::string trace;
+
+  std::string Summary() const;
+};
+
+/// Runs one seeded schema + workload fuzz: generates a random
+/// header/item/dimension schema with matching-dependency tid columns,
+/// interleaves a randomized workload, and at every checkpoint executes the
+/// current query through all {strategy} × {pushdown} × {threads}
+/// combinations, diffing each against the reference oracle
+/// (verify/oracle.h). Always restores global state (fault injector
+/// disarmed, parallelism 1) before returning.
+FuzzReport RunFuzzSeed(uint64_t seed, const FuzzOptions& options);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_VERIFY_FUZZER_H_

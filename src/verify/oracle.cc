@@ -1,0 +1,400 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "query/predicate.h"
+#include "storage/partition.h"
+#include "storage/table.h"
+
+namespace aggcache {
+namespace {
+
+/// One table's MVCC-visible rows, fully decoded. The oracle materializes
+/// everything up front — main and delta, hot and cold — so the scan order
+/// and representation share nothing with the executor's partition-wise
+/// dictionary scans.
+struct VisibleTable {
+  const Table* table = nullptr;
+  std::vector<std::vector<Value>> rows;
+};
+
+VisibleTable CollectVisibleRows(const Table& table, Snapshot snapshot) {
+  VisibleTable out;
+  out.table = &table;
+  for (size_t g = 0; g < table.num_groups(); ++g) {
+    const PartitionGroup& group = table.group(g);
+    for (const Partition* partition : {&group.main, &group.delta}) {
+      for (size_t r = 0; r < partition->num_rows(); ++r) {
+        if (snapshot.RowVisible(partition->create_tid(r),
+                                partition->invalidate_tid(r))) {
+          out.rows.push_back(partition->GetRow(r));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Own comparison evaluation (kept separate from query/predicate.cc's
+/// EvalCompare on purpose, even though the semantics must agree).
+bool OracleCompare(CompareOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return !(rhs < lhs);
+    case CompareOp::kGt:
+      return rhs < lhs;
+    case CompareOp::kGe:
+      return !(lhs < rhs);
+  }
+  return false;
+}
+
+/// The oracle's own accumulator. Field-for-field it mirrors the specified
+/// semantics of AggregateState (NULL still counts toward COUNT, exact int64
+/// sums, separate double sums, Value-ordered min/max) but none of that
+/// class's methods are used for the arithmetic.
+struct OracleState {
+  int64_t sum_int = 0;
+  double sum_double = 0.0;
+  int64_t count = 0;
+  bool saw_double = false;
+  Value min;
+  Value max;
+
+  void Add(const Value& v) {
+    ++count;
+    if (v.is_null()) return;
+    if (v.is_int64()) {
+      sum_int += v.AsInt64();
+    } else if (v.is_double()) {
+      sum_double += v.AsDouble();
+      saw_double = true;
+    }
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || max < v) max = v;
+  }
+};
+
+struct OracleGroup {
+  std::vector<OracleState> states;
+  int64_t count_star = 0;
+};
+
+/// Lexicographic key order for the oracle's deterministic group map.
+struct GroupKeyLess {
+  bool operator()(const GroupKey& a, const GroupKey& b) const {
+    for (size_t i = 0; i < a.values.size() && i < b.values.size(); ++i) {
+      if (a.values[i] < b.values[i]) return true;
+      if (b.values[i] < a.values[i]) return false;
+    }
+    return a.values.size() < b.values.size();
+  }
+};
+
+/// Independent finalization of one oracle state, mirroring the documented
+/// output rules: COUNT/COUNT(*) int64; AVG double (NULL on empty groups);
+/// SUM int64 until a double contributed.
+Value OracleFinalize(const OracleState& s, AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kSum:
+      return s.saw_double ? Value(static_cast<double>(s.sum_int) +
+                                  s.sum_double)
+                          : Value(s.sum_int);
+    case AggregateFunction::kCount:
+      return Value(s.count);
+    case AggregateFunction::kCountStar:
+      return Value(s.count);
+    case AggregateFunction::kAvg:
+      if (s.count == 0) return Value();
+      return Value((static_cast<double>(s.sum_int) + s.sum_double) /
+                   static_cast<double>(s.count));
+    case AggregateFunction::kMin:
+      return s.min;
+    case AggregateFunction::kMax:
+      return s.max;
+  }
+  return Value();
+}
+
+/// A column reference resolved to (table position, column position).
+struct ColumnSlot {
+  size_t table = 0;
+  size_t column = 0;
+};
+
+StatusOr<ColumnSlot> ResolveColumn(const std::vector<VisibleTable>& tables,
+                                   size_t table_index,
+                                   const std::string& column) {
+  if (table_index >= tables.size()) {
+    return Status::InvalidArgument(
+        StrFormat("oracle: table index %zu out of range", table_index));
+  }
+  ASSIGN_OR_RETURN(size_t col,
+                   tables[table_index].table->schema().ColumnIndex(column));
+  return ColumnSlot{table_index, col};
+}
+
+}  // namespace
+
+StatusOr<AggregateResult> OracleExecute(const Database& db,
+                                        const AggregateQuery& query,
+                                        Snapshot snapshot) {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("oracle: query has no tables");
+  }
+
+  // Materialize every visible row of every query table.
+  std::vector<VisibleTable> tables;
+  tables.reserve(query.tables.size());
+  for (const TableRef& ref : query.tables) {
+    ASSIGN_OR_RETURN(const Table* table, db.GetTable(ref.table_name));
+    tables.push_back(CollectVisibleRows(*table, snapshot));
+  }
+
+  // Resolve every column reference once.
+  struct ResolvedFilter {
+    ColumnSlot slot;
+    CompareOp op;
+    Value operand;
+  };
+  std::vector<ResolvedFilter> filters;
+  for (const FilterPredicate& f : query.filters) {
+    ASSIGN_OR_RETURN(ColumnSlot slot,
+                     ResolveColumn(tables, f.table_index, f.column));
+    filters.push_back({slot, f.op, f.operand});
+  }
+
+  struct ResolvedJoin {
+    ColumnSlot left;
+    ColumnSlot right;
+    size_t ready_at;  ///< Both sides bound once this table is assigned.
+  };
+  std::vector<ResolvedJoin> joins;
+  for (const JoinCondition& j : query.joins) {
+    ASSIGN_OR_RETURN(ColumnSlot left,
+                     ResolveColumn(tables, j.left_table, j.left_column));
+    ASSIGN_OR_RETURN(ColumnSlot right,
+                     ResolveColumn(tables, j.right_table, j.right_column));
+    joins.push_back({left, right, std::max(j.left_table, j.right_table)});
+  }
+
+  std::vector<ColumnSlot> group_slots;
+  for (const GroupByRef& g : query.group_by) {
+    ASSIGN_OR_RETURN(ColumnSlot slot,
+                     ResolveColumn(tables, g.table_index, g.column));
+    group_slots.push_back(slot);
+  }
+
+  // COUNT(*) needs no input column; mark it with table == npos.
+  constexpr size_t kNoColumn = static_cast<size_t>(-1);
+  std::vector<ColumnSlot> agg_slots;
+  for (const AggregateSpec& a : query.aggregates) {
+    if (a.fn == AggregateFunction::kCountStar) {
+      agg_slots.push_back({kNoColumn, kNoColumn});
+      continue;
+    }
+    ASSIGN_OR_RETURN(ColumnSlot slot,
+                     ResolveColumn(tables, a.table_index, a.column));
+    agg_slots.push_back(slot);
+  }
+
+  // Per-table filters apply before the join; everything else is evaluated
+  // on complete combinations inside the nested loop.
+  for (const ResolvedFilter& f : filters) {
+    std::vector<std::vector<Value>>& rows = tables[f.slot.table].rows;
+    std::vector<std::vector<Value>> kept;
+    for (std::vector<Value>& row : rows) {
+      if (OracleCompare(f.op, row[f.slot.column], f.operand)) {
+        kept.push_back(std::move(row));
+      }
+    }
+    rows = std::move(kept);
+  }
+
+  // Nested-loop join: bind tables left to right, checking each equi-join
+  // as soon as both of its sides are bound. std::map keeps group iteration
+  // deterministic without relying on GroupKeyHash.
+  std::map<GroupKey, OracleGroup, GroupKeyLess> groups;
+  std::vector<const std::vector<Value>*> bound(tables.size(), nullptr);
+
+  auto emit = [&]() {
+    GroupKey key;
+    key.values.reserve(group_slots.size());
+    for (const ColumnSlot& slot : group_slots) {
+      key.values.push_back((*bound[slot.table])[slot.column]);
+    }
+    OracleGroup& group = groups[key];
+    if (group.states.empty()) group.states.resize(agg_slots.size());
+    for (size_t i = 0; i < agg_slots.size(); ++i) {
+      const ColumnSlot& slot = agg_slots[i];
+      group.states[i].Add(slot.table == kNoColumn
+                              ? Value(int64_t{1})
+                              : (*bound[slot.table])[slot.column]);
+    }
+    ++group.count_star;
+  };
+
+  // Recursive lambda via explicit self-reference.
+  std::function<void(size_t)> descend = [&](size_t depth) {
+    if (depth == tables.size()) {
+      emit();
+      return;
+    }
+    for (const std::vector<Value>& row : tables[depth].rows) {
+      bound[depth] = &row;
+      bool joins_hold = true;
+      for (const ResolvedJoin& j : joins) {
+        if (j.ready_at != depth) continue;
+        if ((*bound[j.left.table])[j.left.column] !=
+            (*bound[j.right.table])[j.right.column]) {
+          joins_hold = false;
+          break;
+        }
+      }
+      if (joins_hold) descend(depth + 1);
+    }
+    bound[depth] = nullptr;
+  };
+  descend(0);
+
+  // HAVING on the oracle's own finalized values, with the same cross-type
+  // numeric coercion the engine documents for ApplyHaving.
+  std::vector<AggregateFunction> functions = query.AggregateFunctions();
+  auto passes_having = [&](const OracleGroup& group) {
+    for (const HavingPredicate& h : query.having) {
+      Value finalized =
+          OracleFinalize(group.states[h.aggregate_index],
+                         functions[h.aggregate_index]);
+      bool ok;
+      if (!finalized.is_null() && !h.operand.is_null() &&
+          !finalized.is_string() && !h.operand.is_string() &&
+          finalized.type() != h.operand.type()) {
+        ok = OracleCompare(h.op, Value(finalized.NumericAsDouble()),
+                           Value(h.operand.NumericAsDouble()));
+      } else {
+        ok = OracleCompare(h.op, finalized, h.operand);
+      }
+      if (!ok) return false;
+    }
+    return true;
+  };
+
+  // Package into the shared result container. Only the container is shared:
+  // the states' fields were accumulated by the oracle's own arithmetic.
+  AggregateResult result(query.aggregates.size());
+  for (const auto& [key, group] : groups) {
+    if (!passes_having(group)) continue;
+    AggregateResult::GroupEntry entry;
+    entry.count_star = group.count_star;
+    entry.states.reserve(group.states.size());
+    for (const OracleState& s : group.states) {
+      AggregateState state;
+      state.sum_int = s.sum_int;
+      state.sum_double = s.sum_double;
+      state.count = s.count;
+      state.saw_double = s.saw_double;
+      state.min = s.min;
+      state.max = s.max;
+      entry.states.push_back(std::move(state));
+    }
+    result.SetGroup(key, std::move(entry));
+  }
+  return result;
+}
+
+namespace {
+
+bool ValuesApproxEqual(const Value& a, const Value& b, double tolerance) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.is_string() || b.is_string()) return a == b;
+  if (a.is_int64() && b.is_int64()) return a.AsInt64() == b.AsInt64();
+  // At least one double: compare numerically with scaled tolerance.
+  double da = a.NumericAsDouble();
+  double db = b.NumericAsDouble();
+  double scale = std::max({1.0, std::fabs(da), std::fabs(db)});
+  return std::fabs(da - db) <= tolerance * scale;
+}
+
+std::string RowToString(const std::vector<Value>& row) {
+  std::vector<std::string> parts;
+  parts.reserve(row.size());
+  for (const Value& v : row) parts.push_back(v.ToString());
+  return "[" + StrJoin(parts, ", ") + "]";
+}
+
+/// Finalizes and sorts one result with the oracle's own arithmetic —
+/// deliberately NOT AggregateResult::Rows, so the comparison is asymmetric:
+/// DiffResults feeds the expected side through this path and the actual
+/// side through the engine's Finalize, covering finalization bugs too.
+std::vector<std::vector<Value>> OwnRows(
+    const AggregateResult& result,
+    const std::vector<AggregateFunction>& functions) {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(result.num_groups());
+  for (const auto& [key, entry] : result.groups()) {
+    std::vector<Value> row = key.values;
+    for (size_t i = 0; i < functions.size(); ++i) {
+      OracleState s;
+      s.sum_int = entry.states[i].sum_int;
+      s.sum_double = entry.states[i].sum_double;
+      s.count = entry.states[i].count;
+      s.saw_double = entry.states[i].saw_double;
+      s.min = entry.states[i].min;
+      s.max = entry.states[i].max;
+      row.push_back(OracleFinalize(s, functions[i]));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                if (a[i] < b[i]) return true;
+                if (b[i] < a[i]) return false;
+              }
+              return a.size() < b.size();
+            });
+  return rows;
+}
+
+}  // namespace
+
+std::optional<std::string> DiffResults(
+    const AggregateResult& expected, const AggregateResult& actual,
+    const std::vector<AggregateFunction>& functions, double tolerance) {
+  std::vector<std::vector<Value>> want = OwnRows(expected, functions);
+  std::vector<std::vector<Value>> got = actual.Rows(functions);
+  if (want.size() != got.size()) {
+    return StrFormat("group count differs: oracle has %zu, engine has %zu",
+                     want.size(), got.size());
+  }
+  for (size_t r = 0; r < want.size(); ++r) {
+    if (want[r].size() != got[r].size()) {
+      return StrFormat("row %zu width differs: oracle %s vs engine %s", r,
+                       RowToString(want[r]).c_str(),
+                       RowToString(got[r]).c_str());
+    }
+    for (size_t c = 0; c < want[r].size(); ++c) {
+      if (!ValuesApproxEqual(want[r][c], got[r][c], tolerance)) {
+        return StrFormat(
+            "row %zu column %zu differs: oracle %s vs engine %s\n  oracle "
+            "row: %s\n  engine row: %s",
+            r, c, want[r][c].ToString().c_str(), got[r][c].ToString().c_str(),
+            RowToString(want[r]).c_str(), RowToString(got[r]).c_str());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace aggcache

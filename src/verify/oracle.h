@@ -1,0 +1,41 @@
+#ifndef AGGCACHE_VERIFY_ORACLE_H_
+#define AGGCACHE_VERIFY_ORACLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/aggregate_query.h"
+#include "query/aggregate_result.h"
+#include "storage/database.h"
+#include "txn/types.h"
+
+namespace aggcache {
+
+/// Reference oracle engine for the differential correctness harness.
+///
+/// Deliberately naive by design: it materializes every MVCC-visible row of
+/// every partition (main and delta, hot and cold) into decoded value
+/// vectors, evaluates filters row at a time, joins with nested loops, and
+/// aggregates with its own accumulator — no cache, no pruning, no
+/// dictionary-code tricks, no subjoin enumeration. It shares nothing with
+/// query/executor.cc (including BoundQuery::Bind and AggregateState
+/// arithmetic), so an executor bug and an oracle bug cannot cancel out.
+/// O(product of table sizes); intended for harness-sized data only.
+StatusOr<AggregateResult> OracleExecute(const Database& db,
+                                        const AggregateQuery& query,
+                                        Snapshot snapshot);
+
+/// Compares two results by their finalized, deterministically sorted rows.
+/// Strings, int64s, and NULLs compare exactly; doubles within
+/// `tolerance * max(1, |a|, |b|)` (summation order differs between the
+/// engines, so double sums carry rounding noise). Returns nullopt when
+/// equal, otherwise a human-readable description of the first difference.
+std::optional<std::string> DiffResults(
+    const AggregateResult& expected, const AggregateResult& actual,
+    const std::vector<AggregateFunction>& functions, double tolerance = 1e-9);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_VERIFY_ORACLE_H_

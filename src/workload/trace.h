@@ -15,6 +15,10 @@ struct TraceReport {
   size_t queries = 0;
   size_t ddl = 0;     ///< CREATE TABLE statements.
   size_t merges = 0;  ///< !merge meta operations.
+  size_t updates = 0;         ///< !update meta operations.
+  size_t deletes = 0;         ///< !delete meta operations.
+  size_t splits = 0;          ///< !split meta operations.
+  size_t faulted_merges = 0;  ///< Merges aborted by an injected fault.
   double total_ms = 0.0;
   double insert_ms = 0.0;
   double query_ms = 0.0;
@@ -32,6 +36,20 @@ struct TraceReport {
 ///   # comment
 ///   <SQL statement>;            -- may span lines, ends at ';'
 ///   !merge [table ...]          -- delta merge (all tables when omitted)
+///   !update <table> <pk> <v ...>  -- out-of-place update by primary key
+///                                    (the SQL dialect has no UPDATE)
+///   !delete <table> <pk>        -- invalidate by primary key
+///   !split <table> <col> <val>  -- SplitHotCold(col, val)  (Section 5.4)
+///   !aging <table ...>          -- RegisterAgingGroup
+///   !clearcache                 -- drop every cache entry
+///   !fault <spec>               -- arm FaultInjector ("off" disarms)
+///   !faultseed <n>              -- reseed the fault injector draws
+///
+/// Literal operands are SQL-style: integers, decimals, or 'strings'.
+/// A !merge that fails with an *injected* fault (see verify/fault_injector.h)
+/// is counted in `faulted_merges` and replay continues — fuzzer traces
+/// record fault schedules, and an armed merge fault is an expected outcome,
+/// not a replay error.
 ///
 /// Consecutive INSERT statements separated by blank-line-free runs execute
 /// in one transaction per statement (each statement is one transaction, as
@@ -52,6 +70,7 @@ class TraceReplayer {
  private:
   Status ExecuteSql(const std::string& sql, TraceReport* report);
   Status ExecuteMerge(const std::string& args, TraceReport* report);
+  Status ExecuteMeta(const std::string& line, TraceReport* report);
 
   Database* db_;
   AggregateCacheManager* cache_;

@@ -103,5 +103,83 @@ TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
                          ::testing::Values(11, 22, 33, 44));
 
+// Hand-curated corpus of malformed HAVING clauses, join predicates, and
+// tid-column predicates: each must come back as an error Status — a clean
+// rejection, never an abort and never a silent parse into nonsense.
+TEST(ParserMalformedCorpusTest, MalformedStatementsReturnErrorStatus) {
+  Database db;
+  Table* header = nullptr;
+  Table* item = nullptr;
+  testing_util::CreateHeaderItemTables(&db, &header, &item);
+  const char* kCorpus[] = {
+      // --- malformed HAVING ---
+      // HAVING without GROUP BY.
+      "SELECT SUM(Amount) AS s FROM Item HAVING SUM(Amount) > 1;",
+      // HAVING aggregate absent from the select list.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Item.HeaderID GROUP BY FiscalYear "
+      "HAVING AVG(Amount) > 2;",
+      // HAVING on a plain column instead of an aggregate.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Item.HeaderID GROUP BY FiscalYear "
+      "HAVING FiscalYear > 2012;",
+      // HAVING with a dangling operator.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Item.HeaderID GROUP BY FiscalYear "
+      "HAVING SUM(Amount) >;",
+      // HAVING with a string literal against a numeric aggregate.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Item.HeaderID GROUP BY FiscalYear "
+      "HAVING SUM(Amount) = 'forty';",
+      // Two HAVING clauses.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Item.HeaderID GROUP BY FiscalYear "
+      "HAVING SUM(Amount) > 1 HAVING SUM(Amount) < 9;",
+      // --- malformed joins ---
+      // Join on a non-equality operator.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID < Item.HeaderID GROUP BY FiscalYear;",
+      // Join referencing a table missing from FROM.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header "
+      "WHERE Header.HeaderID = Item.HeaderID GROUP BY FiscalYear;",
+      // Join referencing a nonexistent table.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Ghost.HeaderID GROUP BY FiscalYear;",
+      // Join on a nonexistent column.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.NoSuchCol = Item.HeaderID GROUP BY FiscalYear;",
+      // Half a join condition.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = GROUP BY FiscalYear;",
+      // Self-referential "join".
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Header.HeaderID GROUP BY FiscalYear;",
+      // --- malformed tid-column predicates ---
+      // Comparing a tid column to a string.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Item.HeaderID AND tid_Header > 'abc' "
+      "GROUP BY FiscalYear;",
+      // Nonexistent tid column.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Item.HeaderID AND tid_Ghost > 3 "
+      "GROUP BY FiscalYear;",
+      // Ambiguous unqualified tid column (both tables have tid_Header).
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Item.HeaderID AND tid_Header = = 3 "
+      "GROUP BY FiscalYear;",
+      // tid predicate with a dangling conjunction.
+      "SELECT FiscalYear, SUM(Amount) AS s FROM Header, Item "
+      "WHERE Header.HeaderID = Item.HeaderID AND Header.tid_Header > 1 AND "
+      "GROUP BY FiscalYear;",
+  };
+  for (const char* sql : kCorpus) {
+    auto parsed = ParseStatement(sql, db);
+    EXPECT_FALSE(parsed.ok()) << "expected rejection of: " << sql;
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty()) << sql;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace aggcache

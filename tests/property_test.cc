@@ -1,8 +1,10 @@
 // Randomized end-to-end property tests: under an arbitrary interleaving of
-// inserts, updates, deletes, and merges, every cached execution strategy
-// (with and without pruning and pushdown) must agree with uncached
-// execution — the paper's guarantee that compensation and dynamic pruning
-// are always correct.
+// inserts, updates, deletes, merges, and hot/cold partition splits, every
+// cached execution strategy (with and without pruning and pushdown) must
+// agree with uncached execution — the paper's guarantee that compensation
+// and dynamic pruning are always correct. The aggregate function is also
+// randomized per run, including MIN/MAX, which are not self-maintainable
+// and must exercise the uncached-fallback path instead.
 
 #include <map>
 #include <set>
@@ -32,6 +34,7 @@ class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {
         txn, {Value(header_id),
               Value(int64_t{2010} + rng_.UniformInt(0, 4))}));
     live_headers_.insert(header_id);
+    header_tid_[header_id] = txn.tid();
     int items = static_cast<int>(rng_.UniformInt(1, 4));
     for (int i = 0; i < items; ++i) {
       int64_t item_id = next_item_id_++;
@@ -41,10 +44,31 @@ class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {
     }
   }
 
+  // After a consistent-aging split, updates and late child inserts must
+  // target hot objects only (Section 5.4): cold partitions stay immutable,
+  // which is what keeps cold⋈hot logical pruning sound. Deletes are pure
+  // invalidations and remain safe anywhere.
+  bool IsHot(int64_t header_id) const {
+    if (split_tid_ == 0) return true;
+    auto it = header_tid_.find(header_id);
+    return it != header_tid_.end() &&
+           it->second >= static_cast<Tid>(split_tid_);
+  }
+
+  std::set<int64_t> MutableHeaders() const {
+    if (split_tid_ == 0) return live_headers_;
+    std::set<int64_t> hot;
+    for (int64_t id : live_headers_) {
+      if (IsHot(id)) hot.insert(id);
+    }
+    return hot;
+  }
+
   void InsertLateItem() {
-    if (live_headers_.empty()) return;
+    std::set<int64_t> candidates = MutableHeaders();
+    if (candidates.empty()) return;
     Transaction txn = db_.Begin();
-    int64_t header_id = RandomFrom(live_headers_);
+    int64_t header_id = RandomFrom(candidates);
     int64_t item_id = next_item_id_++;
     ASSERT_OK(item_->Insert(txn, {Value(item_id), Value(header_id),
                                   Value(rng_.UniformDouble(1.0, 50.0))}));
@@ -52,23 +76,27 @@ class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {
   }
 
   void UpdateHeader() {
-    if (live_headers_.empty()) return;
+    std::set<int64_t> candidates = MutableHeaders();
+    if (candidates.empty()) return;
     Transaction txn = db_.Begin();
-    int64_t header_id = RandomFrom(live_headers_);
+    int64_t header_id = RandomFrom(candidates);
     ASSERT_OK(header_->UpdateByPk(
         txn, Value(header_id),
         {Value(header_id), Value(int64_t{2010} + rng_.UniformInt(0, 4))}));
   }
 
   void UpdateItem() {
-    if (live_items_.empty()) return;
+    std::vector<int64_t> candidates;
+    for (const auto& [item_id, header_id] : live_items_) {
+      if (IsHot(header_id)) candidates.push_back(item_id);
+    }
+    if (candidates.empty()) return;
     Transaction txn = db_.Begin();
-    auto it = live_items_.begin();
-    std::advance(it, rng_.UniformInt(
-                         0, static_cast<int64_t>(live_items_.size()) - 1));
+    int64_t item_id = candidates[rng_.UniformInt(
+        0, static_cast<int64_t>(candidates.size()) - 1)];
     ASSERT_OK(item_->UpdateByPk(
-        txn, Value(it->first),
-        {Value(it->first), Value(it->second),
+        txn, Value(item_id),
+        {Value(item_id), Value(live_items_[item_id]),
          Value(rng_.UniformDouble(1.0, 50.0))}));
   }
 
@@ -112,8 +140,28 @@ class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {
     }
   }
 
+  // One-time hot/cold split of the business object along the temporal MD
+  // columns (Section 5.4's consistent aging): merge both tables so the
+  // deltas are empty, split the header on its own tid and the item on the
+  // propagated header tid at the same threshold, and register the aging
+  // group so the pruner may treat cold⋈hot combinations as empty.
+  void MaybeSplitHotCold() {
+    if (split_tid_ != 0) return;
+    Tid last = db_.txn_manager().last_committed();
+    if (last < 4 || live_headers_.empty()) return;
+    ASSERT_OK(db_.MergeTables({"Header", "Item"}));
+    int64_t threshold = rng_.UniformInt(1, static_cast<int64_t>(last));
+    ASSERT_OK(header_->SplitHotCold("tid_Header", Value(threshold)));
+    ASSERT_OK(item_->SplitHotCold("tid_Header", Value(threshold)));
+    db_.RegisterAgingGroup({"Header", "Item"});
+    split_tid_ = threshold;
+    ASSERT_EQ(header_->num_groups(), 2u);
+    ASSERT_EQ(item_->num_groups(), 2u);
+    ASSERT_TRUE(db_.InSameAgingGroup("Header", "Item"));
+  }
+
   void RunOneStep() {
-    int64_t op = rng_.UniformInt(0, 9);
+    int64_t op = rng_.UniformInt(0, 10);
     switch (op) {
       case 0:
       case 1:
@@ -134,6 +182,9 @@ class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {
         break;
       case 7:
         DeleteHeaderWithItems();
+        break;
+      case 8:
+        MaybeSplitHotCold();
         break;
       default:
         MergeSomething();
@@ -157,6 +208,8 @@ class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {
   int64_t next_item_id_ = 1;
   std::set<int64_t> live_headers_;
   std::map<int64_t, int64_t> live_items_;  // item -> header.
+  std::map<int64_t, Tid> header_tid_;     // header -> creating txn.
+  int64_t split_tid_ = 0;  // 0 until the one-time hot/cold split.
 };
 
 TEST_P(RandomWorkloadTest, AllStrategiesAlwaysAgree) {
@@ -178,6 +231,54 @@ TEST_P(RandomWorkloadTest, AllStrategiesAlwaysAgree) {
                << ")";
       }
     }
+  }
+}
+
+TEST_P(RandomWorkloadTest, RandomizedAggregateFunctionAgrees) {
+  // One aggregate function per run, derived from the seed so the suite
+  // deterministically covers all five. MIN and MAX are not
+  // self-maintainable: the cache must refuse them and every "cached"
+  // strategy must fall back to uncached execution — still correct, never
+  // a stale partial.
+  int64_t pick = static_cast<int64_t>(GetParam() % 5);
+  QueryBuilder builder;
+  builder.From("Header")
+      .Join("Item", "HeaderID", "HeaderID")
+      .GroupBy("Header", "FiscalYear");
+  switch (pick) {
+    case 0:
+      builder.Sum("Item", "Amount", "agg");
+      break;
+    case 1:
+      builder.Count("Item", "Amount", "agg");
+      break;
+    case 2:
+      builder.Avg("Item", "Amount", "agg");
+      break;
+    case 3:
+      builder.Min("Item", "Amount", "agg");
+      break;
+    default:
+      builder.Max("Item", "Amount", "agg");
+      break;
+  }
+  AggregateQuery query = builder.CountStar("n").Build();
+  for (int step = 0; step < 40; ++step) {
+    RunOneStep();
+    if (step % 5 != 4) continue;
+    testing_util::ExpectAllStrategiesAgree(&db_, cache_.get(), query);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      FAIL() << AggregateFunctionToString(query.aggregates[0].fn)
+             << " diverged at step " << step << " (seed " << GetParam()
+             << ")";
+    }
+  }
+  if (pick >= 3) {
+    Transaction txn = db_.Begin();
+    auto result = cache_->Execute(query, txn, ExecutionOptions());
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(cache_->last_exec_stats().used_cache);
+    EXPECT_EQ(cache_->Find(query), nullptr);
   }
 }
 
