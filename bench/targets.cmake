@@ -35,3 +35,12 @@ target_link_libraries(verify_fuzz PRIVATE aggcache)
 target_include_directories(verify_fuzz PRIVATE ${CMAKE_SOURCE_DIR})
 set_target_properties(verify_fuzz PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Concurrent stress harness: W writers + R readers + the merge daemon, with
+# in-flight cross-strategy diffs and oracle checkpoints at quiesce barriers.
+# Run under -DAGGCACHE_SANITIZE=thread for the TSAN proof.
+add_executable(stress_concurrent bench/stress_concurrent.cpp)
+target_link_libraries(stress_concurrent PRIVATE aggcache)
+target_include_directories(stress_concurrent PRIVATE ${CMAKE_SOURCE_DIR})
+set_target_properties(stress_concurrent PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -21,8 +21,10 @@ void PrintEntry(const AggregateCacheManager& cache,
   std::printf(
       "  %-12s size=%-9zu hits=%-4llu build=%.3fms avg_delta=%.3fms "
       "maint=%.3fms profit=%.3f\n",
-      label, m.size_bytes, static_cast<unsigned long long>(m.hit_count),
-      m.main_exec_ms, m.AvgDeltaCompMs(), m.maintenance_ms, m.Profit());
+      label, static_cast<size_t>(m.size_bytes),
+      static_cast<unsigned long long>(m.hit_count),
+      static_cast<double>(m.main_exec_ms), m.AvgDeltaCompMs(),
+      static_cast<double>(m.maintenance_ms), m.Profit());
 }
 
 }  // namespace

@@ -34,6 +34,7 @@
 #include "sql/parser.h"
 #include "storage/database.h"
 #include "storage/delta_merge.h"
+#include "storage/merge_daemon.h"
 #include "storage/schema.h"
 #include "storage/snapshot.h"
 #include "storage/table.h"

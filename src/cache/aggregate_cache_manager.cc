@@ -1,11 +1,15 @@
 #include "cache/aggregate_cache_manager.h"
 
 #include <algorithm>
+#include <array>
 #include <iostream>
+#include <shared_mutex>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "storage/table_lock.h"
 #include "txn/consistent_view_manager.h"
 #include "verify/fault_injector.h"
 
@@ -61,53 +65,132 @@ AggregateCacheManager::~AggregateCacheManager() {
   db_->RemoveMergeObserver(this);
 }
 
+AggregateCacheManager::Shard& AggregateCacheManager::ShardFor(
+    const CacheKey& key) const {
+  return const_cast<Shard&>(shards_[CacheKeyHash{}(key) % kNumShards]);
+}
+
+size_t AggregateCacheManager::num_entries() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
 size_t AggregateCacheManager::RecomputeTotalBytes() const {
+  // Shard locks before bytes_mu_, per the lock hierarchy; bytes_accounted
+  // is guarded by bytes_mu_.
+  std::array<std::unique_lock<std::mutex>, kNumShards> shard_locks;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    shard_locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  }
+  std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
   size_t bytes = 0;
-  for (const auto& [key, entry] : entries_) {
-    bytes += entry->metrics().size_bytes;
+  for (const Shard& shard : shards_) {
+    for (const auto& [key, entry] : shard.entries) {
+      if (entry->bytes_accounted) bytes += entry->metrics().size_bytes;
+    }
   }
   return bytes;
 }
 
 size_t AggregateCacheManager::total_bytes() const {
-  AssertByteAccounting();
+  std::lock_guard<std::mutex> lock(bytes_mu_);
   return total_bytes_;
 }
 
-void AggregateCacheManager::AssertByteAccounting() const {
+void AggregateCacheManager::AssertByteAccountingLocked() const {
 #ifndef NDEBUG
-  AGGCACHE_CHECK(total_bytes_ == RecomputeTotalBytes())
-      << "running byte total " << total_bytes_
-      << " != recomputed " << RecomputeTotalBytes();
+  std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
+  size_t recomputed = 0;
+  for (const Shard& shard : shards_) {
+    for (const auto& [key, entry] : shard.entries) {
+      if (entry->bytes_accounted) recomputed += entry->metrics().size_bytes;
+    }
+  }
+  AGGCACHE_CHECK(total_bytes_ == recomputed)
+      << "running byte total " << total_bytes_ << " != recomputed "
+      << recomputed;
 #endif
 }
 
 void AggregateCacheManager::RefreshEntrySize(CacheEntry& entry) {
-  auto it = entries_.find(entry.key());
-  bool resident = it != entries_.end() && it->second.get() == &entry;
-  if (resident) total_bytes_ -= entry.metrics().size_bytes;
+  std::lock_guard<std::mutex> lock(bytes_mu_);
+  if (entry.bytes_accounted) total_bytes_ -= entry.metrics().size_bytes;
   entry.RefreshSizeBytes();
-  if (resident) total_bytes_ += entry.metrics().size_bytes;
+  if (entry.bytes_accounted) total_bytes_ += entry.metrics().size_bytes;
 }
 
 void AggregateCacheManager::Clear() {
-  entries_.clear();
-  total_bytes_ = 0;
+  std::array<std::unique_lock<std::mutex>, kNumShards> shard_locks;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    shard_locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  }
+  for (Shard& shard : shards_) {
+    for (auto& [key, entry] : shard.entries) {
+      {
+        std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
+        if (entry->bytes_accounted) {
+          total_bytes_ -= entry->metrics().size_bytes;
+          entry->bytes_accounted = false;
+        }
+      }
+      // In-flight creators notice the eviction at finalization (their
+      // residency check fails); waiters wake, see kEvicted, and retry.
+      entry->SetState(EntryState::kEvicted);
+    }
+    shard.entries.clear();
+  }
 }
 
 const CacheEntry* AggregateCacheManager::Find(
     const AggregateQuery& query) const {
-  auto it = entries_.find(MakeCacheKey(query));
-  return it == entries_.end() ? nullptr : it->second.get();
+  CacheKey key = MakeCacheKey(query);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  return it == shard.entries.end() ? nullptr : it->second.get();
 }
 
 void AggregateCacheManager::TouchEntry(CacheEntry& entry) {
-  entry.metrics().last_access_ns = ++access_clock_;
+  entry.metrics().last_access_ns =
+      access_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::vector<std::shared_ptr<CacheEntry>>
+AggregateCacheManager::SnapshotEntries() const {
+  std::vector<std::shared_ptr<CacheEntry>> entries;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      entries.push_back(entry);
+    }
+  }
+  return entries;
+}
+
+void AggregateCacheManager::RemoveEntry(
+    const std::shared_ptr<CacheEntry>& entry) {
+  Shard& shard = ShardFor(entry->key());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(entry->key());
+  if (it == shard.entries.end() || it->second != entry) return;
+  {
+    std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
+    if (entry->bytes_accounted) {
+      total_bytes_ -= entry->metrics().size_bytes;
+      entry->bytes_accounted = false;
+    }
+  }
+  shard.entries.erase(it);
 }
 
 Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
                                            const BoundQuery& bound,
                                            Snapshot snapshot) {
+  RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("cache.build"));
   Stopwatch watch;
   entry.main_partials().clear();
   // Cross-temperature all-main combos can be pruned logically at build time
@@ -171,48 +254,94 @@ void AggregateCacheManager::RefreshSnapshots(CacheEntry& entry,
       snap.invalidation_count = main.invalidation_count();
     }
   }
+  // The visibility just computed reflects exactly this snapshot: readers
+  // older than it can no longer use the entry.
+  entry.set_base_tid(snapshot.read_tid);
 }
 
-StatusOr<CacheEntry*> AggregateCacheManager::GetOrCreateEntry(
+StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
     const BoundQuery& bound, Snapshot snapshot, CacheExecStats* stats) {
   CacheKey key = MakeCacheKey(*bound.query);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    CacheEntry* entry = it->second.get();
-    if (!entry->ShapeMatches(bound.tables)) {
-      // Partition layout changed (hot/cold split or an unobserved merge):
-      // rebuild from scratch.
-      RETURN_IF_ERROR(RebuildEntry(*entry, bound, snapshot));
-      if (stats != nullptr) {
-        stats->entry_rebuilt = true;
-        stats->main_exec_ms = entry->metrics().main_exec_ms;
+  Shard& shard = ShardFor(key);
+
+  // Bounded retries: each kEvicted wake-up means the winning creator was
+  // rejected by admission, failed, or got evicted immediately; after a few
+  // rounds this caller gives up and answers uncached instead of livelocking
+  // against a hostile eviction pattern.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::shared_ptr<CacheEntry> entry;
+    bool creator = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.entries.find(key);
+      if (it != shard.entries.end()) {
+        entry = it->second;
+      } else {
+        // Insert a kBuilding placeholder while still holding the shard
+        // lock: concurrent misses on this key find it and wait instead of
+        // building the same aggregate N times (single-flight).
+        entry = std::make_shared<CacheEntry>(key, *bound.query);
+        shard.entries.emplace(key, entry);
+        creator = true;
       }
-    } else if (stats != nullptr) {
-      stats->cache_hit = true;
     }
+
+    if (!creator) {
+      EntryState state = entry->WaitUntilSettled();
+      if (state == EntryState::kEvicted) continue;
+      TouchEntry(*entry);
+      return entry;
+    }
+
+    // This thread won the build. Materialize under the exclusive value
+    // lock; waiters park on the state machine, not the value lock, so a
+    // failure below can still wake them with kEvicted.
+    Status build_status;
+    {
+      std::unique_lock<std::shared_mutex> value_lock(entry->value_mutex());
+      build_status = RebuildEntry(*entry, bound, snapshot);
+    }
+    if (!build_status.ok()) {
+      RemoveEntry(entry);
+      entry->SetState(EntryState::kEvicted);
+      return build_status;
+    }
+    if (stats != nullptr) {
+      stats->entry_created = true;
+      stats->main_exec_ms = entry->metrics().main_exec_ms;
+    }
+
+    // Admission: creating the entry already produced the main result; an
+    // unprofitable aggregate is simply not stored (Fig. 3's "profitable
+    // enough" gate) and the caller falls back to uncached execution.
+    if (entry->metrics().main_exec_ms < config_.min_main_exec_ms) {
+      RemoveEntry(entry);
+      entry->SetState(EntryState::kEvicted);
+      return std::shared_ptr<CacheEntry>();
+    }
+
+    // Finalize: account the bytes only if the entry is still resident — a
+    // concurrent Clear() may have dropped the placeholder while we built.
+    bool resident = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.entries.find(key);
+      resident = it != shard.entries.end() && it->second == entry;
+      if (resident) {
+        std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
+        entry->bytes_accounted = true;
+        total_bytes_ += entry->metrics().size_bytes;
+      }
+    }
+    entry->SetState(resident ? EntryState::kReady : EntryState::kEvicted);
     TouchEntry(*entry);
+    if (resident) EvictIfNeeded(entry.get());
+    // Even when no longer resident the freshly built value is consistent
+    // for this snapshot, so the caller uses it; it dies with the last
+    // holder.
     return entry;
   }
-
-  auto entry = std::make_unique<CacheEntry>(key, *bound.query);
-  RETURN_IF_ERROR(RebuildEntry(*entry, bound, snapshot));
-  if (stats != nullptr) {
-    stats->entry_created = true;
-    stats->main_exec_ms = entry->metrics().main_exec_ms;
-  }
-
-  // Admission: creating the entry already produced the main result; an
-  // unprofitable aggregate is simply not stored (Fig. 3's "profitable
-  // enough" gate) and the caller falls back to uncached execution.
-  if (entry->metrics().main_exec_ms < config_.min_main_exec_ms) {
-    return static_cast<CacheEntry*>(nullptr);
-  }
-  CacheEntry* raw = entry.get();
-  TouchEntry(*raw);
-  entries_.emplace(key, std::move(entry));
-  total_bytes_ += raw->metrics().size_bytes;
-  EvictIfNeeded(raw);
-  return raw;
+  return std::shared_ptr<CacheEntry>();
 }
 
 Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
@@ -260,6 +389,7 @@ Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
     snap.visibility = std::move(current);
     snap.invalidation_count = main.invalidation_count();
   }
+  entry.set_base_tid(snapshot.read_tid);
   RefreshEntrySize(entry);
   if (stats != nullptr) stats->main_comp_ms += watch.ElapsedMillis();
   return Status::Ok();
@@ -364,6 +494,7 @@ Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
       snap.invalidation_count = table.group(g).main.invalidation_count();
     }
   }
+  entry.set_base_tid(snapshot.read_tid);
   RefreshEntrySize(entry);
   return Status::Ok();
 }
@@ -371,35 +502,113 @@ Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
 StatusOr<AggregateResult> AggregateCacheManager::Execute(
     const AggregateQuery& query, const Transaction& txn,
     const ExecutionOptions& options) {
-  last_stats_ = CacheExecStats();
-  Snapshot snapshot = txn.snapshot();
+  CacheExecStats stats;
+  PruneStats prune_acc;
+  auto result = ExecuteInternal(query, txn, options, &stats, &prune_acc);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  last_stats_ = stats;
+  prune_stats_.considered += prune_acc.considered;
+  prune_stats_.pruned_empty += prune_acc.pruned_empty;
+  prune_stats_.pruned_aging += prune_acc.pruned_aging;
+  prune_stats_.pruned_tid_range += prune_acc.pruned_tid_range;
+  return result;
+}
+
+StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
+    const AggregateQuery& query, const Transaction& txn,
+    const ExecutionOptions& options, CacheExecStats* stats,
+    PruneStats* prune_acc) {
+  // The subjoin count is exact single-threaded; under concurrent Execute
+  // calls the shared counter makes the delta approximate (observability
+  // only, never correctness).
   uint64_t subjoins_before = executor_.stats().subjoins_executed;
+
+  ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
+  // The consistent view — shared locks on every bound table plus an epoch
+  // pin — freezes main/delta/visibility state across all of them for the
+  // whole execution (DESIGN.md §6).
+  ReadView view = ReadView::Acquire(*db_, bound.tables, txn.snapshot());
+  Snapshot snapshot = view.snapshot();
 
   if (options.strategy == ExecutionStrategy::kUncached ||
       !query.IsCacheable()) {
     ASSIGN_OR_RETURN(AggregateResult result,
-                     executor_.ExecuteUncached(query, snapshot));
-    last_stats_.subjoins_executed =
+                     executor_.ExecuteUncachedBound(bound, snapshot));
+    stats->subjoins_executed =
         executor_.stats().subjoins_executed - subjoins_before;
     return result;
   }
+  stats->used_cache = true;
 
-  ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
-  last_stats_.used_cache = true;
-
-  ASSIGN_OR_RETURN(CacheEntry * entry,
-                   GetOrCreateEntry(bound, snapshot, &last_stats_));
+  ASSIGN_OR_RETURN(std::shared_ptr<CacheEntry> entry,
+                   GetOrCreateEntry(bound, snapshot, stats));
   if (entry == nullptr) {
-    // Not admitted: answer without the cache.
-    last_stats_.used_cache = false;
+    // Not admitted (or starved by eviction): answer without the cache.
+    stats->used_cache = false;
     ASSIGN_OR_RETURN(AggregateResult result,
-                     executor_.ExecuteUncached(query, snapshot));
-    last_stats_.subjoins_executed =
+                     executor_.ExecuteUncachedBound(bound, snapshot));
+    stats->subjoins_executed =
         executor_.stats().subjoins_executed - subjoins_before;
     return result;
   }
-  RETURN_IF_ERROR(MainCompensate(*entry, bound, snapshot, &last_stats_));
 
+  // Read or repair the cached main result under the entry's value lock.
+  // Fast path: a clean entry only needs the shared lock — concurrent hits
+  // on one entry proceed in parallel.
+  AggregateResult main_result;
+  bool have_main = false;
+  {
+    std::shared_lock<std::shared_mutex> value_lock(entry->value_mutex());
+    if (entry->base_tid() <= snapshot.read_tid &&
+        entry->ShapeMatches(bound.tables) && !entry->IsDirty(bound.tables)) {
+      main_result = entry->MergedMainResult(bound.aggregates.size());
+      have_main = true;
+      if (!stats->entry_created) stats->cache_hit = true;
+    }
+  }
+  if (!have_main) {
+    std::unique_lock<std::shared_mutex> value_lock(entry->value_mutex());
+    if (entry->base_tid() > snapshot.read_tid) {
+      // The entry moved past this reader's snapshot (compensation only
+      // goes forward in time); answer uncached rather than stall the
+      // entry for everyone else.
+      value_lock.unlock();
+      stats->used_cache = false;
+      stats->cache_hit = false;
+      ASSIGN_OR_RETURN(AggregateResult result,
+                       executor_.ExecuteUncachedBound(bound, snapshot));
+      stats->subjoins_executed =
+          executor_.stats().subjoins_executed - subjoins_before;
+      return result;
+    }
+    if (!entry->ShapeMatches(bound.tables)) {
+      // Partition layout changed (hot/cold split or a failed maintenance
+      // pass): rebuild from scratch. kRebuilding shields the entry from
+      // eviction while the recompute runs.
+      bool claimed =
+          entry->TryTransition(EntryState::kReady, EntryState::kRebuilding);
+      Status rebuild_status = RebuildEntry(*entry, bound, snapshot);
+      if (claimed) {
+        entry->TryTransition(EntryState::kRebuilding, EntryState::kReady);
+      }
+      if (!rebuild_status.ok()) {
+        entry->MarkForRebuild();
+        return rebuild_status;
+      }
+      stats->entry_rebuilt = true;
+      stats->main_exec_ms = entry->metrics().main_exec_ms;
+    } else if (!stats->entry_created) {
+      stats->cache_hit = true;
+    }
+    RETURN_IF_ERROR(MainCompensate(*entry, bound, snapshot, stats));
+    // Capture the merged result before dropping the lock — the partials
+    // may be compensated further the moment it is released.
+    main_result = entry->MergedMainResult(bound.aggregates.size());
+  }
+  TouchEntry(*entry);
+
+  // Delta compensation needs no entry lock: it reads only table state,
+  // which the ReadView keeps frozen.
   Stopwatch delta_watch;
   JoinPruner pruner(db_, PruneLevelFor(options.strategy));
   std::vector<MdBinding> mds = ResolveMds(bound);
@@ -408,30 +617,28 @@ StatusOr<AggregateResult> AggregateCacheManager::Execute(
       AggregateResult delta_result,
       DeltaCompensate(executor_, bound, mds, pruner,
                       options.use_predicate_pushdown, snapshot, &comp_stats));
-  AggregateResult result =
-      entry->MergedMainResult(bound.aggregates.size());
-  result.MergeFrom(delta_result);
-  result = query.ApplyHaving(std::move(result));
+  main_result.MergeFrom(delta_result);
+  AggregateResult result = query.ApplyHaving(std::move(main_result));
 
   double delta_ms = delta_watch.ElapsedMillis();
   // Only true hits count toward profit: the miss that just created (or the
   // access that rebuilt) the entry saved nothing, and crediting it would
   // inflate Profit() for new entries and skew eviction.
-  if (last_stats_.cache_hit) {
+  if (stats->cache_hit) {
     CacheEntryMetrics& metrics = entry->metrics();
-    metrics.total_delta_comp_ms += delta_ms;
-    ++metrics.delta_comp_count;
-    ++metrics.hit_count;
+    CacheEntryMetrics::Add(metrics.total_delta_comp_ms, delta_ms);
+    metrics.delta_comp_count.fetch_add(1, std::memory_order_relaxed);
+    metrics.hit_count.fetch_add(1, std::memory_order_relaxed);
   }
 
-  last_stats_.delta_comp_ms = delta_ms;
-  last_stats_.subjoins_pruned = comp_stats.subjoins_pruned;
-  last_stats_.subjoins_executed =
+  stats->delta_comp_ms = delta_ms;
+  stats->subjoins_pruned = comp_stats.subjoins_pruned;
+  stats->subjoins_executed =
       executor_.stats().subjoins_executed - subjoins_before;
-  prune_stats_.considered += pruner.stats().considered;
-  prune_stats_.pruned_empty += pruner.stats().pruned_empty;
-  prune_stats_.pruned_aging += pruner.stats().pruned_aging;
-  prune_stats_.pruned_tid_range += pruner.stats().pruned_tid_range;
+  prune_acc->considered += pruner.stats().considered;
+  prune_acc->pruned_empty += pruner.stats().pruned_empty;
+  prune_acc->pruned_aging += pruner.stats().pruned_aging;
+  prune_acc->pruned_tid_range += pruner.stats().pruned_tid_range;
   return result;
 }
 
@@ -440,70 +647,121 @@ Status AggregateCacheManager::Prewarm(const AggregateQuery& query) {
     return Status::InvalidArgument("query does not qualify for the cache");
   }
   ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
-  Snapshot snapshot = db_->txn_manager().GlobalSnapshot();
-  ASSIGN_OR_RETURN(CacheEntry * entry,
+  ReadView view = ReadView::Acquire(*db_, bound.tables);
+  Snapshot snapshot = view.snapshot();
+  ASSIGN_OR_RETURN(std::shared_ptr<CacheEntry> entry,
                    GetOrCreateEntry(bound, snapshot, nullptr));
   if (entry == nullptr) {
     return Status::FailedPrecondition("aggregate not profitable enough");
   }
+  std::unique_lock<std::shared_mutex> value_lock(entry->value_mutex());
+  if (entry->base_tid() > snapshot.read_tid) return Status::Ok();
   return MainCompensate(*entry, bound, snapshot, nullptr);
 }
 
+CacheExecStats AggregateCacheManager::last_exec_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_stats_;
+}
+
+PruneStats AggregateCacheManager::prune_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return prune_stats_;
+}
+
+void AggregateCacheManager::ResetPruneStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  prune_stats_ = PruneStats();
+}
+
 void AggregateCacheManager::EvictIfNeeded(const CacheEntry* keep) {
-  AssertByteAccounting();
+  // All shard locks in index order (the only multi-shard order used) so
+  // the budget check and victim ranking see one consistent map state.
+  std::array<std::unique_lock<std::mutex>, kNumShards> shard_locks;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    shard_locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  }
+  AssertByteAccountingLocked();
+
+  // Claiming a victim = winning its kReady -> kEvicted transition; entries
+  // that are building or rebuilding are never touched, and readers that
+  // already hold a shared_ptr keep the value alive regardless. Eviction
+  // therefore never blocks on (or frees under) a long-running computation.
+  using EntryIter = decltype(Shard::entries)::iterator;
+  auto claim_and_erase = [&](Shard& shard, EntryIter it) {
+    std::shared_ptr<CacheEntry>& entry = it->second;
+    if (!entry->TryTransition(EntryState::kReady, EntryState::kEvicted)) {
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
+      if (entry->bytes_accounted) {
+        total_bytes_ -= entry->metrics().size_bytes;
+        entry->bytes_accounted = false;
+      }
+    }
+    shard.entries.erase(it);
+    return true;
+  };
+
   if (!FaultInjector::Global().MaybeFail("cache.evict_all").ok()) {
     // Simulated memory pressure: drop every entry except the one the
     // caller still holds a pointer to. Results must stay correct — the
     // next access simply rebuilds from scratch.
-    for (auto it = entries_.begin(); it != entries_.end();) {
-      if (it->second.get() == keep) {
-        ++it;
-        continue;
+    for (Shard& shard : shards_) {
+      for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+        auto next = std::next(it);
+        if (it->second.get() != keep) claim_and_erase(shard, it);
+        it = next;
       }
-      total_bytes_ -= it->second->metrics().size_bytes;
-      it = entries_.erase(it);
     }
-    AssertByteAccounting();
+    AssertByteAccountingLocked();
     return;
   }
-  // The running byte total makes the budget check O(1); the old
-  // implementation recomputed total_bytes() (O(entries)) on every loop
-  // iteration and rescanned all entries per victim — O(n^2) per eviction
-  // storm.
+
+  size_t num_entries = 0;
+  for (const Shard& shard : shards_) num_entries += shard.entries.size();
+  auto current_bytes = [&] {
+    std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
+    return total_bytes_;
+  };
   auto over_budget = [&] {
     bool over_count =
-        config_.max_entries != 0 && entries_.size() > config_.max_entries;
+        config_.max_entries != 0 && num_entries > config_.max_entries;
     bool over_bytes =
-        config_.max_bytes != 0 && total_bytes_ > config_.max_bytes;
-    return (over_count || over_bytes) && entries_.size() > 1;
+        config_.max_bytes != 0 && current_bytes() > config_.max_bytes;
+    return (over_count || over_bytes) && num_entries > 1;
   };
   if (!over_budget()) return;
 
-  // Rank victims once by (profit asc, recency asc); metrics do not change
-  // while evicting, so one sort replaces the per-victim rescans. The
-  // just-created entry (`keep`) is never evicted so callers can hold its
-  // pointer.
-  using EntryIter = decltype(entries_)::iterator;
-  std::vector<EntryIter> victims;
-  victims.reserve(entries_.size());
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->second.get() != keep) victims.push_back(it);
+  // Rank victims once by (profit asc, recency asc); the just-created entry
+  // (`keep`) is never evicted so its creator can keep using it.
+  struct Victim {
+    Shard* shard;
+    EntryIter it;
+  };
+  std::vector<Victim> victims;
+  victims.reserve(num_entries);
+  for (Shard& shard : shards_) {
+    for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+      if (it->second.get() != keep) victims.push_back({&shard, it});
+    }
   }
   std::sort(victims.begin(), victims.end(),
-            [](const EntryIter& a, const EntryIter& b) {
-              const CacheEntryMetrics& ma = a->second->metrics();
-              const CacheEntryMetrics& mb = b->second->metrics();
+            [](const Victim& a, const Victim& b) {
+              const CacheEntryMetrics& ma = a.it->second->metrics();
+              const CacheEntryMetrics& mb = b.it->second->metrics();
               if (ma.Profit() != mb.Profit()) {
                 return ma.Profit() < mb.Profit();
               }
-              return ma.last_access_ns < mb.last_access_ns;
+              return ma.last_access_ns.load(std::memory_order_relaxed) <
+                     mb.last_access_ns.load(std::memory_order_relaxed);
             });
-  for (EntryIter victim : victims) {
+  for (const Victim& victim : victims) {
     if (!over_budget()) break;
-    total_bytes_ -= victim->second->metrics().size_bytes;
-    entries_.erase(victim);
+    if (claim_and_erase(*victim.shard, victim.it)) --num_entries;
   }
-  AssertByteAccounting();
+  AssertByteAccountingLocked();
 }
 
 void AggregateCacheManager::RecordMaintenanceFailure(CacheEntry& entry,
@@ -518,12 +776,23 @@ void AggregateCacheManager::RecordMaintenanceFailure(CacheEntry& entry,
             << " (marked for rebuild)\n";
 }
 
-void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
-  Snapshot snapshot = db_->txn_manager().GlobalSnapshot();
-  for (auto& [key, entry] : entries_) {
+void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index,
+                                          const Snapshot& snapshot) {
+  // Runs under the merge's table locks: exclusive on `table`, shared on
+  // every other catalog table. No reader of an entry referencing `table`
+  // can be in flight (it would hold a shared lock the merge excludes), so
+  // each entry's value lock below is immediately available — taking it
+  // still orders this pass against readers of entries we end up skipping.
+  //
+  // `snapshot` is the merge snapshot: the delta rows visible under it are
+  // exactly the rows this merge moves into main, so the fold below and the
+  // physical merge agree row-for-row even with atomic write scopes in
+  // flight (their unstable rows are invisible here and stay in the delta).
+  for (const std::shared_ptr<CacheEntry>& entry : SnapshotEntries()) {
     // Skip entries that don't reference the merging table before paying for
     // a catalog bind.
     if (!QueryUsesTable(entry->query(), table)) continue;
+    std::unique_lock<std::shared_mutex> value_lock(entry->value_mutex());
     Status bind_fault = FaultInjector::Global().MaybeFail("maintenance.bind");
     auto bound_or = bind_fault.ok() ? BoundQuery::Bind(*db_, entry->query())
                                     : StatusOr<BoundQuery>(bind_fault);
@@ -590,16 +859,18 @@ void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index) {
     }
     if (fold_failed) continue;
     RefreshEntrySize(*entry);
-    entry->metrics().maintenance_ms += watch.ElapsedMillis();
+    CacheEntryMetrics::Add(entry->metrics().maintenance_ms,
+                           watch.ElapsedMillis());
   }
 }
 
-void AggregateCacheManager::OnAfterMerge(Table& table, size_t group_index) {
+void AggregateCacheManager::OnAfterMerge(Table& table, size_t group_index,
+                                         const Snapshot& snapshot) {
   (void)group_index;
-  Snapshot snapshot = db_->txn_manager().GlobalSnapshot();
-  for (auto& [key, entry] : entries_) {
+  for (const std::shared_ptr<CacheEntry>& entry : SnapshotEntries()) {
     if (!QueryUsesTable(entry->query(), table)) continue;
     if (entry->needs_rebuild()) continue;  // Deferred to the next access.
+    std::unique_lock<std::shared_mutex> value_lock(entry->value_mutex());
     Status bind_fault = FaultInjector::Global().MaybeFail("maintenance.bind");
     auto bound_or = bind_fault.ok() ? BoundQuery::Bind(*db_, entry->query())
                                     : StatusOr<BoundQuery>(bind_fault);
@@ -625,7 +896,7 @@ void AggregateCacheManager::OnMergeAborted(Table& table, size_t group_index) {
   // double-count it. There is no cheap undo (the fold mutated the
   // partials), so every entry touching the table degrades to a rebuild on
   // next access.
-  for (auto& [key, entry] : entries_) {
+  for (const std::shared_ptr<CacheEntry>& entry : SnapshotEntries()) {
     if (!QueryUsesTable(entry->query(), table)) continue;
     RecordMaintenanceFailure(
         *entry, Status::Internal("merge of '" + table.name() +

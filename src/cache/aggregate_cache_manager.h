@@ -1,7 +1,9 @@
 #ifndef AGGCACHE_CACHE_AGGREGATE_CACHE_MANAGER_H_
 #define AGGCACHE_CACHE_AGGREGATE_CACHE_MANAGER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,11 +58,17 @@ struct CacheExecStats {
 /// main + delta compensation, maintains entries incrementally during delta
 /// merges, and manages admission/eviction by profit.
 ///
-/// Callers drive the manager from one thread; internally, independent
-/// subjoins (entry builds, delta compensation, correction joins) fan out
-/// across the global ThreadPool and merge deterministically in enumeration
-/// order. Register it as a merge observer (done in the constructor) so
-/// merges keep entries consistent.
+/// Threading model (DESIGN.md §6): Execute is safe from any number of
+/// threads. Each call takes shared table locks + an epoch pin (ReadView)
+/// for its whole duration, so the snapshot it computes over is frozen.
+/// The entry map is striped across shards; concurrent misses on one key
+/// are single-flight (one creator builds, the rest wait on the entry's
+/// state machine); per-entry values are guarded by a reader-writer lock;
+/// eviction claims only kReady entries and never frees memory a reader
+/// still references (entries are shared_ptr-owned). Merge-time maintenance
+/// runs under the merge's table locks, which exclude every reader of the
+/// affected tables. Register it as a merge observer (done in the
+/// constructor) so merges keep entries consistent.
 class AggregateCacheManager : public MergeObserver {
  public:
   struct Config {
@@ -90,7 +98,9 @@ class AggregateCacheManager : public MergeObserver {
   /// Executes `query` under `txn`'s snapshot with the chosen strategy,
   /// returning the consistent result. Cached strategies fall back to
   /// uncached execution when the query does not qualify for the cache
-  /// (non-self-maintainable aggregates).
+  /// (non-self-maintainable aggregates), when admission rejects it, or
+  /// when the caller's snapshot is older than the entry's base (the cache
+  /// only compensates forward in time).
   StatusOr<AggregateResult> Execute(const AggregateQuery& query,
                                     const Transaction& txn,
                                     const ExecutionOptions& options =
@@ -100,11 +110,13 @@ class AggregateCacheManager : public MergeObserver {
   /// full result, e.g. to warm the cache before a benchmark.
   Status Prewarm(const AggregateQuery& query);
 
-  /// Entry lookup for inspection; nullptr when absent.
+  /// Entry lookup for inspection; nullptr when absent. Single-threaded use
+  /// only: the pointer is not lifetime-protected against concurrent
+  /// eviction.
   const CacheEntry* Find(const AggregateQuery& query) const;
 
-  size_t num_entries() const { return entries_.size(); }
-  /// O(1): a running total maintained on insert, erase, and size refresh;
+  size_t num_entries() const;
+  /// The running byte total maintained on insert, erase, and size refresh;
   /// asserted against RecomputeTotalBytes() in debug builds.
   size_t total_bytes() const;
   /// O(entries) recomputation from per-entry metrics, for debug assertions
@@ -112,34 +124,60 @@ class AggregateCacheManager : public MergeObserver {
   size_t RecomputeTotalBytes() const;
   void Clear();
 
-  /// Stats of the most recent Execute call.
-  const CacheExecStats& last_exec_stats() const { return last_stats_; }
+  /// Stats of the most recent completed Execute call (any thread's).
+  CacheExecStats last_exec_stats() const;
 
   /// Cumulative pruning statistics across all cached executions.
-  const PruneStats& prune_stats() const { return prune_stats_; }
-  void ResetPruneStats() { prune_stats_ = PruneStats(); }
+  PruneStats prune_stats() const;
+  void ResetPruneStats();
 
   // MergeObserver: incremental maintenance during the delta merge
-  // (Section 5.2).
-  void OnBeforeMerge(Table& table, size_t group_index) override;
-  void OnAfterMerge(Table& table, size_t group_index) override;
+  // (Section 5.2). Called with the merge's table locks held — exclusive on
+  // the merging table, shared on all others — so no reader of the affected
+  // entries can be in flight.
+  void OnBeforeMerge(Table& table, size_t group_index,
+                     const Snapshot& snapshot) override;
+  void OnAfterMerge(Table& table, size_t group_index,
+                    const Snapshot& snapshot) override;
   void OnMergeAborted(Table& table, size_t group_index) override;
 
  private:
-  /// Returns the entry for the bound query, building it on a miss. Returns
-  /// nullptr when the admission policy rejects the aggregate.
-  StatusOr<CacheEntry*> GetOrCreateEntry(const BoundQuery& bound,
-                                         Snapshot snapshot,
-                                         CacheExecStats* stats);
+  /// Entry-map stripe: an independent mutex + hash map so concurrent
+  /// lookups on different keys rarely contend.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<CacheKey, std::shared_ptr<CacheEntry>, CacheKeyHash>
+        entries;
+  };
+  static constexpr size_t kNumShards = 16;
 
-  /// Recomputes all main partials and snapshots under `snapshot`.
+  Shard& ShardFor(const CacheKey& key) const;
+
+  /// Body of Execute; accumulates into the caller-local stats blocks which
+  /// Execute publishes at the end.
+  StatusOr<AggregateResult> ExecuteInternal(const AggregateQuery& query,
+                                            const Transaction& txn,
+                                            const ExecutionOptions& options,
+                                            CacheExecStats* stats,
+                                            PruneStats* prune_acc);
+
+  /// Returns the entry for the bound query, building it on a miss with
+  /// single-flight semantics. Returns nullptr when the admission policy
+  /// rejects the aggregate or repeated evictions starve this caller (the
+  /// caller then answers uncached).
+  StatusOr<std::shared_ptr<CacheEntry>> GetOrCreateEntry(
+      const BoundQuery& bound, Snapshot snapshot, CacheExecStats* stats);
+
+  /// Recomputes all main partials and snapshots under `snapshot`. Caller
+  /// holds the entry's value lock exclusively.
   Status RebuildEntry(CacheEntry& entry, const BoundQuery& bound,
                       Snapshot snapshot);
 
   /// Applies pending main-partition invalidations to the entry: bit-vector
   /// diff + subtract for single-table entries (Section 2.2); for join
   /// entries, negative-delta correction joins (incremental, see
-  /// JoinMainCompensate) or a full rebuild per the config.
+  /// JoinMainCompensate) or a full rebuild per the config. Caller holds the
+  /// entry's value lock exclusively.
   Status MainCompensate(CacheEntry& entry, const BoundQuery& bound,
                         Snapshot snapshot, CacheExecStats* stats);
 
@@ -163,28 +201,39 @@ class AggregateCacheManager : public MergeObserver {
   void EvictIfNeeded(const CacheEntry* keep = nullptr);
 
   /// Refreshes the entry's size_bytes, keeping the running byte total in
-  /// step when the entry is resident in the map (entries under construction
-  /// are counted at insertion instead).
+  /// step while the entry's bytes are accounted (see
+  /// CacheEntry::bytes_accounted).
   void RefreshEntrySize(CacheEntry& entry);
+
+  /// Removes `entry` from its shard if still resident (deaccounting its
+  /// bytes) — used when a build fails or admission rejects it.
+  void RemoveEntry(const std::shared_ptr<CacheEntry>& entry);
+
+  /// All resident entries, for merge-time maintenance sweeps.
+  std::vector<std::shared_ptr<CacheEntry>> SnapshotEntries() const;
 
   /// Records a failed merge-time maintenance attempt: the entry is marked
   /// for rebuild on next access instead of crashing the process.
   void RecordMaintenanceFailure(CacheEntry& entry, const Status& status);
 
-  /// Debug-build consistency check of the running byte total.
-  void AssertByteAccounting() const;
+  /// Debug-build consistency check of the running byte total; the caller
+  /// must hold every shard mutex.
+  void AssertByteAccountingLocked() const;
 
   Database* db_;
   Config config_;
   Executor executor_;
-  std::unordered_map<CacheKey, std::unique_ptr<CacheEntry>, CacheKeyHash>
-      entries_;
-  /// Sum of metrics().size_bytes over entries_, maintained incrementally so
-  /// eviction decisions are O(1) instead of O(entries).
+  Shard shards_[kNumShards];
+  /// Guards total_bytes_ and every entry's bytes_accounted flag.
+  mutable std::mutex bytes_mu_;
+  /// Sum of metrics().size_bytes over accounted entries, maintained
+  /// incrementally so eviction decisions are O(1) instead of O(entries).
   size_t total_bytes_ = 0;
+  /// Guards last_stats_ and prune_stats_.
+  mutable std::mutex stats_mu_;
   CacheExecStats last_stats_;
   PruneStats prune_stats_;
-  int64_t access_clock_ = 0;
+  std::atomic<int64_t> access_clock_{0};
 };
 
 }  // namespace aggcache

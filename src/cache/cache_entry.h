@@ -1,7 +1,11 @@
 #ifndef AGGCACHE_CACHE_CACHE_ENTRY_H_
 #define AGGCACHE_CACHE_CACHE_ENTRY_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "cache/cache_key.h"
@@ -9,8 +13,28 @@
 #include "common/bit_vector.h"
 #include "query/aggregate_result.h"
 #include "query/subjoin.h"
+#include "txn/types.h"
 
 namespace aggcache {
+
+/// Lifecycle of a cache entry under concurrency (DESIGN.md §6).
+///
+///   kBuilding --> kReady <--> kRebuilding
+///       |            |
+///       +--> kEvicted <--+
+///
+/// A freshly inserted entry is kBuilding: exactly one creator materializes
+/// it while concurrent misses on the same key wait (single-flight). kReady
+/// entries serve reads; an access that must recompute from scratch (shape
+/// change) moves through kRebuilding so eviction leaves it alone. kEvicted
+/// is terminal: the entry has left the map, waiters give up and retry, and
+/// the memory is freed when the last shared_ptr holder drops it.
+enum class EntryState : uint8_t {
+  kBuilding = 0,
+  kReady = 1,
+  kRebuilding = 2,
+  kEvicted = 3,
+};
 
 /// One aggregate cache entry: the result of the query computed on main
 /// partitions only (the cache value), the visibility snapshot of those main
@@ -22,10 +46,33 @@ namespace aggcache {
 /// partial; with hot/cold groups it realizes the paper's per-temperature
 /// caches (Section 5.4): a merge of the hot group only touches partials
 /// whose combination involves that group's main.
+///
+/// Concurrency: the cached value (partials + snapshots + base_tid) is
+/// guarded by value_mutex() — shared to read, exclusive to compensate or
+/// rebuild. State transitions and waiting use their own small mutex so
+/// eviction never blocks on a long-running compensation. Metrics are
+/// atomics. The raw accessors do not lock; callers hold the value lock.
 class CacheEntry {
  public:
   CacheEntry(CacheKey key, AggregateQuery query)
       : key_(std::move(key)), query_(std::move(query)) {}
+
+  /// Moving is for single-threaded construction code (tests, prewarm
+  /// helpers) only: the synchronization members are NOT moved — the
+  /// destination starts with fresh locks and the source's state.
+  CacheEntry(CacheEntry&& other) noexcept
+      : key_(std::move(other.key_)),
+        query_(std::move(other.query_)),
+        main_partials_(std::move(other.main_partials_)),
+        snapshots_(std::move(other.snapshots_)),
+        metrics_(other.metrics_),
+        base_tid_(other.base_tid_),
+        state_(other.state_),
+        needs_rebuild_(
+            other.needs_rebuild_.load(std::memory_order_relaxed)) {}
+
+  CacheEntry(const CacheEntry&) = delete;
+  CacheEntry& operator=(const CacheEntry&) = delete;
 
   const CacheKey& key() const { return key_; }
   const AggregateQuery& query() const { return query_; }
@@ -72,12 +119,77 @@ class CacheEntry {
   /// Flags the cached value as unusable until the next rebuild — set when
   /// merge-time maintenance fails partway, instead of aborting the process.
   /// ShapeMatches() reports false until RebuildEntry clears the mark.
-  void MarkForRebuild() { needs_rebuild_ = true; }
-  void ClearRebuildMark() { needs_rebuild_ = false; }
-  bool needs_rebuild() const { return needs_rebuild_; }
+  void MarkForRebuild() {
+    needs_rebuild_.store(true, std::memory_order_relaxed);
+  }
+  void ClearRebuildMark() {
+    needs_rebuild_.store(false, std::memory_order_relaxed);
+  }
+  bool needs_rebuild() const {
+    return needs_rebuild_.load(std::memory_order_relaxed);
+  }
 
   /// Recomputes metrics().size_bytes from the stored partials + snapshots.
   void RefreshSizeBytes();
+
+  /// Reader-writer lock over the cached value (partials, snapshots,
+  /// base_tid): shared to read a clean entry, exclusive to compensate,
+  /// fold, or rebuild it.
+  std::shared_mutex& value_mutex() const { return value_mu_; }
+
+  /// The snapshot tid the cached value is based on: the tid of the last
+  /// rebuild or compensation. A reader whose own snapshot is OLDER than
+  /// this cannot use the entry (compensation only moves forward in time)
+  /// and falls back to uncached execution. Guarded by value_mutex().
+  Tid base_tid() const { return base_tid_; }
+  void set_base_tid(Tid tid) { base_tid_ = tid; }
+
+  // -- State machine -------------------------------------------------------
+
+  EntryState state() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return state_;
+  }
+
+  /// Unconditional transition; wakes all waiters.
+  void SetState(EntryState next) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      state_ = next;
+    }
+    state_cv_.notify_all();
+  }
+
+  /// Transition only when currently in `expected`; returns whether it
+  /// happened. Eviction uses this to claim kReady entries race-free.
+  bool TryTransition(EntryState expected, EntryState next) {
+    bool transitioned = false;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (state_ == expected) {
+        state_ = next;
+        transitioned = true;
+      }
+    }
+    if (transitioned) state_cv_.notify_all();
+    return transitioned;
+  }
+
+  /// Blocks while the entry is kBuilding or kRebuilding; returns the first
+  /// settled state observed (kReady or kEvicted). This is the wait side of
+  /// single-flight: concurrent misses park here while the creator runs.
+  EntryState WaitUntilSettled() const {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    state_cv_.wait(lock, [this] {
+      return state_ == EntryState::kReady || state_ == EntryState::kEvicted;
+    });
+    return state_;
+  }
+
+  /// Byte-accounting residency flag, owned by AggregateCacheManager and
+  /// guarded by its byte-accounting mutex — true while this entry's
+  /// size_bytes is included in the manager's running total.
+  bool bytes_accounted = false;
 
  private:
   CacheKey key_;
@@ -85,7 +197,13 @@ class CacheEntry {
   std::map<SubjoinCombination, AggregateResult> main_partials_;
   std::vector<std::vector<MainSnapshot>> snapshots_;
   CacheEntryMetrics metrics_;
-  bool needs_rebuild_ = false;
+  Tid base_tid_ = 0;
+
+  mutable std::shared_mutex value_mu_;
+  mutable std::mutex state_mu_;
+  mutable std::condition_variable state_cv_;
+  EntryState state_ = EntryState::kBuilding;
+  std::atomic<bool> needs_rebuild_{false};
 };
 
 }  // namespace aggcache

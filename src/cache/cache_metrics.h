@@ -1,6 +1,7 @@
 #ifndef AGGCACHE_CACHE_CACHE_METRICS_H_
 #define AGGCACHE_CACHE_CACHE_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace aggcache {
@@ -9,30 +10,61 @@ namespace aggcache {
 /// execution times on main and delta partitions, aggregated record counts,
 /// maintenance cost, and usage information. The cache manager uses them for
 /// admission, eviction, and maintenance decisions.
+///
+/// Every field is an atomic: hit counters bump on the lock-free read path,
+/// and the eviction ranker reads sizes and profit inputs without taking the
+/// entry's value lock. Fields use relaxed ordering — each is an independent
+/// statistic, never a synchronization point; cross-field consistency (e.g.
+/// total_delta_comp_ms vs delta_comp_count) is approximate by design.
 struct CacheEntryMetrics {
   /// Approximate bytes held by the cached value (result + snapshots).
-  size_t size_bytes = 0;
+  std::atomic<size_t> size_bytes{0};
   /// Rows aggregated when the entry was built on the main partitions.
-  uint64_t main_rows_aggregated = 0;
+  std::atomic<uint64_t> main_rows_aggregated{0};
   /// Time to compute the entry on the main partitions (what a cache hit
   /// saves).
-  double main_exec_ms = 0.0;
+  std::atomic<double> main_exec_ms{0.0};
   /// Accumulated delta-compensation time across uses.
-  double total_delta_comp_ms = 0.0;
-  uint64_t delta_comp_count = 0;
+  std::atomic<double> total_delta_comp_ms{0.0};
+  std::atomic<uint64_t> delta_comp_count{0};
   /// Accumulated merge-time maintenance cost.
-  double maintenance_ms = 0.0;
+  std::atomic<double> maintenance_ms{0.0};
   /// Merge-time maintenance attempts that failed and left the entry marked
   /// for rebuild instead of aborting the process.
-  uint64_t maintenance_failures = 0;
-  uint64_t hit_count = 0;
+  std::atomic<uint64_t> maintenance_failures{0};
+  std::atomic<uint64_t> hit_count{0};
   /// Monotonic timestamp (ns) of the last use, for eviction tie-breaks.
-  int64_t last_access_ns = 0;
+  std::atomic<int64_t> last_access_ns{0};
+
+  CacheEntryMetrics() = default;
+  CacheEntryMetrics(const CacheEntryMetrics& other) { *this = other; }
+  CacheEntryMetrics& operator=(const CacheEntryMetrics& other) {
+    size_bytes = other.size_bytes.load(std::memory_order_relaxed);
+    main_rows_aggregated =
+        other.main_rows_aggregated.load(std::memory_order_relaxed);
+    main_exec_ms = other.main_exec_ms.load(std::memory_order_relaxed);
+    total_delta_comp_ms =
+        other.total_delta_comp_ms.load(std::memory_order_relaxed);
+    delta_comp_count = other.delta_comp_count.load(std::memory_order_relaxed);
+    maintenance_ms = other.maintenance_ms.load(std::memory_order_relaxed);
+    maintenance_failures =
+        other.maintenance_failures.load(std::memory_order_relaxed);
+    hit_count = other.hit_count.load(std::memory_order_relaxed);
+    last_access_ns = other.last_access_ns.load(std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Atomic add for the accumulated-time fields (C++20 fetch_add on atomic
+  /// floating point).
+  static void Add(std::atomic<double>& field, double delta) {
+    field.fetch_add(delta, std::memory_order_relaxed);
+  }
 
   double AvgDeltaCompMs() const {
-    return delta_comp_count == 0
-               ? 0.0
-               : total_delta_comp_ms / static_cast<double>(delta_comp_count);
+    uint64_t count = delta_comp_count.load(std::memory_order_relaxed);
+    return count == 0 ? 0.0
+                      : total_delta_comp_ms.load(std::memory_order_relaxed) /
+                            static_cast<double>(count);
   }
 
   /// Estimated net benefit of keeping the entry: per-use savings (main
@@ -40,8 +72,11 @@ struct CacheEntryMetrics {
   /// minus what maintenance has cost so far. Entries with higher profit
   /// survive eviction longer.
   double Profit() const {
-    double per_use = main_exec_ms - AvgDeltaCompMs();
-    return per_use * static_cast<double>(1 + hit_count) - maintenance_ms;
+    double per_use =
+        main_exec_ms.load(std::memory_order_relaxed) - AvgDeltaCompMs();
+    return per_use * static_cast<double>(
+                         1 + hit_count.load(std::memory_order_relaxed)) -
+           maintenance_ms.load(std::memory_order_relaxed);
   }
 };
 

@@ -2,14 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <exception>
+#include <iostream>
 #include <memory>
+
+#include "common/logging.h"
 
 namespace aggcache {
 
 namespace {
 
 thread_local bool t_in_worker = false;
+
+/// Enforces the pool's "tasks must not throw" contract at the one place it
+/// can be enforced: an escaping exception is reported and terminates the
+/// process, because unwinding a worker loop (or a ParallelFor caller's
+/// drain) would strand TaskGroup counters and every thread waiting on them.
+void RunPoolTask(const std::function<void()>& task) noexcept {
+  try {
+    task();
+  } catch (const std::exception& e) {
+    std::cerr << "aggcache: thread-pool task threw '" << e.what()
+              << "' — pool tasks must not throw\n";
+    std::terminate();
+  } catch (...) {
+    std::cerr << "aggcache: thread-pool task threw a non-std exception — "
+                 "pool tasks must not throw\n";
+    std::terminate();
+  }
+}
 
 size_t DefaultParallelism() {
   if (const char* env = std::getenv("AGGCACHE_THREADS")) {
@@ -66,6 +89,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::InWorker() { return t_in_worker; }
 
+bool ThreadPool::Busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_ > 0 || !queue_.empty();
+}
+
 void ThreadPool::WorkerLoop() {
   t_in_worker = true;
   for (;;) {
@@ -76,8 +104,13 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain.
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
-    task();
+    RunPoolTask(task);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
   }
 }
 
@@ -93,12 +126,26 @@ ThreadPool& ThreadPool::Global() {
 void ThreadPool::SetGlobalParallelism(size_t parallelism) {
   GlobalPoolHolder& holder = Holder();
   std::lock_guard<std::mutex> lock(holder.mu);
+  if (holder.pool != nullptr) {
+    // A worker stays "active" for a few instructions after the ParallelFor
+    // it served has returned (it still has to decrement the counter), so
+    // give such stragglers a bounded grace period before deciding the pool
+    // is genuinely busy.
+    for (int i = 0; i < 1000 && holder.pool->Busy(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Replacing a busy pool would destroy an object other threads hold
+    // references to (and may still submit against); there is no safe
+    // recovery, so fail loudly instead of handing out dangling pools.
+    AGGCACHE_CHECK(!holder.pool->Busy())
+        << "SetGlobalParallelism called while pool work is in flight";
+  }
   holder.pool = std::make_unique<ThreadPool>(std::max<size_t>(1, parallelism));
 }
 
 void TaskGroup::Run(std::function<void()> task) {
   if (pool_.num_workers() == 0 || ThreadPool::InWorker()) {
-    task();
+    RunPoolTask(task);
     return;
   }
   {

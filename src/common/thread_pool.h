@@ -38,8 +38,15 @@ class ThreadPool {
   size_t parallelism() const { return workers_.size() + 1; }
   size_t num_workers() const { return workers_.size(); }
 
-  /// Enqueues a task for the workers. The task must not throw.
+  /// Enqueues a task for the workers. The task must not throw: a task that
+  /// does is caught by the worker, reported, and terminates the process —
+  /// silently losing an exception (or unwinding a worker loop) would leave
+  /// TaskGroup counters and ParallelFor callers hanging.
   void Submit(std::function<void()> task);
+
+  /// True while any task is queued or running on a worker. Used by
+  /// SetGlobalParallelism to refuse to destroy a pool under live work.
+  bool Busy() const;
 
   /// True when the current thread is one of some pool's workers. Nested
   /// fan-outs detect this and run sequentially instead of blocking a worker
@@ -52,15 +59,20 @@ class ThreadPool {
   static ThreadPool& Global();
 
   /// Replaces the global pool with one of the given parallelism (the
-  /// --threads=N bench knob). Must not be called while work is in flight.
+  /// --threads=N bench knob). Must not be called while work is in flight:
+  /// doing so would join workers mid-task from under their callers, so the
+  /// call fails loudly (process abort with a diagnostic) instead of
+  /// deadlocking or racing.
   static void SetGlobalParallelism(size_t parallelism);
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  /// Tasks currently executing on workers (dequeued but unfinished).
+  size_t active_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -79,7 +79,19 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
   if (combination.size() != num_tables) {
     return Status::InvalidArgument("combination arity mismatch");
   }
-  ExecutorStats& counters = stats != nullptr ? *stats : stats_;
+  // Parallel callers pass a per-task block; with stats == nullptr the
+  // counters accumulate locally and flush into the atomic shared stats on
+  // every return path, so even the no-stats convenience calls are safe
+  // under concurrency.
+  ExecutorStats local_counters;
+  ExecutorStats& counters = stats != nullptr ? *stats : local_counters;
+  struct FlushSharedOnExit {
+    const Executor* executor;
+    const ExecutorStats* local;
+    ~FlushSharedOnExit() {
+      if (local != nullptr) executor->stats_.MergeFrom(*local);
+    }
+  } flush{this, stats == nullptr ? &local_counters : nullptr};
   ++counters.subjoins_executed;
   AggregateResult result(bound.aggregates.size());
 
@@ -330,6 +342,11 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
 StatusOr<AggregateResult> Executor::ExecuteUncached(
     const AggregateQuery& query, Snapshot snapshot) const {
   ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
+  return ExecuteUncachedBound(bound, snapshot);
+}
+
+StatusOr<AggregateResult> Executor::ExecuteUncachedBound(
+    const BoundQuery& bound, Snapshot snapshot) const {
   std::vector<SubjoinCombination> combos =
       EnumerateAllCombinations(bound.tables);
   std::vector<AggregateResult> partials(combos.size());
@@ -352,7 +369,7 @@ StatusOr<AggregateResult> Executor::ExecuteUncached(
     result.MergeFrom(partials[i]);
   }
   // HAVING applies to whole groups, so only after every subjoin is merged.
-  return query.ApplyHaving(std::move(result));
+  return bound.query->ApplyHaving(std::move(result));
 }
 
 }  // namespace aggcache

@@ -1,6 +1,7 @@
 #ifndef AGGCACHE_QUERY_EXECUTOR_H_
 #define AGGCACHE_QUERY_EXECUTOR_H_
 
+#include <atomic>
 #include <vector>
 
 #include "query/aggregate_query.h"
@@ -73,6 +74,33 @@ struct ExecutorStats {
   }
 };
 
+/// The executor's shared counters: same fields as ExecutorStats, but atomic
+/// so concurrent top-level executions on one Executor can all feed them.
+/// Relaxed ordering — these are statistics, not synchronization. Reads
+/// convert implicitly, so `executor.stats().subjoins_executed` keeps
+/// working in tests and benches.
+struct SharedExecutorStats {
+  std::atomic<uint64_t> subjoins_executed{0};
+  std::atomic<uint64_t> rows_scanned{0};
+  std::atomic<uint64_t> rows_selected{0};
+  std::atomic<uint64_t> tuples_joined{0};
+
+  void Reset() {
+    subjoins_executed.store(0, std::memory_order_relaxed);
+    rows_scanned.store(0, std::memory_order_relaxed);
+    rows_selected.store(0, std::memory_order_relaxed);
+    tuples_joined.store(0, std::memory_order_relaxed);
+  }
+
+  void MergeFrom(const ExecutorStats& other) {
+    subjoins_executed.fetch_add(other.subjoins_executed,
+                                std::memory_order_relaxed);
+    rows_scanned.fetch_add(other.rows_scanned, std::memory_order_relaxed);
+    rows_selected.fetch_add(other.rows_selected, std::memory_order_relaxed);
+    tuples_joined.fetch_add(other.tuples_joined, std::memory_order_relaxed);
+  }
+};
+
 /// Aggregate query executor over the main-delta columnar store: per-table
 /// selection (with dictionary-range static pruning of filters), left-deep
 /// hash joins in query-table order, and hash aggregation.
@@ -122,13 +150,19 @@ class Executor {
   StatusOr<AggregateResult> ExecuteUncached(const AggregateQuery& query,
                                             Snapshot snapshot) const;
 
-  ExecutorStats& stats() const { return stats_; }
+  /// Same, for an already-bound query — used by callers that bind first to
+  /// learn the table set (and take table locks) before executing.
+  StatusOr<AggregateResult> ExecuteUncachedBound(const BoundQuery& bound,
+                                                 Snapshot snapshot) const;
+
+  SharedExecutorStats& stats() const { return stats_; }
 
  private:
   const Database* db_;
   /// Mutable so the const, re-entrant execution paths can keep feeding the
-  /// shared counters that benches and the cache manager read.
-  mutable ExecutorStats stats_;
+  /// shared counters that benches and the cache manager read. Atomic fields
+  /// make the accumulation safe under concurrent top-level executions.
+  mutable SharedExecutorStats stats_;
 };
 
 }  // namespace aggcache

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,14 +11,24 @@
 #include "storage/delta_merge.h"
 #include "storage/merge_observer.h"
 #include "storage/table.h"
+#include "txn/epoch.h"
 #include "txn/transaction_manager.h"
 
 namespace aggcache {
 
-/// The catalog: owns tables, the transaction manager, merge observers, and
-/// the object-aware metadata (consistent aging groups, Section 5.4). Table
-/// pointers returned by CreateTable/GetTable remain stable for the lifetime
-/// of the database.
+/// The catalog: owns tables, the transaction manager, the epoch manager,
+/// merge observers, and the object-aware metadata (consistent aging groups,
+/// Section 5.4). Table pointers returned by CreateTable/GetTable remain
+/// stable for the lifetime of the database.
+///
+/// Threading model (DESIGN.md §6): the catalog map and registration lists
+/// have their own mutexes; per-table data is protected by each table's
+/// reader-writer mutex. Merge() locks its target exclusively and every
+/// other catalog table shared — merge observers (aggregate cache
+/// maintenance) read joined tables during the callbacks, and the shared
+/// locks guarantee those reads see no concurrent writer. Storage displaced
+/// by a merge is retired through the epoch manager and freed only once all
+/// readers that could reference it have drained.
 class Database {
  public:
   Database() = default;
@@ -34,8 +45,17 @@ class Database {
   TransactionManager& txn_manager() { return txn_manager_; }
   const TransactionManager& txn_manager() const { return txn_manager_; }
 
+  /// Epoch manager for deferred reclamation of merged-away storage.
+  EpochManager& epochs() { return epochs_; }
+  const EpochManager& epochs() const { return epochs_; }
+
   /// Starts a new transaction.
   Transaction Begin() { return txn_manager_.Begin(); }
+
+  /// Starts a transaction inside an atomic write scope: its inserts become
+  /// visible to other snapshots all at once, when the returned handle is
+  /// destroyed. Scopes are insert-only (updates/deletes are rejected).
+  ScopedTransaction BeginAtomic() { return txn_manager_.BeginAtomic(); }
 
   /// Merges all partition groups of `table_name`, notifying merge observers
   /// around each group merge.
@@ -84,14 +104,31 @@ class Database {
   /// Returns the number of groups merged.
   StatusOr<size_t> AutoMergeTick(const MergeOptions& options = MergeOptions());
 
+  /// Registered merge groups whose delta sizes exceed their threshold right
+  /// now (sized under shared table locks). The merge daemon polls this and
+  /// merges each returned group; the answer is advisory — deltas keep
+  /// moving — so the daemon re-checks on every tick.
+  std::vector<std::vector<std::string>> DueMergeGroups() const;
+
  private:
+  friend class Table;  // FK resolution runs under catalog_mu_ in CreateTable.
+
   struct MergeGroup {
     std::vector<std::string> tables;
     size_t delta_row_threshold = 0;
   };
 
+  /// Catalog lookup without taking catalog_mu_; the caller must hold it.
+  StatusOr<const Table*> GetTableLocked(const std::string& name) const;
+
+  /// True when any member table's delta is over the group threshold.
+  StatusOr<bool> GroupDue(const MergeGroup& group) const;
+
+  mutable std::mutex catalog_mu_;   // guards tables_/aging_groups_/merge_groups_
+  mutable std::mutex observers_mu_; // guards merge_observers_
   std::map<std::string, std::unique_ptr<Table>> tables_;
   TransactionManager txn_manager_;
+  EpochManager epochs_;
   std::vector<MergeObserver*> merge_observers_;
   std::vector<std::vector<std::string>> aging_groups_;
   std::vector<MergeGroup> merge_groups_;

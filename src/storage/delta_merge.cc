@@ -1,7 +1,12 @@
 #include "storage/delta_merge.h"
 
+#include <limits>
+#include <utility>
+
 #include "common/logging.h"
 #include "storage/table.h"
+#include "txn/epoch.h"
+#include "verify/fault_injector.h"
 
 namespace aggcache {
 
@@ -40,23 +45,62 @@ Partition MainPartitionBuilder::Build() {
 }
 
 Status MergeTableGroup(Table& table, size_t group_index,
-                       const MergeOptions& options) {
+                       const MergeOptions& options, const Snapshot& snapshot) {
   if (group_index >= table.num_groups()) {
     return Status::OutOfRange("partition group index out of range");
   }
   PartitionGroup& group = table.mutable_group(group_index);
 
+  // Main rows always have stable create stamps (that is how they got into
+  // main); only their invalidation may be unstable, in which case the row
+  // must survive — a snapshot excluding the invalidator still sees it.
   MainPartitionBuilder builder(table.schema());
   for (const Partition* p : {&group.main, &group.delta}) {
     for (size_t r = 0; r < p->num_rows(); ++r) {
-      if (p->RowInvalidated(r) && !options.keep_invalidated) continue;
+      if (p->kind() == PartitionKind::kDelta &&
+          !snapshot.TidStable(p->create_tid(r))) {
+        continue;  // In-flight atomic scope: stays in the new delta below.
+      }
+      if (p->RowInvalidated(r) && !options.keep_invalidated &&
+          snapshot.TidStable(p->invalidate_tid(r))) {
+        continue;
+      }
       builder.AddRow(p->GetRow(r), p->create_tid(r), p->invalidate_tid(r));
     }
   }
-  group.main = builder.Build();
-  group.delta = Partition::MakeDelta(table.schema());
+  Partition fresh_delta = Partition::MakeDelta(table.schema());
+  for (size_t r = 0; r < group.delta.num_rows(); ++r) {
+    if (snapshot.TidStable(group.delta.create_tid(r))) continue;
+    RETURN_IF_ERROR(
+        fresh_delta.AppendRow(group.delta.GetRow(r), group.delta.create_tid(r)));
+    if (group.delta.RowInvalidated(r)) {
+      fresh_delta.InvalidateRow(fresh_delta.num_rows() - 1,
+                                group.delta.invalidate_tid(r));
+    }
+  }
+  // Last abort opportunity before the new main becomes visible. Aborting
+  // here leaves the group untouched — the builder's work is simply dropped,
+  // so a retry starts from the same pre-merge state.
+  RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("storage.merge.publish"));
+  Partition old_main = std::exchange(group.main, builder.Build());
+  Partition old_delta = std::exchange(group.delta, std::move(fresh_delta));
   table.RebuildPkIndex();
+  if (EpochManager* ep = table.epochs()) {
+    // The displaced partitions may still be referenced by in-flight readers
+    // of *other* tables (the merge holds this table exclusively, but column
+    // pointers can outlive the lock inside an epoch guard). Defer freeing.
+    ep->Retire(std::move(old_main));
+    ep->Retire(std::move(old_delta));
+    ep->Advance();
+  }
   return Status::Ok();
+}
+
+Status MergeTableGroup(Table& table, size_t group_index,
+                       const MergeOptions& options) {
+  // No-snapshot overload: every stamp is stable, everything merges.
+  Snapshot all{std::numeric_limits<Tid>::max(), {}};
+  return MergeTableGroup(table, group_index, options, all);
 }
 
 }  // namespace aggcache

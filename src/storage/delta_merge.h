@@ -48,6 +48,16 @@ class MainPartitionBuilder {
 /// main with sorted dictionaries, and the delta is emptied. The table's
 /// primary-key index is rebuilt. Use Database::Merge to also notify merge
 /// observers (aggregate cache maintenance).
+///
+/// Only rows whose MVCC stamps are stable at `snapshot` move (or, when
+/// invalidated, are dropped); a delta row created by an atomic write scope
+/// still in flight at `snapshot` stays behind in the fresh delta, with its
+/// timestamps preserved. This keeps the merge invisible to such scopes and
+/// lets observers equate "the delta visible at `snapshot`" with "the rows
+/// this merge moved". The overload without a snapshot moves everything
+/// (direct storage-level callers with no concurrent transactions).
+Status MergeTableGroup(Table& table, size_t group_index,
+                       const MergeOptions& options, const Snapshot& snapshot);
 Status MergeTableGroup(Table& table, size_t group_index,
                        const MergeOptions& options);
 

@@ -1,0 +1,173 @@
+#include "storage/merge_daemon.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/database.h"
+
+namespace aggcache {
+
+MergeDaemon::MergeDaemon(Database& db, MergeDaemonOptions options)
+    : db_(db), options_(options) {}
+
+MergeDaemon::~MergeDaemon() { Stop(); }
+
+void MergeDaemon::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MergeDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void MergeDaemon::Pause() {
+  // Synchronous: once Pause returns, no merge is in flight — callers
+  // (quiesce barriers) may then read storage without table locks.
+  std::unique_lock<std::mutex> lock(mu_);
+  paused_ = true;
+  cv_.wait(lock, [this] { return !merging_; });
+}
+
+void MergeDaemon::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+    nudged_ = true;
+  }
+  cv_.notify_all();
+}
+
+void MergeDaemon::Nudge() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nudged_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MergeDaemon::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+bool MergeDaemon::paused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paused_;
+}
+
+MergeDaemonStats MergeDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool MergeDaemon::InterruptibleSleep(std::chrono::milliseconds delay) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, delay, [this] { return stop_requested_ || nudged_; });
+  nudged_ = false;
+  return !stop_requested_;
+}
+
+void MergeDaemon::MergeGroupWithRetry(const std::vector<std::string>& tables) {
+  std::chrono::milliseconds backoff = options_.initial_backoff;
+  for (int attempt = 0; attempt <= options_.max_retries_per_tick; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_ || paused_) return;
+      ++stats_.merges_attempted;
+      merging_ = true;
+    }
+    Status merged = db_.MergeTables(tables, options_.merge_options);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      merging_ = false;
+      cv_.notify_all();  // Wake a Pause() waiting for the merge to finish.
+      if (merged.ok()) {
+        ++stats_.merges_succeeded;
+        return;
+      }
+      ++stats_.merges_aborted;
+      // Aborts are expected under fault injection: observers have already
+      // run their OnMergeAborted recovery and the group's storage is
+      // untouched, so a backed-off retry is safe.
+      if (attempt == options_.max_retries_per_tick) {
+        ++stats_.groups_given_up;
+        return;  // re-evaluated next tick
+      }
+    }
+    std::chrono::milliseconds delay = backoff;
+    backoff = std::min(backoff * 2, options_.max_backoff);
+    if (!InterruptibleSleep(delay)) return;
+  }
+}
+
+void MergeDaemon::Loop() {
+  while (true) {
+    if (!InterruptibleSleep(options_.poll_interval)) break;
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      skip = paused_;
+      ++stats_.ticks;
+    }
+    if (skip) continue;
+    for (const std::vector<std::string>& group : db_.DueMergeGroups()) {
+      MergeGroupWithRetry(group);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) return;
+    }
+    // Reclaim storage retired by earlier merges whose readers have drained.
+    db_.epochs().Collect();
+  }
+}
+
+MergeDaemonOptions MergeDaemon::OptionsFromEnv(bool* enabled) {
+  MergeDaemonOptions options;
+  *enabled = true;
+  const char* env = std::getenv("AGGCACHE_MERGE_DAEMON");
+  if (env == nullptr) return options;
+  std::string spec(env);
+  if (spec == "off" || spec == "0") {
+    *enabled = false;
+    return options;
+  }
+  std::vector<std::string> parts;
+  for (size_t start = 0; start <= spec.size();) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    parts.push_back(spec.substr(start, comma - start));
+    start = comma + 1;
+  }
+  for (const std::string& part : parts) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = part.substr(0, eq);
+    long value = std::strtol(part.c_str() + eq + 1, nullptr, 10);
+    if (value < 0) continue;
+    if (key == "poll_ms") {
+      options.poll_interval = std::chrono::milliseconds(value);
+    } else if (key == "backoff_ms") {
+      options.initial_backoff = std::chrono::milliseconds(value);
+    } else if (key == "max_backoff_ms") {
+      options.max_backoff = std::chrono::milliseconds(value);
+    } else if (key == "retries") {
+      options.max_retries_per_tick = static_cast<int>(value);
+    }
+  }
+  return options;
+}
+
+}  // namespace aggcache

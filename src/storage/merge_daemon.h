@@ -1,0 +1,122 @@
+#ifndef AGGCACHE_STORAGE_MERGE_DAEMON_H_
+#define AGGCACHE_STORAGE_MERGE_DAEMON_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/delta_merge.h"
+
+namespace aggcache {
+
+class Database;
+
+/// Tuning for the background merge daemon. Defaults suit tests and the
+/// stress harness; production embedders raise poll_interval.
+struct MergeDaemonOptions {
+  /// How often the daemon sizes deltas when idle.
+  std::chrono::milliseconds poll_interval{20};
+  /// First retry delay after an aborted merge; doubles per attempt.
+  std::chrono::milliseconds initial_backoff{5};
+  /// Backoff ceiling.
+  std::chrono::milliseconds max_backoff{500};
+  /// Abort retries per group within one tick; the group is re-evaluated on
+  /// the next tick anyway, so this only bounds how long a tick can stall.
+  int max_retries_per_tick = 5;
+  /// Passed through to the delta merge.
+  MergeOptions merge_options;
+};
+
+/// Counters exported by the daemon (monotonic since Start).
+struct MergeDaemonStats {
+  uint64_t ticks = 0;              ///< delta-sizing passes
+  uint64_t merges_attempted = 0;   ///< group merges started (incl. retries)
+  uint64_t merges_succeeded = 0;   ///< group merges committed
+  uint64_t merges_aborted = 0;     ///< group merges failed (fault or error)
+  uint64_t groups_given_up = 0;    ///< groups that exhausted a tick's retries
+};
+
+/// Background merge daemon (DESIGN.md §6): a single thread that watches the
+/// database's registered merge-sync groups and merges each group as soon as
+/// any member's delta crosses its threshold — the automated version of the
+/// paper's Section 5.2 synchronized merge. Aborted merges (fault injection,
+/// OnMergeAborted observers) are retried with exponential backoff.
+///
+/// The daemon is just another merge caller: Database::Merge's own locking
+/// (exclusive target + shared others) serializes it against readers and
+/// writers, so no extra coordination is needed. Pause() lets tests and
+/// quiesce barriers stop background merges without tearing the thread down;
+/// Stop() (and the destructor) shuts down cleanly, finishing or aborting
+/// nothing mid-flight — the thread only exits between merge calls.
+class MergeDaemon {
+ public:
+  explicit MergeDaemon(Database& db,
+                       MergeDaemonOptions options = MergeDaemonOptions());
+  ~MergeDaemon();
+
+  MergeDaemon(const MergeDaemon&) = delete;
+  MergeDaemon& operator=(const MergeDaemon&) = delete;
+
+  /// Launches the background thread. No-op when already running.
+  void Start();
+
+  /// Requests shutdown and joins the thread. Safe to call twice; the
+  /// destructor calls it. An in-progress merge completes first.
+  void Stop();
+
+  /// Suspends merging, blocking until the in-progress merge (if any) has
+  /// completed — after Pause returns, the daemon touches no storage until
+  /// Resume. The thread stays alive and keeps ticking cheaply.
+  void Pause();
+
+  /// Resumes merging and wakes the thread immediately.
+  void Resume();
+
+  /// Wakes the thread for an immediate delta-sizing pass (call after a
+  /// write burst instead of waiting out the poll interval).
+  void Nudge();
+
+  bool running() const;
+  bool paused() const;
+
+  MergeDaemonStats stats() const;
+
+  /// Parses the AGGCACHE_MERGE_DAEMON environment variable:
+  ///   "off" or "0"                      -> *enabled = false
+  ///   "poll_ms=N,backoff_ms=N,max_backoff_ms=N,retries=N" (any subset)
+  /// Unset or any other value keeps the defaults with *enabled = true.
+  static MergeDaemonOptions OptionsFromEnv(bool* enabled);
+
+ private:
+  void Loop();
+
+  /// Merges one due group with per-tick retry + exponential backoff.
+  void MergeGroupWithRetry(const std::vector<std::string>& tables);
+
+  /// Sleeps up to `delay`, returning early (false) when shutdown is
+  /// requested.
+  bool InterruptibleSleep(std::chrono::milliseconds delay);
+
+  Database& db_;
+  const MergeDaemonOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  bool paused_ = false;
+  bool nudged_ = false;
+  /// True while a Database::MergeTables call is in flight (Pause blocks
+  /// on it).
+  bool merging_ = false;
+  MergeDaemonStats stats_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_MERGE_DAEMON_H_

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "txn/types.h"
+
 namespace aggcache {
 
 class Table;
@@ -12,16 +14,29 @@ class Table;
 /// forward (cached main aggregate + delta aggregate) while the delta is
 /// still present, then re-snapshotted after the merge — the merge-time
 /// maintenance of Section 5.2.
+///
+/// `snapshot` is the merge snapshot: the view under which this merge decides
+/// which delta rows are stable enough to move into main. It is the same
+/// object for the whole before/merge/after sequence of one group, so an
+/// observer folding "the delta visible at `snapshot`" folds exactly the
+/// rows the merge moves. Its tid was freshly issued by the merge itself, so
+/// every snapshot taken before the merge began has a strictly smaller
+/// read_tid — which is what lets cache maintenance stamped with this
+/// snapshot never serve those earlier readers (base_tid guard).
 class MergeObserver {
  public:
   virtual ~MergeObserver() = default;
 
   /// Called before the delta of `table`'s group `group_index` is merged;
   /// the delta rows are still visible here.
-  virtual void OnBeforeMerge(Table& table, size_t group_index) = 0;
+  virtual void OnBeforeMerge(Table& table, size_t group_index,
+                             const Snapshot& snapshot) = 0;
 
-  /// Called after the merge: the group has a rebuilt main and empty delta.
-  virtual void OnAfterMerge(Table& table, size_t group_index) = 0;
+  /// Called after the merge: the group has a rebuilt main and a delta
+  /// holding only rows that were not stable at `snapshot` (in-flight
+  /// atomic scopes), usually none.
+  virtual void OnAfterMerge(Table& table, size_t group_index,
+                            const Snapshot& snapshot) = 0;
 
   /// Called when a merge fails *between* OnBeforeMerge and OnAfterMerge:
   /// the group still has its old main and a non-empty delta, but observers

@@ -1,11 +1,35 @@
 #include "storage/table.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "storage/database.h"
 #include "storage/delta_merge.h"
+#include "storage/table_lock.h"
+#include "txn/epoch.h"
 
 namespace aggcache {
+
+namespace {
+
+/// Acquires the lock set of a writer statement: exclusive on the written
+/// table, shared on every foreign-key parent (BuildRow reads them for RI
+/// checks and matching-dependency tid lookups). Address-ordered via
+/// TableLockSet, so writers on different tables of a schema cannot deadlock
+/// against each other or against merges.
+TableLockSet AcquireWriteLocks(const Table* self,
+                               const std::vector<const Table*>& fk_tables) {
+  TableLockSet locks;
+  locks.Add(self, TableLockMode::kExclusive);
+  for (const Table* parent : fk_tables) {
+    locks.Add(parent, TableLockMode::kShared);
+  }
+  locks.Lock();
+  return locks;
+}
+
+}  // namespace
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   groups_.push_back(PartitionGroup{
@@ -24,10 +48,14 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
 }
 
 Status Table::ResolveForeignKeys(Database* db) {
+  db_ = db;
   fk_tables_.clear();
   for (const ForeignKeyDef& fk : schema_.foreign_keys) {
+    // Called from CreateTable with catalog_mu_ held — use the unlocked
+    // catalog lookup.
     ASSIGN_OR_RETURN(const Table* ref,
-                     static_cast<const Database*>(db)->GetTable(fk.ref_table));
+                     static_cast<const Database*>(db)->GetTableLocked(
+                         fk.ref_table));
     if (!ref->schema().primary_key) {
       return Status::InvalidArgument(
           StrFormat("table '%s' referenced by '%s' has no primary key",
@@ -100,9 +128,14 @@ Status Table::BuildRow(const Transaction& txn,
   return Status::Ok();
 }
 
+EpochManager* Table::epochs() const {
+  return db_ != nullptr ? &db_->epochs() : nullptr;
+}
+
 Status Table::Insert(const Transaction& txn,
                      const std::vector<Value>& user_values,
                      const InsertOptions& options) {
+  TableLockSet locks = AcquireWriteLocks(this, fk_tables_);
   return InsertInternal(txn, user_values, options, std::nullopt);
 }
 
@@ -136,6 +169,20 @@ Status Table::InsertInternal(const Transaction& txn,
 Status Table::UpdateByPk(const Transaction& txn, const Value& pk,
                          const std::vector<Value>& new_user_values,
                          const InsertOptions& options) {
+  TableLockSet locks = AcquireWriteLocks(this, fk_tables_);
+  return UpdateByPkUnlocked(txn, pk, new_user_values, options);
+}
+
+Status Table::UpdateByPkUnlocked(const Transaction& txn, const Value& pk,
+                                 const std::vector<Value>& new_user_values,
+                                 const InsertOptions& options) {
+  if (txn.in_atomic_scope()) {
+    // Atomic write scopes are insert-only: an invalidation stamped with an
+    // excluded tid would make shared aggregate-cache state depend on one
+    // snapshot's exclusion list (see Transaction::in_atomic_scope).
+    return Status::FailedPrecondition(
+        "updates are not allowed inside an atomic write scope");
+  }
   if (!schema_.primary_key) {
     return Status::FailedPrecondition("update requires a primary key");
   }
@@ -159,6 +206,46 @@ Status Table::UpdateByPk(const Transaction& txn, const Value& pk,
 }
 
 Status Table::DeleteByPk(const Transaction& txn, const Value& pk) {
+  TableLockSet locks = AcquireWriteLocks(this, fk_tables_);
+  return DeleteByPkUnlocked(txn, pk);
+}
+
+Status Table::UpdateColumnByPk(const Transaction& txn, const Value& pk,
+                               const std::string& column,
+                               const Value& new_value,
+                               const InsertOptions& options) {
+  TableLockSet locks = AcquireWriteLocks(this, fk_tables_);
+  if (!schema_.primary_key) {
+    return Status::FailedPrecondition("update requires a primary key");
+  }
+  ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  if (schema_.columns[col].is_tid) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' is engine-maintained", column.c_str()));
+  }
+  auto it = pk_index_.find(pk);
+  if (it == pk_index_.end()) {
+    return Status::NotFound(StrFormat("no row with primary key %s in '%s'",
+                                      pk.ToString().c_str(), name().c_str()));
+  }
+  // Read-modify-write under the held exclusive lock: rebuild the user-value
+  // vector from the current version with one column replaced.
+  RowLocation loc = it->second;
+  std::vector<Value> user_values;
+  user_values.reserve(schema_.NumUserColumns());
+  for (size_t i = 0; i < schema_.columns.size(); ++i) {
+    if (schema_.columns[i].is_tid) continue;
+    user_values.push_back(i == col ? new_value : ValueAt(loc, i));
+  }
+  return UpdateByPkUnlocked(txn, pk, user_values, options);
+}
+
+Status Table::DeleteByPkUnlocked(const Transaction& txn, const Value& pk) {
+  if (txn.in_atomic_scope()) {
+    // Insert-only scope contract; see UpdateByPkUnlocked.
+    return Status::FailedPrecondition(
+        "deletes are not allowed inside an atomic write scope");
+  }
   if (!schema_.primary_key) {
     return Status::FailedPrecondition("delete requires a primary key");
   }
@@ -223,8 +310,20 @@ uint64_t Table::MainInvalidationCount() const {
   return total;
 }
 
+size_t Table::DeltaRows() const {
+  std::shared_lock<std::shared_mutex> lock(storage_mu_);
+  size_t total = 0;
+  for (const PartitionGroup& g : groups_) {
+    total += g.delta.num_rows();
+  }
+  return total;
+}
+
 Status Table::SplitHotCold(const std::string& column,
                            const Value& cold_below) {
+  TableLockSet locks;
+  locks.Add(this, TableLockMode::kExclusive);
+  locks.Lock();
   if (groups_.size() != 1) {
     return Status::FailedPrecondition("table is already split");
   }
@@ -250,8 +349,16 @@ Status Table::SplitHotCold(const std::string& column,
                                       Partition::MakeDelta(schema_)});
   new_groups.push_back(PartitionGroup{AgeClass::kCold, cold_builder.Build(),
                                       Partition::MakeDelta(schema_)});
+  std::vector<PartitionGroup> displaced = std::move(groups_);
   groups_ = std::move(new_groups);
   RebuildPkIndex();
+  if (EpochManager* ep = epochs()) {
+    // Readers of *other* tables may still dereference the displaced main's
+    // columns (e.g. a prefetched join side); defer freeing until the epoch
+    // drains rather than destroying in place.
+    ep->Retire(std::move(displaced));
+    ep->Advance();
+  }
   return Status::Ok();
 }
 
@@ -261,8 +368,16 @@ void Table::RestoreGroups(std::vector<PartitionGroup> groups) {
     AGGCACHE_CHECK_EQ(g.main.num_columns(), schema_.columns.size());
     AGGCACHE_CHECK_EQ(g.delta.num_columns(), schema_.columns.size());
   }
+  TableLockSet locks;
+  locks.Add(this, TableLockMode::kExclusive);
+  locks.Lock();
+  std::vector<PartitionGroup> displaced = std::move(groups_);
   groups_ = std::move(groups);
   RebuildPkIndex();
+  if (EpochManager* ep = epochs()) {
+    ep->Retire(std::move(displaced));
+    ep->Advance();
+  }
 }
 
 void Table::RebuildPkIndex() {

@@ -2,6 +2,7 @@
 #define AGGCACHE_STORAGE_TABLE_H_
 
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +15,7 @@
 namespace aggcache {
 
 class Database;
+class EpochManager;
 
 /// Physical address of a row within a table.
 struct RowLocation {
@@ -58,6 +60,16 @@ struct InsertOptions {
 /// own-tid column receives the inserting transaction's id, and each foreign
 /// key with a declared MD tid column receives the referenced row's own-tid —
 /// the matching dependency of Eq. 6.
+///
+/// Threading model (DESIGN.md §6): every table carries a reader-writer
+/// mutex. The mutating statement APIs (Insert/UpdateByPk/DeleteByPk/
+/// UpdateColumnByPk/SplitHotCold) acquire it internally — exclusive on this
+/// table, shared on foreign-key parents they read — so each statement is
+/// atomic with respect to concurrent readers. Read paths that must be safe
+/// against concurrent writers (query execution, the merge daemon's delta
+/// sizing) acquire shared locks through TableLockSet/ReadView at their API
+/// boundary; the raw accessors (group(), FindByPk(), ValueAt(), ...) do NOT
+/// lock and are safe only single-threaded or under a held lock.
 class Table {
  public:
   Table(const Table&) = delete;
@@ -91,6 +103,16 @@ class Table {
   /// Invalidates the row keyed by `pk`.
   Status DeleteByPk(const Transaction& txn, const Value& pk);
 
+  /// Atomically replaces a single user column of the row keyed by `pk`
+  /// (read-modify-write under this table's exclusive lock): the old version
+  /// is invalidated and the new one inserted into the delta, like
+  /// UpdateByPk. Safe to call concurrently with readers and other writers —
+  /// the value read and the version written cannot interleave with another
+  /// statement.
+  Status UpdateColumnByPk(const Transaction& txn, const Value& pk,
+                          const std::string& column, const Value& new_value,
+                          const InsertOptions& options = InsertOptions());
+
   /// Location of the valid row with the given primary key, if any.
   std::optional<RowLocation> FindByPk(const Value& pk) const;
 
@@ -123,6 +145,14 @@ class Table {
   /// entries use this as their dirty counter baseline.
   uint64_t MainInvalidationCount() const;
 
+  /// Total delta row count across all groups, taken under a shared lock.
+  /// The merge daemon polls this to decide when a merge is due.
+  size_t DeltaRows() const;
+
+  /// The table's reader-writer mutex. Acquire through TableLockSet (which
+  /// orders multi-table acquisitions by address) rather than directly.
+  std::shared_mutex& storage_mutex() const { return storage_mu_; }
+
   /// Replaces this table's partition groups wholesale and rebuilds the
   /// primary-key index. Only snapshot restoration (storage/snapshot.h)
   /// should call this; the groups must match the schema.
@@ -132,6 +162,9 @@ class Table {
   friend class Database;
   friend Status MergeTableGroup(Table& table, size_t group_index,
                                 const struct MergeOptions& options);
+  friend Status MergeTableGroup(Table& table, size_t group_index,
+                                const struct MergeOptions& options,
+                                const struct Snapshot& snapshot);
 
   explicit Table(TableSchema schema);
 
@@ -151,14 +184,30 @@ class Table {
                         const InsertOptions& options,
                         std::optional<int64_t> own_tid_override);
 
+  /// Statement bodies; callers hold this table exclusive and fk parents
+  /// shared (see the public wrappers).
+  Status UpdateByPkUnlocked(const Transaction& txn, const Value& pk,
+                            const std::vector<Value>& new_user_values,
+                            const InsertOptions& options);
+  Status DeleteByPkUnlocked(const Transaction& txn, const Value& pk);
+
   /// Rebuilds the primary-key index from scratch (after merges/splits).
   void RebuildPkIndex();
+
+  /// The epoch manager of the owning database, if any; displaced partition
+  /// groups (merge, split, restore) are retired through it instead of being
+  /// freed in place, so in-flight readers of other tables that still hold
+  /// column pointers stay valid. Null for tables outside a Database.
+  EpochManager* epochs() const;
 
   TableSchema schema_;
   std::vector<PartitionGroup> groups_;
   std::unordered_map<Value, RowLocation, ValueHash> pk_index_;
   /// Referenced tables, parallel to schema_.foreign_keys.
   std::vector<const Table*> fk_tables_;
+  /// Owning database; set by Database::CreateTable via ResolveForeignKeys.
+  Database* db_ = nullptr;
+  mutable std::shared_mutex storage_mu_;
 };
 
 }  // namespace aggcache

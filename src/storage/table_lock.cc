@@ -1,0 +1,97 @@
+#include "storage/table_lock.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace aggcache {
+
+TableLockSet::TableLockSet(TableLockSet&& other) noexcept
+    : items_(std::move(other.items_)),
+      locked_(std::exchange(other.locked_, false)) {
+  other.items_.clear();
+}
+
+TableLockSet& TableLockSet::operator=(TableLockSet&& other) noexcept {
+  if (this != &other) {
+    Unlock();
+    items_ = std::move(other.items_);
+    locked_ = std::exchange(other.locked_, false);
+    other.items_.clear();
+  }
+  return *this;
+}
+
+void TableLockSet::Add(const Table* table, TableLockMode mode) {
+  AGGCACHE_CHECK(!locked_) << "cannot add tables to a locked set";
+  if (table == nullptr) return;
+  items_.push_back(Item{table, mode});
+}
+
+void TableLockSet::Lock() {
+  AGGCACHE_CHECK(!locked_) << "lock set acquired twice";
+  // Global order: table address. Duplicates collapse to one acquisition
+  // with the stronger mode (a shared_mutex is not recursive, so locking a
+  // table twice from one thread would deadlock).
+  std::sort(items_.begin(), items_.end(), [](const Item& a, const Item& b) {
+    return a.table < b.table;
+  });
+  std::vector<Item> unique;
+  unique.reserve(items_.size());
+  for (const Item& item : items_) {
+    if (!unique.empty() && unique.back().table == item.table) {
+      if (item.mode == TableLockMode::kExclusive) {
+        unique.back().mode = TableLockMode::kExclusive;
+      }
+      continue;
+    }
+    unique.push_back(item);
+  }
+  items_ = std::move(unique);
+  for (const Item& item : items_) {
+    if (item.mode == TableLockMode::kExclusive) {
+      item.table->storage_mutex().lock();
+    } else {
+      item.table->storage_mutex().lock_shared();
+    }
+  }
+  locked_ = true;
+}
+
+void TableLockSet::Unlock() {
+  if (!locked_) return;
+  for (auto it = items_.rbegin(); it != items_.rend(); ++it) {
+    if (it->mode == TableLockMode::kExclusive) {
+      it->table->storage_mutex().unlock();
+    } else {
+      it->table->storage_mutex().unlock_shared();
+    }
+  }
+  locked_ = false;
+}
+
+ReadView ReadView::Acquire(Database& db,
+                           std::span<const Table* const> tables,
+                           std::optional<Snapshot> read_at) {
+  ReadView view;
+  for (const Table* table : tables) {
+    view.locks_.Add(table, TableLockMode::kShared);
+  }
+  view.locks_.Lock();
+  // Locks first, then epoch + snapshot: see the class comment.
+  view.pin_ = read_at.has_value()
+                  ? ConsistentViewManager::PinAt(*read_at, db.epochs())
+                  : ConsistentViewManager::Pin(db.txn_manager(), db.epochs());
+  return view;
+}
+
+void ReadView::Release() {
+  // Epoch membership ends before the locks are dropped; both orders are
+  // safe, but this mirrors the acquisition's lock-then-pin.
+  pin_.guard.Release();
+  locks_.Unlock();
+}
+
+}  // namespace aggcache

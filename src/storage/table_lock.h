@@ -1,0 +1,94 @@
+#ifndef AGGCACHE_STORAGE_TABLE_LOCK_H_
+#define AGGCACHE_STORAGE_TABLE_LOCK_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "txn/consistent_view_manager.h"
+#include "txn/types.h"
+
+namespace aggcache {
+
+class Database;
+class Table;
+
+/// Lock mode for one table in a TableLockSet.
+enum class TableLockMode : uint8_t { kShared = 0, kExclusive = 1 };
+
+/// An ordered multi-table lock acquisition. Every concurrent entry point
+/// (query execution, writer statements, merges) builds its full lock set up
+/// front and acquires it through this class, which sorts tables by address
+/// and locks them in that global order — the deadlock-freedom rule of the
+/// engine's lock hierarchy (DESIGN.md §6). Duplicate tables collapse to a
+/// single acquisition with the stronger mode.
+///
+/// Lock scopes must not nest: a thread holding a TableLockSet must not
+/// acquire another one (the public Table/Database mutation APIs lock
+/// internally, so do not call them while holding a set that covers the same
+/// tables).
+class TableLockSet {
+ public:
+  TableLockSet() = default;
+  ~TableLockSet() { Unlock(); }
+
+  TableLockSet(TableLockSet&& other) noexcept;
+  TableLockSet& operator=(TableLockSet&& other) noexcept;
+  TableLockSet(const TableLockSet&) = delete;
+  TableLockSet& operator=(const TableLockSet&) = delete;
+
+  /// Adds a table to the set. Must be called before Lock().
+  void Add(const Table* table, TableLockMode mode);
+
+  /// Acquires every added lock in address order. Call at most once.
+  void Lock();
+
+  /// Releases held locks in reverse order. Idempotent; the destructor calls
+  /// it as well.
+  void Unlock();
+
+  bool locked() const { return locked_; }
+
+ private:
+  struct Item {
+    const Table* table = nullptr;
+    TableLockMode mode = TableLockMode::kShared;
+  };
+  std::vector<Item> items_;
+  bool locked_ = false;
+};
+
+/// A reader's consistent view: shared locks on every table the query
+/// touches plus an epoch-pinned snapshot. While the view is held, no
+/// writer statement, merge, or hot/cold split can mutate those tables, so
+/// the snapshot's main/delta/visibility state is frozen across all of them;
+/// the epoch guard additionally keeps any concurrently retired storage from
+/// other tables alive (see EpochManager).
+///
+/// Acquisition order (lock-then-pin) matters: a reader must never enter an
+/// epoch before it holds all its locks, or a merge waiting for the epoch to
+/// drain while holding a table lock could deadlock against it.
+class ReadView {
+ public:
+  ReadView() = default;
+
+  /// Locks `tables` shared and pins the snapshot: the transaction's own
+  /// when `read_at` is engaged, the current global snapshot otherwise
+  /// (taken after the locks are held).
+  static ReadView Acquire(Database& db, std::span<const Table* const> tables,
+                          std::optional<Snapshot> read_at = std::nullopt);
+
+  Snapshot snapshot() const { return pin_.snapshot; }
+  bool active() const { return pin_.guard.active(); }
+
+  /// Releases locks and epoch membership early (before destruction).
+  void Release();
+
+ private:
+  TableLockSet locks_;
+  PinnedSnapshot pin_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_TABLE_LOCK_H_

@@ -4,9 +4,21 @@
 #include <span>
 
 #include "common/bit_vector.h"
+#include "txn/epoch.h"
+#include "txn/transaction_manager.h"
 #include "txn/types.h"
 
 namespace aggcache {
+
+/// A snapshot pinned to an epoch: holding the guard keeps every storage
+/// structure the snapshot can reference alive (retired main partitions are
+/// not freed until all pinning readers have drained). Acquire via
+/// ConsistentViewManager::Pin AFTER taking table locks — see
+/// EpochManager's ordering rule.
+struct PinnedSnapshot {
+  Snapshot snapshot;
+  EpochManager::Guard guard;
+};
 
 /// Builds row-visibility bit vectors from per-row MVCC timestamps, the
 /// component the paper calls the Consistent View Manager (Fig. 1).
@@ -18,6 +30,19 @@ namespace aggcache {
 /// compensation).
 class ConsistentViewManager {
  public:
+  /// Epoch-style snapshot acquisition: registers the caller as a reader in
+  /// the current epoch and returns the global snapshot. The caller must
+  /// already hold shared locks on every table it will read, so the snapshot
+  /// covers a consistent main/delta/visibility view across all of them.
+  static PinnedSnapshot Pin(const TransactionManager& txns,
+                            EpochManager& epochs) {
+    return PinnedSnapshot{txns.GlobalSnapshot(), epochs.Enter()};
+  }
+
+  /// Pin at an explicit read time (a transaction's own snapshot).
+  static PinnedSnapshot PinAt(Snapshot snapshot, EpochManager& epochs) {
+    return PinnedSnapshot{snapshot, epochs.Enter()};
+  }
   /// Visibility vector for rows with the given MVCC timestamps.
   static BitVector ComputeVisibility(std::span<const Tid> create_tids,
                                      std::span<const Tid> invalidate_tids,

@@ -1,0 +1,85 @@
+#include "txn/epoch.h"
+
+#include <algorithm>
+
+namespace aggcache {
+
+EpochManager::~EpochManager() {
+  // No reader can outlive the manager (guards hold a raw pointer); retired
+  // objects are destroyed with it.
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.clear();
+}
+
+EpochManager::Guard EpochManager::Enter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++active_[epoch_];
+  return Guard(this, epoch_);
+}
+
+void EpochManager::Exit(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(epoch);
+  if (it != active_.end() && --it->second == 0) {
+    active_.erase(it);
+    drained_cv_.notify_all();
+  }
+}
+
+uint64_t EpochManager::Advance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++epoch_;
+}
+
+uint64_t EpochManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+void EpochManager::RetireErased(std::shared_ptr<void> object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.push_back(Retired{epoch_, std::move(object)});
+}
+
+uint64_t EpochManager::OldestActiveLocked() const {
+  return active_.empty() ? epoch_ + 1 : active_.begin()->first;
+}
+
+size_t EpochManager::Collect() {
+  // Move freeable objects out of the lock scope before destroying them:
+  // ~Partition deallocates whole column vectors and must not serialize
+  // against Enter()/Exit().
+  std::vector<Retired> freeable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t oldest = OldestActiveLocked();
+    auto keep_end = std::partition(
+        retired_.begin(), retired_.end(),
+        [oldest](const Retired& r) { return r.epoch >= oldest; });
+    freeable.assign(std::make_move_iterator(keep_end),
+                    std::make_move_iterator(retired_.end()));
+    retired_.erase(keep_end, retired_.end());
+  }
+  return freeable.size();
+}
+
+void EpochManager::WaitUntilDrained(uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this, epoch] {
+    return active_.empty() || active_.begin()->first > epoch;
+  });
+}
+
+size_t EpochManager::ActiveReaders() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [epoch, count] : active_) total += count;
+  return total;
+}
+
+size_t EpochManager::RetiredCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+}  // namespace aggcache

@@ -1,0 +1,142 @@
+#ifndef AGGCACHE_TXN_EPOCH_H_
+#define AGGCACHE_TXN_EPOCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace aggcache {
+
+/// Epoch-based reclamation for storage structures that are replaced while
+/// readers may still hold references into the old version (the delta merge
+/// swaps a table's main partition; the old column vectors must outlive every
+/// in-flight query that captured them).
+///
+/// Protocol:
+///   - A reader calls Enter() after it has acquired its table locks and
+///     holds the returned Guard for the duration of the query.
+///   - A structure-replacing writer moves the displaced object into
+///     Retire(), which tags it with the current epoch, then calls Advance().
+///   - Collect() destroys every retired object whose tag epoch is below the
+///     oldest epoch any live reader entered at — i.e. all readers that could
+///     have seen the old object have drained. Callers run it opportunistically
+///     (the merge daemon after each pass, Database::Merge after releasing its
+///     locks); the destructor collects unconditionally.
+///
+/// The table-lock discipline already guarantees no reader holds references
+/// into a partition while its table is exclusively locked for a merge; the
+/// epoch layer keeps that invariant explicit, moves the (potentially large)
+/// deallocation of old main vectors off the merge's critical section, and
+/// protects any future lock-free read path.
+///
+/// Readers MUST acquire all their table locks before calling Enter(): a
+/// reader blocked on a lock while inside an epoch could deadlock a writer
+/// that holds the lock and waits for the epoch to drain.
+class EpochManager {
+ public:
+  /// RAII handle for one reader's epoch membership.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(EpochManager* manager, uint64_t epoch)
+        : manager_(manager), epoch_(epoch) {}
+    Guard(Guard&& other) noexcept
+        : manager_(std::exchange(other.manager_, nullptr)),
+          epoch_(other.epoch_) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        manager_ = std::exchange(other.manager_, nullptr);
+        epoch_ = other.epoch_;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    uint64_t epoch() const { return epoch_; }
+    bool active() const { return manager_ != nullptr; }
+
+    void Release() {
+      if (manager_ != nullptr) {
+        manager_->Exit(epoch_);
+        manager_ = nullptr;
+      }
+    }
+
+   private:
+    EpochManager* manager_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+
+  EpochManager() = default;
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Registers the calling reader in the current epoch.
+  Guard Enter();
+
+  /// Bumps the global epoch; returns the new value. Called after a
+  /// structure swap so subsequent readers are distinguishable from ones
+  /// that may still reference the retired version.
+  uint64_t Advance();
+
+  /// Current epoch (informational).
+  uint64_t current_epoch() const;
+
+  /// Takes ownership of `object` until every reader that might reference it
+  /// has exited its epoch.
+  template <typename T>
+  void Retire(T object) {
+    // shared_ptr<void> carries the typed deleter, so destruction in
+    // Collect() runs ~T without the manager knowing the type.
+    RetireErased(std::make_shared<T>(std::move(object)));
+  }
+
+  /// Destroys retired objects whose epoch has fully drained. Returns the
+  /// number of objects freed.
+  size_t Collect();
+
+  /// Blocks until every reader that entered at or before `epoch` has
+  /// exited. Callers must not hold locks a blocked reader might be waiting
+  /// for (see the class comment's ordering rule).
+  void WaitUntilDrained(uint64_t epoch);
+
+  /// Number of live reader guards (tests / introspection).
+  size_t ActiveReaders() const;
+  /// Number of retired objects not yet collected (tests / introspection).
+  size_t RetiredCount() const;
+
+ private:
+  friend class Guard;
+
+  void Exit(uint64_t epoch);
+  void RetireErased(std::shared_ptr<void> object);
+
+  /// Oldest epoch with a live reader, or current epoch + 1 when none.
+  /// Caller holds mu_.
+  uint64_t OldestActiveLocked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  uint64_t epoch_ = 1;
+  /// epoch -> number of readers that entered at that epoch and have not
+  /// exited yet.
+  std::map<uint64_t, size_t> active_;
+  struct Retired {
+    uint64_t epoch = 0;
+    std::shared_ptr<void> object;
+  };
+  std::vector<Retired> retired_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_TXN_EPOCH_H_

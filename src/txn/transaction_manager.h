@@ -1,59 +1,169 @@
 #ifndef AGGCACHE_TXN_TRANSACTION_MANAGER_H_
 #define AGGCACHE_TXN_TRANSACTION_MANAGER_H_
 
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
 #include "txn/types.h"
 
 namespace aggcache {
 
 class TransactionManager;
 
-/// Handle for one transaction. The engine executes transactions serially
-/// (single-writer), so a transaction is considered committed as soon as its
-/// writes are applied; the tid doubles as the commit timestamp. This mirrors
-/// the role the transaction token plays for the aggregate cache in the
-/// paper: inserts tag rows with the auto-incremented tid, and the tid is the
-/// temporal attribute the matching dependencies copy across tables.
+/// Handle for one transaction. The tid doubles as the commit timestamp:
+/// inserts tag rows with the auto-incremented tid, and the tid is the
+/// temporal attribute the matching dependencies copy across tables — the
+/// role the transaction token plays for the aggregate cache in the paper.
+///
+/// Each statement is made atomic by the storage layer's table locks; a
+/// plain transaction's writes become visible to other snapshots statement
+/// by statement as those locks are released. Multi-statement writers that
+/// must be all-or-nothing under concurrency (a header insert plus its item
+/// inserts) use TransactionManager::BeginAtomic instead, which shields the
+/// whole scope from concurrent snapshots via the exclusion list.
 class Transaction {
  public:
   Tid tid() const { return tid_; }
 
+  /// True when this transaction runs inside an atomic write scope. Scopes
+  /// are insert-only: updates and deletes are rejected by the storage
+  /// layer, because an invalidation stamp from an excluded tid would make
+  /// shared aggregate-cache state depend on one snapshot's exclusion list.
+  bool in_atomic_scope() const { return atomic_; }
+
   /// Snapshot under which this transaction reads: its own writes plus
-  /// everything committed before it started.
-  Snapshot snapshot() const { return Snapshot{tid_}; }
+  /// every transaction issued before it started, minus atomic write scopes
+  /// that were still in flight at Begin time.
+  Snapshot snapshot() const { return Snapshot{tid_, excluded_}; }
 
  private:
   friend class TransactionManager;
-  explicit Transaction(Tid tid) : tid_(tid) {}
+  Transaction(Tid tid, std::vector<Tid> excluded, bool atomic)
+      : tid_(tid), excluded_(std::move(excluded)), atomic_(atomic) {}
   Tid tid_;
+  std::vector<Tid> excluded_;
+  bool atomic_ = false;
 };
 
-/// Issues monotonically increasing transaction ids and tracks the latest
-/// committed one (the "global visibility" the cache manager uses when it
-/// materializes a new entry).
+/// RAII handle for an atomic write scope (TransactionManager::BeginAtomic).
+/// While alive, the scope's tid sits on the exclusion list of every
+/// snapshot taken in the meantime; destruction ends the scope, after which
+/// new snapshots see all of its writes at once. Converts implicitly to
+/// const Transaction& so it can be passed straight to the Table write APIs.
+class ScopedTransaction {
+ public:
+  ScopedTransaction(ScopedTransaction&& other) noexcept
+      : manager_(std::exchange(other.manager_, nullptr)),
+        txn_(std::move(other.txn_)) {}
+  ScopedTransaction(const ScopedTransaction&) = delete;
+  ScopedTransaction& operator=(const ScopedTransaction&) = delete;
+  ScopedTransaction& operator=(ScopedTransaction&&) = delete;
+  inline ~ScopedTransaction();
+
+  Tid tid() const { return txn_.tid(); }
+  Snapshot snapshot() const { return txn_.snapshot(); }
+  const Transaction& txn() const { return txn_; }
+  operator const Transaction&() const { return txn_; }
+
+ private:
+  friend class TransactionManager;
+  ScopedTransaction(TransactionManager* manager, Transaction txn)
+      : manager_(manager), txn_(std::move(txn)) {}
+  TransactionManager* manager_;
+  Transaction txn_;
+};
+
+/// Issues monotonically increasing transaction ids, and tracks the set of
+/// in-flight atomic write scopes so every snapshot can exclude them.
+///
+/// Thread-safe: all members may be called from any thread. Tid allocation
+/// and exclusion-list capture happen under one mutex, so a snapshot can
+/// never observe a scope's tid without also excluding it (the race that
+/// would let a reader see half of a business object). Visibility of the
+/// *row data* written under a tid is additionally ordered by the storage
+/// layer's table locks (DESIGN.md §6).
 class TransactionManager {
  public:
   TransactionManager() = default;
   TransactionManager(const TransactionManager&) = delete;
   TransactionManager& operator=(const TransactionManager&) = delete;
 
-  /// Starts the next transaction.
-  Transaction Begin() { return Transaction(++last_tid_); }
+  /// Starts the next transaction. Suitable for reads and single-statement
+  /// writes; multi-statement writers racing with readers use BeginAtomic.
+  Transaction Begin() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Tid tid = last_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return Transaction(tid, ActiveScopesLocked(), /*atomic=*/false);
+  }
 
-  /// The most recently issued (and therefore committed) tid.
-  Tid last_committed() const { return last_tid_; }
+  /// Starts a transaction wrapped in an atomic write scope: until the
+  /// returned handle is destroyed, every snapshot taken by other threads
+  /// excludes this tid, making the scope's inserts all-or-nothing for
+  /// concurrent readers. The exclusion list is captured before the scope
+  /// registers itself, so the scope sees its own writes.
+  ScopedTransaction BeginAtomic() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Tid tid = last_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::vector<Tid> excluded = ActiveScopesLocked();
+    active_scopes_.insert(tid);
+    return ScopedTransaction(
+        this, Transaction(tid, std::move(excluded), /*atomic=*/true));
+  }
 
-  /// Snapshot covering everything committed so far.
-  Snapshot GlobalSnapshot() const { return Snapshot{last_tid_}; }
+  /// The most recently issued tid.
+  Tid last_committed() const {
+    return last_tid_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot covering every transaction issued so far except atomic write
+  /// scopes still in flight.
+  Snapshot GlobalSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Snapshot{last_tid_.load(std::memory_order_relaxed),
+                    ActiveScopesLocked()};
+  }
+
+  /// Number of atomic write scopes currently in flight.
+  size_t active_scope_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_scopes_.size();
+  }
 
   /// Fast-forwards the tid counter to at least `tid`; used when restoring
   /// a snapshot so new transactions continue after the restored history.
   void AdvanceTo(Tid tid) {
-    if (tid > last_tid_) last_tid_ = tid;
+    Tid current = last_tid_.load(std::memory_order_relaxed);
+    while (tid > current &&
+           !last_tid_.compare_exchange_weak(current, tid,
+                                            std::memory_order_relaxed)) {
+    }
   }
 
  private:
-  Tid last_tid_ = 0;
+  friend class ScopedTransaction;
+
+  void EndAtomic(Tid tid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_scopes_.erase(tid);
+  }
+
+  std::vector<Tid> ActiveScopesLocked() const {
+    return std::vector<Tid>(active_scopes_.begin(), active_scopes_.end());
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<Tid> last_tid_{0};
+  /// Tids of in-flight atomic write scopes (sorted; std::set iteration
+  /// order gives every snapshot a sorted exclusion list for free).
+  std::set<Tid> active_scopes_;
 };
+
+inline ScopedTransaction::~ScopedTransaction() {
+  if (manager_ != nullptr) manager_->EndAtomic(txn_.tid());
+}
 
 }  // namespace aggcache
 

@@ -1,7 +1,9 @@
 #ifndef AGGCACHE_TXN_TYPES_H_
 #define AGGCACHE_TXN_TYPES_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 namespace aggcache {
 
@@ -11,18 +13,43 @@ using Tid = uint64_t;
 
 inline constexpr Tid kNoTid = 0;
 
-/// A point-in-time view of the database. A row is visible to a snapshot when
-/// it was created at or before `read_tid` and not invalidated at or before
-/// `read_tid`. Transactions read under their own tid, so they see their own
-/// writes; the engine processes transactions serially, so every tid at or
-/// below the latest issued one is committed.
+/// A point-in-time view of the database. A row is visible to a snapshot
+/// when it was created at or before `read_tid`, its creating transaction is
+/// not in the snapshot's exclusion list, and it was not invalidated at or
+/// before `read_tid`.
+///
+/// The exclusion list is what turns statement-level into transaction-level
+/// snapshot isolation under concurrency: it holds the tids of atomic write
+/// scopes (TransactionManager::BeginAtomic) that were still in flight when
+/// this snapshot was taken. Their rows stay invisible here even after the
+/// scope finishes, so a multi-statement business-object insert is
+/// all-or-nothing for every concurrent reader, and re-reads under one
+/// snapshot are repeatable. Sequential code never has in-flight scopes, so
+/// the list is almost always empty and visibility degenerates to the plain
+/// tid comparison.
 struct Snapshot {
   Tid read_tid = 0;
+  /// Tids excluded from this view (atomic scopes in flight at capture
+  /// time), sorted ascending. All entries are <= read_tid.
+  std::vector<Tid> excluded;
+
+  /// True when `tid` is on the exclusion list.
+  bool Excluded(Tid tid) const {
+    return !excluded.empty() &&
+           std::binary_search(excluded.begin(), excluded.end(), tid);
+  }
+
+  /// True when `tid` names a transaction this snapshot considers finished:
+  /// issued at or before read_tid and not excluded. Rows whose MVCC stamps
+  /// are all stable look identical to this snapshot and every later one —
+  /// the condition under which a delta merge may move them into main.
+  bool TidStable(Tid tid) const { return tid <= read_tid && !Excluded(tid); }
 
   /// True when a row with the given MVCC timestamps is visible.
   bool RowVisible(Tid create_tid, Tid invalidate_tid) const {
-    if (create_tid > read_tid) return false;
-    return invalidate_tid == kNoTid || invalidate_tid > read_tid;
+    if (create_tid > read_tid || Excluded(create_tid)) return false;
+    return invalidate_tid == kNoTid || invalidate_tid > read_tid ||
+           Excluded(invalidate_tid);
   }
 };
 

@@ -1,7 +1,10 @@
 #include "verify/fault_injector.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "common/string_util.h"
 
@@ -66,31 +69,63 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
     std::string element = trimmed.substr(begin, end - begin);
     begin = end + 1;
     if (element.empty()) continue;
-    size_t colon = element.find(':');
-    std::string point = element.substr(0, colon);
+    std::vector<std::string> tokens;
+    size_t tok_begin = 0;
+    while (tok_begin <= element.size()) {
+      size_t tok_end = element.find(':', tok_begin);
+      if (tok_end == std::string::npos) tok_end = element.size();
+      tokens.push_back(element.substr(tok_begin, tok_end - tok_begin));
+      tok_begin = tok_end + 1;
+    }
+    const std::string& point = tokens[0];
     if (point.empty()) {
       return Status::InvalidArgument("fault spec element has no point name: '" +
                                      element + "'");
     }
-    PointConfig config;
-    if (colon != std::string::npos) {
-      std::string rest = element.substr(colon + 1);
-      size_t colon2 = rest.find(':');
-      std::string prob = rest.substr(0, colon2);
+    auto parse_double = [](const std::string& s, double* out) {
       char* endp = nullptr;
-      config.probability = std::strtod(prob.c_str(), &endp);
-      if (endp == prob.c_str() || *endp != '\0' || config.probability < 0.0 ||
-          config.probability > 1.0) {
+      *out = std::strtod(s.c_str(), &endp);
+      return endp != s.c_str() && *endp == '\0';
+    };
+    PointConfig config;
+    if (tokens.size() > 1 && tokens[1] == "delay") {
+      // point:delay:delay_ms[:jitter_ms[:probability]]
+      config.kind = FaultKind::kDelay;
+      if (tokens.size() < 3 || !parse_double(tokens[2], &config.delay_ms) ||
+          config.delay_ms < 0.0) {
+        return Status::InvalidArgument("bad delay_ms in '" + element + "'");
+      }
+      if (tokens.size() > 3 &&
+          (!parse_double(tokens[3], &config.jitter_ms) ||
+           config.jitter_ms < 0.0)) {
+        return Status::InvalidArgument("bad jitter_ms in '" + element + "'");
+      }
+      if (tokens.size() > 4 &&
+          (!parse_double(tokens[4], &config.probability) ||
+           config.probability < 0.0 || config.probability > 1.0)) {
+        return Status::InvalidArgument("bad delay probability in '" + element +
+                                       "'");
+      }
+      if (tokens.size() > 5) {
+        return Status::InvalidArgument("trailing tokens in '" + element + "'");
+      }
+    } else if (tokens.size() > 1) {
+      // point:probability[:max_fires]
+      if (!parse_double(tokens[1], &config.probability) ||
+          config.probability < 0.0 || config.probability > 1.0) {
         return Status::InvalidArgument("bad fault probability in '" + element +
                                        "'");
       }
-      if (colon2 != std::string::npos) {
-        std::string max = rest.substr(colon2 + 1);
-        config.max_fires = std::strtoll(max.c_str(), &endp, 10);
-        if (endp == max.c_str() || *endp != '\0') {
+      if (tokens.size() > 2) {
+        char* endp = nullptr;
+        config.max_fires = std::strtoll(tokens[2].c_str(), &endp, 10);
+        if (endp == tokens[2].c_str() || *endp != '\0') {
           return Status::InvalidArgument("bad fault max_fires in '" + element +
                                          "'");
         }
+      }
+      if (tokens.size() > 3) {
+        return Status::InvalidArgument("trailing tokens in '" + element + "'");
       }
     }
     Arm(point, config);
@@ -105,25 +140,43 @@ void FaultInjector::Reseed(uint64_t seed) {
 
 Status FaultInjector::MaybeFail(const char* point) {
   if (!any_armed_.load(std::memory_order_relaxed)) return Status::Ok();
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = points_.find(point);
-  if (it == points_.end() || !it->second.armed) return Status::Ok();
-  Point& p = it->second;
-  ++p.stats.hits;
-  if (p.config.max_fires >= 0 &&
-      p.stats.fired >= static_cast<uint64_t>(p.config.max_fires)) {
-    return Status::Ok();
+  // Draws (and therefore the fire sequence) happen under the lock for
+  // determinism; a delay's sleep happens after it is released so one
+  // sleeping hook never serializes the others.
+  double sleep_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed) return Status::Ok();
+    Point& p = it->second;
+    ++p.stats.hits;
+    if (p.config.max_fires >= 0 &&
+        p.stats.fired >= static_cast<uint64_t>(p.config.max_fires)) {
+      return Status::Ok();
+    }
+    if (p.config.probability < 1.0 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng_) >=
+            p.config.probability) {
+      return Status::Ok();
+    }
+    ++p.stats.fired;
+    if (p.config.kind == FaultKind::kError) {
+      return Status::Internal(StrFormat("%s fault at %s (#%llu)",
+                                        kInjectedFaultTag, point,
+                                        static_cast<unsigned long long>(
+                                            p.stats.fired)));
+    }
+    sleep_ms = p.config.delay_ms;
+    if (p.config.jitter_ms > 0.0) {
+      sleep_ms += std::uniform_real_distribution<double>(
+          0.0, p.config.jitter_ms)(rng_);
+    }
   }
-  if (p.config.probability < 1.0 &&
-      std::uniform_real_distribution<double>(0.0, 1.0)(rng_) >=
-          p.config.probability) {
-    return Status::Ok();
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
   }
-  ++p.stats.fired;
-  return Status::Internal(StrFormat("%s fault at %s (#%llu)",
-                                    kInjectedFaultTag, point,
-                                    static_cast<unsigned long long>(
-                                        p.stats.fired)));
+  return Status::Ok();
 }
 
 bool FaultInjector::AnyArmed() const {

@@ -23,31 +23,58 @@ namespace aggcache {
 ///
 /// Points shipped with the engine:
 ///   storage.merge           Database::Merge, before a group merge runs.
+///   storage.merge.publish   Delta merge, just before the rebuilt main is
+///                           swapped in (after the expensive copy work).
 ///   maintenance.bind        Merge-time query re-bind against the catalog.
 ///   maintenance.compensate  Merge-time main compensation of an entry.
 ///   maintenance.rebuild     Merge-time rebuild of a stale-shaped entry.
 ///   maintenance.fold        Folding the merging delta into a cached partial.
+///   cache.build             Entry materialization (RebuildEntry), covering
+///                           both the single-flight creator and rebuilds.
 ///   cache.evict_all         EvictIfNeeded; firing simulates memory pressure
 ///                           by dropping every evictable entry.
+///
+/// A point fires in one of two ways:
+///   kError  MaybeFail returns an Internal error tagged kInjectedFaultTag;
+///           the surrounding code must degrade gracefully.
+///   kDelay  MaybeFail sleeps delay_ms plus seeded jitter and returns OK —
+///           a schedule perturbator for the concurrent stress harness: it
+///           widens race windows (e.g. holding a merge mid-publish while
+///           readers run) without changing any result.
 ///
 /// Arming is programmatic (Arm/ArmFromSpec) or via the AGGCACHE_FAULT
 /// environment variable, read once on first use:
 ///
 ///   AGGCACHE_FAULT="maintenance.fold:0.5,storage.merge:0.1:3"
+///   AGGCACHE_FAULT="storage.merge.publish:delay:5:10:0.5"
 ///
-/// Each comma-separated element is point:probability[:max_fires]. The draw
-/// sequence is deterministic for a given seed (AGGCACHE_FAULT_SEED, default
-/// 42) and arming order.
+/// Each comma-separated element is point:probability[:max_fires] for error
+/// faults, or point:delay:delay_ms[:jitter_ms[:probability]] for delays.
+/// The draw sequence is deterministic for a given seed (AGGCACHE_FAULT_SEED,
+/// default 42) and arming order; delays themselves sleep outside the
+/// injector lock so concurrent hooks are never serialized by a sleeping
+/// peer.
 ///
 /// With nothing armed, MaybeFail is a single relaxed atomic load — cheap
 /// enough to leave the hooks in production builds.
 class FaultInjector {
  public:
+  /// What an armed point does when it fires.
+  enum class FaultKind : uint8_t {
+    kError = 0,  ///< Return an injected-fault Status.
+    kDelay = 1,  ///< Sleep (schedule perturbation), then return OK.
+  };
+
   struct PointConfig {
-    /// Chance that one MaybeFail call at this point fails.
+    /// Chance that one MaybeFail call at this point fires.
     double probability = 1.0;
-    /// Maximum number of failures this point may produce; < 0 = unlimited.
+    /// Maximum number of fires this point may produce; < 0 = unlimited.
     int64_t max_fires = -1;
+    FaultKind kind = FaultKind::kError;
+    /// kDelay only: base sleep per fire, plus uniform jitter in
+    /// [0, jitter_ms] drawn from the injector's seeded rng.
+    double delay_ms = 0.0;
+    double jitter_ms = 0.0;
   };
 
   /// Counters for one point, for tests and the fuzz report.

@@ -71,7 +71,9 @@ Status ErpDataset::LoadInitialData() {
 }
 
 StatusOr<size_t> ErpDataset::InsertBusinessObject(Rng& rng) {
-  Transaction txn = db_->Begin();
+  // Atomic write scope: concurrent readers see the header and all of its
+  // items or none of them — never a half-inserted business object.
+  ScopedTransaction txn = db_->BeginAtomic();
   int64_t header_id = next_header_id_++;
   int64_t year = config_.fiscal_years[static_cast<size_t>(rng.UniformInt(
       0, static_cast<int64_t>(config_.fiscal_years.size()) - 1))];
@@ -101,16 +103,27 @@ Status ErpDataset::InsertLateItems(Rng& rng, size_t count) {
     return Status::FailedPrecondition("no headers to attach items to");
   }
   for (size_t i = 0; i < count; ++i) {
-    Transaction txn = db_->Begin();
-    int64_t header_id = rng.UniformInt(1, next_header_id_ - 1);
-    int64_t category_id =
-        rng.UniformInt(0, static_cast<int64_t>(config_.num_categories) - 1) *
-            static_cast<int64_t>(config_.languages.size()) +
-        1;
-    RETURN_IF_ERROR(item_->Insert(
-        txn, {Value(next_item_id_++), Value(header_id), Value(category_id),
-              Value(rng.UniformDouble(1.0, 1000.0)),
-              Value(rng.UniformInt(1, 20))}));
+    // One scope per item: even a single-statement insert needs the scope
+    // under concurrency, or a snapshot taken between Begin() and the row
+    // landing would include the tid without seeing the row.
+    ScopedTransaction txn = db_->BeginAtomic();
+    Status inserted = Status::Ok();
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      int64_t header_id = rng.UniformInt(1, next_header_id_ - 1);
+      int64_t category_id =
+          rng.UniformInt(0, static_cast<int64_t>(config_.num_categories) - 1) *
+              static_cast<int64_t>(config_.languages.size()) +
+          1;
+      inserted = item_->Insert(
+          txn, {Value(next_item_id_++), Value(header_id), Value(category_id),
+                Value(rng.UniformDouble(1.0, 1000.0)),
+                Value(rng.UniformInt(1, 20))});
+      // The header-id counter advances before the header row itself lands,
+      // so under concurrency a freshly claimed id can be picked here before
+      // its header exists. Repick instead of failing the batch.
+      if (inserted.code() != StatusCode::kFailedPrecondition) break;
+    }
+    RETURN_IF_ERROR(inserted);
   }
   return Status::Ok();
 }

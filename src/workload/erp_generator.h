@@ -1,6 +1,7 @@
 #ifndef AGGCACHE_WORKLOAD_ERP_GENERATOR_H_
 #define AGGCACHE_WORKLOAD_ERP_GENERATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +39,25 @@ class ErpDataset {
   /// Creates the three tables, loads `num_headers_main` business objects,
   /// and merges everything into the main partitions.
   static StatusOr<ErpDataset> Create(Database* db, const ErpConfig& config);
+
+  /// Movable for by-value construction (Create). The id counters are
+  /// atomics, so concurrent writer threads sharing one dataset allocate
+  /// distinct header/item ids; pass each writer its own Rng — the dataset
+  /// itself holds no other mutable state. Moving is single-threaded setup
+  /// code only.
+  ErpDataset(ErpDataset&& other) noexcept
+      : db_(other.db_),
+        config_(std::move(other.config_)),
+        header_(other.header_),
+        item_(other.item_),
+        category_(other.category_),
+        next_header_id_(
+            other.next_header_id_.load(std::memory_order_relaxed)),
+        next_item_id_(other.next_item_id_.load(std::memory_order_relaxed)),
+        load_rng_(other.load_rng_) {}
+
+  ErpDataset(const ErpDataset&) = delete;
+  ErpDataset& operator=(const ErpDataset&) = delete;
 
   Table* header() const { return header_; }
   Table* item() const { return item_; }
@@ -80,8 +100,10 @@ class ErpDataset {
   Table* header_ = nullptr;
   Table* item_ = nullptr;
   Table* category_ = nullptr;
-  int64_t next_header_id_ = 1;
-  int64_t next_item_id_ = 1;
+  /// Atomic so concurrent writers allocate unique ids; the insert itself
+  /// synchronizes on the table's storage lock.
+  std::atomic<int64_t> next_header_id_{1};
+  std::atomic<int64_t> next_item_id_{1};
   Rng load_rng_{0};
 };
 

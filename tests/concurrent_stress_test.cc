@@ -1,0 +1,263 @@
+// Deterministic concurrency tests for the serving path: single-flight
+// materialization, readers racing merges and eviction, merge-daemon
+// shutdown, and exclusion-list snapshot isolation (atomic write scopes).
+// Run under -DAGGCACHE_SANITIZE=thread to validate the threading model;
+// the randomized wall-clock companion is bench/stress_concurrent.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "storage/merge_daemon.h"
+#include "tests/test_util.h"
+#include "verify/fault_injector.h"
+
+namespace aggcache {
+namespace {
+
+class ConcurrentStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::CreateHeaderItemTables(&db_, &header_, &item_);
+    for (int64_t h = 1; h <= 20; ++h) {
+      ASSERT_OK(testing_util::InsertBusinessObject(
+          &db_, header_, item_, h, 2010 + h % 5, 3, 2.5 * h, &next_item_id_));
+    }
+    ASSERT_OK(db_.MergeTables({"Header", "Item"}));
+    // Leave delta rows so cached execution has real compensation to run.
+    for (int64_t h = 21; h <= 24; ++h) {
+      ASSERT_OK(testing_util::InsertBusinessObject(
+          &db_, header_, item_, h, 2010 + h % 5, 2, 1.5 * h, &next_item_id_));
+    }
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+  }
+
+  /// Executes `query` cached and uncached in one transaction and bumps
+  /// `mismatches` when they disagree — the invariant every concurrent
+  /// reader below asserts.
+  void CheckOnce(AggregateCacheManager* cache, const AggregateQuery& query,
+                 ExecutionStrategy strategy, std::atomic<int>* mismatches) {
+    Transaction txn = db_.Begin();
+    ExecutionOptions uncached;
+    uncached.strategy = ExecutionStrategy::kUncached;
+    auto baseline = cache->Execute(query, txn, uncached);
+    ExecutionOptions options;
+    options.strategy = strategy;
+    auto result = cache->Execute(query, txn, options);
+    if (!baseline.ok() || !result.ok() ||
+        !result->ApproxEquals(*baseline, 1e-9)) {
+      mismatches->fetch_add(1);
+    }
+  }
+
+  Database db_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+  int64_t next_item_id_ = 1;
+  AggregateQuery query_ = testing_util::HeaderItemQuery();
+};
+
+TEST_F(ConcurrentStressTest, ConcurrentMissesMaterializeOnce) {
+  // cache.build is hit once per entry materialization; armed at
+  // probability 0 it never fires but still counts, turning the injector
+  // into a build counter.
+  FaultInjector::PointConfig count_only;
+  count_only.probability = 0.0;
+  FaultInjector::Global().Arm("cache.build", count_only);
+
+  AggregateCacheManager cache(&db_);
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Transaction txn = db_.Begin();
+      auto result = cache.Execute(query_, txn);
+      if (!result.ok()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.num_entries(), 1u);
+  // Single-flight: one creator built the entry, the other seven waited.
+  EXPECT_EQ(FaultInjector::Global().stats("cache.build").hits, 1u);
+}
+
+TEST_F(ConcurrentStressTest, ReadersAgreeWithUncachedDuringMerges) {
+  AggregateCacheManager cache(&db_);
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> stop{false};
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      ExecutionStrategy strategy = t % 2 == 0
+                                       ? ExecutionStrategy::kCachedFullPruning
+                                       : ExecutionStrategy::kCachedNoPruning;
+      while (!stop.load(std::memory_order_relaxed)) {
+        CheckOnce(&cache, query_, strategy, &mismatches);
+      }
+    });
+  }
+  // Interleave writes and synchronized merges with the running readers.
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_OK(testing_util::InsertBusinessObject(
+        &db_, header_, item_, 100 + round, 2012 + round % 3, 2, 4.0 + round,
+        &next_item_id_));
+    ASSERT_OK(db_.MergeTables({"Header", "Item"}));
+  }
+  stop.store(true);
+  for (std::thread& thread : readers) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrentStressTest, EvictionChurnNeverCorruptsReaders) {
+  // One slot, two cacheable queries: every other execution evicts the
+  // peer's entry while its readers may still hold the value shared_ptr.
+  AggregateCacheManager::Config config;
+  config.max_entries = 1;
+  AggregateCacheManager cache(&db_, config);
+  AggregateQuery by_header = QueryBuilder()
+                                 .From("Item")
+                                 .GroupBy("Item", "HeaderID")
+                                 .Sum("Item", "Amount", "total")
+                                 .CountStar("n")
+                                 .Build();
+  std::atomic<int> mismatches{0};
+  constexpr int kThreads = 4;
+  constexpr int kRepsPerThread = 12;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRepsPerThread; ++r) {
+        const AggregateQuery& query = (t + r) % 2 == 0 ? query_ : by_header;
+        CheckOnce(&cache, query, ExecutionStrategy::kCachedFullPruning,
+                  &mismatches);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(cache.num_entries(), 1u);
+}
+
+TEST_F(ConcurrentStressTest, DaemonStopsCleanlyMidMerge) {
+  // Hold every merge publish open for a while so Stop() reliably lands
+  // while a merge is in flight; Stop must wait for it, not abandon it.
+  FaultInjector::PointConfig slow_publish;
+  slow_publish.kind = FaultInjector::FaultKind::kDelay;
+  slow_publish.delay_ms = 30.0;
+  FaultInjector::Global().Arm("storage.merge.publish", slow_publish);
+
+  db_.RegisterMergeGroup({"Header", "Item"}, 1);
+  MergeDaemonOptions options;
+  options.poll_interval = std::chrono::milliseconds(1);
+  MergeDaemon daemon(db_, options);
+  daemon.Start();
+  // The delta already exceeds the threshold, so the first tick merges.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  daemon.Stop();
+  EXPECT_FALSE(daemon.running());
+  MergeDaemonStats stats = daemon.stats();
+  EXPECT_GE(stats.merges_attempted, 1u);
+  EXPECT_EQ(stats.merges_aborted, 0u);
+  FaultInjector::Global().DisarmAll();
+  // The interrupted-at-publish merge must have committed whole groups
+  // only: results still agree with a fresh uncached execution.
+  AggregateCacheManager cache(&db_);
+  std::atomic<int> mismatches{0};
+  CheckOnce(&cache, query_, ExecutionStrategy::kCachedFullPruning,
+            &mismatches);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrentStressTest, AtomicScopeInvisibleUntilEnd) {
+  Executor executor(&db_);
+  auto rows_for_year = [&](const Snapshot& snapshot, int64_t year) {
+    auto result = executor.ExecuteUncached(query_, snapshot);
+    EXPECT_TRUE(result.ok()) << result.status();
+    for (const auto& [key, entry] : result->groups()) {
+      if (key.values[0].AsInt64() == year) return true;
+    }
+    return false;
+  };
+
+  Snapshot during;
+  {
+    ScopedTransaction txn = db_.BeginAtomic();
+    ASSERT_OK(header_->Insert(txn, {Value(int64_t{500}),
+                                    Value(int64_t{2099})}));
+    // A snapshot taken mid-scope includes the tid range but excludes the
+    // scope: the half-inserted object must be invisible to it...
+    during = db_.Begin().snapshot();
+    ASSERT_OK(item_->Insert(txn, {Value(next_item_id_++),
+                                  Value(int64_t{500}), Value(9.0)}));
+    EXPECT_FALSE(rows_for_year(during, 2099));
+    // ...while the scope itself sees its own writes.
+    EXPECT_TRUE(rows_for_year(txn.snapshot(), 2099));
+  }
+  // The exclusion is permanent for that snapshot — repeatable reads even
+  // after the scope has ended...
+  EXPECT_FALSE(rows_for_year(during, 2099));
+  // ...and snapshots taken after the scope ends see the whole object.
+  EXPECT_TRUE(rows_for_year(db_.Begin().snapshot(), 2099));
+}
+
+TEST_F(ConcurrentStressTest, AtomicScopeIsInsertOnly) {
+  ScopedTransaction txn = db_.BeginAtomic();
+  Status update = header_->UpdateByPk(
+      txn, Value(int64_t{1}), {Value(int64_t{1}), Value(int64_t{2020})});
+  EXPECT_EQ(update.code(), StatusCode::kFailedPrecondition);
+  Status del = item_->DeleteByPk(txn, Value(int64_t{1}));
+  EXPECT_EQ(del.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ConcurrentStressTest, CachedReadersNeverSeeHalfAnObject) {
+  // Writers insert whole business objects through atomic scopes while
+  // readers pin one snapshot and execute twice; both executions must
+  // agree with each other (repeatable) and with the uncached engine.
+  AggregateCacheManager cache(&db_);
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int64_t h = 300;
+    int64_t item_id = 100000;  // Clear of the fixture's item-id range.
+    while (!stop.load(std::memory_order_relaxed)) {
+      ScopedTransaction txn = db_.BeginAtomic();
+      if (!header_->Insert(txn, {Value(h), Value(int64_t{2015})}).ok() ||
+          !item_->Insert(txn, {Value(item_id++), Value(h), Value(1.0)})
+               .ok() ||
+          !item_->Insert(txn, {Value(item_id++), Value(h), Value(2.0)})
+               .ok()) {
+        mismatches.fetch_add(1);
+        break;
+      }
+      ++h;
+    }
+  });
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (int r = 0; r < 16; ++r) {
+        CheckOnce(&cache, query_, ExecutionStrategy::kCachedFullPruning,
+                  &mismatches);
+      }
+    });
+  }
+  for (std::thread& thread : readers) thread.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace aggcache

@@ -45,10 +45,14 @@ TEST(DatabaseTest, AgingGroups) {
 
 class RecordingObserver : public MergeObserver {
  public:
-  void OnBeforeMerge(Table& table, size_t group) override {
+  void OnBeforeMerge(Table& table, size_t group,
+                     const Snapshot& snapshot) override {
+    (void)snapshot;
     before.emplace_back(table.name(), group);
   }
-  void OnAfterMerge(Table& table, size_t group) override {
+  void OnAfterMerge(Table& table, size_t group,
+                    const Snapshot& snapshot) override {
+    (void)snapshot;
     after.emplace_back(table.name(), group);
   }
   std::vector<std::pair<std::string, size_t>> before;

@@ -61,12 +61,13 @@ inline void CreateHeaderItemTables(Database* db, Table** header,
 }
 
 /// Inserts one business object: a header and `num_items` items, all in one
-/// transaction.
+/// transaction — an atomic write scope, so tests with concurrent readers
+/// never observe a half-inserted object.
 inline Status InsertBusinessObject(Database* db, Table* header, Table* item,
                                    int64_t header_id, int64_t fiscal_year,
                                    int num_items, double amount,
                                    int64_t* next_item_id) {
-  Transaction txn = db->Begin();
+  ScopedTransaction txn = db->BeginAtomic();
   RETURN_IF_ERROR(
       header->Insert(txn, {Value(header_id), Value(fiscal_year)}));
   for (int i = 0; i < num_items; ++i) {
