@@ -31,6 +31,8 @@
 
 #include "bench/harness.h"
 #include "common/rng.h"
+#include "obs/engine_metrics.h"
+#include "obs/metrics_registry.h"
 #include "storage/merge_daemon.h"
 #include "storage/table_lock.h"
 #include "verify/fault_injector.h"
@@ -295,6 +297,7 @@ void RunCheckpoint(Database& db, AggregateCacheManager& cache,
 }
 
 int Run(int argc, char** argv) {
+  MetricsDumper::MaybeStartFromEnv();
   size_t parallelism = bench::ApplyThreadsFlag(argc, argv);
   Flags flags = ParseFlags(argc, argv);
 
@@ -407,7 +410,26 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(state.hard_errors.load()))});
   table.Print();
 
-  bool failed = state.divergences.load() != 0 || state.hard_errors.load() != 0;
+  // The registry saw every lookup this process made; each consulted lookup
+  // must have resolved to exactly one of hit or miss.
+  const EngineMetrics& em = EngineMetrics::Get();
+  uint64_t lookups = em.cache_lookups->Value();
+  uint64_t hits = em.cache_hits->Value();
+  uint64_t misses = em.cache_misses->Value();
+  bool metrics_violation = hits + misses != lookups;
+  if (metrics_violation) {
+    std::fprintf(stderr,
+                 "METRICS VIOLATION: hits(%llu) + misses(%llu) != "
+                 "lookups(%llu)\n",
+                 static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(misses),
+                 static_cast<unsigned long long>(lookups));
+  }
+  std::printf("--- final metrics (prometheus) ---\n%s",
+              MetricsRegistry::Global().RenderPrometheus().c_str());
+
+  bool failed = state.divergences.load() != 0 ||
+                state.hard_errors.load() != 0 || metrics_violation;
   std::printf("%s\n", failed ? "FAIL" : "PASS");
   return failed ? 1 : 0;
 }

@@ -17,6 +17,8 @@
 #include <string>
 
 #include "cache/aggregate_cache_manager.h"
+#include "obs/engine_metrics.h"
+#include "obs/metrics_registry.h"
 #include "storage/database.h"
 #include "verify/fault_injector.h"
 #include "verify/fuzzer.h"
@@ -170,9 +172,32 @@ int ReportFailure(const FuzzReport& report, bool with_faults) {
   return 1;
 }
 
+/// Cross-checks the process-wide registry at exit: every consulted cache
+/// lookup must have resolved to exactly one of hit or miss, and the final
+/// exposition is printed so fuzz logs carry the engine's counters.
+int CheckMetricsInvariants() {
+  const aggcache::EngineMetrics& em = aggcache::EngineMetrics::Get();
+  uint64_t lookups = em.cache_lookups->Value();
+  uint64_t hits = em.cache_hits->Value();
+  uint64_t misses = em.cache_misses->Value();
+  std::printf("--- final metrics (prometheus) ---\n%s",
+              aggcache::MetricsRegistry::Global().RenderPrometheus().c_str());
+  if (hits + misses != lookups) {
+    std::fprintf(stderr,
+                 "METRICS VIOLATION: hits(%llu) + misses(%llu) != "
+                 "lookups(%llu)\n",
+                 static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(misses),
+                 static_cast<unsigned long long>(lookups));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  aggcache::MetricsDumper::MaybeStartFromEnv();
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) return Usage(argv[0]);
   if (!flags.replay_file.empty()) return RunReplay(flags);
@@ -208,5 +233,5 @@ int main(int argc, char** argv) {
       "all %zu runs matched the oracle (%zu strategy combinations, %llu "
       "injected faults fired)\n",
       runs, combos, static_cast<unsigned long long>(faults));
-  return 0;
+  return CheckMetricsInvariants();
 }

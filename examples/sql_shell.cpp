@@ -120,6 +120,20 @@ void RunStatement(const std::string& sql, Database& db,
     std::printf("  error: %s\n", parsed.status().ToString().c_str());
     return;
   }
+  if (parsed->kind == ParsedStatement::Kind::kExplain) {
+    QueryTrace trace;
+    Transaction txn = db.Begin();
+    ExecutionOptions options;
+    options.strategy = g_strategy;
+    auto result = cache.ExecuteTraced(parsed->select, txn, options, &trace);
+    if (!result.ok()) {
+      std::printf("  error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", parsed->explain_json ? (trace.ToJson() + "\n").c_str()
+                                           : trace.ToText().c_str());
+    return;
+  }
   if (parsed->kind != ParsedStatement::Kind::kSelect) {
     Status status = ApplyStatement(*parsed, &db);
     std::printf("  %s\n", status.ToString().c_str());
@@ -153,6 +167,7 @@ void RunStatement(const std::string& sql, Database& db,
 }  // namespace
 
 int main() {
+  MetricsDumper::MaybeStartFromEnv();
   auto db = std::make_unique<Database>();
   ErpConfig config;
   config.num_headers_main = 5000;
@@ -166,7 +181,8 @@ int main() {
   auto cache = std::make_unique<AggregateCacheManager>(db.get());
 
   std::printf("aggcache SQL shell — ERP demo data loaded (.tables, .cache, "
-              ".merge, .strategy, .quit)\n");
+              ".merge, .strategy, .quit; EXPLAIN AGGREGATE [JSON] "
+              "SELECT ...)\n");
   std::printf("try: SELECT Name, SUM(Price) AS Profit FROM Header, Item, "
               "ProductCategory\n     WHERE Item.HeaderID = Header.HeaderID "
               "AND Item.CategoryID = ProductCategory.CategoryID\n     AND "

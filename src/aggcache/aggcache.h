@@ -29,6 +29,9 @@
 #include "objectaware/join_pruning.h"
 #include "objectaware/matching_dependency.h"
 #include "objectaware/predicate_pushdown.h"
+#include "obs/engine_metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/query_trace.h"
 #include "query/aggregate_query.h"
 #include "query/executor.h"
 #include "sql/parser.h"

@@ -9,6 +9,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/engine_metrics.h"
+#include "obs/trace_recorder.h"
 #include "storage/table_lock.h"
 #include "txn/consistent_view_manager.h"
 #include "verify/fault_injector.h"
@@ -191,6 +193,7 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
                                            const BoundQuery& bound,
                                            Snapshot snapshot) {
   RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("cache.build"));
+  EngineMetrics::Get().cache_rebuilds->Increment();
   Stopwatch watch;
   entry.main_partials().clear();
   // Cross-temperature all-main combos can be pruned logically at build time
@@ -202,7 +205,9 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
       EnumerateAllMainCombinations(bound.tables);
   std::vector<char> pruned(combos.size(), 0);
   for (size_t i = 0; i < combos.size(); ++i) {
-    pruned[i] = pruner.ShouldPrune(bound, mds, combos[i]).pruned ? 1 : 0;
+    PruneDecision decision = pruner.ShouldPrune(bound, mds, combos[i]);
+    pruned[i] = decision.pruned ? 1 : 0;
+    RecordSubjoin(bound, mds, combos[i], "build", decision, {});
   }
   std::vector<AggregateResult> partials(combos.size());
   std::vector<ExecutorStats> task_stats(combos.size());
@@ -234,6 +239,8 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
   entry.metrics().main_exec_ms = watch.ElapsedMillis();
   entry.metrics().main_rows_aggregated = rows_aggregated;
   entry.ClearRebuildMark();
+  EngineMetrics::Get().cache_build_us->Observe(
+      static_cast<uint64_t>(watch.ElapsedNanos() / 1000));
   return Status::Ok();
 }
 
@@ -287,7 +294,11 @@ StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
     }
 
     if (!creator) {
-      EntryState state = entry->WaitUntilSettled();
+      bool waited = false;
+      EntryState state = entry->WaitUntilSettled(&waited);
+      if (waited) {
+        EngineMetrics::Get().cache_singleflight_waits->Increment();
+      }
       if (state == EntryState::kEvicted) continue;
       TouchEntry(*entry);
       return entry;
@@ -350,6 +361,10 @@ Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
                                              CacheExecStats* stats) {
   if (!entry.IsDirty(bound.tables)) return Status::Ok();
   Stopwatch watch;
+  auto observe_latency = [&watch] {
+    EngineMetrics::Get().cache_main_comp_us->Observe(
+        static_cast<uint64_t>(watch.ElapsedNanos() / 1000));
+  };
   if (bound.tables.size() > 1) {
     if (config_.incremental_join_main_compensation) {
       RETURN_IF_ERROR(JoinMainCompensate(entry, bound, snapshot));
@@ -363,6 +378,7 @@ Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
         stats->main_comp_ms += watch.ElapsedMillis();
       }
     }
+    observe_latency();
     return Status::Ok();
   }
 
@@ -392,6 +408,7 @@ Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
   entry.set_base_tid(snapshot.read_tid);
   RefreshEntrySize(entry);
   if (stats != nullptr) stats->main_comp_ms += watch.ElapsedMillis();
+  observe_latency();
   return Status::Ok();
 }
 
@@ -457,6 +474,16 @@ Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
     }
   }
 
+  // Correction joins are part of the answer an EXPLAIN-ing caller sees:
+  // record them (no MD bindings — restrictions, not tid ranges, select the
+  // rows here).
+  if (TraceContext::Current() != nullptr) {
+    for (const CorrectionJob& job : jobs) {
+      RecordSubjoin(bound, {}, *job.combo, "main-correction", PruneDecision{},
+                    {});
+    }
+  }
+
   std::vector<AggregateResult> terms(jobs.size());
   std::vector<ExecutorStats> task_stats(jobs.size());
   std::vector<Status> task_status(jobs.size());
@@ -514,14 +541,32 @@ StatusOr<AggregateResult> AggregateCacheManager::Execute(
   return result;
 }
 
+StatusOr<AggregateResult> AggregateCacheManager::ExecuteTraced(
+    const AggregateQuery& query, const Transaction& txn,
+    const ExecutionOptions& options, QueryTrace* trace) {
+  AGGCACHE_CHECK(trace != nullptr);
+  trace->strategy = ExecutionStrategyToString(options.strategy);
+  trace->use_pushdown = options.use_predicate_pushdown;
+  if (trace->statement.empty()) {
+    trace->statement = MakeCacheKey(query).canonical;
+  }
+  Stopwatch watch;
+  TraceContext scope(trace);
+  auto result = Execute(query, txn, options);
+  trace->total_ms = watch.ElapsedMillis();
+  return result;
+}
+
 StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
     const AggregateQuery& query, const Transaction& txn,
     const ExecutionOptions& options, CacheExecStats* stats,
     PruneStats* prune_acc) {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  QueryTrace* trace = TraceContext::Current();
   // The subjoin count is exact single-threaded; under concurrent Execute
   // calls the shared counter makes the delta approximate (observability
   // only, never correctness).
-  uint64_t subjoins_before = executor_.stats().subjoins_executed;
+  uint64_t subjoins_before = executor_.stats().Snapshot().subjoins_executed;
 
   ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
   // The consistent view — shared locks on every bound table plus an epoch
@@ -529,13 +574,19 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
   // whole execution (DESIGN.md §6).
   ReadView view = ReadView::Acquire(*db_, bound.tables, txn.snapshot());
   Snapshot snapshot = view.snapshot();
+  if (trace != nullptr) trace->snapshot_tid = snapshot.read_tid;
 
   if (options.strategy == ExecutionStrategy::kUncached ||
       !query.IsCacheable()) {
+    if (trace != nullptr) {
+      trace->cache_outcome = options.strategy == ExecutionStrategy::kUncached
+                                 ? "uncached"
+                                 : "not-cacheable";
+    }
     ASSIGN_OR_RETURN(AggregateResult result,
                      executor_.ExecuteUncachedBound(bound, snapshot));
     stats->subjoins_executed =
-        executor_.stats().subjoins_executed - subjoins_before;
+        executor_.stats().Snapshot().subjoins_executed - subjoins_before;
     return result;
   }
   stats->used_cache = true;
@@ -543,12 +594,18 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
   ASSIGN_OR_RETURN(std::shared_ptr<CacheEntry> entry,
                    GetOrCreateEntry(bound, snapshot, stats));
   if (entry == nullptr) {
-    // Not admitted (or starved by eviction): answer without the cache.
+    // Not admitted (or starved by eviction): answer without the cache. The
+    // lookup still consulted the cache, so it counts — as a miss.
+    metrics.cache_lookups->Increment();
+    metrics.cache_misses->Increment();
+    metrics.cache_admission_rejects->Increment();
+    metrics.cache_uncached_fallbacks->Increment();
+    if (trace != nullptr) trace->cache_outcome = "admission-rejected";
     stats->used_cache = false;
     ASSIGN_OR_RETURN(AggregateResult result,
                      executor_.ExecuteUncachedBound(bound, snapshot));
     stats->subjoins_executed =
-        executor_.stats().subjoins_executed - subjoins_before;
+        executor_.stats().Snapshot().subjoins_executed - subjoins_before;
     return result;
   }
 
@@ -573,12 +630,16 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
       // goes forward in time); answer uncached rather than stall the
       // entry for everyone else.
       value_lock.unlock();
+      metrics.cache_lookups->Increment();
+      metrics.cache_misses->Increment();
+      metrics.cache_uncached_fallbacks->Increment();
+      if (trace != nullptr) trace->cache_outcome = "snapshot-fallback";
       stats->used_cache = false;
       stats->cache_hit = false;
       ASSIGN_OR_RETURN(AggregateResult result,
                        executor_.ExecuteUncachedBound(bound, snapshot));
       stats->subjoins_executed =
-          executor_.stats().subjoins_executed - subjoins_before;
+          executor_.stats().Snapshot().subjoins_executed - subjoins_before;
       return result;
     }
     if (!entry->ShapeMatches(bound.tables)) {
@@ -634,11 +695,32 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
   stats->delta_comp_ms = delta_ms;
   stats->subjoins_pruned = comp_stats.subjoins_pruned;
   stats->subjoins_executed =
-      executor_.stats().subjoins_executed - subjoins_before;
+      executor_.stats().Snapshot().subjoins_executed - subjoins_before;
   prune_acc->considered += pruner.stats().considered;
   prune_acc->pruned_empty += pruner.stats().pruned_empty;
   prune_acc->pruned_aging += pruner.stats().pruned_aging;
   prune_acc->pruned_tid_range += pruner.stats().pruned_tid_range;
+
+  // Exactly one of the four outcome sites counts each consulted lookup
+  // (here, the two fallbacks above, or the admission reject), so
+  // hits + misses == lookups holds registry-wide. Error returns count
+  // nothing: the lookup never produced an answer.
+  metrics.cache_lookups->Increment();
+  if (stats->cache_hit) {
+    metrics.cache_hits->Increment();
+  } else {
+    metrics.cache_misses->Increment();
+  }
+  metrics.cache_delta_comp_us->Observe(
+      static_cast<uint64_t>(delta_ms * 1000.0));
+  if (trace != nullptr) {
+    trace->cache_outcome = stats->entry_rebuilt ? "rebuilt"
+                           : stats->cache_hit  ? "hit"
+                                               : "miss";
+    trace->build_ms = stats->main_exec_ms;
+    trace->main_comp_ms = stats->main_comp_ms;
+    trace->delta_comp_ms = stats->delta_comp_ms;
+  }
   return result;
 }
 
@@ -701,6 +783,7 @@ void AggregateCacheManager::EvictIfNeeded(const CacheEntry* keep) {
       }
     }
     shard.entries.erase(it);
+    EngineMetrics::Get().cache_evictions->Increment();
     return true;
   };
 

@@ -11,6 +11,7 @@
 #include "cache/cache_entry.h"
 #include "cache/compensation.h"
 #include "objectaware/join_pruning.h"
+#include "obs/query_trace.h"
 #include "query/executor.h"
 #include "storage/database.h"
 #include "storage/merge_observer.h"
@@ -105,6 +106,17 @@ class AggregateCacheManager : public MergeObserver {
                                     const Transaction& txn,
                                     const ExecutionOptions& options =
                                         ExecutionOptions());
+
+  /// Execute with a structured trace: installs `trace` as the calling
+  /// thread's TraceContext so the lookup/build/compensation paths record
+  /// their outcomes, subjoin verdicts (with tid ranges), and phase timings
+  /// into it. Backs the SQL layer's EXPLAIN AGGREGATE. `trace` must
+  /// outlive the call; its statement field is defaulted to the canonical
+  /// cache key when the caller left it empty.
+  StatusOr<AggregateResult> ExecuteTraced(const AggregateQuery& query,
+                                          const Transaction& txn,
+                                          const ExecutionOptions& options,
+                                          QueryTrace* trace);
 
   /// Builds (or refreshes) the cache entry for `query` without computing a
   /// full result, e.g. to warm the cache before a benchmark.

@@ -178,11 +178,16 @@ class CacheEntry {
   /// Blocks while the entry is kBuilding or kRebuilding; returns the first
   /// settled state observed (kReady or kEvicted). This is the wait side of
   /// single-flight: concurrent misses park here while the creator runs.
-  EntryState WaitUntilSettled() const {
+  /// `waited`, when given, reports whether the caller actually parked (the
+  /// entry was unsettled on arrival) — observed under the state lock this
+  /// call takes anyway, so metrics need no extra acquisition.
+  EntryState WaitUntilSettled(bool* waited = nullptr) const {
     std::unique_lock<std::mutex> lock(state_mu_);
-    state_cv_.wait(lock, [this] {
+    auto settled = [this] {
       return state_ == EntryState::kReady || state_ == EntryState::kEvicted;
-    });
+    };
+    if (waited != nullptr) *waited = !settled();
+    state_cv_.wait(lock, settled);
     return state_;
   }
 

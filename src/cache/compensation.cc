@@ -2,6 +2,8 @@
 
 #include "common/thread_pool.h"
 #include "objectaware/predicate_pushdown.h"
+#include "obs/engine_metrics.h"
+#include "obs/trace_recorder.h"
 
 namespace aggcache {
 
@@ -25,12 +27,17 @@ StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
     PruneDecision decision = pruner.ShouldPrune(bound, mds, combo);
     if (decision.pruned) {
       if (stats != nullptr) ++stats->subjoins_pruned;
+      RecordSubjoin(bound, mds, combo, "delta-compensation", decision, {});
       continue;
     }
     std::vector<FilterPredicate> extra;
     if (use_pushdown) {
       extra = DerivePushdownFilters(bound, mds, combo);
+      if (!extra.empty()) {
+        EngineMetrics::Get().pushdown_predicates->Increment(extra.size());
+      }
     }
+    RecordSubjoin(bound, mds, combo, "delta-compensation", decision, extra);
     subjoins.push_back(Subjoin{std::move(combo), std::move(extra)});
   }
 

@@ -28,11 +28,21 @@ class CheckFailure {
 /// Aborts with a diagnostic when `condition` is false. Used for programming
 /// errors (invariant violations), not for data-dependent failures, which are
 /// reported through Status.
-#define AGGCACHE_CHECK(condition)                                  \
-  if (!(condition))                                                \
-  ::aggcache::internal_logging::CheckFailure(__FILE__, __LINE__,   \
-                                             #condition)           \
-      .stream()
+///
+/// The switch wrapper makes the expansion a single complete statement whose
+/// internal if/else is fully matched, so using the macro as the then-branch
+/// of a caller's if/else cannot capture the caller's `else` (the classic
+/// dangling-else macro hazard). The trailing else-branch keeps the `<<`
+/// message stream working.
+#define AGGCACHE_CHECK(condition)                                    \
+  switch (0)                                                         \
+  case 0:                                                            \
+  default:                                                           \
+    if (condition) {                                                 \
+    } else /* NOLINT */                                              \
+      ::aggcache::internal_logging::CheckFailure(__FILE__, __LINE__, \
+                                                 #condition)         \
+          .stream()
 
 #define AGGCACHE_CHECK_EQ(a, b) AGGCACHE_CHECK((a) == (b))
 #define AGGCACHE_CHECK_NE(a, b) AGGCACHE_CHECK((a) != (b))

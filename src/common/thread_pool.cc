@@ -9,6 +9,8 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/engine_metrics.h"
 
 namespace aggcache {
 
@@ -20,9 +22,16 @@ thread_local bool t_in_worker = false;
 /// can be enforced: an escaping exception is reported and terminates the
 /// process, because unwinding a worker loop (or a ParallelFor caller's
 /// drain) would strand TaskGroup counters and every thread waiting on them.
+/// Also the single choke point every task (queued or inline) passes
+/// through, so task count and latency are metered here.
 void RunPoolTask(const std::function<void()>& task) noexcept {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.pool_tasks->Increment();
+  Stopwatch watch;
   try {
     task();
+    metrics.pool_task_us->Observe(
+        static_cast<uint64_t>(watch.ElapsedNanos() / 1000));
   } catch (const std::exception& e) {
     std::cerr << "aggcache: thread-pool task threw '" << e.what()
               << "' — pool tasks must not throw\n";
@@ -83,6 +92,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    EngineMetrics::Get().pool_queue_depth->Set(
+        static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -104,6 +115,8 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain.
       task = std::move(queue_.front());
       queue_.pop_front();
+      EngineMetrics::Get().pool_queue_depth->Set(
+          static_cast<int64_t>(queue_.size()));
       ++active_;
     }
     RunPoolTask(task);

@@ -1,5 +1,7 @@
 #include "objectaware/join_pruning.h"
 
+#include "obs/engine_metrics.h"
+
 namespace aggcache {
 
 const char* PruneLevelToString(PruneLevel level) {
@@ -31,12 +33,15 @@ PruneDecision JoinPruner::ShouldPrune(const BoundQuery& bound,
                                       const std::vector<MdBinding>& mds,
                                       const SubjoinCombination& combination) {
   ++stats_.considered;
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.prune_considered->Increment();
   if (level_ == PruneLevel::kNone) return PruneDecision{};
 
   // Rule 1: any empty partition empties the whole subjoin.
   for (size_t t = 0; t < combination.size(); ++t) {
     if (ResolvePartition(*bound.tables[t], combination[t]).empty()) {
       ++stats_.pruned_empty;
+      metrics.pruned_empty->Increment();
       return PruneDecision{true, "empty-partition"};
     }
   }
@@ -52,6 +57,7 @@ PruneDecision JoinPruner::ShouldPrune(const BoundQuery& bound,
     if (ta.group(a.group).age == tb.group(b.group).age) continue;
     if (db_->InSameAgingGroup(ta.name(), tb.name())) {
       ++stats_.pruned_aging;
+      metrics.pruned_aging->Increment();
       return PruneDecision{true, "aging-group"};
     }
   }
@@ -67,6 +73,7 @@ PruneDecision JoinPruner::ShouldPrune(const BoundQuery& bound,
     if (TidRangesDisjoint(left, md.left_tid_column, right,
                           md.right_tid_column)) {
       ++stats_.pruned_tid_range;
+      metrics.pruned_tid_range->Increment();
       return PruneDecision{true, "tid-range"};
     }
   }

@@ -1,0 +1,107 @@
+#include "obs/engine_metrics.h"
+
+namespace aggcache {
+
+const EngineMetrics& EngineMetrics::Get() {
+  static const EngineMetrics* metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    auto* m = new EngineMetrics();
+
+    m->cache_lookups = r.GetCounter(
+        "aggcache_cache_lookups_total",
+        "Cache consultations by cached-strategy executions");
+    m->cache_hits = r.GetCounter(
+        "aggcache_cache_hits_total",
+        "Cache lookups served from an existing entry");
+    m->cache_misses = r.GetCounter(
+        "aggcache_cache_misses_total",
+        "Cache lookups not served from an existing entry (entry built or "
+        "rebuilt, admission rejected, or snapshot fallback)");
+    m->cache_singleflight_waits = r.GetCounter(
+        "aggcache_cache_singleflight_waits_total",
+        "Cache lookups that waited on another thread's in-flight build");
+    m->cache_evictions = r.GetCounter(
+        "aggcache_cache_evictions_total",
+        "Entries evicted by the profit-based budget policy");
+    m->cache_rebuilds = r.GetCounter(
+        "aggcache_cache_rebuilds_total",
+        "Entry builds and rebuilds from the main partitions");
+    m->cache_admission_rejects = r.GetCounter(
+        "aggcache_cache_admission_rejects_total",
+        "Lookups whose entry was not admitted (unprofitable) or whose "
+        "caller was starved by repeated eviction");
+    m->cache_uncached_fallbacks = r.GetCounter(
+        "aggcache_cache_uncached_fallbacks_total",
+        "Cached-strategy lookups answered by uncached execution");
+    m->cache_build_us = r.GetHistogram(
+        "aggcache_cache_build_us",
+        "Entry (re)build latency in microseconds");
+    m->cache_main_comp_us = r.GetHistogram(
+        "aggcache_cache_main_comp_us",
+        "Main compensation latency in microseconds");
+    m->cache_delta_comp_us = r.GetHistogram(
+        "aggcache_cache_delta_comp_us",
+        "Delta compensation latency in microseconds");
+
+    m->exec_subjoins = r.GetCounter(
+        "aggcache_executor_subjoins_executed_total",
+        "Subjoin executions (compensation, uncached union terms, builds, "
+        "correction joins, merge folds)");
+    m->exec_rows_scanned = r.GetCounter(
+        "aggcache_executor_rows_scanned_total",
+        "Rows visited by subjoin selections");
+    m->exec_rows_selected = r.GetCounter(
+        "aggcache_executor_rows_selected_total",
+        "Rows surviving visibility and filters");
+    m->exec_tuples_joined = r.GetCounter(
+        "aggcache_executor_tuples_joined_total",
+        "Joined tuples fed into aggregation");
+
+    m->prune_considered = r.GetCounter(
+        "aggcache_pruner_considered_total",
+        "Subjoin combinations tested by the join pruner");
+    m->pruned_empty = r.GetCounter(
+        "aggcache_pruner_pruned_empty_total",
+        "Combinations pruned for an empty partition");
+    m->pruned_aging = r.GetCounter(
+        "aggcache_pruner_pruned_aging_total",
+        "Combinations pruned by consistent aging groups (Section 5.4)");
+    m->pruned_tid_range = r.GetCounter(
+        "aggcache_pruner_pruned_tid_range_total",
+        "Combinations pruned by the MD tid-range prefilter (Eq. 5)");
+    m->pushdown_predicates = r.GetCounter(
+        "aggcache_pushdown_predicates_total",
+        "MD-derived local predicates attached to subjoins (Section 5.3)");
+
+    m->merge_ticks = r.GetCounter(
+        "aggcache_merge_daemon_ticks_total",
+        "Merge daemon delta-sizing passes");
+    m->merge_attempts = r.GetCounter(
+        "aggcache_merge_daemon_attempts_total",
+        "Group merges started (including retries)");
+    m->merge_commits = r.GetCounter(
+        "aggcache_merge_daemon_commits_total",
+        "Group merges committed");
+    m->merge_aborts = r.GetCounter(
+        "aggcache_merge_daemon_aborts_total",
+        "Group merges aborted (fault or error)");
+    m->merge_backoff_ms = r.GetCounter(
+        "aggcache_merge_daemon_backoff_ms_total",
+        "Total milliseconds of retry backoff requested after aborts");
+
+    m->pool_queue_depth = r.GetGauge(
+        "aggcache_pool_queue_depth",
+        "Tasks currently queued in the global thread pool");
+    m->pool_tasks = r.GetCounter(
+        "aggcache_pool_tasks_total",
+        "Tasks executed by pool workers");
+    m->pool_task_us = r.GetHistogram(
+        "aggcache_pool_task_us",
+        "Pool worker task run time in microseconds");
+
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace aggcache

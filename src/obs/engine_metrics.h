@@ -1,0 +1,64 @@
+#ifndef AGGCACHE_OBS_ENGINE_METRICS_H_
+#define AGGCACHE_OBS_ENGINE_METRICS_H_
+
+#include "obs/metrics_registry.h"
+
+namespace aggcache {
+
+/// The engine's metric handles, registered once in the global
+/// MetricsRegistry on first use. Instrumented code reaches metrics through
+/// EngineMetrics::Get() — after the one-time registration that call is a
+/// magic-static read and every update is a single relaxed atomic, so no
+/// metric touch adds a lock acquisition to the cache-hit fast path.
+///
+/// Invariant maintained by the cache manager (asserted by the stress and
+/// fuzz harnesses): cache_hits + cache_misses == cache_lookups. Every
+/// consulted lookup is counted exactly once as a hit or a miss; error
+/// returns mid-execution count as neither (the lookup is not counted).
+struct EngineMetrics {
+  // Cache manager.
+  Counter* cache_lookups;            ///< Cached-strategy cache consultations.
+  Counter* cache_hits;               ///< Lookups served from an entry.
+  Counter* cache_misses;             ///< Everything else (built, rebuilt,
+                                     ///< rejected, snapshot fallback).
+  Counter* cache_singleflight_waits; ///< Lookups that parked on a build.
+  Counter* cache_evictions;          ///< Entries evicted by budget/profit.
+  Counter* cache_rebuilds;           ///< Entry (re)builds from the mains.
+  Counter* cache_admission_rejects;  ///< Unprofitable or starved lookups.
+  Counter* cache_uncached_fallbacks; ///< Cached lookups answered uncached.
+  Histogram* cache_build_us;         ///< Entry (re)build latency.
+  Histogram* cache_main_comp_us;     ///< Main compensation latency.
+  Histogram* cache_delta_comp_us;    ///< Delta compensation latency.
+
+  // Executor.
+  Counter* exec_subjoins;            ///< ExecuteSubjoin calls.
+  Counter* exec_rows_scanned;
+  Counter* exec_rows_selected;
+  Counter* exec_tuples_joined;
+
+  // Object-aware pruner + pushdown.
+  Counter* prune_considered;
+  Counter* pruned_empty;
+  Counter* pruned_aging;
+  Counter* pruned_tid_range;
+  Counter* pushdown_predicates;      ///< MD-derived filters attached.
+
+  // Merge daemon.
+  Counter* merge_ticks;
+  Counter* merge_attempts;
+  Counter* merge_commits;
+  Counter* merge_aborts;
+  Counter* merge_backoff_ms;         ///< Total retry backoff requested.
+
+  // Thread pool.
+  Gauge* pool_queue_depth;
+  Counter* pool_tasks;
+  Histogram* pool_task_us;           ///< Worker task run time.
+
+  /// The process-wide handles (registered in MetricsRegistry::Global()).
+  static const EngineMetrics& Get();
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_OBS_ENGINE_METRICS_H_

@@ -1,0 +1,323 @@
+#include "obs/metrics_registry.h"
+
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aggcache {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value <= 1) return 0;
+  // Smallest i with value <= 2^i is the bit width of value - 1.
+  size_t index = static_cast<size_t>(std::bit_width(value - 1));
+  return index < kNumBuckets - 1 ? index : kNumBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  AGGCACHE_CHECK_LT(index, kNumBuckets - 1) << "overflow bucket has no bound";
+  return uint64_t{1} << index;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::GetOrCreate(const std::string& name,
+                                                      const std::string& help,
+                                                      Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric metric;
+    metric.kind = kind;
+    metric.help = help;
+    switch (kind) {
+      case Kind::kCounter:
+        metric.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        metric.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        metric.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = metrics_.emplace(name, std::move(metric)).first;
+  }
+  AGGCACHE_CHECK(it->second.kind == kind)
+      << "metric '" << name << "' re-registered as a different kind";
+  return it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return GetOrCreate(name, help, Kind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return GetOrCreate(name, help, Kind::kGauge).gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  return GetOrCreate(name, help, Kind::kHistogram).histogram.get();
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, metric] : metrics_) {
+    switch (metric.kind) {
+      case Kind::kCounter:
+        metric.counter->Reset();
+        break;
+      case Kind::kGauge:
+        metric.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        metric.histogram->Reset();
+        break;
+    }
+  }
+}
+
+namespace {
+
+const char* KindName(bool is_counter, bool is_gauge) {
+  return is_counter ? "counter" : (is_gauge ? "gauge" : "histogram");
+}
+
+/// Minimal JSON string escaping — metric names and help texts are ASCII by
+/// convention, but a dump must never emit malformed JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Render(Format format) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  if (format == Format::kPrometheus) {
+    for (const auto& [name, metric] : metrics_) {
+      out << "# HELP " << name << " " << metric.help << "\n";
+      out << "# TYPE " << name << " "
+          << KindName(metric.kind == Kind::kCounter,
+                      metric.kind == Kind::kGauge)
+          << "\n";
+      switch (metric.kind) {
+        case Kind::kCounter:
+          out << name << " " << metric.counter->Value() << "\n";
+          break;
+        case Kind::kGauge:
+          out << name << " " << metric.gauge->Value() << "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *metric.histogram;
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+            cumulative += h.BucketCount(i);
+            out << name << "_bucket{le=\"" << Histogram::BucketUpperBound(i)
+                << "\"} " << cumulative << "\n";
+          }
+          cumulative += h.BucketCount(Histogram::kNumBuckets - 1);
+          out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+          out << name << "_sum " << h.Sum() << "\n";
+          out << name << "_count " << h.TotalCount() << "\n";
+          break;
+        }
+      }
+    }
+    return out.str();
+  }
+
+  out << "{";
+  bool first = true;
+  for (const auto& [name, metric] : metrics_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"type\":\""
+        << KindName(metric.kind == Kind::kCounter,
+                    metric.kind == Kind::kGauge)
+        << "\",";
+    switch (metric.kind) {
+      case Kind::kCounter:
+        out << "\"value\":" << metric.counter->Value();
+        break;
+      case Kind::kGauge:
+        out << "\"value\":" << metric.gauge->Value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *metric.histogram;
+        out << "\"count\":" << h.TotalCount() << ",\"sum\":" << h.Sum()
+            << ",\"buckets\":[";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          cumulative += h.BucketCount(i);
+          if (i > 0) out << ",";
+          out << "{\"le\":";
+          if (i + 1 < Histogram::kNumBuckets) {
+            out << "\"" << Histogram::BucketUpperBound(i) << "\"";
+          } else {
+            out << "\"+Inf\"";
+          }
+          out << ",\"count\":" << cumulative << "}";
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+// --- Env-triggered periodic dumper ----------------------------------------
+
+namespace {
+
+struct DumperState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  bool running = false;
+  bool stop_requested = false;
+  std::chrono::milliseconds period{1000};
+  MetricsRegistry::Format format = MetricsRegistry::Format::kPrometheus;
+  bool to_stdout = false;
+};
+
+DumperState& Dumper() {
+  static DumperState* state = new DumperState();
+  return *state;
+}
+
+void EmitDump(const DumperState& state) {
+  std::string dump = MetricsRegistry::Global().Render(state.format);
+  std::FILE* stream = state.to_stdout ? stdout : stderr;
+  std::fprintf(stream, "--- aggcache metrics dump ---\n%s", dump.c_str());
+  if (!dump.empty() && dump.back() != '\n') std::fprintf(stream, "\n");
+  std::fflush(stream);
+}
+
+/// Parses AGGCACHE_METRICS_DUMP; returns false when unset or disabled.
+/// Accepts a bare period ("250") or key=value pairs in the style of
+/// AGGCACHE_MERGE_DAEMON.
+bool ParseDumpEnv(DumperState* state) {
+  const char* env = std::getenv("AGGCACHE_METRICS_DUMP");
+  if (env == nullptr) return false;
+  std::string spec(env);
+  if (spec.empty() || spec == "off" || spec == "0") return false;
+
+  char* end = nullptr;
+  long bare = std::strtol(spec.c_str(), &end, 10);
+  if (end != spec.c_str() && *end == '\0' && bare > 0) {
+    state->period = std::chrono::milliseconds(bare);
+    return true;
+  }
+
+  for (size_t start = 0; start <= spec.size();) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string part = spec.substr(start, comma - start);
+    start = comma + 1;
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = part.substr(0, eq);
+    std::string value = part.substr(eq + 1);
+    if (key == "period_ms") {
+      long parsed = std::strtol(value.c_str(), nullptr, 10);
+      if (parsed > 0) state->period = std::chrono::milliseconds(parsed);
+    } else if (key == "format") {
+      state->format = value == "json" ? MetricsRegistry::Format::kJson
+                                      : MetricsRegistry::Format::kPrometheus;
+    } else if (key == "stream") {
+      state->to_stdout = value == "stdout";
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MetricsDumper::MaybeStartFromEnv() {
+  DumperState& state = Dumper();
+  std::unique_lock<std::mutex> lock(state.mu);
+  if (state.running) return true;
+  if (!ParseDumpEnv(&state)) return false;
+  state.stop_requested = false;
+  state.running = true;
+  state.thread = std::thread([&state] {
+    std::unique_lock<std::mutex> thread_lock(state.mu);
+    while (!state.cv.wait_for(thread_lock, state.period,
+                              [&state] { return state.stop_requested; })) {
+      thread_lock.unlock();
+      EmitDump(state);
+      thread_lock.lock();
+    }
+  });
+  return true;
+}
+
+void MetricsDumper::Stop() {
+  DumperState& state = Dumper();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.running) return;
+    state.stop_requested = true;
+  }
+  state.cv.notify_all();
+  state.thread.join();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.running = false;
+  EmitDump(state);
+}
+
+}  // namespace aggcache

@@ -1,0 +1,157 @@
+#include "obs/query_trace.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aggcache {
+
+namespace {
+
+thread_local QueryTrace* t_current_trace = nullptr;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderTidRange(const SubjoinTrace::TidRange& range) {
+  if (range.empty) return range.column + " tid=[empty]";
+  return StrFormat("%s tid=[%lld,%lld]", range.column.c_str(),
+                   static_cast<long long>(range.min),
+                   static_cast<long long>(range.max));
+}
+
+}  // namespace
+
+const char* VerdictToString(SubjoinTrace::Verdict verdict) {
+  switch (verdict) {
+    case SubjoinTrace::Verdict::kExecuted:
+      return "executed";
+    case SubjoinTrace::Verdict::kPushdown:
+      return "pushdown";
+    case SubjoinTrace::Verdict::kPruned:
+      return "pruned";
+  }
+  return "?";
+}
+
+size_t QueryTrace::CountVerdict(SubjoinTrace::Verdict verdict) const {
+  size_t n = 0;
+  for (const SubjoinTrace& subjoin : subjoins) {
+    if (subjoin.verdict == verdict) ++n;
+  }
+  return n;
+}
+
+std::string QueryTrace::ToText() const {
+  std::ostringstream out;
+  out << "EXPLAIN AGGREGATE\n";
+  out << "  statement: " << statement << "\n";
+  out << "  strategy: " << strategy << "  pushdown: "
+      << (use_pushdown ? "on" : "off") << "\n";
+  out << "  snapshot tid: " << snapshot_tid << "\n";
+  out << "  cache: " << cache_outcome << "\n";
+  out << StrFormat(
+      "  phases: build %.3f ms, main-comp %.3f ms, delta-comp %.3f ms, "
+      "total %.3f ms\n",
+      build_ms, main_comp_ms, delta_comp_ms, total_ms);
+  out << "  subjoins: " << subjoins.size() << " considered = "
+      << CountVerdict(SubjoinTrace::Verdict::kExecuted) << " executed + "
+      << CountVerdict(SubjoinTrace::Verdict::kPushdown) << " pushdown + "
+      << CountVerdict(SubjoinTrace::Verdict::kPruned) << " pruned\n";
+  for (const SubjoinTrace& subjoin : subjoins) {
+    out << "    [" << subjoin.phase << "] " << subjoin.combination << " "
+        << VerdictToString(subjoin.verdict);
+    if (!subjoin.prune_reason.empty()) {
+      out << " (" << subjoin.prune_reason << ")";
+    }
+    out << "\n";
+    if (!subjoin.tid_ranges.empty()) {
+      std::vector<std::string> parts;
+      parts.reserve(subjoin.tid_ranges.size());
+      for (const SubjoinTrace::TidRange& range : subjoin.tid_ranges) {
+        parts.push_back(RenderTidRange(range));
+      }
+      out << "        " << StrJoin(parts, "  ") << "\n";
+    }
+    for (const std::string& filter : subjoin.pushdown_filters) {
+      out << "        pushdown: " << filter << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string QueryTrace::ToJson() const {
+  std::ostringstream out;
+  out << "{\"statement\":\"" << JsonEscape(statement) << "\""
+      << ",\"strategy\":\"" << JsonEscape(strategy) << "\""
+      << ",\"pushdown\":" << (use_pushdown ? "true" : "false")
+      << ",\"snapshot_tid\":" << snapshot_tid << ",\"cache\":\""
+      << JsonEscape(cache_outcome) << "\"";
+  out << StrFormat(
+      ",\"phases\":{\"build_ms\":%.3f,\"main_comp_ms\":%.3f,"
+      "\"delta_comp_ms\":%.3f,\"total_ms\":%.3f}",
+      build_ms, main_comp_ms, delta_comp_ms, total_ms);
+  out << ",\"subjoins\":[";
+  for (size_t i = 0; i < subjoins.size(); ++i) {
+    const SubjoinTrace& subjoin = subjoins[i];
+    if (i > 0) out << ",";
+    out << "{\"phase\":\"" << JsonEscape(subjoin.phase) << "\""
+        << ",\"combination\":\"" << JsonEscape(subjoin.combination) << "\""
+        << ",\"verdict\":\"" << VerdictToString(subjoin.verdict) << "\""
+        << ",\"reason\":\"" << JsonEscape(subjoin.prune_reason) << "\""
+        << ",\"tid_ranges\":[";
+    for (size_t t = 0; t < subjoin.tid_ranges.size(); ++t) {
+      const SubjoinTrace::TidRange& range = subjoin.tid_ranges[t];
+      if (t > 0) out << ",";
+      out << "{\"column\":\"" << JsonEscape(range.column) << "\""
+          << ",\"empty\":" << (range.empty ? "true" : "false");
+      if (!range.empty) {
+        out << ",\"min\":" << range.min << ",\"max\":" << range.max;
+      }
+      out << "}";
+    }
+    out << "],\"pushdown_filters\":[";
+    for (size_t f = 0; f < subjoin.pushdown_filters.size(); ++f) {
+      if (f > 0) out << ",";
+      out << "\"" << JsonEscape(subjoin.pushdown_filters[f]) << "\"";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+TraceContext::TraceContext(QueryTrace* trace) : prev_(t_current_trace) {
+  t_current_trace = trace;
+}
+
+TraceContext::~TraceContext() { t_current_trace = prev_; }
+
+QueryTrace* TraceContext::Current() { return t_current_trace; }
+
+}  // namespace aggcache

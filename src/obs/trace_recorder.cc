@@ -1,0 +1,97 @@
+#include "obs/trace_recorder.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/dictionary.h"
+
+namespace aggcache {
+
+namespace {
+
+/// "Item[g0/delta].tid_Header" — table, the partition the combination
+/// picked for it, and the tid column the MD binds.
+std::string TidColumnLabel(const BoundQuery& bound,
+                           const SubjoinCombination& combination,
+                           size_t table_index, size_t column_index) {
+  const Table& table = *bound.tables[table_index];
+  const PartitionRef& ref = combination[table_index];
+  return StrFormat("%s[g%u/%s].%s", table.name().c_str(), ref.group,
+                   PartitionKindToString(ref.kind),
+                   table.schema().columns[column_index].name.c_str());
+}
+
+SubjoinTrace::TidRange MakeTidRange(const BoundQuery& bound,
+                                    const SubjoinCombination& combination,
+                                    size_t table_index, size_t column_index) {
+  SubjoinTrace::TidRange range;
+  range.column =
+      TidColumnLabel(bound, combination, table_index, column_index);
+  const Partition& partition =
+      ResolvePartition(*bound.tables[table_index], combination[table_index]);
+  if (partition.empty()) {
+    range.empty = true;
+    return range;
+  }
+  const Dictionary& dict = partition.column(column_index).dictionary();
+  range.min = dict.min_value().AsInt64();
+  range.max = dict.max_value().AsInt64();
+  return range;
+}
+
+}  // namespace
+
+SubjoinTrace MakeSubjoinTrace(
+    const BoundQuery& bound, const std::vector<MdBinding>& mds,
+    const SubjoinCombination& combination, std::string phase,
+    const PruneDecision& decision,
+    const std::vector<FilterPredicate>& pushdown_filters) {
+  SubjoinTrace trace;
+  trace.phase = std::move(phase);
+  trace.combination = CombinationToString(combination);
+  if (decision.pruned) {
+    trace.verdict = SubjoinTrace::Verdict::kPruned;
+    trace.prune_reason = decision.reason;
+  } else if (!pushdown_filters.empty()) {
+    trace.verdict = SubjoinTrace::Verdict::kPushdown;
+  } else {
+    trace.verdict = SubjoinTrace::Verdict::kExecuted;
+  }
+  trace.tid_ranges.reserve(mds.size() * 2);
+  for (const MdBinding& md : mds) {
+    trace.tid_ranges.push_back(
+        MakeTidRange(bound, combination, md.left_table, md.left_tid_column));
+    trace.tid_ranges.push_back(
+        MakeTidRange(bound, combination, md.right_table, md.right_tid_column));
+  }
+  trace.pushdown_filters.reserve(pushdown_filters.size());
+  for (const FilterPredicate& filter : pushdown_filters) {
+    trace.pushdown_filters.push_back(
+        bound.tables[filter.table_index]->name() + "." + filter.ToString());
+  }
+  return trace;
+}
+
+void RecordSubjoin(const BoundQuery& bound, const std::vector<MdBinding>& mds,
+                   const SubjoinCombination& combination, std::string phase,
+                   const PruneDecision& decision,
+                   const std::vector<FilterPredicate>& pushdown_filters) {
+  QueryTrace* trace = TraceContext::Current();
+  if (trace == nullptr) return;
+  trace->subjoins.push_back(MakeSubjoinTrace(bound, mds, combination,
+                                             std::move(phase), decision,
+                                             pushdown_filters));
+}
+
+void RecordUncachedSubjoins(const BoundQuery& bound,
+                            const std::vector<SubjoinCombination>& combos) {
+  QueryTrace* trace = TraceContext::Current();
+  if (trace == nullptr) return;
+  std::vector<MdBinding> mds = ResolveMds(bound);
+  for (const SubjoinCombination& combo : combos) {
+    trace->subjoins.push_back(
+        MakeSubjoinTrace(bound, mds, combo, "uncached", PruneDecision{}, {}));
+  }
+}
+
+}  // namespace aggcache

@@ -1,0 +1,44 @@
+#ifndef AGGCACHE_OBS_TRACE_RECORDER_H_
+#define AGGCACHE_OBS_TRACE_RECORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/query_trace.h"
+#include "objectaware/join_pruning.h"
+#include "objectaware/matching_dependency.h"
+#include "query/executor.h"
+#include "query/predicate.h"
+#include "query/subjoin.h"
+
+namespace aggcache {
+
+/// Builds the trace event for one subjoin combination: combination string,
+/// verdict (pruned when `decision` fired, pushdown when `pushdown_filters`
+/// is non-empty, executed otherwise), and the MD tid ranges the verdict was
+/// decided on (dictionary min/max of each MD tid column in the partitions
+/// this combination picked). Cheap relative to a subjoin, but only paid
+/// when a trace is installed — callers gate on TraceContext::Current().
+SubjoinTrace MakeSubjoinTrace(
+    const BoundQuery& bound, const std::vector<MdBinding>& mds,
+    const SubjoinCombination& combination, std::string phase,
+    const PruneDecision& decision,
+    const std::vector<FilterPredicate>& pushdown_filters);
+
+/// Appends the event to the calling thread's active trace; no-op without
+/// one. Must run on the orchestration thread (trace updates are unlocked).
+void RecordSubjoin(const BoundQuery& bound, const std::vector<MdBinding>& mds,
+                   const SubjoinCombination& combination, std::string phase,
+                   const PruneDecision& decision,
+                   const std::vector<FilterPredicate>& pushdown_filters);
+
+/// Records every combination of an uncached union as an executed event,
+/// resolving the query's MDs for tid ranges. No-op without an active trace
+/// (the resolve is skipped too). Used by Executor::ExecuteUncachedBound,
+/// which must not depend on the objectaware module directly.
+void RecordUncachedSubjoins(const BoundQuery& bound,
+                            const std::vector<SubjoinCombination>& combos);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_OBS_TRACE_RECORDER_H_

@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/engine_metrics.h"
+#include "obs/trace_recorder.h"
 
 namespace aggcache {
 
@@ -79,19 +81,29 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
   if (combination.size() != num_tables) {
     return Status::InvalidArgument("combination arity mismatch");
   }
-  // Parallel callers pass a per-task block; with stats == nullptr the
-  // counters accumulate locally and flush into the atomic shared stats on
-  // every return path, so even the no-stats convenience calls are safe
-  // under concurrency.
-  ExecutorStats local_counters;
-  ExecutorStats& counters = stats != nullptr ? *stats : local_counters;
-  struct FlushSharedOnExit {
+  // Counters accumulate locally and flush on every return path: into the
+  // caller's per-task block when given (parallel callers must pass one),
+  // into the atomic shared stats otherwise, and always into the global
+  // metrics registry — relaxed atomics, so the flush is lock-free even
+  // from pool workers.
+  ExecutorStats counters;
+  struct FlushOnExit {
     const Executor* executor;
+    ExecutorStats* caller;
     const ExecutorStats* local;
-    ~FlushSharedOnExit() {
-      if (local != nullptr) executor->stats_.MergeFrom(*local);
+    ~FlushOnExit() {
+      const EngineMetrics& metrics = EngineMetrics::Get();
+      metrics.exec_subjoins->Increment(local->subjoins_executed);
+      metrics.exec_rows_scanned->Increment(local->rows_scanned);
+      metrics.exec_rows_selected->Increment(local->rows_selected);
+      metrics.exec_tuples_joined->Increment(local->tuples_joined);
+      if (caller != nullptr) {
+        caller->MergeFrom(*local);
+      } else {
+        executor->stats_.MergeFrom(*local);
+      }
     }
-  } flush{this, stats == nullptr ? &local_counters : nullptr};
+  } flush{this, stats, &counters};
   ++counters.subjoins_executed;
   AggregateResult result(bound.aggregates.size());
 
@@ -349,6 +361,9 @@ StatusOr<AggregateResult> Executor::ExecuteUncachedBound(
     const BoundQuery& bound, Snapshot snapshot) const {
   std::vector<SubjoinCombination> combos =
       EnumerateAllCombinations(bound.tables);
+  // Uncached unions execute every combination; the trace events (with tid
+  // ranges) are recorded here on the calling thread, before the fan-out.
+  RecordUncachedSubjoins(bound, combos);
   std::vector<AggregateResult> partials(combos.size());
   std::vector<ExecutorStats> task_stats(combos.size());
   std::vector<Status> task_status(combos.size());

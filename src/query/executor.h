@@ -99,6 +99,20 @@ struct SharedExecutorStats {
     rows_selected.fetch_add(other.rows_selected, std::memory_order_relaxed);
     tuples_joined.fetch_add(other.tuples_joined, std::memory_order_relaxed);
   }
+
+  /// One coherent copy of all four counters. Callers that dump or diff
+  /// stats should snapshot once instead of reading fields one by one, so
+  /// the reported set comes from a single point in time (each field is
+  /// still a relaxed load; the snapshot is consistent for quiesced
+  /// executors and self-consistent code, not a fence).
+  ExecutorStats Snapshot() const {
+    ExecutorStats s;
+    s.subjoins_executed = subjoins_executed.load(std::memory_order_relaxed);
+    s.rows_scanned = rows_scanned.load(std::memory_order_relaxed);
+    s.rows_selected = rows_selected.load(std::memory_order_relaxed);
+    s.tuples_joined = tuples_joined.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 /// Aggregate query executor over the main-delta columnar store: per-table

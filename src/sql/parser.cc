@@ -19,6 +19,17 @@ class Parser {
     if (Peek().IsKeyword("SELECT")) {
       statement.kind = ParsedStatement::Kind::kSelect;
       ASSIGN_OR_RETURN(statement.select, ParseSelect());
+    } else if (Peek().IsKeyword("EXPLAIN")) {
+      // EXPLAIN AGGREGATE [JSON] SELECT ...: run the SELECT through the
+      // cache manager with a QueryTrace installed and return the trace.
+      statement.kind = ParsedStatement::Kind::kExplain;
+      Advance();
+      RETURN_IF_ERROR(ExpectKeyword("AGGREGATE"));
+      if (Peek().IsKeyword("JSON")) {
+        statement.explain_json = true;
+        Advance();
+      }
+      ASSIGN_OR_RETURN(statement.select, ParseSelect());
     } else if (Peek().IsKeyword("INSERT")) {
       statement.kind = ParsedStatement::Kind::kInsert;
       RETURN_IF_ERROR(ParseInsert(&statement));
@@ -26,7 +37,7 @@ class Parser {
       statement.kind = ParsedStatement::Kind::kCreateTable;
       RETURN_IF_ERROR(ParseCreateTable(&statement));
     } else {
-      return Error("expected SELECT, INSERT, or CREATE");
+      return Error("expected SELECT, EXPLAIN, INSERT, or CREATE");
     }
     if (Peek().IsSymbol(";")) Advance();
     if (!Peek().Is(TokenType::kEnd)) {
@@ -517,6 +528,7 @@ StatusOr<ParsedStatement> ParseStatement(const std::string& sql,
 Status ApplyStatement(const ParsedStatement& statement, Database* db) {
   switch (statement.kind) {
     case ParsedStatement::Kind::kSelect:
+    case ParsedStatement::Kind::kExplain:
       return Status::InvalidArgument(
           "SELECT statements are executed through the cache manager");
     case ParsedStatement::Kind::kInsert: {

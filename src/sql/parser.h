@@ -11,11 +11,15 @@ namespace aggcache {
 
 /// A parsed SQL statement, dispatched on `kind`.
 struct ParsedStatement {
-  enum class Kind : uint8_t { kSelect, kInsert, kCreateTable };
+  enum class Kind : uint8_t { kSelect, kInsert, kCreateTable, kExplain };
 
   Kind kind = Kind::kSelect;
-  /// kSelect: the aggregate query (already validated against the catalog).
+  /// kSelect and kExplain: the aggregate query (already validated against
+  /// the catalog).
   AggregateQuery select;
+  /// kExplain: render the trace as JSON instead of text
+  /// (EXPLAIN AGGREGATE JSON SELECT ...).
+  bool explain_json = false;
   /// kInsert: target table and the user-column values in schema order
   /// (numeric literals coerced to the column types).
   std::string insert_table;
@@ -30,6 +34,8 @@ struct ParsedStatement {
 ///   FROM t1, t2, ...
 ///   [WHERE <equi-join conditions AND column-vs-literal filters>]
 ///   GROUP BY col [, col ...]
+///
+///   EXPLAIN AGGREGATE [JSON] SELECT ...
 ///
 ///   INSERT INTO t VALUES (v1, v2, ...)
 ///

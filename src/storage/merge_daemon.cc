@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/engine_metrics.h"
 #include "storage/database.h"
 
 namespace aggcache {
@@ -88,6 +89,7 @@ void MergeDaemon::MergeGroupWithRetry(const std::vector<std::string>& tables) {
       std::lock_guard<std::mutex> lock(mu_);
       if (stop_requested_ || paused_) return;
       ++stats_.merges_attempted;
+      EngineMetrics::Get().merge_attempts->Increment();
       merging_ = true;
     }
     Status merged = db_.MergeTables(tables, options_.merge_options);
@@ -97,9 +99,11 @@ void MergeDaemon::MergeGroupWithRetry(const std::vector<std::string>& tables) {
       cv_.notify_all();  // Wake a Pause() waiting for the merge to finish.
       if (merged.ok()) {
         ++stats_.merges_succeeded;
+        EngineMetrics::Get().merge_commits->Increment();
         return;
       }
       ++stats_.merges_aborted;
+      EngineMetrics::Get().merge_aborts->Increment();
       // Aborts are expected under fault injection: observers have already
       // run their OnMergeAborted recovery and the group's storage is
       // untouched, so a backed-off retry is safe.
@@ -110,6 +114,8 @@ void MergeDaemon::MergeGroupWithRetry(const std::vector<std::string>& tables) {
     }
     std::chrono::milliseconds delay = backoff;
     backoff = std::min(backoff * 2, options_.max_backoff);
+    EngineMetrics::Get().merge_backoff_ms->Increment(
+        static_cast<uint64_t>(delay.count()));
     if (!InterruptibleSleep(delay)) return;
   }
 }
@@ -122,6 +128,7 @@ void MergeDaemon::Loop() {
       std::lock_guard<std::mutex> lock(mu_);
       skip = paused_;
       ++stats_.ticks;
+      EngineMetrics::Get().merge_ticks->Increment();
     }
     if (skip) continue;
     for (const std::vector<std::string>& group : db_.DueMergeGroups()) {

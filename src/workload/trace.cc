@@ -90,6 +90,20 @@ Status TraceReplayer::ExecuteSql(const std::string& sql,
       ++report->queries;
       break;
     }
+    case ParsedStatement::Kind::kExplain: {
+      // Replay still executes the query (same cache effects as a SELECT);
+      // the trace itself has no consumer here and is dropped.
+      QueryTrace trace;
+      trace.statement = sql;
+      Transaction txn = db_->Begin();
+      ASSIGN_OR_RETURN(
+          AggregateResult result,
+          cache_->ExecuteTraced(statement.select, txn, options_, &trace));
+      report->last_query_groups = result.num_groups();
+      report->query_ms += watch.ElapsedMillis();
+      ++report->queries;
+      break;
+    }
     case ParsedStatement::Kind::kInsert:
       RETURN_IF_ERROR(ApplyStatement(statement, db_));
       report->insert_ms += watch.ElapsedMillis();

@@ -244,9 +244,10 @@ TEST_F(ExecutorTest, StatsCountWork) {
   auto result =
       executor.ExecuteUncached(testing_util::HeaderItemQuery(), Now());
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(executor.stats().subjoins_executed, 4u);
-  EXPECT_GT(executor.stats().rows_scanned, 0u);
-  EXPECT_EQ(executor.stats().tuples_joined, 12u);  // All items join.
+  ExecutorStats snapshot = executor.stats().Snapshot();
+  EXPECT_EQ(snapshot.subjoins_executed, 4u);
+  EXPECT_GT(snapshot.rows_scanned, 0u);
+  EXPECT_EQ(snapshot.tuples_joined, 12u);  // All items join.
 }
 
 TEST_F(ExecutorTest, CombinationArityMismatchRejected) {

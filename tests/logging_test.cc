@@ -1,0 +1,50 @@
+// Tests for the CHECK macros (src/common/logging.h). The compile-shape
+// tests pin down the dangling-else fix: AGGCACHE_CHECK used as the
+// then-branch of an unbraced if/else must not capture the caller's `else`.
+
+#include "common/logging.h"
+
+#include "gtest/gtest.h"
+
+namespace aggcache {
+namespace {
+
+TEST(LoggingTest, PassingCheckIsANoOp) {
+  AGGCACHE_CHECK(true);
+  AGGCACHE_CHECK(1 + 1 == 2) << "never evaluated";
+  AGGCACHE_CHECK_EQ(2, 2);
+  AGGCACHE_CHECK_NE(2, 3);
+  AGGCACHE_CHECK_LT(2, 3);
+  AGGCACHE_CHECK_LE(3, 3);
+  AGGCACHE_CHECK_GT(3, 2);
+  AGGCACHE_CHECK_GE(3, 3);
+}
+
+TEST(LoggingTest, ElseBindsToEnclosingIf) {
+  // With a naive `if (cond) {} else ...` expansion, the else below would
+  // bind to the macro's internal if — and run CheckFailure, aborting. With
+  // the statement-shaped expansion it binds to the outer if, as written.
+  bool else_taken = false;
+  if (false)
+    AGGCACHE_CHECK(false) << "must not evaluate";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+
+  // And a passing check as a then-branch must swallow the else entirely.
+  bool passed_through = false;
+  if (true)
+    AGGCACHE_CHECK(true);
+  else
+    passed_through = true;
+  EXPECT_FALSE(passed_through);
+}
+
+TEST(LoggingDeathTest, FailingCheckAbortsWithMessage) {
+  EXPECT_DEATH(AGGCACHE_CHECK(false) << "boom " << 42,
+               "CHECK failed at .*: false boom 42");
+  EXPECT_DEATH(AGGCACHE_CHECK_EQ(1, 2), "\\(1\\) == \\(2\\)");
+}
+
+}  // namespace
+}  // namespace aggcache

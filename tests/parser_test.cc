@@ -120,6 +120,43 @@ TEST_F(ParserTest, ParsedSelectExecutes) {
   EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 60.0);
 }
 
+TEST_F(ParserTest, ExplainAggregateSelect) {
+  auto stmt = Parse(
+      "EXPLAIN AGGREGATE SELECT FiscalYear, SUM(Amount) AS revenue "
+      "FROM Header, Item WHERE Header.HeaderID = Item.HeaderID "
+      "GROUP BY FiscalYear");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, ParsedStatement::Kind::kExplain);
+  EXPECT_FALSE(stmt->explain_json);
+  // The wrapped SELECT parses exactly as it would stand-alone.
+  ASSERT_EQ(stmt->select.tables.size(), 2u);
+  ASSERT_EQ(stmt->select.aggregates.size(), 1u);
+  EXPECT_EQ(stmt->select.aggregates[0].output_name, "revenue");
+}
+
+TEST_F(ParserTest, ExplainAggregateJson) {
+  auto stmt = Parse(
+      "explain aggregate json SELECT COUNT(*) FROM Item GROUP BY HeaderID");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, ParsedStatement::Kind::kExplain);
+  EXPECT_TRUE(stmt->explain_json);
+}
+
+TEST_F(ParserTest, ExplainRequiresAggregateSelect) {
+  EXPECT_FALSE(Parse("EXPLAIN SELECT COUNT(*) FROM Item "
+                     "GROUP BY HeaderID").ok());
+  EXPECT_FALSE(Parse("EXPLAIN AGGREGATE INSERT INTO Header VALUES (1, 2)")
+                   .ok());
+  EXPECT_FALSE(Parse("EXPLAIN AGGREGATE").ok());
+}
+
+TEST_F(ParserTest, ApplyRejectsExplain) {
+  auto stmt = Parse(
+      "EXPLAIN AGGREGATE SELECT COUNT(*) FROM Item GROUP BY HeaderID");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_FALSE(ApplyStatement(*stmt, &db_).ok());
+}
+
 TEST_F(ParserTest, InsertStatement) {
   auto stmt = Parse("INSERT INTO Header VALUES (7, 2015)");
   ASSERT_TRUE(stmt.ok()) << stmt.status();

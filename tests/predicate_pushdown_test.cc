@@ -119,14 +119,14 @@ TEST_F(PredicatePushdownTest, PushdownReducesScannedRows) {
   Executor plain_exec(&db_);
   auto plain = plain_exec.ExecuteSubjoin(bound, delta_main, now);
   ASSERT_TRUE(plain.ok());
-  uint64_t selected_plain = plain_exec.stats().rows_selected;
+  uint64_t selected_plain = plain_exec.stats().Snapshot().rows_selected;
 
   Executor pushed_exec(&db_);
   std::vector<FilterPredicate> filters =
       DerivePushdownFilters(bound, mds, delta_main);
   auto pushed = pushed_exec.ExecuteSubjoin(bound, delta_main, now, filters);
   ASSERT_TRUE(pushed.ok());
-  uint64_t selected_pushed = pushed_exec.stats().rows_selected;
+  uint64_t selected_pushed = pushed_exec.stats().Snapshot().rows_selected;
   EXPECT_LT(selected_pushed, selected_plain);
 }
 
