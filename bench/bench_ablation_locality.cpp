@@ -20,7 +20,14 @@ constexpr size_t kHeadersMain = 10000;
 constexpr size_t kNewObjects = 500;
 constexpr int kReps = 3;
 
-void Run() {
+void Run(BenchContext& ctx) {
+  const size_t headers_main = ctx.QuickOr<size_t>(2000, kHeadersMain);
+  const size_t new_objects = ctx.QuickOr<size_t>(100, kNewObjects);
+  const std::vector<int> late_percents =
+      ctx.quick() ? std::vector<int>{0, 5, 25}
+                  : std::vector<int>{0, 1, 5, 10, 25, 50};
+  ctx.report().SetConfig("headers_main", static_cast<int64_t>(headers_main));
+  ctx.report().SetConfig("new_objects", static_cast<int64_t>(new_objects));
   PrintBanner("Ablation: temporal locality (Section 5)",
               "pruning and pushdown vs late-item rate",
               "pruning succeeds under temporal locality; once violated, "
@@ -30,10 +37,10 @@ void Run() {
   ResultTable table({"late_item_%", "pruned/considered", "full_pruning_ms",
                      "with_pushdown_ms", "no_pruning_ms"});
 
-  for (int late_percent : {0, 1, 5, 10, 25, 50}) {
+  for (int late_percent : late_percents) {
     Database db;
     ErpConfig config;
-    config.num_headers_main = kHeadersMain;
+    config.num_headers_main = headers_main;
     config.num_categories = 50;
     ErpDataset dataset = CheckOk(ErpDataset::Create(&db, config), "erp");
     AggregateCacheManager cache(&db);
@@ -43,7 +50,7 @@ void Run() {
     // New business objects plus the configured share of late items.
     Rng rng(late_percent + 1);
     size_t new_items = 0;
-    for (size_t i = 0; i < kNewObjects; ++i) {
+    for (size_t i = 0; i < new_objects; ++i) {
       new_items += CheckOk(dataset.InsertBusinessObject(rng), "insert");
     }
     size_t late_items = new_items * late_percent / 100;
@@ -53,23 +60,40 @@ void Run() {
       ExecutionOptions options;
       options.strategy = strategy;
       options.use_predicate_pushdown = pushdown;
-      return MedianMs(kReps, [&] {
+      return MeasureMs(kReps, [&] {
         Transaction txn = db.Begin();
         CheckOk(cache.Execute(query, txn, options).status(), "execute");
       });
     };
 
-    double full = measure(ExecutionStrategy::kCachedFullPruning, false);
+    LatencyStats full = measure(ExecutionStrategy::kCachedFullPruning, false);
     uint64_t pruned = cache.last_exec_stats().subjoins_pruned;
     uint64_t considered = pruned + cache.last_exec_stats().subjoins_executed;
-    double pushed = measure(ExecutionStrategy::kCachedFullPruning, true);
-    double none = measure(ExecutionStrategy::kCachedNoPruning, false);
+    LatencyStats pushed =
+        measure(ExecutionStrategy::kCachedFullPruning, true);
+    LatencyStats none = measure(ExecutionStrategy::kCachedNoPruning, false);
+
+    std::map<std::string, std::string> labels = {
+        {"late_item_percent", StrFormat("%d", late_percent)}};
+    auto with_mode = [&labels](const char* mode) {
+      std::map<std::string, std::string> l = labels;
+      l["mode"] = mode;
+      return l;
+    };
+    ctx.report().AddLatency("query_ms", with_mode("full_pruning"), full);
+    ctx.report().AddLatency("query_ms", with_mode("with_pushdown"), pushed);
+    ctx.report().AddLatency("query_ms", with_mode("no_pruning"), none);
+    ctx.report().AddScalar("subjoins_pruned", labels,
+                           static_cast<double>(pruned));
+    ctx.report().AddScalar("subjoins_considered", labels,
+                           static_cast<double>(considered));
 
     table.AddRow({StrFormat("%d", late_percent),
                   StrFormat("%llu/%llu",
                             static_cast<unsigned long long>(pruned),
                             static_cast<unsigned long long>(considered)),
-                  FormatMs(full), FormatMs(pushed), FormatMs(none)});
+                  FormatMs(full.median_ms), FormatMs(pushed.median_ms),
+                  FormatMs(none.median_ms)});
   }
   table.Print();
 }
@@ -78,7 +102,9 @@ void Run() {
 }  // namespace bench
 }  // namespace aggcache
 
-int main() {
-  aggcache::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  aggcache::bench::ApplyThreadsFlag(argc, argv);
+  aggcache::BenchContext ctx(argc, argv, "ablation_locality");
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

@@ -19,13 +19,18 @@ namespace {
 
 constexpr size_t kHeadersMain = 20000;
 constexpr int kReps = 3;
+size_t g_headers_main = kHeadersMain;
 
-double MeasureFirstQueryAfterUpdates(bool incremental, size_t num_updates) {
-  double total = 0.0;
+// No discarded warm-up here on purpose: each rep builds a fresh database
+// and the measured region is precisely the *cold* first query after a
+// batch of updates — warming would erase the effect under test.
+LatencyStats MeasureFirstQueryAfterUpdates(bool incremental,
+                                           size_t num_updates) {
+  std::vector<double> times;
   for (int rep = 0; rep < kReps; ++rep) {
     Database db;
     ErpConfig config;
-    config.num_headers_main = kHeadersMain;
+    config.num_headers_main = g_headers_main;
     config.num_categories = 50;
     ErpDataset dataset = CheckOk(ErpDataset::Create(&db, config), "erp");
     AggregateCacheManager::Config cache_config;
@@ -40,7 +45,8 @@ double MeasureFirstQueryAfterUpdates(bool incremental, size_t num_updates) {
     Transaction txn = db.Begin();
     Table* header = dataset.header();
     for (size_t u = 0; u < num_updates; ++u) {
-      int64_t id = rng.UniformInt(1, static_cast<int64_t>(kHeadersMain));
+      int64_t id =
+          rng.UniformInt(1, static_cast<int64_t>(g_headers_main));
       auto loc = header->FindByPk(Value(id));
       if (!loc) continue;  // Already updated in this batch.
       int64_t year = header->ValueAt(*loc, 1).AsInt64();
@@ -56,12 +62,16 @@ double MeasureFirstQueryAfterUpdates(bool incremental, size_t num_updates) {
     Stopwatch watch;
     Transaction query_txn = db.Begin();
     CheckOk(cache.Execute(query, query_txn).status(), "execute");
-    total += watch.ElapsedMillis();
+    times.push_back(watch.ElapsedMillis());
   }
-  return total / kReps;
+  return SummarizeLatencies(std::move(times));
 }
 
-void Run() {
+void Run(BenchContext& ctx) {
+  g_headers_main = ctx.QuickOr<size_t>(2000, kHeadersMain);
+  ctx.report().SetConfig("headers_main",
+                         static_cast<int64_t>(g_headers_main));
+  ctx.report().SetConfig("reps", static_cast<int64_t>(kReps));
   PrintBanner("Ablation: join main compensation (Section 8 extension)",
               "negative-delta correction joins vs entry rebuild after "
               "main-partition updates",
@@ -71,12 +81,26 @@ void Run() {
 
   ResultTable table({"updated_headers", "incremental_ms", "rebuild_ms",
                      "speedup"});
-  for (size_t updates : {10u, 100u, 1000u, 5000u}) {
-    double incremental = MeasureFirstQueryAfterUpdates(true, updates);
-    double rebuild = MeasureFirstQueryAfterUpdates(false, updates);
-    table.AddRow({StrFormat("%zu", updates), FormatMs(incremental),
-                  FormatMs(rebuild),
-                  StrFormat("%.1fx", rebuild / incremental)});
+  std::vector<size_t> batch_sizes =
+      ctx.quick() ? std::vector<size_t>{10, 100, 500}
+                  : std::vector<size_t>{10, 100, 1000, 5000};
+  for (size_t updates : batch_sizes) {
+    LatencyStats incremental = MeasureFirstQueryAfterUpdates(true, updates);
+    LatencyStats rebuild = MeasureFirstQueryAfterUpdates(false, updates);
+    std::map<std::string, std::string> labels = {
+        {"updated_headers", StrFormat("%zu", updates)}};
+    auto with_mode = [&labels](const char* mode) {
+      std::map<std::string, std::string> l = labels;
+      l["mode"] = mode;
+      return l;
+    };
+    ctx.report().AddLatency("first_query_ms", with_mode("incremental"),
+                            incremental);
+    ctx.report().AddLatency("first_query_ms", with_mode("rebuild"), rebuild);
+    table.AddRow({StrFormat("%zu", updates), FormatMs(incremental.median_ms),
+                  FormatMs(rebuild.median_ms),
+                  StrFormat("%.1fx",
+                            rebuild.median_ms / incremental.median_ms)});
   }
   table.Print();
 }
@@ -85,7 +109,9 @@ void Run() {
 }  // namespace bench
 }  // namespace aggcache
 
-int main() {
-  aggcache::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  aggcache::bench::ApplyThreadsFlag(argc, argv);
+  aggcache::BenchContext ctx(argc, argv, "ablation_main_comp");
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

@@ -16,6 +16,8 @@ namespace {
 constexpr size_t kInitialObjects = 10000;
 constexpr size_t kPhaseObjects = 2000;
 constexpr int kReps = 3;
+size_t g_initial_objects = kInitialObjects;
+size_t g_phase_objects = kPhaseObjects;
 
 struct Scenario {
   std::unique_ptr<Database> db;
@@ -26,14 +28,14 @@ Scenario BuildScenario(bool synchronized_merges) {
   Scenario scenario;
   scenario.db = std::make_unique<Database>();
   ErpConfig config;
-  config.num_headers_main = kInitialObjects;
+  config.num_headers_main = g_initial_objects;
   config.num_categories = 50;
   scenario.dataset = std::make_unique<ErpDataset>(
       CheckOk(ErpDataset::Create(scenario.db.get(), config), "erp"));
 
   Rng rng(23);
   // Phase 1: new business objects arrive.
-  for (size_t i = 0; i < kPhaseObjects; ++i) {
+  for (size_t i = 0; i < g_phase_objects; ++i) {
     CheckOk(scenario.dataset->InsertBusinessObject(rng).status(), "insert");
   }
   // Merge: synchronized merges move Header and Item together; independent
@@ -45,13 +47,20 @@ Scenario BuildScenario(bool synchronized_merges) {
     CheckOk(scenario.db->Merge("Item"), "merge item");
   }
   // Phase 2: more objects arrive after the merge.
-  for (size_t i = 0; i < kPhaseObjects; ++i) {
+  for (size_t i = 0; i < g_phase_objects; ++i) {
     CheckOk(scenario.dataset->InsertBusinessObject(rng).status(), "insert");
   }
   return scenario;
 }
 
-void Run() {
+void Run(BenchContext& ctx) {
+  g_initial_objects = ctx.QuickOr<size_t>(1000, kInitialObjects);
+  g_phase_objects = ctx.QuickOr<size_t>(200, kPhaseObjects);
+  ctx.report().SetConfig("initial_objects",
+                         static_cast<int64_t>(g_initial_objects));
+  ctx.report().SetConfig("phase_objects",
+                         static_cast<int64_t>(g_phase_objects));
+  ctx.report().SetConfig("reps", static_cast<int64_t>(kReps));
   PrintBanner("Ablation: merge synchronization (Section 5.2)",
               "pruning success with synchronized vs independent merges",
               "synchronized merges of related tables maximize the pruning "
@@ -71,19 +80,35 @@ void Run() {
 
     ExecutionOptions full;
     full.strategy = ExecutionStrategy::kCachedFullPruning;
-    double full_ms = MedianMs(kReps, [&] {
+    LatencyStats full_stats = MeasureMs(kReps, [&] {
       Transaction txn = db.Begin();
       CheckOk(cache.Execute(query, txn, full).status(), "full");
     });
+    double full_ms = full_stats.median_ms;
     uint64_t pruned = cache.last_exec_stats().subjoins_pruned;
     uint64_t total = pruned + cache.last_exec_stats().subjoins_executed;
 
     ExecutionOptions no_pruning;
     no_pruning.strategy = ExecutionStrategy::kCachedNoPruning;
-    double no_pruning_ms = MedianMs(kReps, [&] {
+    LatencyStats no_pruning_stats = MeasureMs(kReps, [&] {
       Transaction txn = db.Begin();
       CheckOk(cache.Execute(query, txn, no_pruning).status(), "np");
     });
+    double no_pruning_ms = no_pruning_stats.median_ms;
+
+    const char* mode = synchronized_merges ? "synchronized" : "independent";
+    ctx.report().AddLatency(
+        "query_ms",
+        {{"merge_mode", mode}, {"strategy", "cached-full-pruning"}},
+        full_stats);
+    ctx.report().AddLatency(
+        "query_ms",
+        {{"merge_mode", mode}, {"strategy", "cached-no-pruning"}},
+        no_pruning_stats);
+    ctx.report().AddScalar(
+        "pruning_success_rate", {{"merge_mode", mode}},
+        100.0 * static_cast<double>(pruned) / static_cast<double>(total),
+        "percent");
 
     table.AddRow(
         {synchronized_merges ? "synchronized" : "independent",
@@ -101,7 +126,9 @@ void Run() {
 }  // namespace bench
 }  // namespace aggcache
 
-int main() {
-  aggcache::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  aggcache::bench::ApplyThreadsFlag(argc, argv);
+  aggcache::BenchContext ctx(argc, argv, "ablation_merge_sync");
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

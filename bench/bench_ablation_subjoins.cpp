@@ -14,7 +14,9 @@ namespace {
 
 constexpr size_t kChainLength = 4;
 constexpr size_t kRootRows = 5000;
+constexpr size_t kQuickRootRows = 500;
 constexpr int kReps = 3;
+size_t g_root_rows = kRootRows;
 
 // Creates a chain T1 <- T2 <- ... <- Tn where each level references the
 // previous one with an MD tid column, loads data (fan-out 3 per level),
@@ -72,9 +74,9 @@ Chain BuildChain() {
       }
     }
   };
-  load(kRootRows, 0);
+  load(g_root_rows, 0);
   CheckOk(db.MergeAll(), "merge");
-  load(kRootRows / 20, 10000000);  // 5% into the deltas.
+  load(g_root_rows / 20, 10000000);  // 5% into the deltas.
 
   for (size_t t = 1; t <= kChainLength; ++t) {
     QueryBuilder builder;
@@ -89,7 +91,12 @@ Chain BuildChain() {
   return chain;
 }
 
-void Run() {
+void Run(BenchContext& ctx) {
+  g_root_rows = ctx.QuickOr(kQuickRootRows, kRootRows);
+  ctx.report().SetConfig("root_rows", static_cast<int64_t>(g_root_rows));
+  ctx.report().SetConfig("chain_length",
+                         static_cast<int64_t>(kChainLength));
+  ctx.report().SetConfig("reps", static_cast<int64_t>(kReps));
   PrintBanner("Ablation: subjoin explosion (Section 2.3)",
               "compensation subjoins vs join width t",
               "2^t subjoins uncached, 2^t - 1 with cache; pruning collapses "
@@ -108,27 +115,47 @@ void Run() {
 
     ExecutionOptions uncached;
     uncached.strategy = ExecutionStrategy::kUncached;
-    double uncached_ms = MedianMs(kReps, [&] {
+    LatencyStats uncached_stats = MeasureMs(kReps, [&] {
       Transaction txn = chain.db->Begin();
       CheckOk(cache.Execute(query, txn, uncached).status(), "uncached");
     });
+    double uncached_ms = uncached_stats.median_ms;
     uint64_t uncached_subjoins = cache.last_exec_stats().subjoins_executed;
 
     ExecutionOptions no_pruning;
     no_pruning.strategy = ExecutionStrategy::kCachedNoPruning;
-    double no_pruning_ms = MedianMs(kReps, [&] {
+    LatencyStats no_pruning_stats = MeasureMs(kReps, [&] {
       Transaction txn = chain.db->Begin();
       CheckOk(cache.Execute(query, txn, no_pruning).status(), "np");
     });
+    double no_pruning_ms = no_pruning_stats.median_ms;
     uint64_t np_subjoins = cache.last_exec_stats().subjoins_executed;
 
     ExecutionOptions full;
     full.strategy = ExecutionStrategy::kCachedFullPruning;
-    double full_ms = MedianMs(kReps, [&] {
+    LatencyStats full_stats = MeasureMs(kReps, [&] {
       Transaction txn = chain.db->Begin();
       CheckOk(cache.Execute(query, txn, full).status(), "full");
     });
+    double full_ms = full_stats.median_ms;
     uint64_t full_subjoins = cache.last_exec_stats().subjoins_executed;
+
+    std::map<std::string, std::string> t_label = {
+        {"t_tables", StrFormat("%zu", t)}};
+    auto with_strategy = [&t_label](const char* strategy) {
+      std::map<std::string, std::string> l = t_label;
+      l["strategy"] = strategy;
+      return l;
+    };
+    ctx.report().AddLatency("query_ms", with_strategy("uncached"),
+                            uncached_stats);
+    ctx.report().AddLatency("query_ms", with_strategy("cached-no-pruning"),
+                            no_pruning_stats);
+    ctx.report().AddLatency("query_ms", with_strategy("cached-full-pruning"),
+                            full_stats);
+    ctx.report().AddScalar("subjoins_executed",
+                           with_strategy("cached-full-pruning"),
+                           static_cast<double>(full_subjoins));
 
     table.AddRow({StrFormat("%zu", t), StrFormat("%llu",
                       static_cast<unsigned long long>(uncached_subjoins)),
@@ -147,7 +174,9 @@ void Run() {
 }  // namespace bench
 }  // namespace aggcache
 
-int main() {
-  aggcache::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  aggcache::bench::ApplyThreadsFlag(argc, argv);
+  aggcache::BenchContext ctx(argc, argv, "ablation_subjoins");
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

@@ -24,7 +24,8 @@ struct Setup {
   AggregateQuery query;
 };
 
-Setup Build(size_t item_main_rows, double match_fraction) {
+Setup Build(size_t item_main_rows, double match_fraction,
+            size_t main_headers, size_t delta_headers) {
   Setup setup;
   setup.db = std::make_unique<Database>();
   Database& db = *setup.db;
@@ -47,7 +48,6 @@ Setup Build(size_t item_main_rows, double match_fraction) {
                          .Build()),
       "item");
 
-  size_t main_headers = 20000;
   // Batch A headers, merged into main.
   {
     Transaction txn = db.Begin();
@@ -62,7 +62,7 @@ Setup Build(size_t item_main_rows, double match_fraction) {
   // Batch B headers: remain in the header delta.
   {
     Transaction txn = db.Begin();
-    for (size_t h = 0; h < kDeltaHeaders; ++h) {
+    for (size_t h = 0; h < delta_headers; ++h) {
       CheckOk(header->Insert(
                   txn, {Value(static_cast<int64_t>(main_headers + h + 1)),
                         Value(int64_t{2014})}),
@@ -79,7 +79,7 @@ Setup Build(size_t item_main_rows, double match_fraction) {
       if (rng.Chance(match_fraction)) {
         header_id = static_cast<int64_t>(
             main_headers +
-            static_cast<size_t>(rng.UniformInt(1, kDeltaHeaders)));
+            static_cast<size_t>(rng.UniformInt(1, delta_headers)));
       } else {
         header_id = rng.UniformInt(1, static_cast<int64_t>(main_headers));
       }
@@ -103,7 +103,7 @@ Setup Build(size_t item_main_rows, double match_fraction) {
   return setup;
 }
 
-void Run() {
+void Run(BenchContext& ctx) {
   PrintBanner("Figure 10",
               "predicate pushdown on the non-prunable Header_delta x "
               "Item_main subjoin",
@@ -113,9 +113,24 @@ void Run() {
   ResultTable table({"item_main_rows", "matching_rows", "regular_ms",
                      "pushdown_ms", "speedup"});
 
-  for (size_t main_rows : {100000u, 300000u, 1000000u}) {
-    for (double fraction : {0.002, 0.01, 0.05, 0.2}) {
-      Setup setup = Build(main_rows, fraction);
+  size_t main_headers = ctx.QuickOr<size_t>(2000, 20000);
+  size_t delta_headers = ctx.QuickOr<size_t>(200, kDeltaHeaders);
+  std::vector<size_t> main_sizes =
+      ctx.quick() ? std::vector<size_t>{10000, 30000}
+                  : std::vector<size_t>{100000, 300000, 1000000};
+  std::vector<double> fractions = ctx.quick()
+                                      ? std::vector<double>{0.01, 0.2}
+                                      : std::vector<double>{0.002, 0.01,
+                                                            0.05, 0.2};
+  ctx.report().SetConfig("main_headers", static_cast<int64_t>(main_headers));
+  ctx.report().SetConfig("delta_headers",
+                         static_cast<int64_t>(delta_headers));
+  ctx.report().SetConfig("reps", static_cast<int64_t>(kReps));
+
+  for (size_t main_rows : main_sizes) {
+    for (double fraction : fractions) {
+      Setup setup =
+          Build(main_rows, fraction, main_headers, delta_headers);
       Database& db = *setup.db;
       BoundQuery bound =
           CheckOk(BoundQuery::Bind(db, setup.query), "bind");
@@ -133,21 +148,34 @@ void Run() {
         matches += entry.count_star;
       }
 
-      double regular = MedianMs(kReps, [&] {
+      std::map<std::string, std::string> labels = {
+          {"item_main_rows", StrFormat("%zu", main_rows)},
+          {"match_fraction", StrFormat("%g", fraction)}};
+      LatencyStats regular = MeasureMs(kReps, [&] {
         CheckOk(executor.ExecuteSubjoin(bound, delta_main, now).status(),
                 "regular");
       });
       std::vector<FilterPredicate> filters =
           DerivePushdownFilters(bound, mds, delta_main);
-      double pushed = MedianMs(kReps, [&] {
+      LatencyStats pushed = MeasureMs(kReps, [&] {
         CheckOk(executor.ExecuteSubjoin(bound, delta_main, now, filters)
                     .status(),
                 "pushdown");
       });
+      auto with_mode = [&labels](const char* mode) {
+        std::map<std::string, std::string> l = labels;
+        l["mode"] = mode;
+        return l;
+      };
+      ctx.report().AddLatency("subjoin_ms", with_mode("regular"), regular);
+      ctx.report().AddLatency("subjoin_ms", with_mode("pushdown"), pushed);
+      ctx.report().AddScalar("pushdown_speedup", labels,
+                             regular.median_ms / pushed.median_ms);
       table.AddRow({StrFormat("%zu", main_rows), StrFormat("%lld",
                         static_cast<long long>(matches)),
-                    FormatMs(regular), FormatMs(pushed),
-                    StrFormat("%.1fx", regular / pushed)});
+                    FormatMs(regular.median_ms), FormatMs(pushed.median_ms),
+                    StrFormat("%.1fx",
+                              regular.median_ms / pushed.median_ms)});
     }
   }
   table.Print();
@@ -157,7 +185,9 @@ void Run() {
 }  // namespace bench
 }  // namespace aggcache
 
-int main() {
-  aggcache::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  aggcache::bench::ApplyThreadsFlag(argc, argv);
+  aggcache::BenchContext ctx(argc, argv, "fig10_pushdown");
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

@@ -15,7 +15,9 @@ namespace bench {
 namespace {
 
 constexpr size_t kHeadersMain = 20000;
+constexpr size_t kQuickHeadersMain = 2000;
 constexpr int kReps = 3;
+size_t g_headers_main = kHeadersMain;
 
 struct World {
   std::unique_ptr<Database> db;
@@ -27,7 +29,7 @@ World Build(bool partitioned) {
   World world;
   world.db = std::make_unique<Database>();
   ErpConfig config;
-  config.num_headers_main = kHeadersMain;
+  config.num_headers_main = g_headers_main;
   config.num_categories = 50;
   world.dataset = std::make_unique<ErpDataset>(
       CheckOk(ErpDataset::Create(world.db.get(), config), "erp"));
@@ -35,7 +37,7 @@ World Build(bool partitioned) {
     // 1:3 hot:cold by HeaderID (older business objects are cold). Items
     // are split on the matching tid boundary so the aging definition is
     // consistent across the business object.
-    int64_t cold_below = static_cast<int64_t>(kHeadersMain * 3 / 4);
+    int64_t cold_below = static_cast<int64_t>(g_headers_main * 3 / 4);
     Table* header = world.dataset->header();
     CheckOk(header->SplitHotCold("HeaderID", Value(cold_below)),
             "split header");
@@ -57,7 +59,11 @@ World Build(bool partitioned) {
   return world;
 }
 
-void Run() {
+void Run(BenchContext& ctx) {
+  g_headers_main = ctx.QuickOr(kQuickHeadersMain, kHeadersMain);
+  ctx.report().SetConfig("headers_main",
+                         static_cast<int64_t>(g_headers_main));
+  ctx.report().SetConfig("reps", static_cast<int64_t>(kReps));
   PrintBanner("Figure 11",
               "join strategies, unpartitioned vs hot/cold partitioned (1:3)",
               "uncached slightly faster partitioned; cached-no-pruning "
@@ -66,10 +72,10 @@ void Run() {
   // Queries of different selectivities: restrict to the most recent
   // business objects (hot partition) via a HeaderID lower bound.
   std::vector<std::pair<const char*, int64_t>> selectivities = {
-      {"2.5%", static_cast<int64_t>(kHeadersMain * 39 / 40)},
-      {"10%", static_cast<int64_t>(kHeadersMain * 9 / 10)},
-      {"25%", static_cast<int64_t>(kHeadersMain * 3 / 4)},   // Hot only.
-      {"50%", static_cast<int64_t>(kHeadersMain / 2)},       // Crosses cold.
+      {"2.5%", static_cast<int64_t>(g_headers_main * 39 / 40)},
+      {"10%", static_cast<int64_t>(g_headers_main * 9 / 10)},
+      {"25%", static_cast<int64_t>(g_headers_main * 3 / 4)},  // Hot only.
+      {"50%", static_cast<int64_t>(g_headers_main / 2)},      // Crosses cold.
       {"100%", 0}};
 
   World unpartitioned = Build(false);
@@ -119,18 +125,26 @@ void Run() {
 
     std::vector<std::string> row = {label, StrFormat("%lld",
                                         static_cast<long long>(agg_rows))};
+    const char* layout_names[] = {"flat", "hotcold"};
+    size_t layout_index = 0;
     for (World* world : {&unpartitioned, &partitioned}) {
       CheckOk(world->cache->Prewarm(query), "prewarm");
       for (const StrategySpec& s : strategies) {
         ExecutionOptions options;
         options.strategy = s.strategy;
-        double ms = MedianMs(kReps, [&] {
+        LatencyStats stats = MeasureMs(kReps, [&] {
           Transaction txn = world->db->Begin();
           CheckOk(world->cache->Execute(query, txn, options).status(),
                   "execute");
         });
-        row.push_back(FormatMs(ms));
+        ctx.report().AddLatency("query_ms",
+                                {{"strategy", s.label},
+                                 {"layout", layout_names[layout_index]},
+                                 {"selectivity", label}},
+                                stats);
+        row.push_back(FormatMs(stats.median_ms));
       }
+      ++layout_index;
     }
     table.AddRow(std::move(row));
   }
@@ -141,7 +155,9 @@ void Run() {
 }  // namespace bench
 }  // namespace aggcache
 
-int main() {
-  aggcache::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  aggcache::bench::ApplyThreadsFlag(argc, argv);
+  aggcache::BenchContext ctx(argc, argv, "fig11_hot_cold");
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

@@ -18,12 +18,14 @@ constexpr size_t kHeadersMain = 2000;
 // aggregate, the regime of the paper's experiment (insert rates "bear upon
 // an individual materialized aggregate").
 constexpr size_t kOperations = 1000;
+constexpr size_t kQuickHeadersMain = 500;
+constexpr size_t kQuickOperations = 200;
 // Moderate grouping cardinality: per-query result handling stays cheap
 // relative to the simulated statement overhead, as in a statement-stack-
 // dominated production system.
 constexpr size_t kCategories = 50;
 
-void Run() {
+void Run(BenchContext& ctx) {
   PrintBanner("Figure 6", "maintenance strategies under a mixed workload",
               "aggregate cache superior above ~15% insert ratio; eager/lazy "
               "grow with insert share, cache stays nearly constant");
@@ -39,7 +41,13 @@ void Run() {
   // total_ms[ratio][strategy]
   std::vector<std::vector<double>> totals;
   std::vector<int> ratios;
-  for (int ratio = 0; ratio <= 100; ratio += 10) ratios.push_back(ratio);
+  int step = ctx.quick() ? 25 : 10;
+  for (int ratio = 0; ratio <= 100; ratio += step) ratios.push_back(ratio);
+  size_t headers_main = ctx.QuickOr(kQuickHeadersMain, kHeadersMain);
+  size_t operations = ctx.QuickOr(kQuickOperations, kOperations);
+  ctx.report().SetConfig("headers_main", static_cast<int64_t>(headers_main));
+  ctx.report().SetConfig("operations", static_cast<int64_t>(operations));
+  ctx.report().SetConfig("categories", static_cast<int64_t>(kCategories));
 
   double max_total = 0.0;
   for (int ratio : ratios) {
@@ -49,14 +57,14 @@ void Run() {
       // main and an empty delta.
       Database db;
       ErpConfig config;
-      config.num_headers_main = kHeadersMain;
+      config.num_headers_main = headers_main;
       config.num_categories = kCategories;
       ErpDataset dataset = CheckOk(ErpDataset::Create(&db, config), "erp");
       AggregateCacheManager cache(&db);
       AggregateQuery query = dataset.ItemTotalsByCategoryQuery();
 
       MixedWorkloadConfig workload;
-      workload.num_operations = kOperations;
+      workload.num_operations = operations;
       workload.insert_ratio = ratio / 100.0;
       workload.seed = 17;
       // Simulated SQL statement-stack cost (see MixedWorkloadConfig): a
@@ -74,6 +82,11 @@ void Run() {
           "workload");
       row.push_back(result.total_ms);
       max_total = std::max(max_total, result.total_ms);
+      ctx.report().AddScalar(
+          "workload_total_ms",
+          {{"insert_ratio", StrFormat("%d", ratio)},
+           {"strategy", MaintenanceStrategyToString(strategy)}},
+          result.total_ms, "ms");
     }
     totals.push_back(row);
   }
@@ -101,6 +114,8 @@ void Run() {
       break;
     }
   }
+  ctx.report().AddScalar("crossover_insert_ratio", {},
+                         static_cast<double>(crossover), "percent");
   if (crossover >= 0) {
     std::printf("\naggregate cache beats eager+lazy from insert ratio %d%% "
                 "onward (paper: ~15%%)\n",
@@ -114,7 +129,9 @@ void Run() {
 }  // namespace bench
 }  // namespace aggcache
 
-int main() {
-  aggcache::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  aggcache::bench::ApplyThreadsFlag(argc, argv);
+  aggcache::BenchContext ctx(argc, argv, "fig6_maintenance");
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

@@ -15,9 +15,10 @@ namespace bench {
 namespace {
 
 constexpr size_t kHeadersMain = 20000;  // ~200K items in main.
+constexpr size_t kQuickHeadersMain = 2000;
 constexpr int kReps = 3;
 
-void Run() {
+void Run(BenchContext& ctx) {
   PrintBanner("Figure 7",
               "join strategies vs Item-delta size (3-table join)",
               "cached ~10x uncached at small deltas; full pruning ~4x over "
@@ -25,7 +26,7 @@ void Run() {
 
   Database db;
   ErpConfig config;
-  config.num_headers_main = kHeadersMain;
+  config.num_headers_main = ctx.QuickOr(kQuickHeadersMain, kHeadersMain);
   config.num_categories = 50;
   config.avg_items_per_header = 10;
   ErpDataset dataset = CheckOk(ErpDataset::Create(&db, config), "erp");
@@ -33,7 +34,12 @@ void Run() {
   AggregateQuery query = dataset.ProfitByCategoryQuery(2013);
   CheckOk(cache.Prewarm(query), "prewarm");
 
-  std::vector<size_t> delta_targets = {3000, 10000, 30000, 100000, 300000};
+  std::vector<size_t> delta_targets =
+      ctx.quick() ? std::vector<size_t>{300, 1000, 3000}
+                  : std::vector<size_t>{3000, 10000, 30000, 100000, 300000};
+  ctx.report().SetConfig("headers_main",
+                         static_cast<int64_t>(config.num_headers_main));
+  ctx.report().SetConfig("reps", static_cast<int64_t>(kReps));
   std::vector<StrategySpec> strategies = JoinStrategies();
 
   std::vector<std::string> columns = {"item_delta_rows"};
@@ -60,12 +66,16 @@ void Run() {
       ExecutionOptions options;
       options.strategy = s.strategy;
       options.use_predicate_pushdown = s.pushdown;
-      double ms = MedianMs(kReps, [&] {
+      LatencyStats stats = MeasureMs(kReps, [&] {
         Transaction txn = db.Begin();
         CheckOk(cache.Execute(query, txn, options).status(), "execute");
       });
-      times.push_back(ms);
-      row.push_back(FormatMs(ms));
+      ctx.report().AddLatency("query_ms",
+                              {{"strategy", s.label},
+                               {"item_delta_target", StrFormat("%zu", target)}},
+                              stats);
+      times.push_back(stats.median_ms);
+      row.push_back(FormatMs(stats.median_ms));
     }
     if (norm_base == 0.0) norm_base = times[0];
     for (double ms : times) row.push_back(FormatNorm(ms / norm_base));
@@ -77,6 +87,7 @@ void Run() {
   double avg_speedup = 0.0;
   for (double s : full_pruning_speedup) avg_speedup += s;
   avg_speedup /= static_cast<double>(full_pruning_speedup.size());
+  ctx.report().AddScalar("full_pruning_avg_speedup", {}, avg_speedup);
   std::printf("\nfull pruning vs cached-no-pruning: avg %.1fx speedup "
               "(paper: ~4x)\n",
               avg_speedup);
@@ -89,6 +100,8 @@ void Run() {
 int main(int argc, char** argv) {
   size_t threads = aggcache::bench::ApplyThreadsFlag(argc, argv);
   std::printf("threads: %zu\n", threads);
-  aggcache::bench::Run();
-  return 0;
+  aggcache::BenchContext ctx(argc, argv, "fig7_join_pruning");
+  ctx.report().SetConfig("threads", static_cast<int64_t>(threads));
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

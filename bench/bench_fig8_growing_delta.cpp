@@ -16,8 +16,11 @@ namespace {
 constexpr size_t kHeadersMain = 10000;  // ~100K items in main.
 constexpr size_t kCheckpointItems = 10000;
 constexpr size_t kMaxDeltaItems = 100000;
+constexpr size_t kQuickHeadersMain = 1000;
+constexpr size_t kQuickCheckpointItems = 1000;
+constexpr size_t kQuickMaxDeltaItems = 5000;
 
-void Run() {
+void Run(BenchContext& ctx) {
   PrintBanner("Figure 8",
               "join strategies while the delta grows (mixed workload)",
               "full pruning dominates at non-trivial delta sizes; "
@@ -25,7 +28,7 @@ void Run() {
 
   Database db;
   ErpConfig config;
-  config.num_headers_main = kHeadersMain;
+  config.num_headers_main = ctx.QuickOr(kQuickHeadersMain, kHeadersMain);
   config.num_categories = 50;
   ErpDataset dataset = CheckOk(ErpDataset::Create(&db, config), "erp");
   AggregateCacheManager cache(&db);
@@ -39,10 +42,18 @@ void Run() {
   }
   ResultTable table(columns);
 
+  size_t checkpoint_items =
+      ctx.QuickOr(kQuickCheckpointItems, kCheckpointItems);
+  size_t max_delta_items = ctx.QuickOr(kQuickMaxDeltaItems, kMaxDeltaItems);
+  ctx.report().SetConfig("headers_main",
+                         static_cast<int64_t>(config.num_headers_main));
+  ctx.report().SetConfig("max_delta_items",
+                         static_cast<int64_t>(max_delta_items));
+
   Rng rng(4242);
   size_t inserted = 0;
   size_t next_checkpoint = 0;
-  while (next_checkpoint <= kMaxDeltaItems) {
+  while (next_checkpoint <= max_delta_items) {
     while (inserted < next_checkpoint) {
       inserted += CheckOk(dataset.InsertBusinessObject(rng), "insert");
     }
@@ -51,14 +62,22 @@ void Run() {
     for (const StrategySpec& s : strategies) {
       ExecutionOptions options;
       options.strategy = s.strategy;
-      double ms = MedianMs(1, [&] {
+      // One timed rep per checkpoint (the delta keeps growing, so reps are
+      // not exchangeable); MeasureMs still runs the discarded warm-up rep,
+      // which only re-runs the read-only query.
+      LatencyStats stats = MeasureMs(1, [&] {
         Transaction txn = db.Begin();
         CheckOk(cache.Execute(query, txn, options).status(), "execute");
       });
-      row.push_back(FormatMs(ms));
+      ctx.report().AddLatency(
+          "query_ms",
+          {{"strategy", s.label},
+           {"delta_checkpoint", StrFormat("%zu", next_checkpoint)}},
+          stats);
+      row.push_back(FormatMs(stats.median_ms));
     }
     table.AddRow(std::move(row));
-    next_checkpoint += kCheckpointItems;
+    next_checkpoint += checkpoint_items;
   }
   table.Print();
 }
@@ -70,6 +89,8 @@ void Run() {
 int main(int argc, char** argv) {
   size_t threads = aggcache::bench::ApplyThreadsFlag(argc, argv);
   std::printf("threads: %zu\n", threads);
-  aggcache::bench::Run();
-  return 0;
+  aggcache::BenchContext ctx(argc, argv, "fig8_growing_delta");
+  ctx.report().SetConfig("threads", static_cast<int64_t>(threads));
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

@@ -14,7 +14,7 @@ namespace {
 
 constexpr int kReps = 3;
 
-void Run() {
+void Run(BenchContext& ctx) {
   PrintBanner("Figure 9", "CH-benCHmark Q3/Q5/Q9/Q10 join strategies",
               "without pruning the cache is marginal for >3-table joins; "
               "full pruning up to ~10x vs uncached");
@@ -22,14 +22,19 @@ void Run() {
   Database db;
   ChBenchConfig config;
   config.num_warehouses = 2;
-  config.num_items = 2000;
-  config.districts_per_warehouse = 10;
-  config.customers_per_district = 30;
-  config.orders_per_customer = 10;
+  config.num_items = ctx.QuickOr<size_t>(500, 2000);
+  config.districts_per_warehouse = ctx.QuickOr<size_t>(4, 10);
+  config.customers_per_district = ctx.QuickOr<size_t>(10, 30);
+  config.orders_per_customer = ctx.QuickOr<size_t>(5, 10);
   config.avg_orderlines_per_order = 10;  // ~60K orderlines.
   ChBenchDataset dataset =
       CheckOk(ChBenchDataset::Create(&db, config), "chbench");
   AggregateCacheManager cache(&db);
+
+  ctx.report().SetConfig("warehouses",
+                         static_cast<int64_t>(config.num_warehouses));
+  ctx.report().SetConfig("items", static_cast<int64_t>(config.num_items));
+  ctx.report().SetConfig("reps", static_cast<int64_t>(kReps));
 
   std::vector<StrategySpec> strategies = JoinStrategies();
   std::vector<std::string> columns = {"query", "tables"};
@@ -50,7 +55,7 @@ void Run() {
     for (const StrategySpec& s : strategies) {
       ExecutionOptions options;
       options.strategy = s.strategy;
-      double ms = MedianMs(kReps, [&] {
+      LatencyStats stats = MeasureMs(kReps, [&] {
         Transaction txn = db.Begin();
         CheckOk(cache.Execute(query, txn, options).status(), "execute");
       });
@@ -58,12 +63,19 @@ void Run() {
         pruned = cache.last_exec_stats().subjoins_pruned;
         total = pruned + cache.last_exec_stats().subjoins_executed;
       }
-      times.push_back(ms);
-      row.push_back(FormatMs(ms));
+      ctx.report().AddLatency("query_ms",
+                              {{"strategy", s.label},
+                               {"query", StrFormat("Q%d", number)}},
+                              stats);
+      times.push_back(stats.median_ms);
+      row.push_back(FormatMs(stats.median_ms));
     }
     row.push_back(StrFormat("%llu/%llu",
                             static_cast<unsigned long long>(pruned),
                             static_cast<unsigned long long>(total)));
+    ctx.report().AddScalar("speedup_vs_uncached",
+                           {{"query", StrFormat("Q%d", number)}},
+                           times[0] / times[3]);
     row.push_back(StrFormat("%.1fx", times[0] / times[3]));
     table.AddRow(std::move(row));
   }
@@ -77,6 +89,8 @@ void Run() {
 int main(int argc, char** argv) {
   size_t threads = aggcache::bench::ApplyThreadsFlag(argc, argv);
   std::printf("threads: %zu\n", threads);
-  aggcache::bench::Run();
-  return 0;
+  aggcache::BenchContext ctx(argc, argv, "fig9_chbench");
+  ctx.report().SetConfig("threads", static_cast<int64_t>(threads));
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

@@ -21,7 +21,7 @@ namespace {
 
 constexpr int kReps = 5;
 
-void Run() {
+void Run(BenchContext& ctx) {
   PrintBanner("Parallel scaling", "subjoin fan-out at 1/2/4/8 threads",
               "compensation cost is the price of serving from the cache; "
               "parallel subjoins drive it down");
@@ -31,16 +31,21 @@ void Run() {
   Database db;
   ChBenchConfig config;
   config.num_warehouses = 2;
-  config.num_items = 2000;
-  config.districts_per_warehouse = 10;
-  config.customers_per_district = 30;
-  config.orders_per_customer = 10;
+  config.num_items = ctx.QuickOr<size_t>(500, 2000);
+  config.districts_per_warehouse = ctx.QuickOr<size_t>(4, 10);
+  config.customers_per_district = ctx.QuickOr<size_t>(10, 30);
+  config.orders_per_customer = ctx.QuickOr<size_t>(5, 10);
   config.avg_orderlines_per_order = 10;
+  ctx.report().SetConfig("num_items", static_cast<int64_t>(config.num_items));
+  ctx.report().SetConfig(
+      "hardware_concurrency",
+      static_cast<int64_t>(std::thread::hardware_concurrency()));
   ChBenchDataset dataset =
       CheckOk(ChBenchDataset::Create(&db, config), "chbench");
   AggregateCacheManager cache(&db);
 
-  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<size_t> thread_counts =
+      ctx.quick() ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4, 8};
   // cached-no-pruning executes every compensation subjoin (the worst-case
   // fan-out the paper's pruning attacks); uncached unions all 2^t combos.
   ExecutionOptions delta_options;
@@ -60,17 +65,31 @@ void Run() {
     for (size_t threads : thread_counts) {
       ThreadPool::SetGlobalParallelism(threads);
       AggregateResult cached_result;
-      double delta_ms = MedianMs(kReps, [&] {
+      LatencyStats delta_stats = MeasureMs(kReps, [&] {
         Transaction txn = db.Begin();
         cached_result = CheckOk(cache.Execute(query, txn, delta_options),
                                 "cached execute");
       });
+      double delta_ms = delta_stats.median_ms;
       AggregateResult uncached_result;
-      double uncached_ms = MedianMs(kReps, [&] {
+      LatencyStats uncached_stats = MeasureMs(kReps, [&] {
         Transaction txn = db.Begin();
         uncached_result = CheckOk(cache.Execute(query, txn, uncached_options),
                                   "uncached execute");
       });
+      double uncached_ms = uncached_stats.median_ms;
+      std::map<std::string, std::string> labels = {
+          {"query", StrFormat("Q%d", number)},
+          {"threads", StrFormat("%zu", threads)}};
+      auto with_mode = [&labels](const char* mode) {
+        std::map<std::string, std::string> l = labels;
+        l["mode"] = mode;
+        return l;
+      };
+      ctx.report().AddLatency("query_ms", with_mode("delta_comp"),
+                              delta_stats);
+      ctx.report().AddLatency("query_ms", with_mode("uncached"),
+                              uncached_stats);
       bool identical = true;
       if (threads == thread_counts.front()) {
         delta_base = delta_ms;
@@ -91,6 +110,10 @@ void Run() {
                     StrFormat("%.2fx", delta_base / delta_ms),
                     StrFormat("%.2fx", uncached_base / uncached_ms),
                     identical ? "yes" : "NO"});
+      if (threads != thread_counts.front()) {
+        ctx.report().AddScalar("delta_speedup", labels,
+                               delta_base / delta_ms, "x");
+      }
       if (!identical) {
         std::fprintf(stderr,
                      "FATAL: results diverge at %zu threads for Q%d\n",
@@ -110,6 +133,7 @@ int main(int argc, char** argv) {
   // --threads=N restricts the sweep's pool ceiling implicitly by being
   // applied first; the sweep below still sets each configuration explicitly.
   aggcache::bench::ApplyThreadsFlag(argc, argv);
-  aggcache::bench::Run();
-  return 0;
+  aggcache::BenchContext ctx(argc, argv, "parallel_scaling");
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

@@ -16,12 +16,12 @@ struct Footprint {
   size_t main_bytes = 0;
 };
 
-Footprint Measure(bool with_tids) {
+Footprint Measure(bool with_tids, size_t headers_main, size_t delta_objects) {
   Database db;
   ErpConfig config;
   // Paper: 35M header / 330M item rows in main; 2.7K/270K in delta.
   // Scaled by 100x: 35K headers (~350K items) main, 27K delta items.
-  config.num_headers_main = 35000;
+  config.num_headers_main = headers_main;
   config.num_categories = 50;
   config.with_tid_columns = with_tids;
   ErpDataset dataset = CheckOk(ErpDataset::Create(&db, config), "erp");
@@ -32,7 +32,7 @@ Footprint Measure(bool with_tids) {
   }
   // Fill the deltas with ~2.7K headers' worth of business objects.
   Rng rng(99);
-  for (int i = 0; i < 2700; ++i) {
+  for (size_t i = 0; i < delta_objects; ++i) {
     CheckOk(dataset.InsertBusinessObject(rng).status(), "insert");
   }
   for (Table* t : {dataset.header(), dataset.item(), dataset.category()}) {
@@ -41,13 +41,19 @@ Footprint Measure(bool with_tids) {
   return footprint;
 }
 
-void Run() {
+void Run(BenchContext& ctx) {
   PrintBanner("Section 6.2", "memory overhead of the tid columns",
               "+13% in delta partitions, +10% in main partitions (better "
               "compression in main)");
 
-  Footprint without = Measure(false);
-  Footprint with_tids = Measure(true);
+  const size_t headers_main = ctx.QuickOr<size_t>(5000, 35000);
+  const size_t delta_objects = ctx.QuickOr<size_t>(400, 2700);
+  ctx.report().SetConfig("headers_main", static_cast<int64_t>(headers_main));
+  ctx.report().SetConfig("delta_objects",
+                         static_cast<int64_t>(delta_objects));
+
+  Footprint without = Measure(false, headers_main, delta_objects);
+  Footprint with_tids = Measure(true, headers_main, delta_objects);
 
   double delta_overhead =
       100.0 * (static_cast<double>(with_tids.delta_bytes) /
@@ -67,6 +73,17 @@ void Run() {
                 StrFormat("%.1f", main_overhead)});
   table.Print();
 
+  ctx.report().AddScalar("delta_bytes", {{"tids", "without"}},
+                         static_cast<double>(without.delta_bytes), "bytes");
+  ctx.report().AddScalar("delta_bytes", {{"tids", "with"}},
+                         static_cast<double>(with_tids.delta_bytes), "bytes");
+  ctx.report().AddScalar("main_bytes", {{"tids", "without"}},
+                         static_cast<double>(without.main_bytes), "bytes");
+  ctx.report().AddScalar("main_bytes", {{"tids", "with"}},
+                         static_cast<double>(with_tids.main_bytes), "bytes");
+  ctx.report().AddScalar("delta_overhead", {}, delta_overhead, "percent");
+  ctx.report().AddScalar("main_overhead", {}, main_overhead, "percent");
+
   std::printf("\nmain overhead %s delta overhead (paper: main < delta, "
               "10%% vs 13%%)\n",
               main_overhead < delta_overhead ? "<" : ">=");
@@ -76,7 +93,8 @@ void Run() {
 }  // namespace bench
 }  // namespace aggcache
 
-int main() {
-  aggcache::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  aggcache::BenchContext ctx(argc, argv, "sec62_memory_overhead");
+  aggcache::bench::Run(ctx);
+  return ctx.Finish() ? 0 : 1;
 }

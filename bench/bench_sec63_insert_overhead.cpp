@@ -69,14 +69,52 @@ void BM_InsertWithRiCheckAndTidLookup(::benchmark::State& state) {
   InsertItems(state, options);
 }
 
-// Fixed iteration counts keep google-benchmark to a single measurement
-// pass per case (fixture setup loads the full header table each pass).
-BENCHMARK(BM_InsertNoChecks)->Arg(10000)->Arg(100000)->Iterations(50000);
-BENCHMARK(BM_InsertWithRiCheck)->Arg(10000)->Arg(100000)->Iterations(50000);
-BENCHMARK(BM_InsertWithRiCheckAndTidLookup)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Iterations(50000);
+/// Console output as usual, plus every finished run lands in the
+/// BenchReport as a scalar sample (ns per inserted item).
+class CaptureReporter : public ::benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(BenchContext* ctx) : ctx_(ctx) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      double ns_per_item = run.real_accumulated_time /
+                           static_cast<double>(run.iterations) * 1e9;
+      ctx_->report().AddScalar("insert_ns_per_item",
+                               {{"case", run.benchmark_name()}}, ns_per_item,
+                               "ns");
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  BenchContext* ctx_;
+};
+
+void RegisterCases(BenchContext& ctx) {
+  // Registered at runtime (not via the BENCHMARK macro) so quick mode can
+  // shrink both the preloaded header population and the fixed iteration
+  // count; a fixed count keeps google-benchmark to a single measurement
+  // pass per case (fixture setup loads the full header table each pass).
+  const int64_t iterations = ctx.QuickOr<int64_t>(5000, 50000);
+  const std::vector<int64_t> header_counts =
+      ctx.quick() ? std::vector<int64_t>{10000}
+                  : std::vector<int64_t>{10000, 100000};
+  ctx.report().SetConfig("iterations", iterations);
+  struct Case {
+    const char* name;
+    void (*fn)(::benchmark::State&);
+  };
+  for (const Case& c :
+       {Case{"BM_InsertNoChecks", BM_InsertNoChecks},
+        Case{"BM_InsertWithRiCheck", BM_InsertWithRiCheck},
+        Case{"BM_InsertWithRiCheckAndTidLookup",
+             BM_InsertWithRiCheckAndTidLookup}}) {
+    auto* bench = ::benchmark::RegisterBenchmark(c.name, c.fn);
+    for (int64_t headers : header_counts) bench->Arg(headers);
+    bench->Iterations(iterations);
+  }
+}
 
 }  // namespace
 }  // namespace bench
@@ -87,8 +125,22 @@ int main(int argc, char** argv) {
       "Section 6.3", "item insert overhead (RI check + MD tid lookup)",
       "no-checks insert ~50% of insert with RI checks; tid lookup adds "
       "20-30% of the RI-check time, shared with the RI probe");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
+  aggcache::BenchContext ctx(argc, argv, "sec63_insert_overhead");
+  aggcache::bench::RegisterCases(ctx);
+  // Hide the harness flags from google-benchmark's parser, which rejects
+  // any unrecognized --flag.
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0 || arg == "--quick") {
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  ::benchmark::Initialize(&bench_argc, bench_argv.data());
+  aggcache::bench::CaptureReporter reporter(&ctx);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
   ::benchmark::Shutdown();
-  return 0;
+  return ctx.Finish() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/bench_report.h"
 
 namespace aggcache {
 namespace bench {
@@ -37,8 +38,12 @@ inline size_t ApplyThreadsFlag(int argc, char** argv) {
   return ThreadPool::Global().parallelism();
 }
 
-/// Runs `fn` `reps` times and returns the median wall-clock milliseconds.
-inline double MedianMs(int reps, const std::function<void()>& fn) {
+/// Runs `fn` once untimed (discarded warm-up — the first rep runs cold:
+/// cache entries build, pool threads spin up, allocators touch fresh pages,
+/// all of which skews low-rep medians) and then `reps` timed repetitions;
+/// returns nearest-rank {p5, median, p95} wall-clock milliseconds.
+inline LatencyStats MeasureMs(int reps, const std::function<void()>& fn) {
+  fn();
   std::vector<double> times;
   times.reserve(reps);
   for (int r = 0; r < reps; ++r) {
@@ -46,8 +51,7 @@ inline double MedianMs(int reps, const std::function<void()>& fn) {
     fn();
     times.push_back(watch.ElapsedMillis());
   }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
+  return SummarizeLatencies(std::move(times));
 }
 
 /// Aborts the benchmark on an unexpected error.

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary and collects their BENCH_*.json reports.
+#
+# Usage: bench/run_all.sh [--quick] [--out=DIR] [--build=DIR] [--threads=N]
+#
+#   --quick      pass --quick to every binary (CI-sized datasets, seconds
+#                instead of minutes) — also what bench/baseline/ was
+#                recorded with
+#   --out=DIR    where BENCH_*.json land (default: bench_results)
+#   --build=DIR  build tree containing bench/ binaries (default: build)
+#   --threads=N  forwarded to binaries that size the worker pool
+#
+# Exits non-zero if any binary is missing, fails, or does not produce its
+# report. Compare two result sets with: tools/bench_diff OLD_DIR NEW_DIR
+
+set -u
+
+QUICK=""
+OUT="bench_results"
+BUILD="build"
+THREADS=""
+
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    --out=*) OUT="${arg#--out=}" ;;
+    --build=*) BUILD="${arg#--build=}" ;;
+    --threads=*) THREADS="$arg" ;;
+    *)
+      echo "run_all.sh: unknown argument $arg" >&2
+      echo "usage: bench/run_all.sh [--quick] [--out=DIR] [--build=DIR] [--threads=N]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# Scenario names must match the BenchContext scenario of each binary: the
+# produced file is BENCH_<scenario>.json.
+BENCHES=(
+  "bench_fig6_maintenance:fig6_maintenance"
+  "bench_fig7_join_pruning:fig7_join_pruning"
+  "bench_fig8_growing_delta:fig8_growing_delta"
+  "bench_fig9_chbench:fig9_chbench"
+  "bench_fig10_pushdown:fig10_pushdown"
+  "bench_fig11_hot_cold:fig11_hot_cold"
+  "bench_sec62_memory_overhead:sec62_memory_overhead"
+  "bench_sec63_insert_overhead:sec63_insert_overhead"
+  "bench_ablation_subjoins:ablation_subjoins"
+  "bench_ablation_merge_sync:ablation_merge_sync"
+  "bench_ablation_main_comp:ablation_main_comp"
+  "bench_ablation_locality:ablation_locality"
+  "bench_parallel_scaling:parallel_scaling"
+  "stress_concurrent:stress_concurrent"
+)
+
+mkdir -p "$OUT" || exit 1
+failures=0
+
+for entry in "${BENCHES[@]}"; do
+  binary="${entry%%:*}"
+  scenario="${entry##*:}"
+  path="$BUILD/bench/$binary"
+  if [ ! -x "$path" ]; then
+    echo "run_all.sh: missing binary $path (build it first)" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "=== $binary ==="
+  # shellcheck disable=SC2086
+  if ! "$path" $QUICK $THREADS "--json=$OUT/"; then
+    echo "run_all.sh: $binary exited non-zero" >&2
+    failures=$((failures + 1))
+  fi
+  if [ ! -s "$OUT/BENCH_$scenario.json" ]; then
+    echo "run_all.sh: $binary produced no $OUT/BENCH_$scenario.json" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+echo "reports in $OUT:"
+ls -1 "$OUT"/BENCH_*.json 2>/dev/null
+
+if [ "$failures" -ne 0 ]; then
+  echo "run_all.sh: $failures failure(s)" >&2
+  exit 1
+fi

@@ -32,6 +32,7 @@
 #include "bench/harness.h"
 #include "common/rng.h"
 #include "obs/engine_metrics.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "storage/merge_daemon.h"
 #include "storage/table_lock.h"
@@ -73,6 +74,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.faults = v;
     } else if (value_of(argv[i], "--threads=")) {
       // Handled by ApplyThreadsFlag.
+    } else if (std::strcmp(argv[i], "--quick") == 0 ||
+               std::strcmp(argv[i], "--json") == 0 ||
+               value_of(argv[i], "--json=")) {
+      // Handled by BenchContext.
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       std::exit(2);
@@ -144,6 +149,9 @@ struct SharedState {
   std::atomic<uint64_t> divergences{0};
   std::atomic<uint64_t> hard_errors{0};
   std::mutex report_mu;
+  /// Per-query cached-path latencies, appended by each reader at exit.
+  std::mutex latency_mu;
+  std::vector<double> reader_latencies_ms;
 };
 
 void ReportDivergence(SharedState& state, const std::string& where,
@@ -204,6 +212,7 @@ void ReaderLoop(int id, Database& db, AggregateCacheManager& cache,
       {"cached-no-pruning", ExecutionStrategy::kCachedNoPruning, false},
   };
   uint64_t iteration = static_cast<uint64_t>(id);
+  std::vector<double> latencies_ms;
   while (!state.stop.load(std::memory_order_relaxed)) {
     barrier.WorkerCheckpoint();
     const WorkloadQuery& wq = queries[iteration % queries.size()];
@@ -215,7 +224,9 @@ void ReaderLoop(int id, Database& db, AggregateCacheManager& cache,
     ExecutionOptions options;
     options.strategy = spec.strategy;
     options.use_predicate_pushdown = spec.pushdown;
+    Stopwatch cached_watch;
     auto cached = cache.Execute(wq.query, txn, options);
+    latencies_ms.push_back(cached_watch.ElapsedMillis());
     if (!cached.ok()) {
       ReportError(state, std::string("reader/") + spec.label,
                   cached.status());
@@ -248,6 +259,12 @@ void ReaderLoop(int id, Database& db, AggregateCacheManager& cache,
       ReportDivergence(state, wq.label + "/" + spec.label, detail);
     }
     state.reader_queries.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.latency_mu);
+    state.reader_latencies_ms.insert(state.reader_latencies_ms.end(),
+                                     latencies_ms.begin(),
+                                     latencies_ms.end());
   }
   barrier.WorkerExit();
 }
@@ -298,8 +315,22 @@ void RunCheckpoint(Database& db, AggregateCacheManager& cache,
 
 int Run(int argc, char** argv) {
   MetricsDumper::MaybeStartFromEnv();
+  FlightRecorder::InstallSignalHandler();
   size_t parallelism = bench::ApplyThreadsFlag(argc, argv);
+  BenchContext ctx(argc, argv, "stress_concurrent");
   Flags flags = ParseFlags(argc, argv);
+  if (ctx.quick()) {
+    flags.seconds = std::min(flags.seconds, 2.0);
+    flags.checkpoint_secs = std::min(flags.checkpoint_secs, 1.0);
+  }
+  ctx.report().SetConfig("writers", static_cast<int64_t>(flags.writers));
+  ctx.report().SetConfig("readers", static_cast<int64_t>(flags.readers));
+  ctx.report().SetConfig("seconds", flags.seconds);
+  ctx.report().SetConfig("threads", static_cast<int64_t>(parallelism));
+  ctx.report().SetConfig("faults", flags.faults.empty() ? "none"
+                                                        : flags.faults);
+  ctx.report().SetConfig("flight_enabled",
+                         FlightRecorder::Global().enabled());
 
   Database db;
   ErpConfig config;
@@ -369,6 +400,11 @@ int Run(int argc, char** argv) {
   double next_checkpoint = flags.checkpoint_secs;
   while (run_watch.ElapsedMillis() < flags.seconds * 1000.0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // SIGUSR1 asks for a flight-recorder dump; the handler only sets a
+    // flag, so the main loop ships the timeline from safe context here.
+    if (FlightRecorder::RequestedDumpPending()) {
+      FlightRecorder::Global().DumpToStderr();
+    }
     if (run_watch.ElapsedMillis() >= next_checkpoint * 1000.0) {
       daemon.Pause();
       barrier.BeginQuiesce();
@@ -428,9 +464,44 @@ int Run(int argc, char** argv) {
   std::printf("--- final metrics (prometheus) ---\n%s",
               MetricsRegistry::Global().RenderPrometheus().c_str());
 
+  const double elapsed_secs = run_watch.ElapsedMillis() / 1000.0;
+  ctx.report().AddScalar("writer_txns", {},
+                         static_cast<double>(state.writer_txns.load()));
+  ctx.report().AddScalar("reader_queries", {},
+                         static_cast<double>(state.reader_queries.load()));
+  ctx.report().AddScalar(
+      "reader_queries_per_sec", {},
+      static_cast<double>(state.reader_queries.load()) / elapsed_secs,
+      "1/s");
+  ctx.report().AddScalar("merges_committed", {},
+                         static_cast<double>(daemon_stats.merges_succeeded));
+  ctx.report().AddScalar("merges_aborted", {},
+                         static_cast<double>(daemon_stats.merges_aborted));
+  ctx.report().AddScalar("divergences", {},
+                         static_cast<double>(state.divergences.load()));
+  ctx.report().AddScalar("hard_errors", {},
+                         static_cast<double>(state.hard_errors.load()));
+  ctx.report().AddScalar(
+      "flight_events_recorded", {},
+      static_cast<double>(FlightRecorder::Global().recorded_events()));
+  ctx.report().AddScalar(
+      "flight_events_lost", {},
+      static_cast<double>(FlightRecorder::Global().lost_events()));
+  {
+    std::lock_guard<std::mutex> lock(state.latency_mu);
+    if (!state.reader_latencies_ms.empty()) {
+      // The cached-path latency distribution across every reader's whole
+      // run — the figure the flight-recorder overhead budget is judged on.
+      ctx.report().AddLatency(
+          "reader_query_ms", {},
+          SummarizeLatencies(std::move(state.reader_latencies_ms)));
+    }
+  }
+
   bool failed = state.divergences.load() != 0 ||
                 state.hard_errors.load() != 0 || metrics_violation;
   std::printf("%s\n", failed ? "FAIL" : "PASS");
+  if (!ctx.Finish()) return 1;
   return failed ? 1 : 0;
 }
 

@@ -12,9 +12,12 @@
 //   .strategy NAME    uncached | no-pruning | empty-delta | full (default)
 //   .save FILE        write a database snapshot
 //   .load FILE        replace the database with a snapshot
+//   \flight [n]       dump the last n (default 4096) engine flight-recorder
+//                     events to stderr as JSON
 //   .quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,6 +25,7 @@
 
 #include "aggcache/aggcache.h"
 #include "common/stopwatch.h"
+#include "obs/flight_recorder.h"
 
 namespace {
 
@@ -106,7 +110,31 @@ bool HandleMetaCommand(const std::string& line,
     std::printf("  strategy = %s\n", ExecutionStrategyToString(g_strategy));
     return true;
   }
-  if (!line.empty() && line[0] == '.') {
+  if (line.rfind("\\flight", 0) == 0) {
+    // Dump the engine flight recorder (last n events, default 4096). Uses
+    // the backslash form so it reads like a debugger escape, distinct from
+    // the dot-prefixed catalog commands.
+    size_t max_events = 4096;
+    std::string arg = line.size() > 8 ? line.substr(8) : "";
+    if (!arg.empty()) {
+      char* end = nullptr;
+      long parsed = std::strtol(arg.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || parsed <= 0) {
+        std::printf("  usage: \\flight [max_events]\n");
+        return true;
+      }
+      max_events = static_cast<size_t>(parsed);
+    }
+    FlightRecorder::Global().DumpToStderr(max_events);
+    std::printf("  flight recorder: %llu recorded, %llu lost (dump on "
+                "stderr)\n",
+                static_cast<unsigned long long>(
+                    FlightRecorder::Global().recorded_events()),
+                static_cast<unsigned long long>(
+                    FlightRecorder::Global().lost_events()));
+    return true;
+  }
+  if (!line.empty() && (line[0] == '.' || line[0] == '\\')) {
     std::printf("  unknown meta-command '%s'\n", line.c_str());
     return true;
   }
@@ -181,8 +209,8 @@ int main() {
   auto cache = std::make_unique<AggregateCacheManager>(db.get());
 
   std::printf("aggcache SQL shell — ERP demo data loaded (.tables, .cache, "
-              ".merge, .strategy, .quit; EXPLAIN AGGREGATE [JSON] "
-              "SELECT ...)\n");
+              ".merge, .strategy, \\flight, .quit; EXPLAIN AGGREGATE "
+              "[JSON] SELECT ...)\n");
   std::printf("try: SELECT Name, SUM(Price) AS Profit FROM Header, Item, "
               "ProductCategory\n     WHERE Item.HeaderID = Header.HeaderID "
               "AND Item.CategoryID = ProductCategory.CategoryID\n     AND "

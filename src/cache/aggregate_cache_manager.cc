@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "obs/engine_metrics.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace_recorder.h"
 #include "storage/table_lock.h"
 #include "txn/consistent_view_manager.h"
@@ -298,6 +299,8 @@ StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
       EntryState state = entry->WaitUntilSettled(&waited);
       if (waited) {
         EngineMetrics::Get().cache_singleflight_waits->Increment();
+        RecordFlightEvent(FlightEventType::kSingleFlightWait,
+                          static_cast<uint64_t>(key.hash));
       }
       if (state == EntryState::kEvicted) continue;
       TouchEntry(*entry);
@@ -326,6 +329,9 @@ StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
     // unprofitable aggregate is simply not stored (Fig. 3's "profitable
     // enough" gate) and the caller falls back to uncached execution.
     if (entry->metrics().main_exec_ms < config_.min_main_exec_ms) {
+      RecordFlightEvent(FlightEventType::kAdmissionReject,
+                        static_cast<uint64_t>(key.hash), 0,
+                        "below-min-exec-ms");
       RemoveEntry(entry);
       entry->SetState(EntryState::kEvicted);
       return std::shared_ptr<CacheEntry>();
@@ -854,6 +860,9 @@ void AggregateCacheManager::RecordMaintenanceFailure(CacheEntry& entry,
   // from scratch instead of serving a half-maintained value.
   ++entry.metrics().maintenance_failures;
   entry.MarkForRebuild();
+  RecordFlightEvent(FlightEventType::kMaintenanceFailure,
+                    static_cast<uint64_t>(entry.key().hash), 0,
+                    status.message().c_str());
   std::cerr << "aggcache: merge maintenance failed for entry "
             << entry.key().canonical << ": " << status.ToString()
             << " (marked for rebuild)\n";
@@ -861,6 +870,12 @@ void AggregateCacheManager::RecordMaintenanceFailure(CacheEntry& entry,
 
 void AggregateCacheManager::OnBeforeMerge(Table& table, size_t group_index,
                                           const Snapshot& snapshot) {
+  // The merge snapshot pins the delta rows this merge moves; recording its
+  // issuance here (once per merged group, not per transaction) timestamps
+  // the visibility boundary every maintenance fold below runs under.
+  RecordFlightEvent(FlightEventType::kSnapshotIssued,
+                    static_cast<uint64_t>(snapshot.read_tid), group_index,
+                    table.name().c_str());
   // Runs under the merge's table locks: exclusive on `table`, shared on
   // every other catalog table. No reader of an entry referencing `table`
   // can be in flight (it would hold a shared lock the merge excludes), so

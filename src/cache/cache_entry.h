@@ -11,6 +11,7 @@
 #include "cache/cache_key.h"
 #include "cache/cache_metrics.h"
 #include "common/bit_vector.h"
+#include "obs/flight_recorder.h"
 #include "query/aggregate_result.h"
 #include "query/subjoin.h"
 #include "txn/types.h"
@@ -153,10 +154,13 @@ class CacheEntry {
 
   /// Unconditional transition; wakes all waiters.
   void SetState(EntryState next) {
+    EntryState prev;
     {
       std::lock_guard<std::mutex> lock(state_mu_);
+      prev = state_;
       state_ = next;
     }
+    RecordStateTransition(prev, next);
     state_cv_.notify_all();
   }
 
@@ -171,7 +175,10 @@ class CacheEntry {
         transitioned = true;
       }
     }
-    if (transitioned) state_cv_.notify_all();
+    if (transitioned) {
+      RecordStateTransition(expected, next);
+      state_cv_.notify_all();
+    }
     return transitioned;
   }
 
@@ -197,6 +204,17 @@ class CacheEntry {
   bool bytes_accounted = false;
 
  private:
+  /// Ships every lifecycle edge to the flight recorder: a = key hash (the
+  /// entry's stable id across its whole life), b = from<<8 | to. Called
+  /// outside state_mu_ — the recorder is lock-free and ordering across
+  /// racing transitions is whatever the state machine itself allowed.
+  void RecordStateTransition(EntryState from, EntryState to) const {
+    RecordFlightEvent(FlightEventType::kEntryState,
+                      static_cast<uint64_t>(key_.hash),
+                      (static_cast<uint64_t>(from) << 8) |
+                          static_cast<uint64_t>(to));
+  }
+
   CacheKey key_;
   AggregateQuery query_;
   std::map<SubjoinCombination, AggregateResult> main_partials_;

@@ -1,11 +1,25 @@
 #ifndef AGGCACHE_COMMON_LOGGING_H_
 #define AGGCACHE_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
 namespace aggcache {
 namespace internal_logging {
+
+/// Hook invoked (once per failure, after the message, before abort) so a
+/// subsystem can ship post-mortem state — the flight recorder registers its
+/// timeline dump here. Kept as a plain function pointer so logging stays
+/// dependency-free; the hook must not assume anything about the failure.
+inline std::atomic<void (*)()>& CheckFailureHook() {
+  static std::atomic<void (*)()> hook{nullptr};
+  return hook;
+}
+
+inline void SetCheckFailureHook(void (*hook)()) {
+  CheckFailureHook().store(hook, std::memory_order_relaxed);
+}
 
 /// Helper that prints the failure message and aborts; used by the CHECK
 /// macros below. Returning a stream lets callers append context with <<.
@@ -17,6 +31,9 @@ class CheckFailure {
   }
   [[noreturn]] ~CheckFailure() {
     std::cerr << std::endl;
+    if (void (*hook)() = CheckFailureHook().load(std::memory_order_relaxed)) {
+      hook();
+    }
     std::abort();
   }
   std::ostream& stream() { return std::cerr; }

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/engine_metrics.h"
+#include "obs/flight_recorder.h"
 
 namespace aggcache {
 
@@ -139,6 +140,11 @@ ThreadPool& ThreadPool::Global() {
 void ThreadPool::SetGlobalParallelism(size_t parallelism) {
   GlobalPoolHolder& holder = Holder();
   std::lock_guard<std::mutex> lock(holder.mu);
+  // Resizes are rare, process-shaping events worth a timeline entry; the
+  // per-task paths stay recorder-free to protect their latency.
+  RecordFlightEvent(
+      FlightEventType::kPoolResize, parallelism,
+      holder.pool == nullptr ? 0 : holder.pool->parallelism());
   if (holder.pool != nullptr) {
     // A worker stays "active" for a few instructions after the ParallelFor
     // it served has returned (it still has to decrement the counter), so

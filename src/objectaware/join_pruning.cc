@@ -1,6 +1,7 @@
 #include "objectaware/join_pruning.h"
 
 #include "obs/engine_metrics.h"
+#include "obs/flight_recorder.h"
 
 namespace aggcache {
 
@@ -42,6 +43,8 @@ PruneDecision JoinPruner::ShouldPrune(const BoundQuery& bound,
     if (ResolvePartition(*bound.tables[t], combination[t]).empty()) {
       ++stats_.pruned_empty;
       metrics.pruned_empty->Increment();
+      RecordFlightEvent(FlightEventType::kPruneVerdict, 1, t,
+                        "empty-partition");
       return PruneDecision{true, "empty-partition"};
     }
   }
@@ -58,6 +61,7 @@ PruneDecision JoinPruner::ShouldPrune(const BoundQuery& bound,
     if (db_->InSameAgingGroup(ta.name(), tb.name())) {
       ++stats_.pruned_aging;
       metrics.pruned_aging->Increment();
+      RecordFlightEvent(FlightEventType::kPruneVerdict, 1, 0, "aging-group");
       return PruneDecision{true, "aging-group"};
     }
   }
@@ -74,6 +78,7 @@ PruneDecision JoinPruner::ShouldPrune(const BoundQuery& bound,
                           md.right_tid_column)) {
       ++stats_.pruned_tid_range;
       metrics.pruned_tid_range->Increment();
+      RecordFlightEvent(FlightEventType::kPruneVerdict, 1, 0, "tid-range");
       return PruneDecision{true, "tid-range"};
     }
   }

@@ -1,0 +1,171 @@
+#ifndef AGGCACHE_OBS_FLIGHT_RECORDER_H_
+#define AGGCACHE_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aggcache {
+
+/// Typed engine events the flight recorder understands. The taxonomy is the
+/// cross-query counterpart of the per-query EXPLAIN trace: it answers "what
+/// was the *engine* doing in the seconds before this failure", not "why did
+/// this query do what it did". Kept in one enum so the event-name table,
+/// DESIGN.md §7 and the golden schema test stay trivially in sync.
+enum class FlightEventType : uint8_t {
+  kMergeStart = 0,       ///< a = attempt; b = group size; detail = 1st table
+  kMergeCommit,          ///< a = attempt; b = group size; detail = 1st table
+  kMergeAbort,           ///< a = attempt; b = group size; detail = 1st table
+  kMergeBackoff,         ///< a = backoff ms; b = attempt; detail = 1st table
+  kEntryState,           ///< a = entry id; b = from<<8|to (EntryState)
+  kAdmissionReject,      ///< a = entry id; detail = reason
+  kSingleFlightWait,     ///< a = entry id
+  kPruneVerdict,         ///< a = 1 (only prunes recorded); detail = reason
+  kPushdownVerdict,      ///< a = filters derived; b = MD edges considered
+  kFaultInjected,        ///< a = fire #; b = 1 delay / 0 error; detail = point
+  kSnapshotIssued,       ///< a = snapshot tid; b = group; detail = table
+  kCheckFailure,         ///< detail = failing file:line (best effort)
+  kPoolResize,           ///< a = new parallelism; b = old parallelism
+  kMaintenanceFailure,   ///< a = entry id; detail = table / cause
+};
+
+/// Event-type name used in JSON dumps (stable contract, golden-tested).
+const char* FlightEventTypeToString(FlightEventType type);
+
+/// A bounded, lock-free flight recorder: the engine's black box. Every
+/// recording thread owns (leases) a private segment — a fixed ring of
+/// atomic event slots plus a relaxed monotone cursor — so a Record() is a
+/// global relaxed fetch_add (for cross-thread ordering), a private relaxed
+/// fetch_add (slot claim) and a handful of relaxed stores. No lock, no
+/// allocation, no syscall on the record path; the hot paths it instruments
+/// (prune verdicts, entry state flips) pay nanoseconds.
+///
+/// Dumps are loose snapshots: a dumper walks every segment, harvests slots
+/// whose sequence number is published (release store, acquire load),
+/// re-checks the sequence after reading the payload and drops the slot if a
+/// concurrent writer lapped it. A torn event is therefore *discarded*, never
+/// emitted. Dumping is expected at three moments — on demand (shell
+/// `\flight`, replayer `!flightdump`), from the AGGCACHE_CHECK failure hook,
+/// and from the SIGUSR1 handler — so a dying stress run ships its last-N
+/// thousand events instead of a bare counter dump.
+///
+/// Ring wraparound intentionally overwrites the oldest events (the recorder
+/// keeps the *recent* past). Events are only ever *lost* — counted in
+/// lost_events() — when more threads record concurrently than there are
+/// segments to lease; segments are returned to the free list at thread exit
+/// and reused (their parked events survive until the next lease overwrites
+/// them).
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Events per thread segment; must be a power of two.
+    size_t events_per_segment = 2048;
+    /// Maximum simultaneously-recording threads.
+    size_t max_segments = 64;
+    bool enabled = true;
+  };
+
+  explicit FlightRecorder(Options options);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder, configured from AGGCACHE_FLIGHT
+  /// ("off" | "events=4096" | "events=4096,threads=32") on first use and
+  /// intentionally leaked so worker threads may record during static
+  /// teardown. First use also installs the AGGCACHE_CHECK failure hook.
+  static FlightRecorder& Global();
+
+  /// Records one event. ~3 relaxed atomic RMW/stores when enabled; a single
+  /// relaxed load when disabled. `detail` is truncated to 23 bytes.
+  void Record(FlightEventType type, uint64_t a = 0, uint64_t b = 0,
+              const char* detail = nullptr);
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Events dropped because every segment was leased by some other thread.
+  uint64_t lost_events() const {
+    return lost_.load(std::memory_order_relaxed);
+  }
+  /// Events successfully recorded (including ones since overwritten).
+  uint64_t recorded_events() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  /// One harvested event, already validated (sequence stable across the
+  /// payload read).
+  struct Event {
+    uint64_t seq = 0;
+    uint64_t t_us = 0;  ///< microseconds since recorder construction
+    uint32_t thread = 0;
+    FlightEventType type = FlightEventType::kMergeStart;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    char detail[24] = {};
+  };
+
+  /// Harvests up to `max_events` of the most recent events, oldest first
+  /// (global sequence order).
+  std::vector<Event> Collect(size_t max_events = SIZE_MAX) const;
+
+  /// Renders the last `max_events` events as a JSON object:
+  ///   {"schema":"aggcache-flight-v1","recorded":N,"lost":N,
+  ///    "events":[{"seq":..,"t_us":..,"thread":..,"type":"..",
+  ///               "a":..,"b":..,"detail":".."}, ...]}
+  std::string DumpJson(size_t max_events = 4096) const;
+
+  /// Writes DumpJson(max_events) to stderr with a banner. Safe to call from
+  /// the CHECK-failure path (allocates, so not async-signal-safe; the
+  /// SIGUSR1 handler only sets a flag consumed by RequestedDumpPending()).
+  void DumpToStderr(size_t max_events = 4096) const;
+
+  /// Installs a SIGUSR1 handler that requests a dump; long-running binaries
+  /// (stress, fuzz, shell) poll RequestedDumpPending() on their main loop
+  /// and call DumpToStderr() when it reports true. POSIX-only no-op
+  /// elsewhere.
+  static void InstallSignalHandler();
+  static bool RequestedDumpPending();
+
+  /// Number of segments currently leased (tests).
+  size_t active_segments() const;
+
+ private:
+  struct Slot;
+  struct Segment;
+
+  Segment* LeaseSegment();
+  void ReleaseSegment(Segment* segment);
+
+  friend struct FlightThreadLease;
+
+  Options options_;
+  /// Process-unique, never reused. Thread-local leases key on this rather
+  /// than the recorder's address: a stack-allocated recorder can die and a
+  /// new one can reuse the same address within a lease's lifetime.
+  const uint64_t instance_id_;
+  uint64_t t0_us_ = 0;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> lost_{0};
+  std::atomic<uint32_t> next_thread_id_{0};
+
+  mutable std::mutex segments_mu_;  ///< Lease/release + dump only.
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<Segment*> free_segments_;
+};
+
+/// Convenience wrapper: FlightRecorder::Global().Record(...). Defined out
+/// of line so instrumented headers need only this one declaration.
+void RecordFlightEvent(FlightEventType type, uint64_t a = 0, uint64_t b = 0,
+                       const char* detail = nullptr);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_OBS_FLIGHT_RECORDER_H_

@@ -26,6 +26,36 @@ uint64_t Histogram::BucketUpperBound(size_t index) {
   return uint64_t{1} << index;
 }
 
+double Histogram::ValueAtQuantile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = BucketCount(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    double before = cumulative;
+    cumulative += static_cast<double>(counts[i]);
+    if (cumulative < target) continue;
+    // The +Inf bucket has no finite upper edge to interpolate toward;
+    // report the last finite bound (the estimate is a lower bound there).
+    if (i + 1 == kNumBuckets) return BucketUpperBound(kNumBuckets - 2);
+    double lower = i == 0 ? 0.0 : static_cast<double>(BucketUpperBound(i - 1));
+    double upper = static_cast<double>(BucketUpperBound(i));
+    double fraction = (target - before) / static_cast<double>(counts[i]);
+    if (fraction < 0.0) fraction = 0.0;
+    if (fraction > 1.0) fraction = 1.0;
+    return lower + fraction * (upper - lower);
+  }
+  return static_cast<double>(BucketUpperBound(kNumBuckets - 2));
+}
+
 void Histogram::Reset() {
   for (std::atomic<uint64_t>& bucket : buckets_) {
     bucket.store(0, std::memory_order_relaxed);
@@ -84,6 +114,30 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 size_t MetricsRegistry::num_metrics() const {
   std::lock_guard<std::mutex> lock(mu_);
   return metrics_.size();
+}
+
+std::map<std::string, MetricsRegistry::MetricSnapshot>
+MetricsRegistry::SnapshotValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, MetricSnapshot> snapshot;
+  for (const auto& [name, metric] : metrics_) {
+    MetricSnapshot value;
+    value.kind = metric.kind;
+    switch (metric.kind) {
+      case Kind::kCounter:
+        value.value = static_cast<int64_t>(metric.counter->Value());
+        break;
+      case Kind::kGauge:
+        value.value = metric.gauge->Value();
+        break;
+      case Kind::kHistogram:
+        value.count = metric.histogram->TotalCount();
+        value.sum = metric.histogram->Sum();
+        break;
+    }
+    snapshot.emplace(name, value);
+  }
+  return snapshot;
 }
 
 void MetricsRegistry::ResetAllForTest() {

@@ -69,6 +69,15 @@ class Histogram {
   uint64_t BucketCount(size_t index) const {
     return buckets_[index].load(std::memory_order_relaxed);
   }
+
+  /// Estimates the value at quantile `q` (clamped to [0, 1]) by linear
+  /// interpolation inside the log bucket holding that rank: bucket i spans
+  /// (2^(i-1), 2^i] (bucket 0 spans [0, 1]), and observations are assumed
+  /// uniform within it, so the estimate is exact at bucket boundaries and
+  /// within one octave elsewhere. Observations in the +Inf overflow bucket
+  /// report the last finite bound. Returns 0 for an empty histogram.
+  /// Reads are relaxed snapshots — statistics, not synchronization.
+  double ValueAtQuantile(double q) const;
   uint64_t TotalCount() const {
     return count_.load(std::memory_order_relaxed);
   }
@@ -92,6 +101,7 @@ class Histogram {
 class MetricsRegistry {
  public:
   enum class Format : uint8_t { kPrometheus, kJson };
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
 
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
@@ -118,12 +128,26 @@ class MetricsRegistry {
 
   size_t num_metrics() const;
 
+  /// One metric's values at a moment in time, in delta-friendly form:
+  /// counters and gauges carry `value`; histograms carry `count` and `sum`
+  /// (enough for rate and mean deltas — bucket shapes come from Render).
+  struct MetricSnapshot {
+    Kind kind = Kind::kCounter;
+    int64_t value = 0;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+
+  /// Loose point-in-time snapshot of every registered metric, keyed by
+  /// name. BenchReport subtracts two of these to attribute engine work
+  /// (rows scanned, merges committed, waits) to a measured region.
+  std::map<std::string, MetricSnapshot> SnapshotValues() const;
+
   /// Zeroes every registered metric's value (registrations stay). Tests
   /// only: concurrent updaters may interleave with the reset.
   void ResetAllForTest();
 
  private:
-  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
   struct Metric {
     Kind kind = Kind::kCounter;
     std::string help;

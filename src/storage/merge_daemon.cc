@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/engine_metrics.h"
+#include "obs/flight_recorder.h"
 #include "storage/database.h"
 
 namespace aggcache {
@@ -83,6 +84,7 @@ bool MergeDaemon::InterruptibleSleep(std::chrono::milliseconds delay) {
 }
 
 void MergeDaemon::MergeGroupWithRetry(const std::vector<std::string>& tables) {
+  const char* group_label = tables.empty() ? "" : tables.front().c_str();
   std::chrono::milliseconds backoff = options_.initial_backoff;
   for (int attempt = 0; attempt <= options_.max_retries_per_tick; ++attempt) {
     {
@@ -92,7 +94,14 @@ void MergeDaemon::MergeGroupWithRetry(const std::vector<std::string>& tables) {
       EngineMetrics::Get().merge_attempts->Increment();
       merging_ = true;
     }
+    RecordFlightEvent(FlightEventType::kMergeStart,
+                      static_cast<uint64_t>(attempt), tables.size(),
+                      group_label);
     Status merged = db_.MergeTables(tables, options_.merge_options);
+    RecordFlightEvent(merged.ok() ? FlightEventType::kMergeCommit
+                                  : FlightEventType::kMergeAbort,
+                      static_cast<uint64_t>(attempt), tables.size(),
+                      group_label);
     {
       std::lock_guard<std::mutex> lock(mu_);
       merging_ = false;
@@ -116,6 +125,9 @@ void MergeDaemon::MergeGroupWithRetry(const std::vector<std::string>& tables) {
     backoff = std::min(backoff * 2, options_.max_backoff);
     EngineMetrics::Get().merge_backoff_ms->Increment(
         static_cast<uint64_t>(delay.count()));
+    RecordFlightEvent(FlightEventType::kMergeBackoff,
+                      static_cast<uint64_t>(delay.count()),
+                      static_cast<uint64_t>(attempt), group_label);
     if (!InterruptibleSleep(delay)) return;
   }
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 
 namespace aggcache {
 
@@ -160,6 +161,8 @@ Status FaultInjector::MaybeFail(const char* point) {
       return Status::Ok();
     }
     ++p.stats.fired;
+    RecordFlightEvent(FlightEventType::kFaultInjected, p.stats.fired,
+                      p.config.kind == FaultKind::kDelay ? 1 : 0, point);
     if (p.config.kind == FaultKind::kError) {
       return Status::Internal(StrFormat("%s fault at %s (#%llu)",
                                         kInjectedFaultTag, point,

@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "sql/parser.h"
 #include "verify/fault_injector.h"
 
@@ -165,6 +166,22 @@ Status TraceReplayer::ExecuteMeta(const std::string& line,
       return Status::InvalidArgument("!faultseed expects one integer");
     }
     FaultInjector::Global().Reseed(static_cast<uint64_t>(seed.AsInt64()));
+    return Status::Ok();
+  }
+  if (op == "!flightdump") {
+    ASSIGN_OR_RETURN(std::vector<std::string> tokens, TokenizeMetaArgs(args));
+    size_t max_events = 4096;
+    if (tokens.size() > 1) {
+      return Status::InvalidArgument("!flightdump expects at most one count");
+    }
+    if (tokens.size() == 1) {
+      ASSIGN_OR_RETURN(Value count, ParseLiteralToken(tokens[0]));
+      if (!count.is_int64() || count.AsInt64() <= 0) {
+        return Status::InvalidArgument("!flightdump expects a positive count");
+      }
+      max_events = static_cast<size_t>(count.AsInt64());
+    }
+    FlightRecorder::Global().DumpToStderr(max_events);
     return Status::Ok();
   }
   if (op == "!aging") {

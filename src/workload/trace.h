@@ -44,6 +44,8 @@ struct TraceReport {
 ///   !clearcache                 -- drop every cache entry
 ///   !fault <spec>               -- arm FaultInjector ("off" disarms)
 ///   !faultseed <n>              -- reseed the fault injector draws
+///   !flightdump [n]             -- dump the last n (default 4096) flight-
+///                                    recorder events to stderr as JSON
 ///
 /// Literal operands are SQL-style: integers, decimals, or 'strings'.
 /// A !merge that fails with an *injected* fault (see verify/fault_injector.h)

@@ -11,6 +11,7 @@
 
 #include "common/thread_pool.h"
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
 #include "storage/merge_daemon.h"
 #include "tests/test_util.h"
 #include "verify/fault_injector.h"
@@ -289,13 +290,16 @@ TEST_F(ConcurrentStressTest, MetricsRegistryIsThreadSafe) {
   });
   std::atomic<bool> stop{false};
   std::thread renderer([&] {
+    // do-while: on a loaded single-core host this thread (spawned last) can
+    // be starved until the updaters finish; it must still render at least
+    // once so the totals below are checked against a concurrent exposition.
     int renders = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
+    do {
       std::string text = registry.RenderPrometheus();
       std::string json = registry.RenderJson();
       if (text.empty() || json.empty()) break;
       ++renders;
-    }
+    } while (!stop.load(std::memory_order_relaxed));
     EXPECT_GT(renders, 0);
   });
   for (std::thread& worker : workers) worker.join();
@@ -306,6 +310,77 @@ TEST_F(ConcurrentStressTest, MetricsRegistryIsThreadSafe) {
   EXPECT_EQ(gauge->Value(), 0);  // Two +1 updaters, two -1 updaters.
   EXPECT_EQ(histogram->TotalCount(), uint64_t{kUpdaters} * kIters);
   EXPECT_EQ(registry.num_metrics(), 3u + 64u);
+}
+
+// The flight recorder claims lock-freedom and torn-read safety; here real
+// engine activity (cached readers + merges, which record merge/entry-state/
+// snapshot events internally) races direct Record() writers and a dumper.
+// Run under -DAGGCACHE_SANITIZE=thread for the memory-model proof.
+TEST_F(ConcurrentStressTest, FlightRecorderSurvivesConcurrentWritersAndDumps) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const uint64_t recorded_before = recorder.recorded_events();
+
+  AggregateCacheManager cache(&db_);
+  ASSERT_OK(cache.Prewarm(query_));
+
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  // Engine traffic: readers (entry-state + snapshot events inside the
+  // manager) racing a merge loop (merge start/commit events).
+  for (int r = 0; r < 2; ++r) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        CheckOnce(&cache, query_, ExecutionStrategy::kCachedFullPruning,
+                  &mismatches);
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status merged = db_.MergeTables({"Header", "Item"});
+      if (!merged.ok()) break;  // nothing to merge is fine
+    }
+  });
+  // Direct writers hammering Record() with a recognizable payload.
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&recorder, &stop, w] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        recorder.Record(FlightEventType::kFaultInjected,
+                        static_cast<uint64_t>(w), ++i, "stress");
+      }
+    });
+  }
+  // A dumper racing all of the above through the seq-validation protocol.
+  std::thread dumper([&recorder, &stop] {
+    int dumps = 0;
+    while (!stop.load(std::memory_order_relaxed) && dumps < 50) {
+      std::string json = recorder.DumpJson(/*max_events=*/256);
+      EXPECT_NE(json.find("\"schema\":\"aggcache-flight-v1\""),
+                std::string::npos);
+      ++dumps;
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  dumper.join();
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(recorder.recorded_events(), recorded_before);
+  // Post-quiesce harvest must be internally consistent: strictly increasing
+  // seqs and valid event types end to end.
+  std::vector<FlightRecorder::Event> events = recorder.Collect(1024);
+  ASSERT_FALSE(events.empty());
+  uint64_t last_seq = 0;
+  for (const FlightRecorder::Event& event : events) {
+    EXPECT_GT(event.seq, last_seq);
+    last_seq = event.seq;
+    EXPECT_LE(static_cast<uint8_t>(event.type),
+              static_cast<uint8_t>(FlightEventType::kMaintenanceFailure));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,261 @@
+// Tests for the engine flight recorder (src/obs/flight_recorder.h): ring
+// wraparound keeps the most recent events in order, the loss counter only
+// counts segment-pool exhaustion, concurrent writers publish torn-free
+// events, and the JSON dump matches its documented schema (golden —
+// tooling parses these dumps).
+
+#include <algorithm>
+#include <latch>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
+
+namespace aggcache {
+namespace {
+
+FlightRecorder::Options SmallOptions(size_t events_per_segment,
+                                     size_t max_segments) {
+  FlightRecorder::Options options;
+  options.events_per_segment = events_per_segment;
+  options.max_segments = max_segments;
+  return options;
+}
+
+TEST(FlightRecorderTest, EventTypeNamesAreStable) {
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kMergeStart),
+               "merge_start");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kMergeCommit),
+               "merge_commit");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kMergeAbort),
+               "merge_abort");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kMergeBackoff),
+               "merge_backoff");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kEntryState),
+               "entry_state");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kAdmissionReject),
+               "admission_reject");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kSingleFlightWait),
+               "singleflight_wait");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kPruneVerdict),
+               "prune_verdict");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kPushdownVerdict),
+               "pushdown_verdict");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kFaultInjected),
+               "fault_injected");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kSnapshotIssued),
+               "snapshot_issued");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kCheckFailure),
+               "check_failure");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kPoolResize),
+               "pool_resize");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kMaintenanceFailure),
+               "maintenance_failure");
+}
+
+TEST(FlightRecorderTest, RecordsAndCollectsInOrder) {
+  FlightRecorder recorder(SmallOptions(64, 4));
+  for (uint64_t i = 0; i < 10; ++i) {
+    recorder.Record(FlightEventType::kMergeStart, i, i * 2, "Header");
+  }
+  EXPECT_EQ(recorder.recorded_events(), 10u);
+  EXPECT_EQ(recorder.lost_events(), 0u);
+
+  std::vector<FlightRecorder::Event> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1) << "1-based, gap-free, oldest first";
+    EXPECT_EQ(events[i].type, FlightEventType::kMergeStart);
+    EXPECT_EQ(events[i].a, i);
+    EXPECT_EQ(events[i].b, i * 2);
+    EXPECT_STREQ(events[i].detail, "Header");
+  }
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsMostRecentEventsInOrder) {
+  // 8-slot segment, 30 events from one thread: the ring has been lapped
+  // several times and must retain exactly the newest 8, still ordered.
+  FlightRecorder recorder(SmallOptions(8, 2));
+  for (uint64_t i = 1; i <= 30; ++i) {
+    recorder.Record(FlightEventType::kEntryState, i);
+  }
+  EXPECT_EQ(recorder.recorded_events(), 30u);
+  EXPECT_EQ(recorder.lost_events(), 0u) << "overwrite is not loss";
+
+  std::vector<FlightRecorder::Event> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 23 + i);  // seqs 23..30 survive
+    EXPECT_EQ(events[i].a, 23 + i);    // payload moved with its seq
+  }
+}
+
+TEST(FlightRecorderTest, CollectHonorsMaxEvents) {
+  FlightRecorder recorder(SmallOptions(64, 2));
+  for (uint64_t i = 1; i <= 20; ++i) {
+    recorder.Record(FlightEventType::kPruneVerdict, i);
+  }
+  std::vector<FlightRecorder::Event> events = recorder.Collect(5);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events.front().seq, 16u) << "keeps the newest, drops the oldest";
+  EXPECT_EQ(events.back().seq, 20u);
+}
+
+TEST(FlightRecorderTest, LossCounterCountsSegmentExhaustionExactly) {
+  // One segment total, and the main thread takes it with its first record.
+  // Every event from any other thread must then be counted lost — no more,
+  // no less.
+  FlightRecorder recorder(SmallOptions(8, 1));
+  recorder.Record(FlightEventType::kMergeStart, 1);
+  std::thread starved([&recorder] {
+    for (uint64_t i = 0; i < 10; ++i) {
+      recorder.Record(FlightEventType::kMergeCommit, i);
+    }
+  });
+  starved.join();
+  EXPECT_EQ(recorder.lost_events(), 10u);
+  EXPECT_EQ(recorder.recorded_events(), 1u);
+  std::vector<FlightRecorder::Event> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, FlightEventType::kMergeStart);
+}
+
+TEST(FlightRecorderTest, SegmentIsReleasedAtThreadExitAndReused) {
+  FlightRecorder recorder(SmallOptions(8, 1));
+  std::thread first([&recorder] {
+    recorder.Record(FlightEventType::kMergeStart, 7);
+  });
+  first.join();
+  EXPECT_EQ(recorder.active_segments(), 0u);
+  // A later thread reuses the freed segment instead of being starved.
+  std::thread second([&recorder] {
+    recorder.Record(FlightEventType::kMergeCommit, 8);
+  });
+  second.join();
+  EXPECT_EQ(recorder.lost_events(), 0u);
+  EXPECT_EQ(recorder.recorded_events(), 2u);
+}
+
+TEST(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  FlightRecorder::Options options = SmallOptions(8, 2);
+  options.enabled = false;
+  FlightRecorder recorder(options);
+  recorder.Record(FlightEventType::kMergeStart);
+  EXPECT_EQ(recorder.recorded_events(), 0u);
+  EXPECT_EQ(recorder.lost_events(), 0u);
+  EXPECT_TRUE(recorder.Collect().empty());
+
+  recorder.set_enabled(true);
+  recorder.Record(FlightEventType::kMergeStart);
+  EXPECT_EQ(recorder.recorded_events(), 1u);
+}
+
+TEST(FlightRecorderTest, DetailIsTruncatedTo23Bytes) {
+  FlightRecorder recorder(SmallOptions(8, 1));
+  recorder.Record(FlightEventType::kMaintenanceFailure, 0, 0,
+                  "0123456789012345678901234567890");
+  std::vector<FlightRecorder::Event> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].detail, "01234567890123456789012");
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersPublishTornFreeEvents) {
+  // Run under TSAN via the obs_tests binary. Each writer stamps its payload
+  // with a thread tag so a torn slot (payload from one write, seq from
+  // another) is detectable after the fact.
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 5000;
+  FlightRecorder recorder(SmallOptions(1024, kThreads + 1));
+  // Every writer leases (first Record) and then waits for the others: all
+  // four segments are live simultaneously even on a single-core host where
+  // threads would otherwise run back-to-back and reuse one freed segment.
+  std::latch leased(kThreads);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, &leased, t] {
+      recorder.Record(FlightEventType::kEntryState, static_cast<uint64_t>(t),
+                      static_cast<uint64_t>(t) << 32);
+      leased.arrive_and_wait();
+      for (uint64_t i = 1; i < kPerThread; ++i) {
+        recorder.Record(FlightEventType::kEntryState,
+                        static_cast<uint64_t>(t), (static_cast<uint64_t>(t)
+                                                   << 32) |
+                                                      i);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(recorder.recorded_events(), kThreads * kPerThread);
+  EXPECT_EQ(recorder.lost_events(), 0u);
+  std::vector<FlightRecorder::Event> events = recorder.Collect();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads) * 1024)
+      << "every segment ring full";
+  std::set<uint64_t> seqs;
+  for (const FlightRecorder::Event& event : events) {
+    EXPECT_TRUE(seqs.insert(event.seq).second) << "duplicate seq";
+    EXPECT_LE(event.seq, kThreads * kPerThread);
+    ASSERT_LT(event.a, static_cast<uint64_t>(kThreads));
+    EXPECT_EQ(event.b >> 32, event.a) << "torn slot: payload halves disagree";
+    EXPECT_EQ(event.type, FlightEventType::kEntryState);
+  }
+  EXPECT_TRUE(std::is_sorted(
+      events.begin(), events.end(),
+      [](const FlightRecorder::Event& x, const FlightRecorder::Event& y) {
+        return x.seq < y.seq;
+      }));
+}
+
+TEST(FlightRecorderTest, DumpJsonMatchesSchemaGolden) {
+  // The dump schema is a contract: tools and humans parse it from stderr
+  // after a crash. Byte-exact golden on a deterministic two-event timeline,
+  // modulo the wall-clock t_us fields which are asserted separately.
+  FlightRecorder recorder(SmallOptions(8, 1));
+  recorder.Record(FlightEventType::kMergeStart, 1, 2, "Header");
+  recorder.Record(FlightEventType::kAdmissionReject, 42, 0, "a\"b\\c");
+  std::string json = recorder.DumpJson();
+
+  // Scrub the timing fields, which are the only nondeterminism.
+  std::string scrubbed;
+  size_t pos = 0;
+  while (pos < json.size()) {
+    size_t t = json.find("\"t_us\":", pos);
+    if (t == std::string::npos) {
+      scrubbed += json.substr(pos);
+      break;
+    }
+    t += 7;
+    scrubbed += json.substr(pos, t - pos);
+    scrubbed += "T";
+    while (t < json.size() && json[t] >= '0' && json[t] <= '9') ++t;
+    pos = t;
+  }
+  EXPECT_EQ(scrubbed,
+            "{\"schema\":\"aggcache-flight-v1\",\"recorded\":2,\"lost\":0,"
+            "\"events\":["
+            "{\"seq\":1,\"t_us\":T,\"thread\":0,\"type\":\"merge_start\","
+            "\"a\":1,\"b\":2,\"detail\":\"Header\"},"
+            "{\"seq\":2,\"t_us\":T,\"thread\":0,"
+            "\"type\":\"admission_reject\",\"a\":42,\"b\":0,"
+            "\"detail\":\"a\\\"b\\\\c\"}"
+            "]}");
+
+  std::vector<FlightRecorder::Event> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LE(events[0].t_us, events[1].t_us);
+}
+
+TEST(FlightRecorderTest, GlobalRecorderIsEnabledAndUsable) {
+  // The process-global instance: the free-function wrapper must land events
+  // in it (other tests in this binary may also have recorded — only the
+  // delta is asserted).
+  uint64_t before = FlightRecorder::Global().recorded_events();
+  RecordFlightEvent(FlightEventType::kSnapshotIssued, 123, 0, "Header");
+  EXPECT_GE(FlightRecorder::Global().recorded_events(), before + 1);
+}
+
+}  // namespace
+}  // namespace aggcache

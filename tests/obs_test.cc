@@ -64,6 +64,71 @@ TEST(HistogramTest, ObserveSumCountReset) {
   EXPECT_EQ(h.BucketCount(0), 0u);
 }
 
+TEST(HistogramTest, ValueAtQuantileEmptyAndClamping) {
+  Histogram h;
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0.0);
+
+  h.Observe(1);
+  // Out-of-range quantiles clamp rather than extrapolate.
+  EXPECT_EQ(h.ValueAtQuantile(-1.0), h.ValueAtQuantile(0.0));
+  EXPECT_EQ(h.ValueAtQuantile(2.0), h.ValueAtQuantile(1.0));
+}
+
+TEST(HistogramTest, ValueAtQuantileInterpolatesWithinBucket) {
+  // Five observations of 2 all land in bucket 1, which spans (1, 2]:
+  // quantiles interpolate linearly across the bucket's width.
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.Observe(2);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.1), 1.1);
+}
+
+TEST(HistogramTest, ValueAtQuantileCrossesBucketBoundaries) {
+  // 10 values in bucket 0 ([0,1]) and 10 in bucket 2 ((2,4]): the median
+  // sits exactly at bucket 0's upper edge, the p75 halfway into bucket 2.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Observe(1);
+  for (int i = 0; i < 10; ++i) h.Observe(4);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.75), 3.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(1.0), 4.0);
+}
+
+TEST(HistogramTest, ValueAtQuantileOverflowBucketReportsLastFiniteBound) {
+  // The +Inf bucket has no upper edge to interpolate toward; quantiles that
+  // land there report the last finite bound (2^30) as a lower-bound
+  // estimate instead of inventing a number.
+  Histogram h;
+  h.Observe(UINT64_MAX);
+  const double last_finite = static_cast<double>(
+      Histogram::BucketUpperBound(Histogram::kNumBuckets - 2));
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), last_finite);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(1.0), last_finite);
+}
+
+TEST(MetricsRegistryTest, SnapshotValuesCoversAllKinds) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("reqs_total", "Requests");
+  Gauge* g = registry.GetGauge("depth", "Depth");
+  Histogram* h = registry.GetHistogram("lat_us", "Latency");
+  c->Increment(7);
+  g->Set(-3);
+  h->Observe(10);
+  h->Observe(20);
+
+  auto snapshot = registry.SnapshotValues();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot.at("reqs_total").kind, MetricsRegistry::Kind::kCounter);
+  EXPECT_EQ(snapshot.at("reqs_total").value, 7);
+  EXPECT_EQ(snapshot.at("depth").kind, MetricsRegistry::Kind::kGauge);
+  EXPECT_EQ(snapshot.at("depth").value, -3);
+  EXPECT_EQ(snapshot.at("lat_us").kind, MetricsRegistry::Kind::kHistogram);
+  EXPECT_EQ(snapshot.at("lat_us").count, 2u);
+  EXPECT_EQ(snapshot.at("lat_us").sum, 30u);
+}
+
 TEST(MetricsRegistryTest, CounterAndGaugeBasics) {
   MetricsRegistry registry;
   Counter* c = registry.GetCounter("c_total", "a counter");

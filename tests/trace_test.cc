@@ -95,6 +95,20 @@ TEST_F(TraceTest, UnknownMetaOperationRejected) {
             std::string::npos);
 }
 
+TEST_F(TraceTest, FlightDumpMetaOpValidatesItsCount) {
+  // The dump itself goes to stderr; here we only pin the argument contract.
+  auto ok = replayer_->ReplayString("!flightdump 4\n");
+  EXPECT_TRUE(ok.ok()) << ok.status();
+  auto bare = replayer_->ReplayString("!flightdump\n");
+  EXPECT_TRUE(bare.ok()) << bare.status();
+  auto negative = replayer_->ReplayString("!flightdump -1\n");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().message().find("positive count"),
+            std::string::npos);
+  auto extra = replayer_->ReplayString("!flightdump 1 2\n");
+  ASSERT_FALSE(extra.ok());
+}
+
 TEST_F(TraceTest, DanglingStatementRejected) {
   auto report = replayer_->ReplayString("INSERT INTO Header VALUES (1, 2)");
   ASSERT_FALSE(report.ok());
