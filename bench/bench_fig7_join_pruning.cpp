@@ -39,7 +39,8 @@ void Run(BenchContext& ctx) {
                   : std::vector<size_t>{3000, 10000, 30000, 100000, 300000};
   ctx.report().SetConfig("headers_main",
                          static_cast<int64_t>(config.num_headers_main));
-  ctx.report().SetConfig("reps", static_cast<int64_t>(kReps));
+  const int reps = ctx.Reps(kReps, kReps);
+  ctx.report().SetConfig("reps", static_cast<int64_t>(reps));
   std::vector<StrategySpec> strategies = JoinStrategies();
 
   std::vector<std::string> columns = {"item_delta_rows"};
@@ -66,7 +67,7 @@ void Run(BenchContext& ctx) {
       ExecutionOptions options;
       options.strategy = s.strategy;
       options.use_predicate_pushdown = s.pushdown;
-      LatencyStats stats = MeasureMs(kReps, [&] {
+      LatencyStats stats = MeasureMs(reps, [&] {
         Transaction txn = db.Begin();
         CheckOk(cache.Execute(query, txn, options).status(), "execute");
       });

@@ -65,7 +65,7 @@ void Run(BenchContext& ctx) {
       // One timed rep per checkpoint (the delta keeps growing, so reps are
       // not exchangeable); MeasureMs still runs the discarded warm-up rep,
       // which only re-runs the read-only query.
-      LatencyStats stats = MeasureMs(1, [&] {
+      LatencyStats stats = MeasureMs(ctx.Reps(1, 1), [&] {
         Transaction txn = db.Begin();
         CheckOk(cache.Execute(query, txn, options).status(), "execute");
       });

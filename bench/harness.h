@@ -43,6 +43,14 @@ inline size_t ApplyThreadsFlag(int argc, char** argv) {
 /// all of which skews low-rep medians) and then `reps` timed repetitions;
 /// returns nearest-rank {p5, median, p95} wall-clock milliseconds.
 inline LatencyStats MeasureMs(int reps, const std::function<void()>& fn) {
+  if (reps < 1) {
+    // An empty sample set would flow into SummarizeLatencies and silently
+    // report all-zero latencies — which a perf gate would read as a huge
+    // improvement. Fail loudly instead.
+    std::fprintf(stderr, "FATAL MeasureMs: reps must be >= 1, got %d\n",
+                 reps);
+    std::abort();
+  }
   fn();
   std::vector<double> times;
   times.reserve(reps);

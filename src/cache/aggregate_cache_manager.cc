@@ -228,11 +228,17 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
       task_status[i] = partial.status();
     }
   });
+  // Stats merge all-or-none before the error check, matching the registry
+  // flushes each subjoin already performed on its worker.
   uint64_t rows_aggregated = 0;
+  Status first_error;
   for (size_t i = 0; i < combos.size(); ++i) {
-    RETURN_IF_ERROR(task_status[i]);
     executor_.stats().MergeFrom(task_stats[i]);
     rows_aggregated += task_stats[i].rows_scanned;
+    if (first_error.ok() && !task_status[i].ok()) first_error = task_status[i];
+  }
+  RETURN_IF_ERROR(first_error);
+  for (size_t i = 0; i < combos.size(); ++i) {
     entry.main_partials()[std::move(combos[i])] = std::move(partials[i]);
   }
   RefreshSnapshots(entry, bound, snapshot);
@@ -505,13 +511,20 @@ Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
     }
   });
 
+  // Stats merge all-or-none first, so a failed correction term cannot leave
+  // the shared counters short of what the registry already recorded.
+  Status first_error;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    executor_.stats().MergeFrom(task_stats[j]);
+    if (first_error.ok() && !task_status[j].ok()) first_error = task_status[j];
+  }
+  RETURN_IF_ERROR(first_error);
+
   // Jobs were emitted combo-major in mask order; replay that order exactly.
   size_t j = 0;
   for (size_t c = 0; c < dirty_partials.size(); ++c) {
     AggregateResult corrections(bound.aggregates.size());
     for (; j < jobs.size() && jobs[j].combo_index == c; ++j) {
-      RETURN_IF_ERROR(task_status[j]);
-      executor_.stats().MergeFrom(task_stats[j]);
       corrections.MergeFrom(terms[j]);
     }
     RETURN_IF_ERROR(dirty_partials[c]->SubtractFrom(corrections));

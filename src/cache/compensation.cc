@@ -56,13 +56,20 @@ StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
     }
   });
 
+  // Counters merge all-or-none before any error check: each task already
+  // flushed into the global metrics registry, so dropping later tasks'
+  // stats on a mid-fanout failure would desynchronize the two.
+  Status first_error;
+  for (size_t i = 0; i < subjoins.size(); ++i) {
+    executor.stats().MergeFrom(task_stats[i]);
+    if (stats != nullptr) ++stats->subjoins_executed;
+    if (first_error.ok() && !task_status[i].ok()) first_error = task_status[i];
+  }
+  RETURN_IF_ERROR(first_error);
   // Merge in enumeration order so results are deterministic at any thread
   // count (floating-point sums are order-sensitive).
   AggregateResult result(bound.aggregates.size());
   for (size_t i = 0; i < subjoins.size(); ++i) {
-    RETURN_IF_ERROR(task_status[i]);
-    executor.stats().MergeFrom(task_stats[i]);
-    if (stats != nullptr) ++stats->subjoins_executed;
     result.MergeFrom(partials[i]);
   }
   return result;

@@ -44,6 +44,26 @@ uint32_t BitPackedVector::Get(size_t i) const {
   return static_cast<uint32_t>(bits) & value_mask_;
 }
 
+void BitPackedVector::Unpack(size_t begin, size_t count, uint32_t* out) const {
+  if (count == 0) return;
+  AGGCACHE_CHECK_LE(begin + count, size_);
+  const uint64_t* words = words_.data();
+  const int width = bits_per_entry_;
+  const uint32_t mask = value_mask_;
+  size_t bit_pos = begin * width;
+  for (size_t k = 0; k < count; ++k) {
+    size_t word = bit_pos >> 6;
+    int offset = static_cast<int>(bit_pos & 63);
+    uint64_t bits = words[word] >> offset;
+    int spill = offset + width - 64;
+    if (spill > 0) {
+      bits |= words[word + 1] << (width - spill);
+    }
+    out[k] = static_cast<uint32_t>(bits) & mask;
+    bit_pos += width;
+  }
+}
+
 int BitPackedVector::BitsForCardinality(size_t cardinality) {
   if (cardinality <= 1) return 1;
   return std::bit_width(cardinality - 1);

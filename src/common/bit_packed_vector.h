@@ -31,6 +31,11 @@ class BitPackedVector {
 
   uint32_t Get(size_t i) const;
 
+  /// Bulk-decodes entries [begin, begin+count) into `out`. Equivalent to
+  /// calling Get per index but walks the packed words sequentially, which
+  /// is what the batched scan kernels run over main columns.
+  void Unpack(size_t begin, size_t count, uint32_t* out) const;
+
   /// Heap footprint in bytes.
   size_t ByteSize() const { return words_.capacity() * sizeof(uint64_t); }
 

@@ -284,6 +284,17 @@ BenchContext::BenchContext(int argc, char** argv, std::string scenario)
   report_.SnapshotMetricsBaseline();
 }
 
+int BenchContext::Reps(int quick_reps, int full_reps) const {
+  if (quick_reps < 1 || full_reps < 1) {
+    std::fprintf(stderr,
+                 "FATAL BenchContext::Reps: repetition counts must be >= 1 "
+                 "(quick=%d, full=%d)\n",
+                 quick_reps, full_reps);
+    std::abort();
+  }
+  return quick_ ? quick_reps : full_reps;
+}
+
 bool BenchContext::Finish() {
   if (finished_) return true;
   finished_ = true;

@@ -136,6 +136,12 @@ class BenchContext {
     return quick_ ? quick_value : full_value;
   }
 
+  /// QuickOr for repetition counts: additionally validates that both sides
+  /// are positive, so a sizing typo cannot hand MeasureMs zero reps and
+  /// produce all-zero latency samples in either protocol. Aborts on
+  /// violation.
+  int Reps(int quick_reps, int full_reps) const;
+
   /// Captures the metrics delta and, when JSON output was requested,
   /// writes the report. Returns false on write failure (benches exit
   /// nonzero on that so CI notices).

@@ -56,6 +56,25 @@ const EngineMetrics& EngineMetrics::Get() {
     m->exec_tuples_joined = r.GetCounter(
         "aggcache_executor_tuples_joined_total",
         "Joined tuples fed into aggregation");
+    m->exec_selection_batches = r.GetCounter(
+        "aggcache_executor_selection_batches_total",
+        "1024-row blocks processed by the batched selection kernels");
+    m->exec_code_joins = r.GetCounter(
+        "aggcache_executor_code_joins_total",
+        "Join levels executed through the code-space hash table");
+    m->exec_packed_groupings = r.GetCounter(
+        "aggcache_executor_packed_groupings_total",
+        "Aggregations whose group-by codes packed into one 64-bit key");
+    m->exec_fallback_groupings = r.GetCounter(
+        "aggcache_executor_fallback_groupings_total",
+        "Aggregations that fell back to materialized group keys");
+
+    m->sharedscan_leads = r.GetCounter(
+        "aggcache_sharedscan_leads_total",
+        "Cooperative delta scan sessions led");
+    m->sharedscan_attaches = r.GetCounter(
+        "aggcache_sharedscan_attaches_total",
+        "Attaches to another query's in-flight cooperative delta scan");
 
     m->prune_considered = r.GetCounter(
         "aggcache_pruner_considered_total",

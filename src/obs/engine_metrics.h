@@ -35,6 +35,14 @@ struct EngineMetrics {
   Counter* exec_rows_scanned;
   Counter* exec_rows_selected;
   Counter* exec_tuples_joined;
+  Counter* exec_selection_batches;   ///< 1024-row selection kernel blocks.
+  Counter* exec_code_joins;          ///< Join levels run in code space.
+  Counter* exec_packed_groupings;    ///< Aggregations with packed u64 keys.
+  Counter* exec_fallback_groupings;  ///< Aggregations on materialized keys.
+
+  // Shared delta scans.
+  Counter* sharedscan_leads;         ///< Cooperative scan sessions led.
+  Counter* sharedscan_attaches;      ///< Attaches to an in-flight session.
 
   // Object-aware pruner + pushdown.
   Counter* prune_considered;

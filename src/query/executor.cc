@@ -1,12 +1,16 @@
 #include "query/executor.h"
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "common/bit_packed_vector.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/engine_metrics.h"
 #include "obs/trace_recorder.h"
+#include "query/shared_scan.h"
+#include "query/vector_kernels.h"
 
 namespace aggcache {
 
@@ -97,6 +101,12 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
       metrics.exec_rows_scanned->Increment(local->rows_scanned);
       metrics.exec_rows_selected->Increment(local->rows_selected);
       metrics.exec_tuples_joined->Increment(local->tuples_joined);
+      metrics.exec_selection_batches->Increment(local->selection_batches);
+      metrics.exec_code_joins->Increment(local->code_joins);
+      metrics.exec_packed_groupings->Increment(local->packed_groupings);
+      metrics.exec_fallback_groupings->Increment(local->fallback_groupings);
+      metrics.sharedscan_leads->Increment(local->shared_scan_leads);
+      metrics.sharedscan_attaches->Increment(local->shared_scan_attaches);
       if (caller != nullptr) {
         caller->MergeFrom(*local);
       } else {
@@ -129,111 +139,71 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     selections[t].partition =
         &ResolvePartition(*bound.tables[t], combination[t]);
   }
-  // A filter compiled against one partition's column: integer code
-  // comparisons where the dictionary allows it (sorted main -> contiguous
-  // code ranges; delta equality -> a single code), value comparison
-  // otherwise.
-  struct CompiledFilter {
-    const Column* column = nullptr;
-    enum class Kind : uint8_t { kCodeRange, kCodeEq, kValue } kind =
-        Kind::kValue;
-    ValueId lo = 0;
-    ValueId hi = 0;
-    const BoundQuery::BoundFilter* filter = nullptr;
-
-    bool Pass(uint32_t row) const {
-      switch (kind) {
-        case Kind::kCodeRange: {
-          ValueId code = column->code(row);
-          return lo <= code && code <= hi;
-        }
-        case Kind::kCodeEq:
-          return column->code(row) == lo;
-        case Kind::kValue:
-          return EvalCompare(filter->op, column->GetValue(row),
-                             filter->operand);
-      }
-      return false;
-    }
-  };
-
+  // Selection runs through the batched code-space kernels: filters compile
+  // once per table (sorted main -> contiguous code ranges; delta equality
+  // -> a single code; value comparison otherwise), then 1024-row blocks
+  // stream through tight loops over dictionary codes. Unrestricted scans of
+  // sizable delta partitions coalesce into cooperative shared scans when
+  // other queries are walking the same partition concurrently.
   auto select_rows = [&](size_t t) {
     Selection& sel = selections[t];
     const Partition& p = *sel.partition;
     if (p.empty()) return;
 
-    bool can_match = true;
-    std::vector<CompiledFilter> table_filters;
+    std::vector<CompiledColumnFilter> table_filters;
     for (const BoundQuery::BoundFilter& f : all_filters) {
       if (f.table != t) continue;
-      const Column& column = p.column(f.column);
-      if (!PredicateCanMatch(f.op, f.operand, column.dictionary())) {
-        can_match = false;
-        break;
-      }
-      CompiledFilter compiled;
-      compiled.column = &column;
-      compiled.filter = &f;
-      if (auto range = SortedDictionaryCodeRange(f.op, f.operand,
-                                                 column.dictionary())) {
-        compiled.kind = CompiledFilter::Kind::kCodeRange;
-        compiled.lo = range->first;
-        compiled.hi = range->second;
-      } else if (f.op == CompareOp::kEq) {
-        std::optional<ValueId> code = column.dictionary().Find(f.operand);
-        if (!code.has_value()) {
-          can_match = false;  // Equality with an absent value: no rows.
-          break;
-        }
-        compiled.kind = CompiledFilter::Kind::kCodeEq;
-        compiled.lo = *code;
-      } else if (f.op != CompareOp::kNe &&
-                 column.dictionary().mode() ==
-                     Dictionary::Mode::kSortedMain) {
-        // A sorted dictionary yields no code range for a range/equality
-        // predicate only when no code matches. (`<>` never compiles to a
-        // range and must fall back to value comparison.)
-        can_match = false;
-        break;
+      CompiledColumnFilter compiled;
+      if (!CompileColumnFilter(p.column(f.column), f.op, f.operand,
+                               &compiled)) {
+        return;  // The predicate provably matches no row of this partition.
       }
       table_filters.push_back(compiled);
     }
-    if (!can_match) return;
 
     const std::vector<uint32_t>* candidates = nullptr;
     if (restriction != nullptr && t < restriction->rows.size() &&
         restriction->rows[t].has_value()) {
       candidates = &*restriction->rows[t];
     }
-    bool check_visibility =
+    SelectionInput input;
+    input.snapshot = &snapshot;
+    input.check_visibility =
         candidates == nullptr ||
         !restriction->bypass_visibility_for_restricted;
-    size_t num_candidates = candidates ? candidates->size() : p.num_rows();
-    counters.rows_scanned += num_candidates;
-    for (size_t i = 0; i < num_candidates; ++i) {
-      uint32_t r = candidates ? (*candidates)[i] : static_cast<uint32_t>(i);
-      if (check_visibility &&
-          !snapshot.RowVisible(p.create_tid(r), p.invalidate_tid(r))) {
-        continue;
+    input.filters = table_filters;
+
+    if (candidates != nullptr) {
+      counters.rows_scanned += candidates->size();
+      counters.selection_batches +=
+          SelectRowsGather(p, input, *candidates, &sel.rows);
+    } else {
+      counters.rows_scanned += p.num_rows();
+      if (p.kind() == PartitionKind::kDelta &&
+          p.num_rows() >= SharedScanManager::kMinRows &&
+          SharedScanManager::Enabled()) {
+        SharedScanManager::Result shared =
+            SharedScanManager::Instance().Scan(p, input, &sel.rows);
+        counters.selection_batches += shared.batches;
+        counters.shared_scan_leads += shared.led ? 1 : 0;
+        counters.shared_scan_attaches += shared.attached ? 1 : 0;
+      } else {
+        counters.selection_batches += SelectRowsRange(
+            p, input, 0, static_cast<uint32_t>(p.num_rows()), &sel.rows);
       }
-      bool pass = true;
-      for (const CompiledFilter& f : table_filters) {
-        if (!f.Pass(r)) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) sel.rows.push_back(r);
     }
     counters.rows_selected += sel.rows.size();
   };
 
   // Left-deep hash joins in query-table order. `tuples` holds row ids
-  // flattened with stride = number of joined tables so far.
+  // flattened with stride = number of joined tables so far. Joins run in
+  // code space: the hash table is keyed on the build side's dictionary
+  // codes, and the probe side translates its codes into the build side's
+  // code space once per distinct value (Dictionary::Find has the same
+  // Value-equality semantics the old Value-keyed table used, so results
+  // are identical — including int64(5) != double(5.0)).
   select_rows(0);
-  std::vector<uint32_t> tuples;
-  tuples.reserve(selections[0].rows.size());
-  for (uint32_t r : selections[0].rows) tuples.push_back(r);
+  std::vector<uint32_t> tuples = std::move(selections[0].rows);
   size_t stride = 1;
 
   for (size_t t = 1; t < num_tables; ++t) {
@@ -252,19 +222,38 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     const Column& inner_key = inner.column(drive.inner_column);
     const Partition& outer_part = *selections[drive.outer_table].partition;
     const Column& outer_key = outer_part.column(drive.outer_column);
+    ++counters.code_joins;
 
-    // Residual join conditions between table t and other earlier tables,
-    // evaluated on each candidate (tuple, inner row) pair.
+    // Residual join conditions between table t and other earlier tables:
+    // the inner row's code translates into the outer column's code space
+    // and the comparison is a single integer equality per pair.
+    struct Residual {
+      const BoundQuery::BoundJoin* join;
+      const Column* outer_column;
+      const Column* inner_column;
+      CodeTranslator translator;
+    };
+    std::vector<Residual> residual_conds;
+    for (size_t c = 1; c < conds.size(); ++c) {
+      const BoundQuery::BoundJoin& extra = *conds[c];
+      const Column& outer_col = selections[extra.outer_table]
+                                    .partition->column(extra.outer_column);
+      const Column& inner_col = inner.column(extra.inner_column);
+      residual_conds.push_back(
+          Residual{&extra, &outer_col, &inner_col,
+                   CodeTranslator(&inner_col.dictionary(),
+                                  &outer_col.dictionary(),
+                                  selections[t].rows.size())});
+    }
     auto residuals_pass = [&](size_t base, uint32_t inner_row) {
-      for (size_t c = 1; c < conds.size(); ++c) {
-        const BoundQuery::BoundJoin& extra = *conds[c];
-        uint32_t other_row = tuples[base + extra.outer_table];
-        const Value& lhs = selections[extra.outer_table]
-                               .partition->column(extra.outer_column)
-                               .GetValue(other_row);
-        const Value& rhs =
-            inner.column(extra.inner_column).GetValue(inner_row);
-        if (!(lhs == rhs)) return false;
+      for (Residual& res : residual_conds) {
+        uint32_t other_row = tuples[base + res.join->outer_table];
+        ValueId translated =
+            res.translator.Translate(res.inner_column->code(inner_row));
+        if (translated == CodeTranslator::kNoMatch ||
+            translated != res.outer_column->code(other_row)) {
+          return false;
+        }
       }
       return true;
     };
@@ -276,42 +265,45 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     std::vector<uint32_t> next;
     if (selections[t].rows.size() <= num_tuples) {
       // Build on the inner (new) table, probe with the joined tuples.
-      std::unordered_map<Value, std::vector<uint32_t>, ValueHash> hash_table;
-      hash_table.reserve(selections[t].rows.size());
+      CodeHashTable hash_table(selections[t].rows.size());
       for (uint32_t r : selections[t].rows) {
-        hash_table[inner_key.GetValue(r)].push_back(r);
+        hash_table.Insert(inner_key.code(r), r);
       }
+      CodeTranslator probe(&outer_key.dictionary(), &inner_key.dictionary(),
+                           num_tuples);
       for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
         uint32_t outer_row = tuples[base + drive.outer_table];
-        auto it = hash_table.find(outer_key.GetValue(outer_row));
-        if (it == hash_table.end()) continue;
-        for (uint32_t inner_row : it->second) {
-          if (!residuals_pass(base, inner_row)) continue;
+        ValueId key = probe.Translate(outer_key.code(outer_row));
+        if (key == CodeTranslator::kNoMatch) continue;
+        hash_table.ForEach(key, [&](uint32_t inner_row) {
+          if (!residuals_pass(base, inner_row)) return;
           for (size_t k = 0; k < stride; ++k) {
             next.push_back(tuples[base + k]);
           }
           next.push_back(inner_row);
-        }
+        });
       }
     } else {
       // Build on the joined tuples, probe with the inner table's rows.
-      std::unordered_map<Value, std::vector<uint32_t>, ValueHash> hash_table;
-      hash_table.reserve(num_tuples);
+      CodeHashTable hash_table(num_tuples);
       for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
         uint32_t outer_row = tuples[base + drive.outer_table];
-        hash_table[outer_key.GetValue(outer_row)].push_back(
-            static_cast<uint32_t>(base));
+        hash_table.Insert(outer_key.code(outer_row),
+                          static_cast<uint32_t>(base));
       }
+      CodeTranslator probe(&inner_key.dictionary(), &outer_key.dictionary(),
+                           selections[t].rows.size());
       for (uint32_t inner_row : selections[t].rows) {
-        auto it = hash_table.find(inner_key.GetValue(inner_row));
-        if (it == hash_table.end()) continue;
-        for (uint32_t base : it->second) {
-          if (!residuals_pass(base, inner_row)) continue;
+        ValueId key = probe.Translate(inner_key.code(inner_row));
+        if (key == CodeTranslator::kNoMatch) continue;
+        hash_table.ForEach(key, [&](uint32_t base32) {
+          size_t base = base32;
+          if (!residuals_pass(base, inner_row)) return;
           for (size_t k = 0; k < stride; ++k) {
             next.push_back(tuples[base + k]);
           }
           next.push_back(inner_row);
-        }
+        });
       }
     }
     tuples = std::move(next);
@@ -324,26 +316,91 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     return result;
   }
   counters.tuples_joined += tuples.size() / stride;
+  if (tuples.empty()) return result;
 
-  // Phase 3: hash aggregation over the joined tuples.
-  GroupKey key;
-  key.values.resize(bound.group_by.size());
-  std::vector<Value> inputs(bound.aggregates.size());
-  for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
-    for (size_t g = 0; g < bound.group_by.size(); ++g) {
-      const BoundQuery::BoundGroupBy& gb = bound.group_by[g];
-      key.values[g] = selections[gb.table]
-                          .partition->column(gb.column)
-                          .GetValue(tuples[base + gb.table]);
+  // Phase 3: hash aggregation over the joined tuples. Whenever the group-by
+  // columns' code widths fit, all group codes pack into one 64-bit key
+  // (BitsForCardinality per dictionary), so the per-tuple cost is integer
+  // packing plus one flat-map probe; group Values materialize only once per
+  // distinct group at emission. Wider layouts fall back to materialized
+  // GroupKeys.
+  const size_t num_group_cols = bound.group_by.size();
+  const size_t num_aggs = bound.aggregates.size();
+  std::vector<const Column*> group_cols(num_group_cols);
+  std::vector<int> group_bits(num_group_cols);
+  for (size_t g = 0; g < num_group_cols; ++g) {
+    const BoundQuery::BoundGroupBy& gb = bound.group_by[g];
+    group_cols[g] = &selections[gb.table].partition->column(gb.column);
+    group_bits[g] = BitPackedVector::BitsForCardinality(
+        group_cols[g]->dictionary().size());
+  }
+  std::vector<const Column*> agg_cols(num_aggs, nullptr);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const BoundQuery::BoundAggregate& agg = bound.aggregates[a];
+    if (!agg.is_count_star) {
+      agg_cols[a] = &selections[agg.table].partition->column(agg.column);
     }
-    for (size_t a = 0; a < bound.aggregates.size(); ++a) {
-      const BoundQuery::BoundAggregate& agg = bound.aggregates[a];
-      if (agg.is_count_star) {
+  }
+
+  std::optional<PackedKeyLayout> layout = PlanPackedKeyLayout(group_bits);
+  if (layout.has_value()) {
+    ++counters.packed_groupings;
+    GroupIndexMap group_map;
+    std::vector<uint64_t> group_keys;
+    std::vector<AggregateResult::GroupEntry> entries;
+    std::vector<ValueId> group_codes(num_group_cols);
+    for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
+      for (size_t g = 0; g < num_group_cols; ++g) {
+        group_codes[g] =
+            group_cols[g]->code(tuples[base + bound.group_by[g].table]);
+      }
+      uint32_t idx = group_map.InsertOrGet(layout->Pack(group_codes));
+      if (idx == entries.size()) {
+        group_keys.push_back(layout->Pack(group_codes));
+        entries.emplace_back();
+        entries.back().states.resize(num_aggs);
+      }
+      AggregateResult::GroupEntry& entry = entries[idx];
+      for (size_t a = 0; a < num_aggs; ++a) {
+        if (agg_cols[a] == nullptr) {
+          // COUNT(*): AggregateState::Add(NULL) only bumps the count.
+          ++entry.states[a].count;
+        } else {
+          entry.states[a].Add(
+              agg_cols[a]->GetValue(tuples[base + bound.aggregates[a].table]));
+        }
+      }
+      ++entry.count_star;
+    }
+    // Materialize group Values, once per distinct group. Packed keys map
+    // bijectively to group value tuples (codes are dense per dictionary),
+    // so SetGroup never overwrites.
+    GroupKey key;
+    key.values.resize(num_group_cols);
+    for (size_t idx = 0; idx < entries.size(); ++idx) {
+      for (size_t g = 0; g < num_group_cols; ++g) {
+        key.values[g] = group_cols[g]->dictionary().value(
+            layout->Unpack(group_keys[idx], g));
+      }
+      result.SetGroup(key, std::move(entries[idx]));
+    }
+    return result;
+  }
+
+  ++counters.fallback_groupings;
+  GroupKey key;
+  key.values.resize(num_group_cols);
+  std::vector<Value> inputs(num_aggs);
+  for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
+    for (size_t g = 0; g < num_group_cols; ++g) {
+      key.values[g] = group_cols[g]->GetValue(tuples[base + bound.group_by[g].table]);
+    }
+    for (size_t a = 0; a < num_aggs; ++a) {
+      if (agg_cols[a] == nullptr) {
         inputs[a] = Value();
       } else {
-        inputs[a] = selections[agg.table]
-                        .partition->column(agg.column)
-                        .GetValue(tuples[base + agg.table]);
+        inputs[a] =
+            agg_cols[a]->GetValue(tuples[base + bound.aggregates[a].table]);
       }
     }
     result.Accumulate(key, inputs);
@@ -377,10 +434,19 @@ StatusOr<AggregateResult> Executor::ExecuteUncachedBound(
       task_status[i] = partial.status();
     }
   });
+  // Merge the per-task counters all-or-none before inspecting task status:
+  // every task already flushed into the global metrics registry from its
+  // worker, so skipping later tasks on a mid-fanout failure would leave the
+  // shared stats short of the registry and break reconciliation under fault
+  // injection.
+  Status first_error;
+  for (size_t i = 0; i < combos.size(); ++i) {
+    stats_.MergeFrom(task_stats[i]);
+    if (first_error.ok() && !task_status[i].ok()) first_error = task_status[i];
+  }
+  RETURN_IF_ERROR(first_error);
   AggregateResult result(bound.aggregates.size());
   for (size_t i = 0; i < combos.size(); ++i) {
-    RETURN_IF_ERROR(task_status[i]);
-    stats_.MergeFrom(task_stats[i]);
     result.MergeFrom(partials[i]);
   }
   // HAVING applies to whole groups, so only after every subjoin is merged.

@@ -61,6 +61,17 @@ struct ExecutorStats {
   uint64_t rows_scanned = 0;
   uint64_t rows_selected = 0;
   uint64_t tuples_joined = 0;
+  /// 1024-row blocks processed by the batched selection kernels.
+  uint64_t selection_batches = 0;
+  /// Join levels executed through the code-space hash table.
+  uint64_t code_joins = 0;
+  /// Aggregations that packed all group-by codes into one 64-bit key.
+  uint64_t packed_groupings = 0;
+  /// Aggregations that fell back to materialized group keys (> 64 bits).
+  uint64_t fallback_groupings = 0;
+  /// Cooperative delta scans this executor led / attached to.
+  uint64_t shared_scan_leads = 0;
+  uint64_t shared_scan_attaches = 0;
 
   void Reset() { *this = ExecutorStats(); }
 
@@ -71,6 +82,12 @@ struct ExecutorStats {
     rows_scanned += other.rows_scanned;
     rows_selected += other.rows_selected;
     tuples_joined += other.tuples_joined;
+    selection_batches += other.selection_batches;
+    code_joins += other.code_joins;
+    packed_groupings += other.packed_groupings;
+    fallback_groupings += other.fallback_groupings;
+    shared_scan_leads += other.shared_scan_leads;
+    shared_scan_attaches += other.shared_scan_attaches;
   }
 };
 
@@ -84,12 +101,24 @@ struct SharedExecutorStats {
   std::atomic<uint64_t> rows_scanned{0};
   std::atomic<uint64_t> rows_selected{0};
   std::atomic<uint64_t> tuples_joined{0};
+  std::atomic<uint64_t> selection_batches{0};
+  std::atomic<uint64_t> code_joins{0};
+  std::atomic<uint64_t> packed_groupings{0};
+  std::atomic<uint64_t> fallback_groupings{0};
+  std::atomic<uint64_t> shared_scan_leads{0};
+  std::atomic<uint64_t> shared_scan_attaches{0};
 
   void Reset() {
     subjoins_executed.store(0, std::memory_order_relaxed);
     rows_scanned.store(0, std::memory_order_relaxed);
     rows_selected.store(0, std::memory_order_relaxed);
     tuples_joined.store(0, std::memory_order_relaxed);
+    selection_batches.store(0, std::memory_order_relaxed);
+    code_joins.store(0, std::memory_order_relaxed);
+    packed_groupings.store(0, std::memory_order_relaxed);
+    fallback_groupings.store(0, std::memory_order_relaxed);
+    shared_scan_leads.store(0, std::memory_order_relaxed);
+    shared_scan_attaches.store(0, std::memory_order_relaxed);
   }
 
   void MergeFrom(const ExecutorStats& other) {
@@ -98,6 +127,17 @@ struct SharedExecutorStats {
     rows_scanned.fetch_add(other.rows_scanned, std::memory_order_relaxed);
     rows_selected.fetch_add(other.rows_selected, std::memory_order_relaxed);
     tuples_joined.fetch_add(other.tuples_joined, std::memory_order_relaxed);
+    selection_batches.fetch_add(other.selection_batches,
+                                std::memory_order_relaxed);
+    code_joins.fetch_add(other.code_joins, std::memory_order_relaxed);
+    packed_groupings.fetch_add(other.packed_groupings,
+                               std::memory_order_relaxed);
+    fallback_groupings.fetch_add(other.fallback_groupings,
+                                 std::memory_order_relaxed);
+    shared_scan_leads.fetch_add(other.shared_scan_leads,
+                                std::memory_order_relaxed);
+    shared_scan_attaches.fetch_add(other.shared_scan_attaches,
+                                   std::memory_order_relaxed);
   }
 
   /// One coherent copy of all four counters. Callers that dump or diff
@@ -111,6 +151,13 @@ struct SharedExecutorStats {
     s.rows_scanned = rows_scanned.load(std::memory_order_relaxed);
     s.rows_selected = rows_selected.load(std::memory_order_relaxed);
     s.tuples_joined = tuples_joined.load(std::memory_order_relaxed);
+    s.selection_batches = selection_batches.load(std::memory_order_relaxed);
+    s.code_joins = code_joins.load(std::memory_order_relaxed);
+    s.packed_groupings = packed_groupings.load(std::memory_order_relaxed);
+    s.fallback_groupings = fallback_groupings.load(std::memory_order_relaxed);
+    s.shared_scan_leads = shared_scan_leads.load(std::memory_order_relaxed);
+    s.shared_scan_attaches =
+        shared_scan_attaches.load(std::memory_order_relaxed);
     return s;
   }
 };

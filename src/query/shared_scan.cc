@@ -1,0 +1,161 @@
+#include "query/shared_scan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace aggcache {
+namespace {
+
+// -1 = follow the env flag; 0/1 = forced by OverrideEnabledForTest.
+std::atomic<int> g_enabled_override{-1};
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("AGGCACHE_SHARED_SCAN");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0;
+}
+
+}  // namespace
+
+SharedScanManager& SharedScanManager::Instance() {
+  static SharedScanManager* manager = new SharedScanManager();
+  return *manager;
+}
+
+bool SharedScanManager::Enabled() {
+  int override = g_enabled_override.load(std::memory_order_relaxed);
+  if (override >= 0) return override != 0;
+  static const bool from_env = EnabledFromEnv();
+  return from_env;
+}
+
+void SharedScanManager::OverrideEnabledForTest(int enabled) {
+  g_enabled_override.store(enabled, std::memory_order_relaxed);
+}
+
+SharedScanManager::Result SharedScanManager::Scan(const Partition& p,
+                                                  const SelectionInput& in,
+                                                  std::vector<uint32_t>* out) {
+  const uint32_t num_rows = static_cast<uint32_t>(p.num_rows());
+  std::shared_ptr<Session> session;
+  Consumer* consumer = nullptr;
+  bool lead = false;
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mu_);
+    auto it = sessions_.find(&p);
+    if (it != sessions_.end() && it->second->num_rows == num_rows) {
+      // Attach to the in-flight session at its current cursor. The session
+      // lock nests inside the registry lock here and at erase time, so the
+      // order is consistent.
+      Session* s = it->second.get();
+      std::lock_guard<std::mutex> session_lock(s->mu);
+      if (!s->finished) {
+        auto owned = std::make_unique<Consumer>(&in);
+        owned->join_block = s->next_block;
+        consumer = owned.get();
+        s->consumers.push_back(std::move(owned));
+        session = it->second;
+      }
+    }
+    if (consumer == nullptr) {
+      // No joinable session: lead a new one. A stale entry for a partition
+      // whose row count moved on (delta appends) is replaced — its leader
+      // has its own shared_ptr and finishes undisturbed.
+      session = std::make_shared<Session>();
+      session->partition = &p;
+      session->num_rows = num_rows;
+      session->num_blocks = static_cast<uint32_t>(
+          (num_rows + kSelectionBlockRows - 1) / kSelectionBlockRows);
+      auto owned = std::make_unique<Consumer>(&in);
+      consumer = owned.get();
+      session->consumers.push_back(std::move(owned));
+      sessions_[&p] = session;
+      lead = true;
+    }
+  }
+  return lead ? Lead(p, in, session, out) : Follow(p, in, consumer, session, out);
+}
+
+SharedScanManager::Result SharedScanManager::Lead(
+    const Partition& p, const SelectionInput& in,
+    const std::shared_ptr<Session>& session, std::vector<uint32_t>* out) {
+  const uint32_t num_rows = session->num_rows;
+  // Consumers admitted while a block is being processed join at the *next*
+  // block (next_block is advanced before the work), so no block is skipped
+  // or scanned twice for anyone.
+  std::vector<Consumer*> active;
+  for (uint32_t block = 0; block < session->num_blocks; ++block) {
+    active.clear();
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      session->next_block = block + 1;
+      for (const auto& c : session->consumers) {
+        if (c->join_block <= block) active.push_back(c.get());
+      }
+    }
+    const uint32_t begin = block * static_cast<uint32_t>(kSelectionBlockRows);
+    const uint32_t end = std::min(
+        num_rows, begin + static_cast<uint32_t>(kSelectionBlockRows));
+    for (Consumer* c : active) {
+      c->batches += SelectRowsRange(p, *c->input, begin, end, &c->rows);
+    }
+  }
+  {
+    // Close the registry entry first so nobody attaches to a finished
+    // session, then release the waiters (same registry -> session order as
+    // attach).
+    std::lock_guard<std::mutex> registry_lock(registry_mu_);
+    auto it = sessions_.find(&p);
+    if (it != sessions_.end() && it->second == session) sessions_.erase(it);
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    session->finished = true;
+    for (const auto& c : session->consumers) c->done = true;
+  }
+  session->cv.notify_all();
+
+  Consumer* self = session->consumers.front().get();
+  AGGCACHE_CHECK_EQ(self->join_block, 0u);
+  if (out->empty()) {
+    *out = std::move(self->rows);
+  } else {
+    out->insert(out->end(), self->rows.begin(), self->rows.end());
+  }
+  Result result;
+  result.led = true;
+  result.batches = self->batches;
+  (void)in;
+  return result;
+}
+
+SharedScanManager::Result SharedScanManager::Follow(
+    const Partition& p, const SelectionInput& in, Consumer* consumer,
+    const std::shared_ptr<Session>& session, std::vector<uint32_t>* out) {
+  // Scan the prefix the leader already passed ourselves, while the leader
+  // keeps filling our tail; head + tail is the full ascending row range.
+  std::vector<uint32_t> head;
+  const uint32_t prefix_rows = std::min(
+      session->num_rows, consumer->join_block *
+                             static_cast<uint32_t>(kSelectionBlockRows));
+  size_t batches = SelectRowsRange(p, in, 0, prefix_rows, &head);
+  {
+    std::unique_lock<std::mutex> lock(session->mu);
+    session->cv.wait(lock, [consumer] { return consumer->done; });
+  }
+  batches += consumer->batches;
+  if (out->empty() && head.empty()) {
+    *out = std::move(consumer->rows);
+  } else {
+    out->insert(out->end(), head.begin(), head.end());
+    out->insert(out->end(), consumer->rows.begin(), consumer->rows.end());
+  }
+  Result result;
+  result.attached = true;
+  result.batches = batches;
+  return result;
+}
+
+}  // namespace aggcache

@@ -1,5 +1,7 @@
 #include "storage/column.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace aggcache {
@@ -29,6 +31,16 @@ Status Column::Append(const Value& v) {
   ASSIGN_OR_RETURN(ValueId id, dict_.GetOrAdd(v));
   delta_codes_.push_back(id);
   return Status::Ok();
+}
+
+void Column::UnpackCodes(size_t begin, size_t count, ValueId* out) const {
+  if (count == 0) return;
+  if (is_main_) {
+    main_codes_.Unpack(begin, count, out);
+    return;
+  }
+  AGGCACHE_CHECK_LE(begin + count, delta_codes_.size());
+  std::memcpy(out, delta_codes_.data() + begin, count * sizeof(ValueId));
 }
 
 size_t Column::ByteSize() const {

@@ -41,6 +41,11 @@ class Column {
   /// Decoded value of row `row`.
   const Value& GetValue(size_t row) const { return dict_.value(code(row)); }
 
+  /// Bulk-decodes the codes of rows [begin, begin+count) into `out`:
+  /// a memcpy for delta columns, a sequential bit-unpack for main columns.
+  /// The batched scan kernels use this instead of per-row code() calls.
+  void UnpackCodes(size_t begin, size_t count, ValueId* out) const;
+
   /// Fast path for int64 columns (tid columns, keys).
   int64_t GetInt64(size_t row) const { return GetValue(row).AsInt64(); }
 

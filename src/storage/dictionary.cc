@@ -20,6 +20,7 @@ Dictionary Dictionary::BuildSorted(ColumnType type,
   dict.values_ = std::move(values);
   dict.index_.reserve(dict.values_.size());
   for (size_t i = 0; i < dict.values_.size(); ++i) {
+    dict.value_bytes_ += dict.values_[i].ByteSize();
     dict.index_.emplace(dict.values_[i], static_cast<ValueId>(i));
   }
   return dict;
@@ -39,6 +40,7 @@ StatusOr<ValueId> Dictionary::GetOrAdd(const Value& v) {
   if (it != index_.end()) return it->second;
   ValueId id = static_cast<ValueId>(values_.size());
   values_.push_back(v);
+  value_bytes_ += v.ByteSize();
   index_.emplace(v, id);
   if (min_id_ == kInvalidValueId || v < values_[min_id_]) min_id_ = id;
   if (max_id_ == kInvalidValueId || values_[max_id_] < v) max_id_ = id;
@@ -64,8 +66,7 @@ const Value& Dictionary::max_value() const {
 }
 
 size_t Dictionary::ByteSize() const {
-  size_t bytes = 0;
-  for (const Value& v : values_) bytes += v.ByteSize();
+  size_t bytes = value_bytes_;
   // Hash index: bucket array plus one node per entry, rough but consistent.
   bytes += index_.bucket_count() * sizeof(void*);
   bytes += index_.size() * (sizeof(Value) + sizeof(ValueId) + sizeof(void*));

@@ -64,7 +64,10 @@ class Dictionary {
   const Value& min_value() const;
   const Value& max_value() const;
 
-  /// Approximate heap footprint (values plus hash index).
+  /// Approximate heap footprint (values plus hash index). O(1): the value
+  /// byte total is maintained incrementally by GetOrAdd/BuildSorted instead
+  /// of rescanning every stored Value per call, so memory accounting (cache
+  /// admission, the Section 6.2 experiment) stays cheap on hot paths.
   size_t ByteSize() const;
 
  private:
@@ -75,6 +78,8 @@ class Dictionary {
   // Codes of the extreme values; only meaningful for unsorted mode.
   ValueId min_id_ = kInvalidValueId;
   ValueId max_id_ = kInvalidValueId;
+  // Running sum of values_[i].ByteSize(); values are never removed.
+  size_t value_bytes_ = 0;
 };
 
 }  // namespace aggcache

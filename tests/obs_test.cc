@@ -241,8 +241,12 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_cache_rebuilds_total counter",
       "# TYPE aggcache_cache_singleflight_waits_total counter",
       "# TYPE aggcache_cache_uncached_fallbacks_total counter",
+      "# TYPE aggcache_executor_code_joins_total counter",
+      "# TYPE aggcache_executor_fallback_groupings_total counter",
+      "# TYPE aggcache_executor_packed_groupings_total counter",
       "# TYPE aggcache_executor_rows_scanned_total counter",
       "# TYPE aggcache_executor_rows_selected_total counter",
+      "# TYPE aggcache_executor_selection_batches_total counter",
       "# TYPE aggcache_executor_subjoins_executed_total counter",
       "# TYPE aggcache_executor_tuples_joined_total counter",
       "# TYPE aggcache_merge_daemon_aborts_total counter",
@@ -258,6 +262,8 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_pruner_pruned_empty_total counter",
       "# TYPE aggcache_pruner_pruned_tid_range_total counter",
       "# TYPE aggcache_pushdown_predicates_total counter",
+      "# TYPE aggcache_sharedscan_attaches_total counter",
+      "# TYPE aggcache_sharedscan_leads_total counter",
   };
   EXPECT_EQ(type_lines, expected);
 }

@@ -514,11 +514,28 @@ void DiffReports(const std::string& name, const Json& baseline,
               scenario.c_str(), threshold * 100.0);
 }
 
+/// Parses a comma-separated --scenarios value into its entries.
+std::vector<std::string> SplitScenarios(const std::string& value) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream stream(value);
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: bench_diff --schema-only FILE...\n"
                "       bench_diff BASELINE_DIR CURRENT_DIR"
-               " [--threshold=0.30] [--warn-only]\n");
+               " [--threshold=0.30] [--warn-only]"
+               " [--scenarios=fig7_join_pruning,...]\n"
+               "\n"
+               "--scenarios restricts the diff to the named scenarios and\n"
+               "additionally fails when any of them is missing from\n"
+               "CURRENT_DIR — a gated scenario whose benchmark silently\n"
+               "produced no report must not pass the gate.\n");
 }
 
 }  // namespace
@@ -527,6 +544,7 @@ int main(int argc, char** argv) {
   bool schema_only = false;
   bool warn_only = false;
   double threshold_override = 0.0;
+  std::vector<std::string> scenario_filter;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -534,6 +552,12 @@ int main(int argc, char** argv) {
       schema_only = true;
     } else if (arg == "--warn-only") {
       warn_only = true;
+    } else if (arg.rfind("--scenarios=", 0) == 0) {
+      scenario_filter = SplitScenarios(arg.substr(12));
+      if (scenario_filter.empty()) {
+        std::fprintf(stderr, "bench_diff: empty --scenarios value\n");
+        return 2;
+      }
     } else if (arg.rfind("--threshold=", 0) == 0) {
       threshold_override = std::atof(arg.c_str() + 12);
       if (threshold_override <= 0.0) {
@@ -573,6 +597,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_diff: no BENCH_*.json files in %s\n",
                  current_dir.c_str());
     return 2;
+  }
+
+  if (!scenario_filter.empty()) {
+    std::vector<std::string> filtered;
+    for (const std::string& wanted : scenario_filter) {
+      std::string file = "BENCH_" + wanted + ".json";
+      if (std::find(current_files.begin(), current_files.end(), file) ==
+          current_files.end()) {
+        std::fprintf(stderr,
+                     "bench_diff: gated scenario '%s' has no %s in %s\n",
+                     wanted.c_str(), file.c_str(), current_dir.c_str());
+        return 1;
+      }
+      filtered.push_back(file);
+    }
+    current_files = std::move(filtered);
   }
 
   DiffStats stats;
