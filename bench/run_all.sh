@@ -50,6 +50,7 @@ BENCHES=(
   "bench_ablation_main_comp:ablation_main_comp"
   "bench_ablation_locality:ablation_locality"
   "bench_parallel_scaling:parallel_scaling"
+  "bench_recovery:recovery"
   "stress_concurrent:stress_concurrent"
 )
 

@@ -16,6 +16,7 @@ set(AGGCACHE_BENCH_TARGETS
   bench_ablation_main_comp
   bench_ablation_locality
   bench_parallel_scaling
+  bench_recovery
 )
 
 foreach(target ${AGGCACHE_BENCH_TARGETS})

@@ -3,6 +3,8 @@
 //   verify_fuzz --seeds=64                 sweep seeds 1..64, clean + faults
 //   verify_fuzz --seeds=10-20 --faults=off clean runs for a seed range
 //   verify_fuzz --seed=7 --steps=200       one long seed
+//   verify_fuzz --crash                    durable runs with simulated kills
+//                                          + recovery at every crash point
 //   verify_fuzz --self-test                prove a divergence gets reported
 //   verify_fuzz --replay=trace.txt         re-run a recorded failure trace
 //
@@ -39,6 +41,8 @@ struct Flags {
   size_t steps = 60;
   size_t check_every = 6;
   std::string faults = "both";  // both | only | off
+  bool crash = false;
+  std::string crash_dir = "verify_fuzz_data";
   bool self_test = false;
   std::string replay_file;
   size_t max_entries = 64;
@@ -58,6 +62,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--seeds=N | --seeds=A-B | --seed=N] [--steps=N]\n"
       "          [--check-every=N] [--faults=both|only|off] [--self-test]\n"
+      "          [--crash] [--crash-dir=DIR]\n"
       "          [--replay=FILE [--max-entries=N] [--incremental=0|1]]\n",
       argv0);
   return 2;
@@ -98,6 +103,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
           flags->faults != "off") {
         return false;
       }
+    } else if (std::strcmp(arg, "--crash") == 0) {
+      flags->crash = true;
+    } else if (const char* v = value_of("--crash-dir=")) {
+      flags->crash_dir = v;
     } else if (std::strcmp(arg, "--self-test") == 0) {
       flags->self_test = true;
     } else if (const char* v = value_of("--replay=")) {
@@ -206,10 +215,13 @@ int main(int argc, char** argv) {
   FuzzOptions options;
   options.steps = flags.steps;
   options.check_every = flags.check_every;
+  options.with_crashes = flags.crash;
+  options.data_dir = flags.crash_dir;
 
   size_t runs = 0;
   size_t combos = 0;
   uint64_t faults = 0;
+  size_t crashes = 0;
   for (uint64_t seed = flags.seed_lo; seed <= flags.seed_hi; ++seed) {
     if (flags.faults != "only") {
       options.with_faults = false;
@@ -218,6 +230,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", report.Summary().c_str());
       ++runs;
       combos += report.combos_checked;
+      crashes += report.crashes_survived;
     }
     if (flags.faults != "off") {
       options.with_faults = true;
@@ -227,11 +240,12 @@ int main(int argc, char** argv) {
       ++runs;
       combos += report.combos_checked;
       faults += report.faults_fired;
+      crashes += report.crashes_survived;
     }
   }
   std::printf(
       "all %zu runs matched the oracle (%zu strategy combinations, %llu "
-      "injected faults fired)\n",
-      runs, combos, static_cast<unsigned long long>(faults));
+      "injected faults fired, %zu crashes survived)\n",
+      runs, combos, static_cast<unsigned long long>(faults), crashes);
   return CheckMetricsInvariants();
 }

@@ -4,6 +4,9 @@
 //
 // Usage:  ./sql_shell            (interactive)
 //         echo "SELECT ..." | ./sql_shell
+//         AGGCACHE_DATA_DIR=/tmp/shell ./sql_shell   (durable session:
+//         recovers the directory on start, WAL-logs every write; see
+//         AGGCACHE_WAL=off|async|sync for the sync policy)
 //
 // Meta-commands:
 //   .tables           list tables with partition sizes
@@ -54,7 +57,8 @@ void ShowCache(const AggregateCacheManager& cache) {
 
 bool HandleMetaCommand(const std::string& line,
                        std::unique_ptr<Database>& db,
-                       std::unique_ptr<AggregateCacheManager>& cache) {
+                       std::unique_ptr<AggregateCacheManager>& cache,
+                       bool durable) {
   if (line == ".quit" || line == ".exit") std::exit(0);
   if (line == ".tables") {
     ListTables(*db);
@@ -78,6 +82,13 @@ bool HandleMetaCommand(const std::string& line,
     return true;
   }
   if (line.rfind(".load ", 0) == 0) {
+    if (durable) {
+      // A snapshot load bypasses the WAL, so the on-disk log would no
+      // longer describe the in-memory state.
+      std::printf("  .load is unavailable in a durable session "
+                  "(unset AGGCACHE_DATA_DIR)\n");
+      return true;
+    }
     std::ifstream in(line.substr(6));
     if (!in) {
       std::printf("  cannot open file\n");
@@ -195,22 +206,56 @@ void RunStatement(const std::string& sql, Database& db,
 }  // namespace
 
 int main() {
-  MetricsDumper::MaybeStartFromEnv();
   auto db = std::make_unique<Database>();
-  ErpConfig config;
-  config.num_headers_main = 5000;
-  config.num_categories = 20;
-  auto dataset = ErpDataset::Create(db.get(), config);
-  if (!dataset.ok()) {
-    std::fprintf(stderr, "dataset: %s\n",
-                 dataset.status().ToString().c_str());
-    return 1;
+
+  // AGGCACHE_DATA_DIR makes the shell durable: the session recovers
+  // whatever the directory holds (skipping the demo preload) and logs all
+  // further writes. AGGCACHE_WAL picks the sync policy (default sync).
+  std::unique_ptr<DurabilityManager> durability;
+  if (const char* data_dir = std::getenv("AGGCACHE_DATA_DIR")) {
+    auto options = DurabilityOptions::FromEnv();
+    if (!options.ok()) {
+      std::fprintf(stderr, "durability: %s\n",
+                   options.status().ToString().c_str());
+      return 1;
+    }
+    auto opened = DurabilityManager::Open(data_dir, db.get(), *options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "durability: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durability = std::move(*opened);
+    const RecoveryReport& report = durability->recovery_report();
+    std::printf("recovered %s: %zu tables, %llu WAL records replayed%s\n",
+                data_dir, db->TableNames().size(),
+                static_cast<unsigned long long>(report.replayed_records),
+                report.wal_clean ? "" : " (torn tail truncated)");
+  }
+  MetricsDumper::MaybeStartFromEnv();
+
+  bool preloaded = db->TableNames().empty();
+  if (preloaded) {
+    ErpConfig config;
+    config.num_headers_main = 5000;
+    config.num_categories = 20;
+    auto dataset = ErpDataset::Create(db.get(), config);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "dataset: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
   }
   auto cache = std::make_unique<AggregateCacheManager>(db.get());
+  if (durability != nullptr) {
+    cache->ImportWarmDescriptors(durability->TakeWarmDescriptors());
+    durability->SetDescriptorSource(cache.get());
+  }
 
-  std::printf("aggcache SQL shell — ERP demo data loaded (.tables, .cache, "
+  std::printf("aggcache SQL shell — %s (.tables, .cache, "
               ".merge, .strategy, \\flight, .quit; EXPLAIN AGGREGATE "
-              "[JSON] SELECT ...)\n");
+              "[JSON] SELECT ...)\n",
+              preloaded ? "ERP demo data loaded" : "durable session resumed");
   std::printf("try: SELECT Name, SUM(Price) AS Profit FROM Header, Item, "
               "ProductCategory\n     WHERE Item.HeaderID = Header.HeaderID "
               "AND Item.CategoryID = ProductCategory.CategoryID\n     AND "
@@ -222,7 +267,10 @@ int main() {
     std::printf(statement.empty() ? "sql> " : "...> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
-    if (statement.empty() && HandleMetaCommand(line, db, cache)) continue;
+    if (statement.empty() &&
+        HandleMetaCommand(line, db, cache, durability != nullptr)) {
+      continue;
+    }
     statement += line + "\n";
     // Execute once the statement is terminated (or on a blank line).
     if (line.find(';') != std::string::npos || line.empty()) {

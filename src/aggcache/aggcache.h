@@ -38,6 +38,7 @@
 #include "storage/database.h"
 #include "storage/delta_merge.h"
 #include "storage/merge_daemon.h"
+#include "storage/recovery.h"
 #include "storage/schema.h"
 #include "storage/snapshot.h"
 #include "storage/table.h"

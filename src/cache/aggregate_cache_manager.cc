@@ -174,6 +174,40 @@ AggregateCacheManager::SnapshotEntries() const {
   return entries;
 }
 
+std::vector<CacheDescriptor> AggregateCacheManager::ExportCacheDescriptors()
+    const {
+  std::vector<CacheDescriptor> descriptors;
+  for (const std::shared_ptr<CacheEntry>& entry : SnapshotEntries()) {
+    if (entry->state() != EntryState::kReady) continue;
+    CacheDescriptor d;
+    d.query = entry->query();
+    d.hit_count = entry->metrics().hit_count.load(std::memory_order_relaxed);
+    d.main_exec_ms =
+        entry->metrics().main_exec_ms.load(std::memory_order_relaxed);
+    {
+      // base_tid is guarded by the value lock; shared is enough to read.
+      std::shared_lock<std::shared_mutex> value_lock(entry->value_mutex());
+      d.base_tid = entry->base_tid();
+    }
+    descriptors.push_back(std::move(d));
+  }
+  return descriptors;
+}
+
+void AggregateCacheManager::ImportWarmDescriptors(
+    std::vector<CacheDescriptor> descriptors) {
+  std::lock_guard<std::mutex> lock(warm_mu_);
+  for (CacheDescriptor& d : descriptors) {
+    std::string key = d.query.CanonicalString();
+    warm_descriptors_.emplace(std::move(key), std::move(d));
+  }
+}
+
+size_t AggregateCacheManager::warm_descriptors_pending() const {
+  std::lock_guard<std::mutex> lock(warm_mu_);
+  return warm_descriptors_.size();
+}
+
 void AggregateCacheManager::RemoveEntry(
     const std::shared_ptr<CacheEntry>& entry) {
   Shard& shard = ShardFor(entry->key());
@@ -331,10 +365,31 @@ StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
       stats->main_exec_ms = entry->metrics().main_exec_ms;
     }
 
+    // Warm restart: a descriptor recovered from the last checkpoint proves
+    // this aggregate earned its place before the restart, so it bypasses
+    // the admission gate and inherits its profit history. The value itself
+    // was just rebuilt from current data above — the descriptor's stale
+    // base tid never reaches the entry.
+    bool warm_admitted = false;
+    {
+      std::lock_guard<std::mutex> warm_lock(warm_mu_);
+      auto warm = warm_descriptors_.find(key.canonical);
+      if (warm != warm_descriptors_.end()) {
+        entry->metrics().hit_count.store(warm->second.hit_count,
+                                         std::memory_order_relaxed);
+        warm_descriptors_.erase(warm);
+        warm_admitted = true;
+      }
+    }
+    if (warm_admitted) {
+      EngineMetrics::Get().recovery_warm_admissions->Increment();
+    }
+
     // Admission: creating the entry already produced the main result; an
     // unprofitable aggregate is simply not stored (Fig. 3's "profitable
     // enough" gate) and the caller falls back to uncached execution.
-    if (entry->metrics().main_exec_ms < config_.min_main_exec_ms) {
+    if (!warm_admitted &&
+        entry->metrics().main_exec_ms < config_.min_main_exec_ms) {
       RecordFlightEvent(FlightEventType::kAdmissionReject,
                         static_cast<uint64_t>(key.hash), 0,
                         "below-min-exec-ms");

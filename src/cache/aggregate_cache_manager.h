@@ -13,6 +13,7 @@
 #include "objectaware/join_pruning.h"
 #include "obs/query_trace.h"
 #include "query/executor.h"
+#include "storage/checkpoint.h"
 #include "storage/database.h"
 #include "storage/merge_observer.h"
 
@@ -70,7 +71,8 @@ struct CacheExecStats {
 /// runs under the merge's table locks, which exclude every reader of the
 /// affected tables. Register it as a merge observer (done in the
 /// constructor) so merges keep entries consistent.
-class AggregateCacheManager : public MergeObserver {
+class AggregateCacheManager : public MergeObserver,
+                              public CacheDescriptorSource {
  public:
   struct Config {
     /// Maximum number of entries; 0 = unlimited.
@@ -142,6 +144,22 @@ class AggregateCacheManager : public MergeObserver {
   /// Cumulative pruning statistics across all cached executions.
   PruneStats prune_stats() const;
   void ResetPruneStats();
+
+  // CacheDescriptorSource: cache-entry descriptors (key + snapshot tid +
+  // profit stats, no payload) persisted into checkpoints so a restarted
+  // engine knows which aggregates were worth caching.
+  std::vector<CacheDescriptor> ExportCacheDescriptors() const override;
+
+  /// Seeds the warm-restart map with descriptors recovered from the last
+  /// checkpoint. The next miss on a warm query bypasses the min-exec-ms
+  /// admission gate and inherits the descriptor's hit count — lazy
+  /// revalidation: the entry's value is always rebuilt from current data
+  /// (the persisted base tid only tells us the descriptor predates the
+  /// restart), so a stale snapshot tid can never serve stale rows.
+  void ImportWarmDescriptors(std::vector<CacheDescriptor> descriptors);
+
+  /// Warm descriptors not yet consumed by a re-admission.
+  size_t warm_descriptors_pending() const;
 
   // MergeObserver: incremental maintenance during the delta merge
   // (Section 5.2). Called with the merge's table locks held — exclusive on
@@ -246,6 +264,10 @@ class AggregateCacheManager : public MergeObserver {
   CacheExecStats last_stats_;
   PruneStats prune_stats_;
   std::atomic<int64_t> access_clock_{0};
+  /// Warm-restart descriptors keyed by canonical query string, consumed on
+  /// first miss of the matching query.
+  mutable std::mutex warm_mu_;
+  std::unordered_map<std::string, CacheDescriptor> warm_descriptors_;
 };
 
 }  // namespace aggcache

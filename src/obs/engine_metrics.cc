@@ -118,6 +118,42 @@ const EngineMetrics& EngineMetrics::Get() {
         "aggcache_pool_task_us",
         "Pool worker task run time in microseconds");
 
+    m->wal_appends = r.GetCounter(
+        "aggcache_wal_appends_total",
+        "Records appended to the write-ahead log");
+    m->wal_bytes = r.GetCounter(
+        "aggcache_wal_bytes_total",
+        "Framed bytes written to the write-ahead log");
+    m->wal_syncs = r.GetCounter(
+        "aggcache_wal_syncs_total",
+        "WAL fdatasync calls (one per group commit)");
+    m->wal_sync_us = r.GetHistogram(
+        "aggcache_wal_sync_us",
+        "WAL fdatasync latency in microseconds");
+
+    m->checkpoints = r.GetCounter(
+        "aggcache_checkpoints_total",
+        "Checkpoint segments published (atomic rename)");
+    m->checkpoints_skipped = r.GetCounter(
+        "aggcache_checkpoints_skipped_total",
+        "Checkpoint attempts skipped because atomic scopes were active");
+    m->checkpoint_us = r.GetHistogram(
+        "aggcache_checkpoint_us",
+        "End-to-end checkpoint latency in microseconds");
+
+    m->recovery_replayed = r.GetCounter(
+        "aggcache_recovery_replayed_records_total",
+        "WAL records replayed during startup recovery");
+    m->recovery_discarded_scopes = r.GetCounter(
+        "aggcache_recovery_discarded_scopes_total",
+        "Uncommitted atomic scopes discarded by recovery");
+    m->recovery_warm_admissions = r.GetCounter(
+        "aggcache_recovery_warm_admissions_total",
+        "Cache entries re-admitted from persisted warm descriptors");
+    m->recovery_replay_us = r.GetHistogram(
+        "aggcache_recovery_replay_us",
+        "WAL tail replay latency in microseconds");
+
     return m;
   }();
   return *metrics;

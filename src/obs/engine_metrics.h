@@ -63,6 +63,23 @@ struct EngineMetrics {
   Counter* pool_tasks;
   Histogram* pool_task_us;           ///< Worker task run time.
 
+  // Durability: write-ahead log.
+  Counter* wal_appends;              ///< Records appended to the WAL.
+  Counter* wal_bytes;                ///< WAL bytes written (framed).
+  Counter* wal_syncs;                ///< fdatasync calls (group commits).
+  Histogram* wal_sync_us;            ///< fdatasync latency.
+
+  // Durability: checkpoints.
+  Counter* checkpoints;              ///< Checkpoint segments published.
+  Counter* checkpoints_skipped;      ///< Attempts skipped (scopes active).
+  Histogram* checkpoint_us;          ///< End-to-end checkpoint latency.
+
+  // Durability: recovery.
+  Counter* recovery_replayed;        ///< WAL records replayed at startup.
+  Counter* recovery_discarded_scopes;///< Uncommitted scopes rolled back.
+  Counter* recovery_warm_admissions; ///< Cache entries re-admitted warm.
+  Histogram* recovery_replay_us;     ///< WAL tail replay latency.
+
   /// The process-wide handles (registered in MetricsRegistry::Global()).
   static const EngineMetrics& Get();
 };

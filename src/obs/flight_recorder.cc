@@ -112,6 +112,14 @@ const char* FlightEventTypeToString(FlightEventType type) {
       return "pool_resize";
     case FlightEventType::kMaintenanceFailure:
       return "maintenance_failure";
+    case FlightEventType::kWalAppend:
+      return "wal_append";
+    case FlightEventType::kWalSync:
+      return "wal_sync";
+    case FlightEventType::kCheckpointPublish:
+      return "checkpoint_publish";
+    case FlightEventType::kRecoveryReplay:
+      return "recovery_replay";
   }
   return "unknown";
 }

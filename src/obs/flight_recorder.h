@@ -31,6 +31,10 @@ enum class FlightEventType : uint8_t {
   kCheckFailure,         ///< detail = failing file:line (best effort)
   kPoolResize,           ///< a = new parallelism; b = old parallelism
   kMaintenanceFailure,   ///< a = entry id; detail = table / cause
+  kWalAppend,            ///< a = lsn; b = frame bytes; detail = record type
+  kWalSync,              ///< a = durable lsn; b = sync µs
+  kCheckpointPublish,    ///< a = checkpoint lsn; b = payload bytes
+  kRecoveryReplay,       ///< a = records replayed; b = replay µs
 };
 
 /// Event-type name used in JSON dumps (stable contract, golden-tested).

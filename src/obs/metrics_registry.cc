@@ -283,6 +283,7 @@ struct DumperState {
   std::thread thread;
   bool running = false;
   bool stop_requested = false;
+  bool starts_blocked = false;
   std::chrono::milliseconds period{1000};
   MetricsRegistry::Format format = MetricsRegistry::Format::kPrometheus;
   bool to_stdout = false;
@@ -341,9 +342,17 @@ bool ParseDumpEnv(DumperState* state) {
 
 }  // namespace
 
+void MetricsDumper::BlockStarts(bool blocked) {
+  DumperState& state = Dumper();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.starts_blocked = blocked;
+}
+
 bool MetricsDumper::MaybeStartFromEnv() {
   DumperState& state = Dumper();
   std::unique_lock<std::mutex> lock(state.mu);
+  AGGCACHE_CHECK(!state.starts_blocked)
+      << "metrics dumper started during recovery";
   if (state.running) return true;
   if (!ParseDumpEnv(&state)) return false;
   state.stop_requested = false;

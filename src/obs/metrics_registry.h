@@ -185,6 +185,11 @@ class MetricsDumper {
   /// Stops and joins the dump thread, emitting one final dump. No-op when
   /// not running.
   static void Stop();
+
+  /// While blocked (recovery replaying a WAL), MaybeStartFromEnv is a
+  /// programming error and aborts — background dumpers must only observe a
+  /// fully recovered engine (restart-order invariant).
+  static void BlockStarts(bool blocked);
 };
 
 }  // namespace aggcache

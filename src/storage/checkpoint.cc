@@ -1,0 +1,273 @@
+#include "storage/checkpoint.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/stopwatch.h"
+#include "obs/engine_metrics.h"
+#include "obs/flight_recorder.h"
+#include "storage/database.h"
+#include "storage/segment.h"
+#include "storage/snapshot.h"
+#include "storage/table_lock.h"
+#include "storage/wal.h"
+#include "verify/fault_injector.h"
+
+namespace aggcache {
+namespace {
+
+std::string Quoted(const std::string& s) { return EncodeWalValue(Value(s)); }
+
+StatusOr<std::string> ReadQuoted(std::istream& in) {
+  ASSIGN_OR_RETURN(Value v, DecodeWalValue(in));
+  if (!v.is_string()) {
+    return Status::InvalidArgument("expected a string token");
+  }
+  return v.AsString();
+}
+
+Status ExpectWord(std::istream& in, const char* word) {
+  std::string token;
+  if (!(in >> token) || token != word) {
+    return Status::InvalidArgument(std::string("expected '") + word +
+                                   "', got '" + token + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void EncodeAggregateQuery(const AggregateQuery& query, std::ostream& out) {
+  out << "tables " << query.tables.size();
+  for (const TableRef& t : query.tables) out << ' ' << Quoted(t.table_name);
+  out << '\n';
+  out << "joins " << query.joins.size() << '\n';
+  for (const JoinCondition& j : query.joins) {
+    out << j.left_table << ' ' << Quoted(j.left_column) << ' ' << j.right_table
+        << ' ' << Quoted(j.right_column) << '\n';
+  }
+  out << "filters " << query.filters.size() << '\n';
+  for (const FilterPredicate& f : query.filters) {
+    out << f.table_index << ' ' << Quoted(f.column) << ' '
+        << static_cast<int>(f.op) << ' ' << EncodeWalValue(f.operand) << '\n';
+  }
+  out << "group_by " << query.group_by.size() << '\n';
+  for (const GroupByRef& g : query.group_by) {
+    out << g.table_index << ' ' << Quoted(g.column) << '\n';
+  }
+  out << "aggregates " << query.aggregates.size() << '\n';
+  for (const AggregateSpec& a : query.aggregates) {
+    out << static_cast<int>(a.fn) << ' ' << a.table_index << ' '
+        << Quoted(a.column) << ' ' << Quoted(a.output_name) << '\n';
+  }
+}
+
+StatusOr<AggregateQuery> DecodeAggregateQuery(std::istream& in) {
+  AggregateQuery query;
+  size_t n = 0;
+  RETURN_IF_ERROR(ExpectWord(in, "tables"));
+  if (!(in >> n)) return Status::InvalidArgument("bad tables count");
+  for (size_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::string name, ReadQuoted(in));
+    query.tables.push_back(TableRef{std::move(name)});
+  }
+  RETURN_IF_ERROR(ExpectWord(in, "joins"));
+  if (!(in >> n)) return Status::InvalidArgument("bad joins count");
+  for (size_t i = 0; i < n; ++i) {
+    JoinCondition j;
+    if (!(in >> j.left_table)) {
+      return Status::InvalidArgument("bad join left table");
+    }
+    ASSIGN_OR_RETURN(j.left_column, ReadQuoted(in));
+    if (!(in >> j.right_table)) {
+      return Status::InvalidArgument("bad join right table");
+    }
+    ASSIGN_OR_RETURN(j.right_column, ReadQuoted(in));
+    query.joins.push_back(std::move(j));
+  }
+  RETURN_IF_ERROR(ExpectWord(in, "filters"));
+  if (!(in >> n)) return Status::InvalidArgument("bad filters count");
+  for (size_t i = 0; i < n; ++i) {
+    FilterPredicate f;
+    int op = 0;
+    if (!(in >> f.table_index)) {
+      return Status::InvalidArgument("bad filter table index");
+    }
+    ASSIGN_OR_RETURN(f.column, ReadQuoted(in));
+    if (!(in >> op) || op < 0 || op > static_cast<int>(CompareOp::kGe)) {
+      return Status::InvalidArgument("bad filter op");
+    }
+    f.op = static_cast<CompareOp>(op);
+    ASSIGN_OR_RETURN(f.operand, DecodeWalValue(in));
+    query.filters.push_back(std::move(f));
+  }
+  RETURN_IF_ERROR(ExpectWord(in, "group_by"));
+  if (!(in >> n)) return Status::InvalidArgument("bad group_by count");
+  for (size_t i = 0; i < n; ++i) {
+    GroupByRef g;
+    if (!(in >> g.table_index)) {
+      return Status::InvalidArgument("bad group_by table index");
+    }
+    ASSIGN_OR_RETURN(g.column, ReadQuoted(in));
+    query.group_by.push_back(std::move(g));
+  }
+  RETURN_IF_ERROR(ExpectWord(in, "aggregates"));
+  if (!(in >> n)) return Status::InvalidArgument("bad aggregates count");
+  for (size_t i = 0; i < n; ++i) {
+    AggregateSpec a;
+    int fn = 0;
+    if (!(in >> fn) || fn < 0 ||
+        fn > static_cast<int>(AggregateFunction::kCountStar)) {
+      return Status::InvalidArgument("bad aggregate function");
+    }
+    a.fn = static_cast<AggregateFunction>(fn);
+    if (!(in >> a.table_index)) {
+      return Status::InvalidArgument("bad aggregate table index");
+    }
+    ASSIGN_OR_RETURN(a.column, ReadQuoted(in));
+    ASSIGN_OR_RETURN(a.output_name, ReadQuoted(in));
+    query.aggregates.push_back(std::move(a));
+  }
+  return query;
+}
+
+StatusOr<std::string> EncodeCheckpointPayload(
+    const Database& db, const CacheDescriptorSource* descriptor_source) {
+  std::ostringstream out;
+  RETURN_IF_ERROR(WriteSnapshot(db, out));
+
+  auto merge_groups = db.merge_groups();
+  out << "merge_groups " << merge_groups.size() << '\n';
+  for (const auto& [tables, threshold] : merge_groups) {
+    out << "group " << threshold << ' ' << tables.size();
+    for (const std::string& t : tables) out << ' ' << Quoted(t);
+    out << '\n';
+  }
+
+  std::vector<CacheDescriptor> descriptors;
+  if (descriptor_source != nullptr) {
+    descriptors = descriptor_source->ExportCacheDescriptors();
+  }
+  out << "cache_descriptors " << descriptors.size() << '\n';
+  for (const CacheDescriptor& d : descriptors) {
+    out << "descriptor " << d.base_tid << ' ' << d.hit_count << ' '
+        << EncodeWalValue(Value(d.main_exec_ms)) << '\n';
+    EncodeAggregateQuery(d.query, out);
+    out << "end_descriptor\n";
+  }
+  out << "end_checkpoint\n";
+  return out.str();
+}
+
+StatusOr<CheckpointExtras> DecodeCheckpointPayload(const std::string& payload,
+                                                   Database* db) {
+  std::istringstream in(payload);
+  RETURN_IF_ERROR(ReadSnapshot(in, db));
+
+  CheckpointExtras extras;
+  size_t n = 0;
+  RETURN_IF_ERROR(ExpectWord(in, "merge_groups"));
+  if (!(in >> n)) return Status::InvalidArgument("bad merge_groups count");
+  for (size_t i = 0; i < n; ++i) {
+    RETURN_IF_ERROR(ExpectWord(in, "group"));
+    PersistedMergeGroup group;
+    size_t table_count = 0;
+    if (!(in >> group.delta_row_threshold >> table_count)) {
+      return Status::InvalidArgument("bad merge group header");
+    }
+    for (size_t t = 0; t < table_count; ++t) {
+      ASSIGN_OR_RETURN(std::string name, ReadQuoted(in));
+      group.tables.push_back(std::move(name));
+    }
+    db->RegisterMergeGroup(group.tables, group.delta_row_threshold);
+    extras.merge_groups.push_back(std::move(group));
+  }
+
+  RETURN_IF_ERROR(ExpectWord(in, "cache_descriptors"));
+  if (!(in >> n)) {
+    return Status::InvalidArgument("bad cache_descriptors count");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    RETURN_IF_ERROR(ExpectWord(in, "descriptor"));
+    CacheDescriptor d;
+    if (!(in >> d.base_tid >> d.hit_count)) {
+      return Status::InvalidArgument("bad descriptor header");
+    }
+    ASSIGN_OR_RETURN(Value cost, DecodeWalValue(in));
+    if (!cost.is_double()) {
+      return Status::InvalidArgument("bad descriptor cost");
+    }
+    d.main_exec_ms = cost.AsDouble();
+    ASSIGN_OR_RETURN(d.query, DecodeAggregateQuery(in));
+    RETURN_IF_ERROR(ExpectWord(in, "end_descriptor"));
+    extras.cache_descriptors.push_back(std::move(d));
+  }
+  RETURN_IF_ERROR(ExpectWord(in, "end_checkpoint"));
+  return extras;
+}
+
+// --- Checkpointer -----------------------------------------------------------
+
+Checkpointer::Checkpointer(Database* db, std::string dir)
+    : db_(db), dir_(std::move(dir)) {}
+
+StatusOr<bool> Checkpointer::Checkpoint(WriteAheadLog* wal) {
+  Stopwatch watch;
+  std::string payload;
+  uint64_t lsn = 0;
+  Tid last_tid = 0;
+  {
+    // No logged statement is mid-flight while the gate is held exclusively,
+    // so the table state and the WAL high-water lsn agree exactly.
+    std::unique_lock<std::shared_mutex> gate(statement_gate_);
+    if (db_->txn_manager().active_scope_count() > 0) {
+      // A live atomic scope's rows are uncommitted; a checkpoint that
+      // captured them could not roll them back (segments replay wholesale).
+      // Skip — the caller retries after the scope closes.
+      EngineMetrics::Get().checkpoints_skipped->Increment();
+      return false;
+    }
+    lsn = wal != nullptr ? wal->last_appended_lsn() : 0;
+    last_tid = db_->txn_manager().last_committed();
+
+    // Shared locks on every table exclude merges and splits (which take
+    // exclusive locks without holding the gate) while the payload encodes.
+    TableLockSet locks;
+    for (const std::string& name : db_->TableNames()) {
+      ASSIGN_OR_RETURN(Table * table, db_->GetTable(name));
+      locks.Add(table, TableLockMode::kShared);
+    }
+    locks.Lock();
+    ASSIGN_OR_RETURN(payload, EncodeCheckpointPayload(*db_, descriptor_source_));
+  }
+
+  // Disk I/O runs outside every lock; statements appended after the gate
+  // released carry lsns above `lsn` and replay from the WAL tail.
+  RETURN_IF_ERROR(WriteSegmentFile(dir_, lsn, last_tid, payload));
+  last_checkpoint_lsn_ = lsn;
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.checkpoints->Increment();
+  m.checkpoint_us->Observe(
+      static_cast<uint64_t>(watch.ElapsedMillis() * 1000.0));
+  RecordFlightEvent(FlightEventType::kCheckpointPublish, lsn, payload.size());
+
+  // Retention: keep the newest two generations. The WAL truncation boundary
+  // is the *older* retained checkpoint's lsn, so a corrupt newest segment
+  // still composes with the surviving WAL records into a full history.
+  ASSIGN_OR_RETURN(std::vector<SegmentInfo> segments,
+                   ListCheckpointSegments(dir_));
+  while (segments.size() > 2) {
+    ::remove(segments.front().path.c_str());
+    segments.erase(segments.begin());
+  }
+  // Crash point: die after publish, before the WAL shrinks. Recovery sees a
+  // checkpoint plus a WAL that still reaches back before it — records at or
+  // below the checkpoint lsn replay as no-ops-by-position (skipped).
+  RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("checkpoint.truncate"));
+  if (wal != nullptr && !segments.empty()) {
+    RETURN_IF_ERROR(wal->RotateAndTruncate(segments.front().lsn));
+  }
+  return true;
+}
+
+}  // namespace aggcache

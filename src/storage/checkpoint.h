@@ -1,0 +1,118 @@
+#ifndef AGGCACHE_STORAGE_CHECKPOINT_H_
+#define AGGCACHE_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/aggregate_query.h"
+#include "txn/types.h"
+
+namespace aggcache {
+
+class Database;
+class WriteAheadLog;
+
+/// Persisted description of one formerly-cached aggregate: the query shape,
+/// the snapshot tid the entry was valid at, and its profit statistics — no
+/// payload. A warm restart re-admits these lazily: the first matching query
+/// bypasses the admission cost threshold and rebuilds the aggregate, so a
+/// recovering node skips the cold-start compensation storm for entries that
+/// were hot before the crash.
+struct CacheDescriptor {
+  AggregateQuery query;
+  Tid base_tid = 0;           ///< Snapshot tid the entry was current at.
+  uint64_t hit_count = 0;     ///< Lifetime hits before the restart.
+  double main_exec_ms = 0.0;  ///< Measured uncached cost (admission stat).
+};
+
+/// Implemented by the aggregate cache manager so the checkpointer can
+/// export descriptors without a storage→cache dependency.
+class CacheDescriptorSource {
+ public:
+  virtual ~CacheDescriptorSource() = default;
+  virtual std::vector<CacheDescriptor> ExportCacheDescriptors() const = 0;
+};
+
+/// One registered merge group, persisted so the merge daemon's declarative
+/// policy survives a restart.
+struct PersistedMergeGroup {
+  std::vector<std::string> tables;
+  size_t delta_row_threshold = 0;
+};
+
+/// Everything a checkpoint payload decodes into besides the base data that
+/// ReadSnapshot restores directly into the database.
+struct CheckpointExtras {
+  std::vector<PersistedMergeGroup> merge_groups;
+  std::vector<CacheDescriptor> cache_descriptors;
+};
+
+/// Structural text codec for an AggregateQuery (tables, joins, filters,
+/// group-by, aggregates — HAVING excluded, matching CanonicalString's
+/// cache-identity semantics). Used inside checkpoint trailers; exposed for
+/// the round-trip tests.
+void EncodeAggregateQuery(const AggregateQuery& query, std::ostream& out);
+StatusOr<AggregateQuery> DecodeAggregateQuery(std::istream& in);
+
+/// Serializes the full database (snapshot text format) followed by a
+/// checkpoint trailer: merge groups and cache descriptors. The caller must
+/// hold whatever locks make the read consistent (the Checkpointer does).
+StatusOr<std::string> EncodeCheckpointPayload(
+    const Database& db, const CacheDescriptorSource* descriptor_source);
+
+/// Restores a checkpoint payload into an empty database and returns the
+/// trailer. Merge groups are re-registered on `db`; cache descriptors are
+/// returned for the cache manager to import.
+StatusOr<CheckpointExtras> DecodeCheckpointPayload(const std::string& payload,
+                                                   Database* db);
+
+/// Owns checkpoint creation and retention for one data directory.
+///
+/// Consistency protocol: every logged statement holds `statement_gate()`
+/// shared for its full duration (WAL append + table mutation), acquired
+/// BEFORE any table lock. A checkpoint takes the gate exclusively — so no
+/// statement is mid-flight — skips if atomic scopes are active, captures
+/// the WAL high-water lsn, then takes every table's lock shared (excluding
+/// merges) while it encodes the payload. Disk I/O happens after all locks
+/// are released.
+///
+/// Retention keeps the newest two generations; the WAL is truncated below
+/// the *older* retained checkpoint's lsn, so even a corrupt newest segment
+/// leaves a recoverable (checkpoint, WAL-tail) pair on disk.
+class Checkpointer {
+ public:
+  Checkpointer(Database* db, std::string dir);
+
+  /// Not owned; may be null (no descriptors persisted).
+  void SetDescriptorSource(const CacheDescriptorSource* source) {
+    descriptor_source_ = source;
+  }
+
+  /// Held shared by every logged statement, exclusively by Checkpoint().
+  std::shared_mutex& statement_gate() { return statement_gate_; }
+
+  /// Attempts one checkpoint. Returns true when a segment was published,
+  /// false when skipped because atomic write scopes were active (a scope's
+  /// rows are uncommitted; checkpoints only capture fully-committed
+  /// states). `wal` may be null (AGGCACHE_WAL=off: segment-only restarts).
+  StatusOr<bool> Checkpoint(WriteAheadLog* wal);
+
+  uint64_t last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
+
+ private:
+  Database* const db_;
+  const std::string dir_;
+  const CacheDescriptorSource* descriptor_source_ = nullptr;
+  std::shared_mutex statement_gate_;
+  uint64_t last_checkpoint_lsn_ = 0;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_CHECKPOINT_H_

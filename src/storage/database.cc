@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "storage/recovery.h"
 #include "storage/table_lock.h"
 #include "verify/fault_injector.h"
 
@@ -10,15 +11,26 @@ namespace aggcache {
 
 StatusOr<Table*> Database::CreateTable(const TableSchema& schema) {
   RETURN_IF_ERROR(schema.Validate());
-  std::lock_guard<std::mutex> lock(catalog_mu_);
-  if (tables_.contains(schema.name)) {
-    return Status::AlreadyExists("table '" + schema.name +
-                                 "' already exists");
+  Table* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    if (tables_.contains(schema.name)) {
+      return Status::AlreadyExists("table '" + schema.name +
+                                   "' already exists");
+    }
+    auto table = std::unique_ptr<Table>(new Table(schema));
+    RETURN_IF_ERROR(table->ResolveForeignKeys(this));
+    raw = table.get();
+    tables_.emplace(schema.name, std::move(table));
   }
-  auto table = std::unique_ptr<Table>(new Table(schema));
-  RETURN_IF_ERROR(table->ResolveForeignKeys(this));
-  Table* raw = table.get();
-  tables_.emplace(schema.name, std::move(table));
+  // Logged after catalog_mu_ releases: the WAL append takes the checkpoint
+  // statement gate, and a checkpoint holding that gate needs catalog_mu_ to
+  // enumerate tables — logging under the mutex would deadlock. The price is
+  // that a checkpoint can capture the table before its record lands, so
+  // replay treats CREATE TABLE as idempotent.
+  if (DurabilityManager* d = durability()) {
+    RETURN_IF_ERROR(d->LogCreateTable(schema));
+  }
   return raw;
 }
 
@@ -140,15 +152,27 @@ void Database::RemoveMergeObserver(MergeObserver* observer) {
 }
 
 void Database::RegisterAgingGroup(std::vector<std::string> table_names) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
-  aging_groups_.push_back(std::move(table_names));
+  std::vector<std::string> logged = table_names;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    aging_groups_.push_back(std::move(table_names));
+  }
+  // Best effort, after the mutex releases (same gate ordering as
+  // CreateTable); replay dedups re-registrations.
+  if (DurabilityManager* d = durability()) (void)d->LogAgingGroup(logged);
 }
 
 void Database::RegisterMergeGroup(std::vector<std::string> table_names,
                                   size_t delta_row_threshold) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
-  merge_groups_.push_back(
-      MergeGroup{std::move(table_names), delta_row_threshold});
+  std::vector<std::string> logged = table_names;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    merge_groups_.push_back(
+        MergeGroup{std::move(table_names), delta_row_threshold});
+  }
+  if (DurabilityManager* d = durability()) {
+    (void)d->LogMergeGroup(logged, delta_row_threshold);
+  }
 }
 
 StatusOr<bool> Database::GroupDue(const MergeGroup& group) const {
@@ -189,6 +213,35 @@ std::vector<std::vector<std::string>> Database::DueMergeGroups() const {
     if (group_due.ok() && *group_due) due.push_back(group.tables);
   }
   return due;
+}
+
+std::vector<std::pair<std::vector<std::string>, size_t>>
+Database::merge_groups() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  std::vector<std::pair<std::vector<std::string>, size_t>> groups;
+  groups.reserve(merge_groups_.size());
+  for (const MergeGroup& group : merge_groups_) {
+    groups.emplace_back(group.tables, group.delta_row_threshold);
+  }
+  return groups;
+}
+
+ScopedTransaction Database::BeginAtomic() {
+  ScopedTransaction scope = txn_manager_.BeginAtomic();
+  // The begin record anchors scope analysis during recovery: a begin with
+  // no matching commit marks every record of that tid as discardable.
+  if (DurabilityManager* d = durability()) (void)d->LogScopeBegin(scope.tid());
+  return scope;
+}
+
+void Database::AttachDurability(DurabilityManager* durability) {
+  durability_.store(durability, std::memory_order_release);
+  if (durability != nullptr) {
+    txn_manager_.SetScopeEndListener(
+        [durability](Tid tid) { durability->LogScopeEnd(tid); });
+  } else {
+    txn_manager_.SetScopeEndListener(nullptr);
+  }
 }
 
 bool Database::InSameAgingGroup(const std::string& a,

@@ -1,6 +1,7 @@
 #ifndef AGGCACHE_STORAGE_DATABASE_H_
 #define AGGCACHE_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,8 @@
 #include "txn/transaction_manager.h"
 
 namespace aggcache {
+
+class DurabilityManager;
 
 /// The catalog: owns tables, the transaction manager, the epoch manager,
 /// merge observers, and the object-aware metadata (consistent aging groups,
@@ -55,7 +58,9 @@ class Database {
   /// Starts a transaction inside an atomic write scope: its inserts become
   /// visible to other snapshots all at once, when the returned handle is
   /// destroyed. Scopes are insert-only (updates/deletes are rejected).
-  ScopedTransaction BeginAtomic() { return txn_manager_.BeginAtomic(); }
+  /// With durability attached, the scope's begin and commit are WAL-logged
+  /// so recovery can roll back scopes that were open at the crash.
+  ScopedTransaction BeginAtomic();
 
   /// Merges all partition groups of `table_name`, notifying merge observers
   /// around each group merge.
@@ -110,6 +115,31 @@ class Database {
   /// moving — so the daemon re-checks on every tick.
   std::vector<std::vector<std::string>> DueMergeGroups() const;
 
+  /// All registered merge groups as (tables, delta_row_threshold) pairs
+  /// (checkpoint persistence).
+  std::vector<std::pair<std::vector<std::string>, size_t>> merge_groups()
+      const;
+
+  /// Wires durability in (or out, with nullptr): statements consult
+  /// durability() to log themselves, and the transaction manager's
+  /// scope-end listener is pointed at the manager's commit record writer.
+  /// Called by DurabilityManager::Open after recovery completes — never
+  /// during replay, so replayed statements are not re-logged.
+  void AttachDurability(DurabilityManager* durability);
+
+  /// The attached durability manager, or nullptr when running in-memory.
+  DurabilityManager* durability() const {
+    return durability_.load(std::memory_order_acquire);
+  }
+
+  /// True while startup recovery is replaying into this database.
+  /// Background services (merge daemon, metrics dumper) assert on this:
+  /// they must only start on a fully recovered catalog.
+  bool restoring() const { return restoring_.load(std::memory_order_acquire); }
+  void set_restoring(bool restoring) {
+    restoring_.store(restoring, std::memory_order_release);
+  }
+
  private:
   friend class Table;  // FK resolution runs under catalog_mu_ in CreateTable.
 
@@ -132,6 +162,8 @@ class Database {
   std::vector<MergeObserver*> merge_observers_;
   std::vector<std::vector<std::string>> aging_groups_;
   std::vector<MergeGroup> merge_groups_;
+  std::atomic<DurabilityManager*> durability_{nullptr};
+  std::atomic<bool> restoring_{false};
 };
 
 }  // namespace aggcache

@@ -8,6 +8,7 @@
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
 #include "storage/database.h"
+#include "storage/recovery.h"
 
 namespace aggcache {
 
@@ -17,6 +18,8 @@ MergeDaemon::MergeDaemon(Database& db, MergeDaemonOptions options)
 MergeDaemon::~MergeDaemon() { Stop(); }
 
 void MergeDaemon::Start() {
+  AGGCACHE_CHECK(!db_.restoring())
+      << "merge daemon started while recovery is replaying the WAL";
   std::lock_guard<std::mutex> lock(mu_);
   if (running_) return;
   stop_requested_ = false;
@@ -74,6 +77,12 @@ bool MergeDaemon::paused() const {
 MergeDaemonStats MergeDaemon::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void MergeDaemon::SetDurability(DurabilityManager* durability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AGGCACHE_CHECK(!running_) << "set durability before starting the daemon";
+  durability_ = durability;
 }
 
 bool MergeDaemon::InterruptibleSleep(std::chrono::milliseconds delay) {
@@ -150,6 +159,13 @@ void MergeDaemon::Loop() {
     }
     // Reclaim storage retired by earlier merges whose readers have drained.
     db_.epochs().Collect();
+    // Opportunistic checkpoint: merges just shrank the deltas, so the
+    // snapshot part of the segment is near its minimum size, and enough
+    // WAL may have accumulated to be worth truncating.
+    if (durability_ != nullptr &&
+        durability_->options().checkpoint_on_merge) {
+      durability_->MaybeCheckpoint();
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 namespace aggcache {
 
 class Database;
+class DurabilityManager;
 
 /// Tuning for the background merge daemon. Defaults suit tests and the
 /// stress harness; production embedders raise poll_interval.
@@ -61,8 +62,17 @@ class MergeDaemon {
   MergeDaemon(const MergeDaemon&) = delete;
   MergeDaemon& operator=(const MergeDaemon&) = delete;
 
-  /// Launches the background thread. No-op when already running.
+  /// Launches the background thread. No-op when already running. CHECKs
+  /// that the database is not mid-recovery: the daemon merging tables while
+  /// the WAL tail is still replaying would interleave physical
+  /// reorganization with the logical replay stream (restart-order bug).
   void Start();
+
+  /// Wires in the durability manager so the daemon can cut opportunistic
+  /// checkpoints after merges (post-merge deltas are small, so the segment
+  /// is near its minimum size). Pass nullptr to unwire. Set while the
+  /// daemon is stopped.
+  void SetDurability(DurabilityManager* durability);
 
   /// Requests shutdown and joins the thread. Safe to call twice; the
   /// destructor calls it. An in-progress merge completes first.
@@ -103,6 +113,7 @@ class MergeDaemon {
 
   Database& db_;
   const MergeDaemonOptions options_;
+  DurabilityManager* durability_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,184 @@
+#ifndef AGGCACHE_STORAGE_RECOVERY_H_
+#define AGGCACHE_STORAGE_RECOVERY_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+
+namespace aggcache {
+
+class Database;
+class Table;
+struct TableSchema;
+
+/// Configuration of one data directory's durability, read from the
+/// environment by FromEnv():
+///
+///   AGGCACHE_WAL=off|async|sync   sync policy (default sync)
+///   AGGCACHE_DATA_DIR=<path>      where engine binaries place their data
+struct DurabilityOptions {
+  WalSyncPolicy wal_policy = WalSyncPolicy::kSync;
+  int async_interval_ms = 5;
+  /// MaybeCheckpoint() checkpoints once this many WAL bytes accumulate.
+  uint64_t checkpoint_wal_bytes = 8ull << 20;
+  /// Post-merge opportunistic checkpoints from the merge daemon.
+  bool checkpoint_on_merge = true;
+
+  static StatusOr<DurabilityOptions> FromEnv();
+};
+
+/// What startup recovery found and did; exposed for tests and logs.
+struct RecoveryReport {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_lsn = 0;     ///< Capture lsn of the loaded checkpoint.
+  Tid checkpoint_tid = 0;          ///< last_tid stored in the segment header.
+  uint64_t wal_records = 0;        ///< Valid records found on disk.
+  uint64_t replayed_records = 0;   ///< Records applied (lsn > checkpoint).
+  uint64_t discarded_records = 0;  ///< Records skipped: uncommitted scopes.
+  uint64_t discarded_scopes = 0;   ///< Distinct uncommitted scopes.
+  bool wal_clean = true;           ///< False when a torn/corrupt tail stopped
+                                   ///< the scan (see tail_error).
+  std::string wal_tail_error;
+  uint64_t warm_descriptors = 0;   ///< Cache descriptors carried forward.
+};
+
+/// Owns one data directory's durability: the WAL, the checkpointer and
+/// startup recovery. Open() is the only constructor path — it recovers the
+/// directory's persisted state into an empty Database, replays the WAL tail
+/// (stopping cleanly at a torn or corrupt record and truncating the file to
+/// its valid prefix), restores the tid counter, discards uncommitted atomic
+/// scopes, and only then attaches itself to the database so new statements
+/// start logging. Holding an flock'd LOCK file (and a process-local
+/// registry, since flock is per-open-file-description) makes a second open
+/// of a live directory fail loudly instead of interleaving two logs.
+///
+/// Threading: Log* calls are internally serialized by the WAL; the
+/// statement gate (see Checkpointer) is acquired shared by every logged
+/// statement via DurabilityStatementGuard BEFORE any table lock.
+class DurabilityManager {
+ public:
+  /// Recovers `dir` (created if absent) into `db`, which must be empty.
+  /// On success the returned manager is attached to `db` and the WAL is
+  /// open for appends.
+  static StatusOr<std::unique_ptr<DurabilityManager>> Open(
+      const std::string& dir, Database* db, const DurabilityOptions& options);
+  ~DurabilityManager();
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  const RecoveryReport& recovery_report() const { return report_; }
+  const std::string& dir() const { return dir_; }
+  const DurabilityOptions& options() const { return options_; }
+  WriteAheadLog* wal() { return wal_.get(); }
+
+  /// Cache descriptors recovered from the loaded checkpoint; the cache
+  /// manager takes them once at startup.
+  std::vector<CacheDescriptor> TakeWarmDescriptors();
+
+  /// Descriptor source consulted when the next checkpoint is cut.
+  void SetDescriptorSource(const CacheDescriptorSource* source) {
+    checkpointer_.SetDescriptorSource(source);
+  }
+
+  /// Held shared for the duration of every logged statement.
+  std::shared_mutex& statement_gate() {
+    return checkpointer_.statement_gate();
+  }
+
+  // --- Statement logging (engine hooks; callers hold the gate shared) ---
+  Status LogInsert(const std::string& table, Tid tid,
+                   const std::vector<Value>& user_values);
+  Status LogUpdate(const std::string& table, Tid tid, const Value& pk,
+                   const std::vector<Value>& new_user_values);
+  Status LogDelete(const std::string& table, Tid tid, const Value& pk);
+  Status LogSplitHotCold(const std::string& table, const std::string& column,
+                         const Value& cold_below);
+
+  // --- DDL / catalog logging (called with no locks held) ---
+  Status LogCreateTable(const TableSchema& schema);
+  Status LogAgingGroup(const std::vector<std::string>& tables);
+  Status LogMergeGroup(const std::vector<std::string>& tables,
+                       size_t delta_row_threshold);
+
+  // --- Atomic scope records ---
+  Status LogScopeBegin(Tid tid);
+  /// Scope-end listener target. Best effort: a failed append leaves the
+  /// scope uncommitted on disk, which recovery rolls back — exactly a crash
+  /// at commit time.
+  void LogScopeEnd(Tid tid);
+
+  /// Cuts a checkpoint now (see Checkpointer::Checkpoint).
+  StatusOr<bool> Checkpoint() { return checkpointer_.Checkpoint(wal_.get()); }
+
+  /// Checkpoints when enough WAL has accumulated since the last one.
+  /// Errors are logged, not raised — opportunistic maintenance must never
+  /// take down the merge daemon.
+  void MaybeCheckpoint();
+
+  uint64_t last_checkpoint_lsn() const {
+    return checkpointer_.last_checkpoint_lsn();
+  }
+
+  /// Forces appended records durable.
+  Status Sync() { return wal_ ? wal_->Sync() : Status::Ok(); }
+
+  /// Simulates a process kill: poisons the WAL (no final sync), releases
+  /// the directory lock, detaches from the database. Everything already
+  /// write(2)-ten survives for the next Open().
+  void SimulateCrash();
+
+ private:
+  DurabilityManager(std::string dir, Database* db,
+                    const DurabilityOptions& options);
+
+  Status Recover();
+  Status ReplayRecord(const WalRecord& record);
+  Status AppendRecord(WalRecordType type, Tid tid, const std::string& payload);
+  void ReleaseDirLock();
+
+  const std::string dir_;
+  Database* const db_;
+  const DurabilityOptions options_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  Checkpointer checkpointer_;
+  RecoveryReport report_;
+  std::vector<CacheDescriptor> warm_descriptors_;
+  /// Highest lsn seen on disk during recovery; the reopened WAL appends
+  /// from one past max(this, checkpoint lsn).
+  uint64_t last_replay_lsn_ = 0;
+  int lock_fd_ = -1;
+  bool lock_registered_ = false;
+};
+
+/// RAII statement gate hold: constructed by every logged mutating statement
+/// BEFORE it takes table locks (the lock-order rule that keeps checkpoints
+/// deadlock-free), released when the statement — mutation plus WAL append —
+/// completes. Null manager = durability off; the guard is free.
+class DurabilityStatementGuard {
+ public:
+  explicit DurabilityStatementGuard(DurabilityManager* durability)
+      : durability_(durability) {
+    if (durability_ != nullptr) durability_->statement_gate().lock_shared();
+  }
+  ~DurabilityStatementGuard() {
+    if (durability_ != nullptr) durability_->statement_gate().unlock_shared();
+  }
+  DurabilityStatementGuard(const DurabilityStatementGuard&) = delete;
+  DurabilityStatementGuard& operator=(const DurabilityStatementGuard&) =
+      delete;
+
+  DurabilityManager* durability() const { return durability_; }
+
+ private:
+  DurabilityManager* const durability_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_RECOVERY_H_

@@ -1,0 +1,172 @@
+#include "storage/segment.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/wal.h"
+#include "verify/fault_injector.h"
+
+namespace aggcache {
+namespace {
+
+constexpr const char* kSegmentMagic = "AGGCACHE_SEGMENT";
+
+std::string SegmentName(uint64_t lsn) {
+  return StrFormat("ckpt-%020llu.seg", static_cast<unsigned long long>(lsn));
+}
+
+Status SyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    return Status::Internal(
+        StrFormat("fsync(%s) failed: %s", what.c_str(), std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+/// fsyncs a directory so a rename inside it is durable.
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("open dir '%s' failed: %s", dir.c_str(),
+                                      std::strerror(errno)));
+  }
+  Status s = SyncFd(fd, dir);
+  ::close(fd);
+  return s;
+}
+
+}  // namespace
+
+Status WriteSegmentFile(const std::string& dir, uint64_t lsn, Tid last_tid,
+                        const std::string& payload) {
+  FaultInjector& injector = FaultInjector::Global();
+  RETURN_IF_ERROR(injector.MaybeFail("checkpoint.write"));
+
+  std::string final_path = dir + "/" + SegmentName(lsn);
+  std::string tmp_path = final_path + ".tmp";
+  uint32_t crc = Crc32(payload.data(), payload.size());
+  std::string header = StrFormat(
+      "%s v1 %llu %llu %zu %u\n", kSegmentMagic,
+      static_cast<unsigned long long>(lsn),
+      static_cast<unsigned long long>(last_tid), payload.size(), crc);
+
+  int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("open('%s') failed: %s",
+                                      tmp_path.c_str(), std::strerror(errno)));
+  }
+  auto write_all = [&](const char* p, size_t n) -> Status {
+    while (n > 0) {
+      ssize_t w = ::write(fd, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(StrFormat("segment write failed: %s",
+                                          std::strerror(errno)));
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::Ok();
+  };
+  Status s = write_all(header.data(), header.size());
+  if (s.ok()) s = write_all(payload.data(), payload.size());
+  if (s.ok()) s = SyncFd(fd, tmp_path);
+  ::close(fd);
+  if (!s.ok()) {
+    ::unlink(tmp_path.c_str());
+    return s;
+  }
+
+  // Crash point: temp file is complete and durable but never published.
+  // Recovery ignores .tmp files, so the previous generation still rules.
+  Status crash = injector.MaybeFail("checkpoint.publish");
+  if (!crash.ok()) return crash;
+
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    Status err = Status::Internal(StrFormat(
+        "rename('%s') failed: %s", final_path.c_str(), std::strerror(errno)));
+    ::unlink(tmp_path.c_str());
+    return err;
+  }
+  return SyncDir(dir);
+}
+
+StatusOr<std::string> ReadSegmentFile(const std::string& path, uint64_t* lsn,
+                                      Tid* last_tid) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open segment '" + path + "'");
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument("segment '" + path + "' has no header");
+  }
+  std::istringstream hs(header);
+  std::string magic, version;
+  unsigned long long file_lsn = 0, file_tid = 0;
+  size_t payload_bytes = 0;
+  uint32_t stored_crc = 0;
+  if (!(hs >> magic >> version >> file_lsn >> file_tid >> payload_bytes >>
+        stored_crc) ||
+      magic != kSegmentMagic || version != "v1") {
+    return Status::InvalidArgument("segment '" + path + "' has a bad header");
+  }
+  std::string payload(payload_bytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (static_cast<size_t>(in.gcount()) != payload_bytes) {
+    return Status::InvalidArgument("segment '" + path + "' is truncated");
+  }
+  uint32_t actual_crc = Crc32(payload.data(), payload.size());
+  if (actual_crc != stored_crc) {
+    return Status::InvalidArgument("segment '" + path +
+                                   "' failed its checksum");
+  }
+  if (lsn != nullptr) *lsn = file_lsn;
+  if (last_tid != nullptr) *last_tid = static_cast<Tid>(file_tid);
+  return payload;
+}
+
+StatusOr<std::vector<SegmentInfo>> ListCheckpointSegments(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<SegmentInfo> out;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return out;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    constexpr const char* kPrefix = "ckpt-";
+    constexpr const char* kSuffix = ".seg";
+    if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) continue;
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.substr(name.size() - 4) != kSuffix) continue;
+    std::string digits = name.substr(
+        std::strlen(kPrefix), name.size() - std::strlen(kPrefix) - 4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    SegmentInfo info;
+    info.path = entry.path().string();
+    info.lsn = std::strtoull(digits.c_str(), nullptr, 10);
+    out.push_back(std::move(info));
+  }
+  if (ec) {
+    return Status::Internal("segment dir scan failed: " + ec.message());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.lsn < b.lsn;
+            });
+  return out;
+}
+
+}  // namespace aggcache

@@ -1,0 +1,47 @@
+#ifndef AGGCACHE_STORAGE_SEGMENT_H_
+#define AGGCACHE_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/types.h"
+
+namespace aggcache {
+
+/// A checkpoint segment on disk: ckpt-<lsn>.seg, where <lsn> is the WAL lsn
+/// the checkpoint captured (every record with lsn <= it is reflected in the
+/// payload). Format:
+///
+///   AGGCACHE_SEGMENT v1 <lsn> <last_tid> <payload bytes> <payload crc32>\n
+///   <payload bytes of opaque payload>
+///
+/// Writers publish atomically: write ckpt-<lsn>.seg.tmp, fsync it, rename(2)
+/// over the final name, fsync the directory. Readers reject any file whose
+/// header, size or checksum disagrees — a torn or bit-flipped segment reads
+/// as absent, never as data.
+struct SegmentInfo {
+  std::string path;
+  uint64_t lsn = 0;
+};
+
+/// Writes and publishes one segment. Consults the FaultInjector crash
+/// points "checkpoint.write" (die before the temp file is complete) and
+/// "checkpoint.publish" (die after the temp fsync, before the rename) —
+/// both leave the previous checkpoint generation untouched.
+Status WriteSegmentFile(const std::string& dir, uint64_t lsn, Tid last_tid,
+                        const std::string& payload);
+
+/// Reads and validates one segment, returning its payload.
+StatusOr<std::string> ReadSegmentFile(const std::string& path, uint64_t* lsn,
+                                      Tid* last_tid);
+
+/// Lists every ckpt-*.seg in `dir`, sorted ascending by lsn. Files with
+/// unparsable names are ignored (as are .tmp leftovers).
+StatusOr<std::vector<SegmentInfo>> ListCheckpointSegments(
+    const std::string& dir);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_STORAGE_SEGMENT_H_

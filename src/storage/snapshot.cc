@@ -108,28 +108,7 @@ void WritePartition(const Partition& p, const char* kind,
 }
 
 void WriteTable(const Table& table, std::ostream& out) {
-  const TableSchema& schema = table.schema();
-  out << "table " << schema.name << "\n";
-  out << "columns " << schema.columns.size() << "\n";
-  for (const ColumnDef& c : schema.columns) {
-    out << "column " << c.name << " "
-        << static_cast<int>(c.type) << " " << (c.is_tid ? 1 : 0) << "\n";
-  }
-  out << "primary_key "
-      << (schema.primary_key ? static_cast<long long>(*schema.primary_key)
-                             : -1)
-      << "\n";
-  out << "own_tid "
-      << (schema.own_tid_column
-              ? static_cast<long long>(*schema.own_tid_column)
-              : -1)
-      << "\n";
-  out << "foreign_keys " << schema.foreign_keys.size() << "\n";
-  for (const ForeignKeyDef& fk : schema.foreign_keys) {
-    out << "fk " << fk.column << " " << fk.ref_table << " "
-        << (fk.tid_column ? static_cast<long long>(*fk.tid_column) : -1)
-        << "\n";
-  }
+  WriteSchemaText(table.schema(), out);
   out << "groups " << table.num_groups() << "\n";
   for (size_t g = 0; g < table.num_groups(); ++g) {
     const PartitionGroup& group = table.group(g);
@@ -317,6 +296,42 @@ StatusOr<TableSchema> ReadSchema(SnapshotReader& reader,
 }
 
 }  // namespace
+
+void WriteSchemaText(const TableSchema& schema, std::ostream& out) {
+  out << "table " << schema.name << "\n";
+  out << "columns " << schema.columns.size() << "\n";
+  for (const ColumnDef& c : schema.columns) {
+    out << "column " << c.name << " "
+        << static_cast<int>(c.type) << " " << (c.is_tid ? 1 : 0) << "\n";
+  }
+  out << "primary_key "
+      << (schema.primary_key ? static_cast<long long>(*schema.primary_key)
+                             : -1)
+      << "\n";
+  out << "own_tid "
+      << (schema.own_tid_column
+              ? static_cast<long long>(*schema.own_tid_column)
+              : -1)
+      << "\n";
+  out << "foreign_keys " << schema.foreign_keys.size() << "\n";
+  for (const ForeignKeyDef& fk : schema.foreign_keys) {
+    out << "fk " << fk.column << " " << fk.ref_table << " "
+        << (fk.tid_column ? static_cast<long long>(*fk.tid_column) : -1)
+        << "\n";
+  }
+}
+
+StatusOr<TableSchema> ReadSchemaText(std::istream& in) {
+  SnapshotReader reader(in);
+  ASSIGN_OR_RETURN(std::string line, reader.NextLine());
+  std::istringstream header(line);
+  std::string tag;
+  std::string table_name;
+  if (!(header >> tag >> table_name) || tag != "table") {
+    return reader.Fail("expected 'table <name>'");
+  }
+  return ReadSchema(reader, table_name);
+}
 
 Status WriteSnapshot(const Database& db, std::ostream& out) {
   out << kMagic << "\n";

@@ -25,7 +25,18 @@ Status WriteSnapshot(const Database& db, std::ostream& out);
 /// transactions issued). Tables are recreated in a dependency-compatible
 /// order, partitions are rebuilt exactly as stored, and the transaction
 /// counter resumes after the snapshot's last tid.
+///
+/// Reading stops at the snapshot's own end marker without consuming the
+/// rest of the stream, so callers may append trailing sections of their own
+/// (the checkpoint format does).
 Status ReadSnapshot(std::istream& in, Database* db);
+
+/// Writes one table's schema block alone (the "table <name>" header through
+/// the foreign keys, no partition data) — the WAL's CREATE TABLE payload.
+void WriteSchemaText(const TableSchema& schema, std::ostream& out);
+
+/// Parses a schema block produced by WriteSchemaText.
+StatusOr<TableSchema> ReadSchemaText(std::istream& in);
 
 }  // namespace aggcache
 

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "storage/database.h"
 #include "storage/delta_merge.h"
+#include "storage/recovery.h"
 #include "storage/table_lock.h"
 #include "txn/epoch.h"
 
@@ -135,8 +136,18 @@ EpochManager* Table::epochs() const {
 Status Table::Insert(const Transaction& txn,
                      const std::vector<Value>& user_values,
                      const InsertOptions& options) {
+  // Gate before table locks — the lock-order rule that keeps checkpoints
+  // deadlock-free (see DurabilityStatementGuard). Mutate-then-log: only
+  // statements that succeeded reach the WAL, so replay cannot fail; a
+  // failed append poisons the log and errors the statement.
+  DurabilityStatementGuard durability(db_ != nullptr ? db_->durability()
+                                                     : nullptr);
   TableLockSet locks = AcquireWriteLocks(this, fk_tables_);
-  return InsertInternal(txn, user_values, options, std::nullopt);
+  RETURN_IF_ERROR(InsertInternal(txn, user_values, options, std::nullopt));
+  if (DurabilityManager* d = durability.durability()) {
+    RETURN_IF_ERROR(d->LogInsert(name(), txn.tid(), user_values));
+  }
+  return Status::Ok();
 }
 
 Status Table::InsertInternal(const Transaction& txn,
@@ -169,8 +180,14 @@ Status Table::InsertInternal(const Transaction& txn,
 Status Table::UpdateByPk(const Transaction& txn, const Value& pk,
                          const std::vector<Value>& new_user_values,
                          const InsertOptions& options) {
+  DurabilityStatementGuard durability(db_ != nullptr ? db_->durability()
+                                                     : nullptr);
   TableLockSet locks = AcquireWriteLocks(this, fk_tables_);
-  return UpdateByPkUnlocked(txn, pk, new_user_values, options);
+  RETURN_IF_ERROR(UpdateByPkUnlocked(txn, pk, new_user_values, options));
+  if (DurabilityManager* d = durability.durability()) {
+    RETURN_IF_ERROR(d->LogUpdate(name(), txn.tid(), pk, new_user_values));
+  }
+  return Status::Ok();
 }
 
 Status Table::UpdateByPkUnlocked(const Transaction& txn, const Value& pk,
@@ -206,14 +223,22 @@ Status Table::UpdateByPkUnlocked(const Transaction& txn, const Value& pk,
 }
 
 Status Table::DeleteByPk(const Transaction& txn, const Value& pk) {
+  DurabilityStatementGuard durability(db_ != nullptr ? db_->durability()
+                                                     : nullptr);
   TableLockSet locks = AcquireWriteLocks(this, fk_tables_);
-  return DeleteByPkUnlocked(txn, pk);
+  RETURN_IF_ERROR(DeleteByPkUnlocked(txn, pk));
+  if (DurabilityManager* d = durability.durability()) {
+    RETURN_IF_ERROR(d->LogDelete(name(), txn.tid(), pk));
+  }
+  return Status::Ok();
 }
 
 Status Table::UpdateColumnByPk(const Transaction& txn, const Value& pk,
                                const std::string& column,
                                const Value& new_value,
                                const InsertOptions& options) {
+  DurabilityStatementGuard durability(db_ != nullptr ? db_->durability()
+                                                     : nullptr);
   TableLockSet locks = AcquireWriteLocks(this, fk_tables_);
   if (!schema_.primary_key) {
     return Status::FailedPrecondition("update requires a primary key");
@@ -237,7 +262,13 @@ Status Table::UpdateColumnByPk(const Transaction& txn, const Value& pk,
     if (schema_.columns[i].is_tid) continue;
     user_values.push_back(i == col ? new_value : ValueAt(loc, i));
   }
-  return UpdateByPkUnlocked(txn, pk, user_values, options);
+  RETURN_IF_ERROR(UpdateByPkUnlocked(txn, pk, user_values, options));
+  // Logged as a full-row update: the WAL is logical, and the rebuilt
+  // user-value vector is exactly what was applied.
+  if (DurabilityManager* d = durability.durability()) {
+    RETURN_IF_ERROR(d->LogUpdate(name(), txn.tid(), pk, user_values));
+  }
+  return Status::Ok();
 }
 
 Status Table::DeleteByPkUnlocked(const Transaction& txn, const Value& pk) {
@@ -321,6 +352,10 @@ size_t Table::DeltaRows() const {
 
 Status Table::SplitHotCold(const std::string& column,
                            const Value& cold_below) {
+  // Splits change the table's *logical* partition-group layout, so unlike
+  // merges (physical placement only) they are WAL-logged.
+  DurabilityStatementGuard durability(db_ != nullptr ? db_->durability()
+                                                     : nullptr);
   TableLockSet locks;
   locks.Add(this, TableLockMode::kExclusive);
   locks.Lock();
@@ -358,6 +393,9 @@ Status Table::SplitHotCold(const std::string& column,
     // drains rather than destroying in place.
     ep->Retire(std::move(displaced));
     ep->Advance();
+  }
+  if (DurabilityManager* d = durability.durability()) {
+    RETURN_IF_ERROR(d->LogSplitHotCold(name(), column, cold_below));
   }
   return Status::Ok();
 }

@@ -2,6 +2,7 @@
 #define AGGCACHE_TXN_TRANSACTION_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <utility>
@@ -132,6 +133,20 @@ class TransactionManager {
     return active_scopes_.size();
   }
 
+  /// Invoked each time an atomic write scope ends, with the scope's tid —
+  /// the durability layer logs scope commits through this. Called outside
+  /// the manager's mutex. Set once, before concurrent use.
+  void SetScopeEndListener(std::function<void(Tid)> listener) {
+    scope_end_listener_ = std::move(listener);
+  }
+
+  /// Recovery only: a handle at a historical tid, so a WAL record replays
+  /// through the normal Table APIs with its original timestamps. Does not
+  /// advance the counter and registers no scope.
+  Transaction ReplayAt(Tid tid) {
+    return Transaction(tid, {}, /*atomic=*/false);
+  }
+
   /// Fast-forwards the tid counter to at least `tid`; used when restoring
   /// a snapshot so new transactions continue after the restored history.
   void AdvanceTo(Tid tid) {
@@ -146,8 +161,13 @@ class TransactionManager {
   friend class ScopedTransaction;
 
   void EndAtomic(Tid tid) {
-    std::lock_guard<std::mutex> lock(mu_);
-    active_scopes_.erase(tid);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_scopes_.erase(tid);
+    }
+    // Outside mu_: the listener appends to the WAL, which must never run
+    // under the tid-allocation mutex.
+    if (scope_end_listener_) scope_end_listener_(tid);
   }
 
   std::vector<Tid> ActiveScopesLocked() const {
@@ -156,6 +176,7 @@ class TransactionManager {
 
   mutable std::mutex mu_;
   std::atomic<Tid> last_tid_{0};
+  std::function<void(Tid)> scope_end_listener_;
   /// Tids of in-flight atomic write scopes (sorted; std::set iteration
   /// order gives every snapshot a sorted exclusion list for free).
   std::set<Tid> active_scopes_;

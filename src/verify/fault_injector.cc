@@ -35,6 +35,11 @@ void FaultInjector::Arm(const std::string& point, PointConfig config) {
   std::lock_guard<std::mutex> lock(mu_);
   Point& p = points_[point];
   p.config = config;
+  // max_fires budgets are per-arming, not per-process: re-arming a point
+  // that already exhausted its budget must make it fire again, or repeated
+  // crash schedules silently degrade into no-ops.
+  retired_fired_ += p.stats.fired;
+  p.stats = PointStats();
   p.armed = true;
   any_armed_.store(true, std::memory_order_relaxed);
 }
@@ -195,13 +200,14 @@ FaultInjector::PointStats FaultInjector::stats(
 
 uint64_t FaultInjector::TotalFired() const {
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t fired = 0;
+  uint64_t fired = retired_fired_;
   for (const auto& [name, p] : points_) fired += p.stats.fired;
   return fired;
 }
 
 void FaultInjector::ResetCounters() {
   std::lock_guard<std::mutex> lock(mu_);
+  retired_fired_ = 0;
   for (auto& [name, p] : points_) p.stats = PointStats();
 }
 

@@ -68,7 +68,8 @@ class FaultInjector {
   struct PointConfig {
     /// Chance that one MaybeFail call at this point fires.
     double probability = 1.0;
-    /// Maximum number of fires this point may produce; < 0 = unlimited.
+    /// Maximum number of fires this point may produce since it was last
+    /// armed (Arm resets the budget); < 0 = unlimited.
     int64_t max_fires = -1;
     FaultKind kind = FaultKind::kError;
     /// kDelay only: base sleep per fire, plus uniform jitter in
@@ -130,6 +131,9 @@ class FaultInjector {
 
   mutable std::mutex mu_;
   std::map<std::string, Point> points_;
+  /// Fires from earlier armings of since-rearmed points, so TotalFired()
+  /// stays monotonic even though Arm() resets per-point budgets.
+  uint64_t retired_fired_ = 0;
   std::mt19937_64 rng_;
   /// Lock-free fast path: set iff any point is armed.
   std::atomic<bool> any_armed_{false};

@@ -1,6 +1,7 @@
 #include "verify/fuzzer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "sql/parser.h"
 #include "storage/database.h"
+#include "storage/recovery.h"
 #include "verify/fault_injector.h"
 #include "verify/oracle.h"
 #include "workload/trace.h"
@@ -21,10 +23,10 @@ std::string FuzzReport::Summary() const {
   if (ok) {
     return StrFormat(
         "seed %llu: OK (%zu steps, %zu queries, %zu combos, %llu faults "
-        "fired)",
+        "fired, %zu crashes survived)",
         static_cast<unsigned long long>(seed), steps_executed,
         queries_checked, combos_checked,
-        static_cast<unsigned long long>(faults_fired));
+        static_cast<unsigned long long>(faults_fired), crashes_survived);
   }
   std::string out = StrFormat("seed %llu: FAILED at %s\n",
                               static_cast<unsigned long long>(seed),
@@ -72,21 +74,87 @@ const char* kStrings[] = {"red", "green", "blue", "gold", "grey"};
 /// text first and then executed through TraceReplayer, so the recorded
 /// trace is the exact program that ran — a replay cannot drift from the
 /// original by construction.
-class FuzzRun {
+class FuzzRun : public TraceEngineHost {
  public:
   FuzzRun(uint64_t seed, const FuzzOptions& options)
       : options_(options), rng_(seed) {
     report_.seed = seed;
-    AggregateCacheManager::Config config;
     static const size_t kMaxEntries[] = {0, 2, 8, 64};
-    config.max_entries = kMaxEntries[rng_.UniformInt(0, 3)];
-    config.incremental_join_main_compensation = rng_.Chance(0.5);
-    cache_ = std::make_unique<AggregateCacheManager>(&db_, config);
-    replayer_ = std::make_unique<TraceReplayer>(&db_, cache_.get());
+    config_.max_entries = kMaxEntries[rng_.UniformInt(0, 3)];
+    config_.incremental_join_main_compensation = rng_.Chance(0.5);
+    db_ = std::make_unique<Database>();
+    if (options_.with_crashes) {
+      data_dir_ = StrFormat("%s/seed%llu", options_.data_dir.c_str(),
+                            static_cast<unsigned long long>(seed));
+      std::error_code ec;
+      std::filesystem::remove_all(data_dir_, ec);
+      // Simulated kills preserve everything write(2)-ten, so sync and async
+      // behave identically under this harness and both get coverage; kOff
+      // would lose committed work the oracle cannot model, so it is only
+      // exercised by the perf benchmarks.
+      durability_options_.wal_policy = rng_.Chance(0.5)
+                                           ? WalSyncPolicy::kSync
+                                           : WalSyncPolicy::kAsync;
+      auto durability_or =
+          DurabilityManager::Open(data_dir_, db_.get(), durability_options_);
+      if (!durability_or.ok()) {
+        Fail("durability open", "", durability_or.status().ToString());
+      } else {
+        durability_ = std::move(durability_or).value();
+      }
+    }
+    cache_ = std::make_unique<AggregateCacheManager>(db_.get(), config_);
+    if (durability_ != nullptr) durability_->SetDescriptorSource(cache_.get());
+    replayer_ = std::make_unique<TraceReplayer>(db_.get(), cache_.get());
+    replayer_->SetEngineHost(this);
     trace_ += StrFormat(
-        "# verify_fuzz seed=%llu max_entries=%zu incremental_join=%d\n",
-        static_cast<unsigned long long>(seed), config.max_entries,
-        config.incremental_join_main_compensation ? 1 : 0);
+        "# verify_fuzz seed=%llu max_entries=%zu incremental_join=%d "
+        "crashes=%d\n",
+        static_cast<unsigned long long>(seed), config_.max_entries,
+        config_.incremental_join_main_compensation ? 1 : 0,
+        options_.with_crashes ? 1 : 0);
+  }
+
+  ~FuzzRun() override {
+    // Teardown order mirrors ownership: the cache unregisters its merge
+    // observer from the database, the durability manager detaches from it.
+    cache_.reset();
+    durability_.reset();
+    db_.reset();
+  }
+
+  // --- TraceEngineHost ------------------------------------------------------
+
+  Status Crash() override {
+    if (durability_ == nullptr) {
+      return Status::FailedPrecondition("crash without durability");
+    }
+    durability_->SimulateCrash();
+    return Status::Ok();
+  }
+
+  Status Recover() override {
+    if (durability_ == nullptr) {
+      return Status::FailedPrecondition("recover without a prior crash");
+    }
+    cache_.reset();
+    durability_.reset();
+    db_ = std::make_unique<Database>();
+    ASSIGN_OR_RETURN(durability_, DurabilityManager::Open(
+                                      data_dir_, db_.get(),
+                                      durability_options_));
+    cache_ = std::make_unique<AggregateCacheManager>(db_.get(), config_);
+    cache_->ImportWarmDescriptors(durability_->TakeWarmDescriptors());
+    durability_->SetDescriptorSource(cache_.get());
+    replayer_->Rebind(db_.get(), cache_.get());
+    return Status::Ok();
+  }
+
+  Status Checkpoint() override {
+    if (durability_ == nullptr) {
+      return Status::FailedPrecondition("checkpoint without durability");
+    }
+    return durability_->Checkpoint().status();
   }
 
   FuzzReport Run() {
@@ -113,25 +181,33 @@ class FuzzRun {
         continue;
       }
       int dice = rng_.UniformInt(0, 99);
-      if (dice < 35) {
+      if (dice < 31) {
         DoInsert(tables_[rng_.UniformInt(0, tables_.size() - 1)]);
-      } else if (dice < 48) {
+      } else if (dice < 43) {
         DoUpdate();
-      } else if (dice < 56) {
+      } else if (dice < 51) {
         DoDelete();
-      } else if (dice < 66) {
+      } else if (dice < 59) {
         DoMerge();
-      } else if (dice < 72) {
+      } else if (dice < 65) {
         DoSplitAndAge();
-      } else if (dice < 77) {
+      } else if (dice < 69) {
         Exec("!clearcache");
-      } else if (dice < 87 && options_.with_faults) {
+      } else if (dice < 75) {
+        DoAtomicBurst();
+      } else if (dice < 85 && options_.with_faults) {
         DoFaultSchedule();
+      } else if (dice < 93 && options_.with_crashes) {
+        since_check = 0;  // Ends in a full differential sweep.
+        DoCrashRecover();
       } else {
         since_check = 0;
         DoCheckpoint();
       }
     }
+    // Every crash seed ends with at least one kill + recovery, so no seed
+    // can pass without exercising the recovery path.
+    if (!failed_ && options_.with_crashes) DoCrashRecover();
     if (!failed_) DoCheckpoint();
 
     report_.faults_fired = injector.TotalFired() - fired_before;
@@ -266,7 +342,7 @@ class FuzzRun {
     if (table.parent >= 0) {
       temp_tid = tables_[table.parent].rows[parent_pk].temp_tid;
     } else {
-      temp_tid = static_cast<int64_t>(db_.txn_manager().last_committed());
+      temp_tid = static_cast<int64_t>(db_->txn_manager().last_committed());
     }
     table.rows[table.next_pk] = FuzzRow{temp_tid, parent_pk};
     ++table.next_pk;
@@ -336,13 +412,13 @@ class FuzzRun {
     Exec("!merge");
     if (failed_) return;
     for (const FuzzTable& t : tables_) {
-      const Table* table = db_.GetTable(t.name).value();
+      const Table* table = db_->GetTable(t.name).value();
       for (size_t g = 0; g < table->num_groups(); ++g) {
         if (!table->group(g).delta.empty()) return;  // Unexpected; skip.
       }
     }
     split_tid_ = rng_.UniformInt(
-        1, static_cast<int64_t>(db_.txn_manager().last_committed()));
+        1, static_cast<int64_t>(db_->txn_manager().last_committed()));
     Exec(StrFormat("!split T0 %s %lld", tables_[0].own_tid_col.c_str(),
                    static_cast<long long>(split_tid_)));
     Exec(StrFormat("!split T1 %s %lld", tables_[1].md_tid_col.c_str(),
@@ -381,6 +457,100 @@ class FuzzRun {
     Exec(StrFormat("!faultseed %lld",
                    static_cast<long long>(rng_.UniformInt(1, 1 << 20))));
     Exec("!fault " + spec);
+  }
+
+  // --- Durability: atomic scopes, crashes, recovery -----------------------
+
+  /// One committed atomic write scope: a short burst of inserts that become
+  /// visible (and durable) together when the scope closes.
+  void DoAtomicBurst() {
+    Exec("!atomic begin");
+    size_t n = rng_.UniformInt(2, 4);
+    for (size_t i = 0; i < n && !failed_; ++i) {
+      DoInsert(tables_[rng_.UniformInt(0, tables_.size() - 1)]);
+    }
+    Exec("!atomic end");
+  }
+
+  /// An INSERT into the root table that is intentionally NOT recorded in
+  /// the oracle: for rows the upcoming crash is expected to destroy
+  /// (uncommitted scopes, WAL appends swallowed by an armed crash point).
+  /// The primary key is burned so a later real insert cannot collide.
+  void DoomedInsert() {
+    FuzzTable& root = tables_[0];
+    std::string values = StrFormat("%lld", static_cast<long long>(root.next_pk));
+    ++root.next_pk;
+    for (const FuzzColumn& col : root.cols) {
+      values += ", " + RandomLiteral(col);
+    }
+    Exec("INSERT INTO " + root.name + " VALUES (" + values + ");");
+  }
+
+  /// Kills the engine at a randomly chosen crash point, recovers it from
+  /// disk, and proves the recovered engine equals the oracle: a structural
+  /// visible-row check per table, then a full differential query sweep.
+  void DoCrashRecover() {
+    if (failed_ || durability_ == nullptr) return;
+    // The crash points below need the injector to themselves.
+    Exec("!fault off");
+    switch (rng_.UniformInt(0, 8)) {
+      case 0:  // Plain kill between statements.
+        break;
+      case 1:  // Kill inside an open atomic scope: recovery rolls it back.
+        Exec("!atomic begin");
+        for (int i = 0; i < 2 && !failed_; ++i) DoomedInsert();
+        break;
+      case 2:  // Kill with a delta merge aborted mid-flight.
+        Exec("!fault storage.merge:1:1");
+        Exec("!merge");
+        break;
+      case 3:  // Statement lost before its WAL frame is written.
+        Exec("!fault wal.append:1:1");
+        DoomedInsert();
+        break;
+      case 4:  // Torn frame: only half the record reaches the log.
+        Exec("!fault wal.append.torn:1:1");
+        DoomedInsert();
+        break;
+      case 5:  // Kill right after the fsync: the statement IS durable.
+        Exec("!fault wal.sync:1:1");
+        DoInsert(tables_[rng_.UniformInt(0, tables_.size() - 1)]);
+        break;
+      case 6:  // Checkpoint dies writing its segment file.
+        Exec("!fault checkpoint.write:1:1");
+        Exec("!checkpoint");
+        break;
+      case 7:  // Checkpoint dies before the atomic rename publishes it.
+        Exec("!fault checkpoint.publish:1:1");
+        Exec("!checkpoint");
+        break;
+      case 8:  // Checkpoint published but the WAL truncation is lost.
+        Exec("!fault checkpoint.truncate:1:1");
+        Exec("!checkpoint");
+        break;
+    }
+    if (failed_) return;
+    Exec("!crash");
+    Exec("!fault off");  // Nothing may fire inside recovery replay.
+    Exec("!recover");
+    if (failed_) return;
+    Snapshot snapshot = db_->txn_manager().GlobalSnapshot();
+    for (const FuzzTable& t : tables_) {
+      auto table_or = db_->GetTable(t.name);
+      if (!table_or.ok()) {
+        Fail("recovery: " + t.name, "", table_or.status().ToString());
+        return;
+      }
+      size_t visible = table_or.value()->VisibleRows(snapshot);
+      if (visible != t.rows.size()) {
+        Fail("recovery: " + t.name, "",
+             StrFormat("%zu rows visible after recovery, oracle has %zu",
+                       visible, t.rows.size()));
+        return;
+      }
+    }
+    ++report_.crashes_survived;
+    DoCheckpoint();  // Differential sweep against the recovered engine.
   }
 
   // --- Query generation ---------------------------------------------------
@@ -505,7 +675,7 @@ class FuzzRun {
           "%s.%s %s %lld", t.name.c_str(), tid_col.c_str(),
           rng_.Chance(0.5) ? "<=" : ">",
           static_cast<long long>(rng_.UniformInt(
-              1, static_cast<int64_t>(db_.txn_manager().last_committed())))));
+              1, static_cast<int64_t>(db_->txn_manager().last_committed())))));
     }
     if (!conjuncts.empty()) {
       sql += " WHERE " + StrJoin(conjuncts, " AND ");
@@ -540,7 +710,7 @@ class FuzzRun {
       sql = GenerateQuerySql();
       query_pool_.push_back(sql);
     }
-    auto stmt_or = ParseStatement(sql, db_);
+    auto stmt_or = ParseStatement(sql, *db_);
     if (!stmt_or.ok()) {
       Fail("parse", sql, stmt_or.status().ToString());
       return;
@@ -552,8 +722,8 @@ class FuzzRun {
     // the oracle read the exact same snapshot. The trace records the query
     // once (replay executes it under default options).
     trace_ += sql + "\n";
-    Transaction txn = db_.Begin();
-    auto oracle_or = OracleExecute(db_, query, txn.snapshot());
+    Transaction txn = db_->Begin();
+    auto oracle_or = OracleExecute(*db_, query, txn.snapshot());
     if (!oracle_or.ok()) {
       Fail("oracle", sql, oracle_or.status().ToString());
       return;
@@ -610,12 +780,16 @@ class FuzzRun {
 
   FuzzOptions options_;
   Rng rng_;
-  Database db_;
+  AggregateCacheManager::Config config_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<DurabilityManager> durability_;
   std::unique_ptr<AggregateCacheManager> cache_;
   std::unique_ptr<TraceReplayer> replayer_;
   std::vector<FuzzTable> tables_;
   std::vector<std::string> query_pool_;
   std::string trace_;
+  std::string data_dir_;
+  DurabilityOptions durability_options_;
   FuzzReport report_;
   bool failed_ = false;
   bool aging_active_ = false;

@@ -27,6 +27,14 @@ struct FuzzOptions {
   bool inject_divergence = false;
   /// Relative tolerance for double aggregates (summation order differs).
   double tolerance = 1e-9;
+  /// Run the engine on a durable data directory and interleave simulated
+  /// kills + recoveries (plain, mid-atomic-scope, mid-merge, and at every
+  /// WAL/checkpoint crash point), diffing post-recovery state against the
+  /// oracle's committed state. Requires data_dir.
+  bool with_crashes = false;
+  /// Base directory for durable state; each seed uses data_dir/seed<N>,
+  /// wiped at the start of the run.
+  std::string data_dir;
 };
 
 /// First divergence (or unexpected error) found by a run.
@@ -47,6 +55,8 @@ struct FuzzReport {
   size_t queries_checked = 0;
   /// Strategy × pushdown × threads executions diffed against the oracle.
   size_t combos_checked = 0;
+  /// Simulated kill + recovery cycles survived with clean oracle diffs.
+  size_t crashes_survived = 0;
   /// Injected faults that actually fired during the run.
   uint64_t faults_fired = 0;
   std::optional<FuzzFailure> failure;

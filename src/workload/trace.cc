@@ -105,11 +105,27 @@ Status TraceReplayer::ExecuteSql(const std::string& sql,
       ++report->queries;
       break;
     }
-    case ParsedStatement::Kind::kInsert:
-      RETURN_IF_ERROR(ApplyStatement(statement, db_));
+    case ParsedStatement::Kind::kInsert: {
+      Status status;
+      if (scope_.has_value()) {
+        // Inside !atomic begin .. end every insert runs under the one
+        // scoped transaction, so a crash mid-scope must roll them all back.
+        ASSIGN_OR_RETURN(Table * table, db_->GetTable(statement.insert_table));
+        status = table->Insert(*scope_, statement.insert_values);
+      } else {
+        status = ApplyStatement(statement, db_);
+      }
+      if (!status.ok()) {
+        // An insert swallowed by an armed WAL crash point (wal.append,
+        // wal.append.torn) is the scenario under test; the row is lost to
+        // the log and the trace's next ops are !crash + !recover.
+        if (!FaultInjector::IsInjectedFault(status)) return status;
+        ++report->faulted_ops;
+      }
       report->insert_ms += watch.ElapsedMillis();
       ++report->inserts;
       break;
+    }
     case ParsedStatement::Kind::kCreateTable:
       RETURN_IF_ERROR(ApplyStatement(statement, db_));
       ++report->ddl;
@@ -151,6 +167,58 @@ Status TraceReplayer::ExecuteMeta(const std::string& line,
   if (op == "!merge") return ExecuteMerge(args, report);
   if (op == "!clearcache") {
     cache_->Clear();
+    return Status::Ok();
+  }
+  if (op == "!atomic") {
+    std::string which = Trim(args);
+    if (which == "begin") {
+      if (scope_.has_value()) {
+        return Status::FailedPrecondition("atomic scope already open");
+      }
+      scope_.emplace(db_->BeginAtomic());
+      return Status::Ok();
+    }
+    if (which == "end") {
+      if (!scope_.has_value()) {
+        return Status::FailedPrecondition("no atomic scope open");
+      }
+      scope_.reset();  // Destructor commits the scope (and logs it).
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("!atomic expects 'begin' or 'end'");
+  }
+  if (op == "!checkpoint" || op == "!crash" || op == "!recover") {
+    if (host_ == nullptr) {
+      return Status::FailedPrecondition(op +
+                                        " requires an engine host (see "
+                                        "TraceReplayer::SetEngineHost)");
+    }
+    if (op == "!checkpoint") {
+      Status status = host_->Checkpoint();
+      if (!status.ok()) {
+        // A checkpoint aborted by an armed crash point (checkpoint.write,
+        // checkpoint.publish, checkpoint.truncate) is an expected outcome;
+        // recovery falls back to the previous generation.
+        if (!FaultInjector::IsInjectedFault(status)) return status;
+        ++report->faulted_ops;
+      }
+      ++report->checkpoints;
+      return Status::Ok();
+    }
+    if (op == "!crash") {
+      // Poison the log first, then drop the open scope: its destructor's
+      // commit record can no longer reach disk, which is exactly what a
+      // kill mid-scope looks like — recovery must roll the scope back.
+      RETURN_IF_ERROR(host_->Crash());
+      scope_.reset();
+      ++report->crashes;
+      return Status::Ok();
+    }
+    if (scope_.has_value()) {
+      return Status::FailedPrecondition("!recover with an open scope");
+    }
+    RETURN_IF_ERROR(host_->Recover());
+    ++report->recoveries;
     return Status::Ok();
   }
   if (op == "!fault") {

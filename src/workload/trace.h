@@ -2,11 +2,30 @@
 #define AGGCACHE_WORKLOAD_TRACE_H_
 
 #include <istream>
+#include <optional>
 #include <string>
 
 #include "cache/aggregate_cache_manager.h"
 
 namespace aggcache {
+
+/// Engine lifecycle hooks for durability traces. The replayer itself only
+/// borrows the database and cache; crashing and recovering destroys and
+/// recreates them, which only their owner (the fuzzer, a test) can do.
+/// After Recover(), the host must call TraceReplayer::Rebind with the new
+/// engine objects.
+class TraceEngineHost {
+ public:
+  virtual ~TraceEngineHost() = default;
+  /// Simulates a process kill: nothing unsynced is flushed, the WAL is
+  /// poisoned, locks release. The in-memory engine is garbage afterwards;
+  /// only !recover may follow.
+  virtual Status Crash() = 0;
+  /// Discards the crashed engine and reopens it from disk.
+  virtual Status Recover() = 0;
+  /// Cuts a durability checkpoint now.
+  virtual Status Checkpoint() = 0;
+};
 
 /// Outcome of replaying one workload trace.
 struct TraceReport {
@@ -19,6 +38,12 @@ struct TraceReport {
   size_t deletes = 0;         ///< !delete meta operations.
   size_t splits = 0;          ///< !split meta operations.
   size_t faulted_merges = 0;  ///< Merges aborted by an injected fault.
+  /// INSERTs / !checkpoints aborted by an injected fault (WAL and
+  /// checkpoint crash points); replay continues, like faulted merges.
+  size_t faulted_ops = 0;
+  size_t crashes = 0;         ///< !crash meta operations.
+  size_t recoveries = 0;      ///< !recover meta operations.
+  size_t checkpoints = 0;     ///< !checkpoint meta operations.
   double total_ms = 0.0;
   double insert_ms = 0.0;
   double query_ms = 0.0;
@@ -46,6 +71,11 @@ struct TraceReport {
 ///   !faultseed <n>              -- reseed the fault injector draws
 ///   !flightdump [n]             -- dump the last n (default 4096) flight-
 ///                                    recorder events to stderr as JSON
+///   !atomic begin|end           -- open/close an atomic write scope;
+///                                    INSERTs inside run under the scope
+///   !checkpoint                 -- cut a durability checkpoint (host)
+///   !crash                      -- simulated kill (host; drops open scope)
+///   !recover                    -- reopen the engine from disk (host)
 ///
 /// Literal operands are SQL-style: integers, decimals, or 'strings'.
 /// A !merge that fails with an *injected* fault (see verify/fault_injector.h)
@@ -63,6 +93,17 @@ class TraceReplayer {
                 ExecutionOptions options = ExecutionOptions())
       : db_(db), cache_(cache), options_(options) {}
 
+  /// Wires in the engine-lifecycle host; without one, the !checkpoint,
+  /// !crash, and !recover meta-ops fail.
+  void SetEngineHost(TraceEngineHost* host) { host_ = host; }
+
+  /// Repoints the replayer at a recovered engine (called by the host from
+  /// Recover()).
+  void Rebind(Database* db, AggregateCacheManager* cache) {
+    db_ = db;
+    cache_ = cache;
+  }
+
   /// Replays the whole trace; stops at the first failing operation.
   StatusOr<TraceReport> Replay(std::istream& trace);
 
@@ -77,6 +118,10 @@ class TraceReplayer {
   Database* db_;
   AggregateCacheManager* cache_;
   ExecutionOptions options_;
+  TraceEngineHost* host_ = nullptr;
+  /// Open atomic write scope (!atomic begin .. end); INSERT statements run
+  /// under it instead of one transaction each.
+  std::optional<ScopedTransaction> scope_;
 };
 
 }  // namespace aggcache

@@ -54,6 +54,13 @@ TEST(FlightRecorderTest, EventTypeNamesAreStable) {
                "pool_resize");
   EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kMaintenanceFailure),
                "maintenance_failure");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kWalAppend),
+               "wal_append");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kWalSync), "wal_sync");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kCheckpointPublish),
+               "checkpoint_publish");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kRecoveryReplay),
+               "recovery_replay");
 }
 
 TEST(FlightRecorderTest, RecordsAndCollectsInOrder) {

@@ -241,6 +241,9 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_cache_rebuilds_total counter",
       "# TYPE aggcache_cache_singleflight_waits_total counter",
       "# TYPE aggcache_cache_uncached_fallbacks_total counter",
+      "# TYPE aggcache_checkpoint_us histogram",
+      "# TYPE aggcache_checkpoints_skipped_total counter",
+      "# TYPE aggcache_checkpoints_total counter",
       "# TYPE aggcache_executor_code_joins_total counter",
       "# TYPE aggcache_executor_fallback_groupings_total counter",
       "# TYPE aggcache_executor_packed_groupings_total counter",
@@ -262,8 +265,16 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_pruner_pruned_empty_total counter",
       "# TYPE aggcache_pruner_pruned_tid_range_total counter",
       "# TYPE aggcache_pushdown_predicates_total counter",
+      "# TYPE aggcache_recovery_discarded_scopes_total counter",
+      "# TYPE aggcache_recovery_replay_us histogram",
+      "# TYPE aggcache_recovery_replayed_records_total counter",
+      "# TYPE aggcache_recovery_warm_admissions_total counter",
       "# TYPE aggcache_sharedscan_attaches_total counter",
       "# TYPE aggcache_sharedscan_leads_total counter",
+      "# TYPE aggcache_wal_appends_total counter",
+      "# TYPE aggcache_wal_bytes_total counter",
+      "# TYPE aggcache_wal_sync_us histogram",
+      "# TYPE aggcache_wal_syncs_total counter",
   };
   EXPECT_EQ(type_lines, expected);
 }

@@ -1,0 +1,310 @@
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+constexpr uint32_t kMagic = 0x57414C52;
+
+/// Builds a byte-exact WAL frame (mirrors the writer's framing) so tests
+/// can plant records with hostile lsns/lengths the writer would never emit.
+std::string Frame(uint64_t lsn, Tid tid, WalRecordType type,
+                  const std::string& payload) {
+  std::string frame;
+  PutU32(&frame, kMagic);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, lsn);
+  PutU64(&frame, static_cast<uint64_t>(tid));
+  frame.push_back(static_cast<char>(type));
+  frame += payload;
+  uint32_t crc = Crc32(frame.data() + 4, frame.size() - 4);
+  PutU32(&frame, crc);
+  return frame;
+}
+
+/// Every record below uses a 2-byte payload, so frames are a fixed
+/// 4+4+8+8+1+2+4 = 31 bytes and offsets are easy to reason about.
+constexpr size_t kFrameBytes = 31;
+
+class WalCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path("wal_corruption_data") /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  /// Writes `n` valid records (lsn 1..n, 2-byte payloads) through the real
+  /// writer and closes it cleanly.
+  void WriteValidLog(size_t n) {
+    WriteAheadLog::Options options;
+    options.policy = WalSyncPolicy::kSync;
+    auto wal_or = WriteAheadLog::Open(dir_.string(), options, 1);
+    ASSERT_TRUE(wal_or.ok()) << wal_or.status();
+    std::unique_ptr<WriteAheadLog> wal = std::move(wal_or).value();
+    for (size_t i = 1; i <= n; ++i) {
+      ASSERT_OK(wal->Append(WalRecordType::kInsert, static_cast<Tid>(i),
+                            StrFormat("p%zu", i % 10)));
+    }
+  }
+
+  /// The single segment file WriteValidLog produced.
+  fs::path SegmentPath() {
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (WriteAheadLog::SegmentStartLsn(entry.path().filename().string())
+              .has_value()) {
+        return entry.path();
+      }
+    }
+    ADD_FAILURE() << "no WAL segment in " << dir_;
+    return {};
+  }
+
+  std::string ReadBytes(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteBytes(const fs::path& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  void AppendBytes(const fs::path& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  WalReadResult Read() {
+    auto result_or = WriteAheadLog::ReadDir(dir_.string());
+    AGGCACHE_CHECK(result_or.ok()) << result_or.status();
+    return std::move(result_or).value();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(WalCorruptionTest, CleanLogRoundTrips) {
+  WriteValidLog(5);
+  WalReadResult result = Read();
+  EXPECT_TRUE(result.clean) << result.tail_error;
+  ASSERT_EQ(result.records.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result.records[i].lsn, i + 1);
+    EXPECT_EQ(result.records[i].tid, static_cast<Tid>(i + 1));
+    EXPECT_EQ(result.records[i].type, WalRecordType::kInsert);
+    EXPECT_EQ(result.records[i].payload, StrFormat("p%zu", (i + 1) % 10));
+  }
+}
+
+TEST_F(WalCorruptionTest, TruncatedTailReturnsValidPrefix) {
+  WriteValidLog(5);
+  fs::path segment = SegmentPath();
+  std::string bytes = ReadBytes(segment);
+  ASSERT_EQ(bytes.size(), 5 * kFrameBytes);
+  WriteBytes(segment, bytes.substr(0, bytes.size() - 3));
+
+  WalReadResult result = Read();
+  EXPECT_FALSE(result.clean);
+  EXPECT_NE(result.tail_error.find("torn"), std::string::npos)
+      << result.tail_error;
+  EXPECT_EQ(result.records.size(), 4u);
+  EXPECT_EQ(result.tail_valid_bytes, 4 * kFrameBytes);
+  EXPECT_EQ(result.tail_file, segment.string());
+}
+
+TEST_F(WalCorruptionTest, BitFlipStopsAtCorruptRecord) {
+  WriteValidLog(5);
+  fs::path segment = SegmentPath();
+  std::string bytes = ReadBytes(segment);
+  bytes[2 * kFrameBytes + 25] ^= 0x40;  // Payload byte of record 3.
+  WriteBytes(segment, bytes);
+
+  WalReadResult result = Read();
+  EXPECT_FALSE(result.clean);
+  EXPECT_NE(result.tail_error.find("checksum"), std::string::npos)
+      << result.tail_error;
+  // Records 1-2 survive; 3 is corrupt, and 4-5 — though byte-wise intact —
+  // sit after the break and are never trusted.
+  EXPECT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.tail_valid_bytes, 2 * kFrameBytes);
+}
+
+TEST_F(WalCorruptionTest, HalfWrittenHeaderStops) {
+  WriteValidLog(3);
+  fs::path segment = SegmentPath();
+  std::string partial;
+  PutU32(&partial, kMagic);
+  partial += "\x05\x00";  // A few header bytes, then the "crash".
+  AppendBytes(segment, partial);
+
+  WalReadResult result = Read();
+  EXPECT_FALSE(result.clean);
+  EXPECT_NE(result.tail_error.find("torn record header"), std::string::npos)
+      << result.tail_error;
+  EXPECT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.tail_valid_bytes, 3 * kFrameBytes);
+}
+
+TEST_F(WalCorruptionTest, GarbageMagicStops) {
+  WriteValidLog(3);
+  AppendBytes(SegmentPath(), std::string(64, '\xFF'));
+
+  WalReadResult result = Read();
+  EXPECT_FALSE(result.clean);
+  EXPECT_NE(result.tail_error.find("bad record magic"), std::string::npos)
+      << result.tail_error;
+  EXPECT_EQ(result.records.size(), 3u);
+}
+
+TEST_F(WalCorruptionTest, DuplicateLsnStops) {
+  WriteValidLog(4);
+  // A fully valid frame whose lsn repeats the last one: CRC passes, the
+  // sequence check must still reject it.
+  AppendBytes(SegmentPath(), Frame(4, 9, WalRecordType::kInsert, "zz"));
+
+  WalReadResult result = Read();
+  EXPECT_FALSE(result.clean);
+  EXPECT_NE(result.tail_error.find("duplicate or out-of-order"),
+            std::string::npos)
+      << result.tail_error;
+  EXPECT_EQ(result.records.size(), 4u);
+}
+
+TEST_F(WalCorruptionTest, LsnGapStops) {
+  WriteValidLog(4);
+  AppendBytes(SegmentPath(), Frame(6, 9, WalRecordType::kInsert, "zz"));
+
+  WalReadResult result = Read();
+  EXPECT_FALSE(result.clean);
+  EXPECT_NE(result.tail_error.find("gap"), std::string::npos)
+      << result.tail_error;
+  EXPECT_EQ(result.records.size(), 4u);
+}
+
+TEST_F(WalCorruptionTest, ImplausibleLengthStops) {
+  WriteValidLog(2);
+  // Header claiming a 1 GiB payload; the reader must refuse to allocate or
+  // scan for it.
+  std::string header;
+  PutU32(&header, kMagic);
+  PutU32(&header, 1u << 30);
+  PutU64(&header, 3);
+  PutU64(&header, 3);
+  header.push_back(1);
+  AppendBytes(SegmentPath(), header);
+
+  WalReadResult result = Read();
+  EXPECT_FALSE(result.clean);
+  EXPECT_NE(result.tail_error.find("implausible"), std::string::npos)
+      << result.tail_error;
+  EXPECT_EQ(result.records.size(), 2u);
+}
+
+TEST_F(WalCorruptionTest, UnknownRecordTypeStops) {
+  WriteValidLog(2);
+  AppendBytes(SegmentPath(),
+              Frame(3, 3, static_cast<WalRecordType>(200), "zz"));
+
+  WalReadResult result = Read();
+  EXPECT_FALSE(result.clean);
+  EXPECT_NE(result.tail_error.find("unknown record type"), std::string::npos)
+      << result.tail_error;
+  EXPECT_EQ(result.records.size(), 2u);
+}
+
+TEST_F(WalCorruptionTest, EmptySegmentFileIsHarmless) {
+  WriteValidLog(3);
+  // A zero-length next segment: exactly what a crash between rotation and
+  // the first append leaves behind. Nothing was lost, so the log is clean.
+  std::ofstream(dir_ / "wal-00000000000000000100.log").flush();
+
+  WalReadResult result = Read();
+  EXPECT_TRUE(result.clean) << result.tail_error;
+  EXPECT_EQ(result.records.size(), 3u);
+}
+
+/// End-to-end: a torn tail inside a committed atomic scope rolls the whole
+/// scope back, the file is truncated to its valid prefix, and the directory
+/// keeps working (appends + another recovery) afterwards.
+TEST_F(WalCorruptionTest, RecoveryTruncatesTornTailAndContinues) {
+  fs::remove_all(dir_);  // DurabilityManager owns directory creation.
+  auto db = std::make_unique<Database>();
+  auto opened =
+      DurabilityManager::Open(dir_.string(), db.get(), DurabilityOptions());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  std::unique_ptr<DurabilityManager> durability = std::move(opened).value();
+  Table* header = nullptr;
+  Table* item = nullptr;
+  testing_util::CreateHeaderItemTables(db.get(), &header, &item);
+  int64_t next_item_id = 1;
+  for (int64_t h = 1; h <= 5; ++h) {
+    ASSERT_OK(testing_util::InsertBusinessObject(db.get(), header, item, h,
+                                                 2015, 1, 2.0, &next_item_id));
+  }
+  durability->SimulateCrash();
+  durability.reset();
+  db.reset();
+
+  // Tear the last record (the 5th scope's commit) in half.
+  fs::path segment;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (WriteAheadLog::SegmentStartLsn(entry.path().filename().string())
+            .has_value()) {
+      segment = entry.path();
+    }
+  }
+  ASSERT_FALSE(segment.empty());
+  std::string bytes = ReadBytes(segment);
+  WriteBytes(segment, bytes.substr(0, bytes.size() - 2));
+
+  db = std::make_unique<Database>();
+  opened =
+      DurabilityManager::Open(dir_.string(), db.get(), DurabilityOptions());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  durability = std::move(opened).value();
+  const RecoveryReport& report = durability->recovery_report();
+  EXPECT_FALSE(report.wal_clean);
+  EXPECT_EQ(report.discarded_scopes, 1u);
+  Snapshot now = db->txn_manager().GlobalSnapshot();
+  Table* restored_header = db->GetTable("Header").value();
+  EXPECT_EQ(restored_header->VisibleRows(now), 4u);
+  // The torn file was truncated to its valid prefix: the directory accepts
+  // new appends and a further recovery sees a clean, continuous log.
+  int64_t next_header = 10;
+  ASSERT_OK(testing_util::InsertBusinessObject(
+      db.get(), restored_header, db->GetTable("Item").value(), next_header,
+      2016, 1, 2.0, &next_item_id));
+  durability->SimulateCrash();
+  durability.reset();
+  db = std::make_unique<Database>();
+  opened =
+      DurabilityManager::Open(dir_.string(), db.get(), DurabilityOptions());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  durability = std::move(opened).value();
+  EXPECT_TRUE(durability->recovery_report().wal_clean)
+      << durability->recovery_report().wal_tail_error;
+  EXPECT_EQ(db->GetTable("Header").value()->VisibleRows(
+                db->txn_manager().GlobalSnapshot()),
+            5u);
+}
+
+}  // namespace
+}  // namespace aggcache

@@ -409,6 +409,7 @@ double ScenarioThreshold(const std::string& scenario) {
       {"stress_concurrent", 0.60},    // load-dependent end-to-end latencies
       {"parallel_scaling", 0.50},     // scheduler-noise sensitive
       {"sec63_insert_overhead", 0.40},// ns-scale microbenchmark jitter
+      {"recovery", 0.60},             // fsync-latency sensitive
   };
   auto it = kThresholds.find(scenario);
   return it == kThresholds.end() ? kDefaultThreshold : it->second;
