@@ -51,6 +51,7 @@ BENCHES=(
   "bench_ablation_locality:ablation_locality"
   "bench_parallel_scaling:parallel_scaling"
   "bench_recovery:recovery"
+  "bench_overload:overload"
   "stress_concurrent:stress_concurrent"
 )
 

@@ -34,6 +34,9 @@
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "runtime/admission_controller.h"
+#include "runtime/memory_tracker.h"
+#include "runtime/query_context.h"
 #include "storage/merge_daemon.h"
 #include "storage/table_lock.h"
 #include "verify/fault_injector.h"
@@ -51,6 +54,12 @@ struct Flags {
   double checkpoint_secs = 2.5;
   uint64_t seed = 42;
   std::string faults;
+  /// Governance knobs: per-query deadline on the readers' cached path, a
+  /// process memory limit (K/M/G suffixes), and an admission concurrency
+  /// cap. Governance aborts under these are expected sheds, not errors.
+  double deadline_ms = 0;
+  std::string mem_limit;
+  int max_concurrent = 0;
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -72,6 +81,12 @@ Flags ParseFlags(int argc, char** argv) {
       flags.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of(argv[i], "--faults=")) {
       flags.faults = v;
+    } else if (const char* v = value_of(argv[i], "--deadline-ms=")) {
+      flags.deadline_ms = std::atof(v);
+    } else if (const char* v = value_of(argv[i], "--mem-limit=")) {
+      flags.mem_limit = v;
+    } else if (const char* v = value_of(argv[i], "--max-concurrent=")) {
+      flags.max_concurrent = std::atoi(v);
     } else if (value_of(argv[i], "--threads=")) {
       // Handled by ApplyThreadsFlag.
     } else if (std::strcmp(argv[i], "--quick") == 0 ||
@@ -146,8 +161,16 @@ struct SharedState {
   std::atomic<uint64_t> writer_txns{0};
   std::atomic<uint64_t> reader_queries{0};
   std::atomic<uint64_t> cache_fallbacks{0};   ///< injected-fault retreats
+  std::atomic<uint64_t> governance_sheds{0};  ///< typed governance aborts
   std::atomic<uint64_t> divergences{0};
   std::atomic<uint64_t> hard_errors{0};
+  /// Per-query deadline applied to the readers' cached executions
+  /// (--deadline-ms; 0 = none).
+  double deadline_ms = 0;
+  /// True when any governance knob is active; typed governance aborts then
+  /// count as sheds. With no knob set they would indicate a bug and are
+  /// reported as hard errors.
+  bool governance_active = false;
   std::mutex report_mu;
   /// Per-query cached-path latencies, appended by each reader at exit.
   std::mutex latency_mu;
@@ -166,6 +189,10 @@ void ReportError(SharedState& state, const std::string& where,
                  const Status& status) {
   if (FaultInjector::IsInjectedFault(status)) {
     state.cache_fallbacks.fetch_add(1);
+    return;
+  }
+  if (state.governance_active && status.IsGovernanceAbort()) {
+    state.governance_sheds.fetch_add(1);
     return;
   }
   state.hard_errors.fetch_add(1);
@@ -224,14 +251,24 @@ void ReaderLoop(int id, Database& db, AggregateCacheManager& cache,
     ExecutionOptions options;
     options.strategy = spec.strategy;
     options.use_predicate_pushdown = spec.pushdown;
+    // The deadline governs only the cached execution; the uncached
+    // comparison below must not inherit an already-expired context.
+    auto run_cached = [&] {
+      if (state.deadline_ms <= 0) return cache.Execute(wq.query, txn, options);
+      QueryContext::Options governed;
+      governed.deadline_ms = state.deadline_ms;
+      QueryContext context(governed);
+      ScopedQueryContext scope(&context);
+      return cache.Execute(wq.query, txn, options);
+    };
     Stopwatch cached_watch;
-    auto cached = cache.Execute(wq.query, txn, options);
-    latencies_ms.push_back(cached_watch.ElapsedMillis());
+    auto cached = run_cached();
     if (!cached.ok()) {
       ReportError(state, std::string("reader/") + spec.label,
                   cached.status());
       continue;
     }
+    latencies_ms.push_back(cached_watch.ElapsedMillis());
     // Same transaction, therefore the same snapshot tid: the uncached
     // union must agree exactly, regardless of concurrent writes/merges.
     ExecutionOptions uncached_options;
@@ -331,6 +368,11 @@ int Run(int argc, char** argv) {
                                                         : flags.faults);
   ctx.report().SetConfig("flight_enabled",
                          FlightRecorder::Global().enabled());
+  ctx.report().SetConfig("deadline_ms", flags.deadline_ms);
+  ctx.report().SetConfig("mem_limit",
+                         flags.mem_limit.empty() ? "none" : flags.mem_limit);
+  ctx.report().SetConfig("max_concurrent",
+                         static_cast<int64_t>(flags.max_concurrent));
 
   Database db;
   ErpConfig config;
@@ -369,6 +411,27 @@ int Run(int argc, char** argv) {
     FaultInjector::Global().Reseed(flags.seed);
   }
 
+  // Governance knobs likewise engage only for the serving phase, so a tight
+  // limit cannot starve dataset creation.
+  if (!flags.mem_limit.empty()) {
+    size_t limit_bytes = 0;
+    if (!ParseByteSize(flags.mem_limit.c_str(), &limit_bytes)) {
+      std::fprintf(stderr, "bad --mem-limit=%s\n", flags.mem_limit.c_str());
+      return 2;
+    }
+    MemoryTracker::Process().set_limit(limit_bytes);
+  }
+  if (flags.max_concurrent > 0) {
+    AdmissionController::Config admission;
+    admission.max_concurrent = static_cast<size_t>(flags.max_concurrent);
+    AdmissionController::Global().Configure(admission);
+  }
+  SharedState state;
+  state.deadline_ms = flags.deadline_ms;
+  state.governance_active = flags.deadline_ms > 0 ||
+                            !flags.mem_limit.empty() ||
+                            flags.max_concurrent > 0;
+
   bool daemon_enabled = true;
   MergeDaemonOptions daemon_options =
       MergeDaemon::OptionsFromEnv(&daemon_enabled);
@@ -382,7 +445,6 @@ int Run(int argc, char** argv) {
       daemon_enabled ? "on" : "off",
       FaultInjector::Global().AnyArmed() ? "armed" : "none");
 
-  SharedState state;
   QuiesceBarrier barrier(flags.writers + flags.readers);
   std::vector<std::thread> threads;
   for (int w = 0; w < flags.writers; ++w) {
@@ -440,6 +502,8 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(FaultInjector::Global().TotalFired()))});
   table.AddRow({"injected-fault fallbacks", StrFormat("%llu",
       static_cast<unsigned long long>(state.cache_fallbacks.load()))});
+  table.AddRow({"governance sheds", StrFormat("%llu",
+      static_cast<unsigned long long>(state.governance_sheds.load()))});
   table.AddRow({"divergences", StrFormat("%llu",
       static_cast<unsigned long long>(state.divergences.load()))});
   table.AddRow({"hard errors", StrFormat("%llu",
@@ -461,6 +525,16 @@ int Run(int argc, char** argv) {
                  static_cast<unsigned long long>(misses),
                  static_cast<unsigned long long>(lookups));
   }
+  // Every worker has joined and the final checkpoint ran to completion, so
+  // any per-query reservation still tracked was leaked by an abort path.
+  size_t query_bytes = MemoryTracker::Queries().used();
+  if (query_bytes != 0) {
+    metrics_violation = true;
+    std::fprintf(stderr,
+                 "TRACKER VIOLATION: %zu query-reserved bytes still "
+                 "tracked at exit\n",
+                 query_bytes);
+  }
   std::printf("--- final metrics (prometheus) ---\n%s",
               MetricsRegistry::Global().RenderPrometheus().c_str());
 
@@ -481,6 +555,8 @@ int Run(int argc, char** argv) {
                          static_cast<double>(state.divergences.load()));
   ctx.report().AddScalar("hard_errors", {},
                          static_cast<double>(state.hard_errors.load()));
+  ctx.report().AddScalar("governance_sheds", {},
+                         static_cast<double>(state.governance_sheds.load()));
   ctx.report().AddScalar(
       "flight_events_recorded", {},
       static_cast<double>(FlightRecorder::Global().recorded_events()));

@@ -17,6 +17,7 @@ set(AGGCACHE_BENCH_TARGETS
   bench_ablation_locality
   bench_parallel_scaling
   bench_recovery
+  bench_overload
 )
 
 foreach(target ${AGGCACHE_BENCH_TARGETS})

@@ -21,6 +21,7 @@
 #include "cache/aggregate_cache_manager.h"
 #include "obs/engine_metrics.h"
 #include "obs/metrics_registry.h"
+#include "runtime/memory_tracker.h"
 #include "storage/database.h"
 #include "verify/fault_injector.h"
 #include "verify/fuzzer.h"
@@ -182,8 +183,10 @@ int ReportFailure(const FuzzReport& report, bool with_faults) {
 }
 
 /// Cross-checks the process-wide registry at exit: every consulted cache
-/// lookup must have resolved to exactly one of hit or miss, and the final
-/// exposition is printed so fuzz logs carry the engine's counters.
+/// lookup must have resolved to exactly one of hit or miss, every per-query
+/// memory reservation must have been released (no query is in flight now),
+/// and the final exposition is printed so fuzz logs carry the engine's
+/// counters.
 int CheckMetricsInvariants() {
   const aggcache::EngineMetrics& em = aggcache::EngineMetrics::Get();
   uint64_t lookups = em.cache_lookups->Value();
@@ -198,6 +201,14 @@ int CheckMetricsInvariants() {
                  static_cast<unsigned long long>(hits),
                  static_cast<unsigned long long>(misses),
                  static_cast<unsigned long long>(lookups));
+    return 1;
+  }
+  size_t query_bytes = aggcache::MemoryTracker::Queries().used();
+  if (query_bytes != 0) {
+    std::fprintf(stderr,
+                 "TRACKER VIOLATION: %zu query-reserved bytes still "
+                 "tracked at exit\n",
+                 query_bytes);
     return 1;
   }
   return 0;

@@ -34,6 +34,9 @@
 #include "obs/query_trace.h"
 #include "query/aggregate_query.h"
 #include "query/executor.h"
+#include "runtime/admission_controller.h"
+#include "runtime/memory_tracker.h"
+#include "runtime/query_context.h"
 #include "sql/parser.h"
 #include "storage/database.h"
 #include "storage/delta_merge.h"

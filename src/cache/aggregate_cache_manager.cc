@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <iostream>
+#include <optional>
 #include <shared_mutex>
 #include <utility>
 
@@ -12,6 +13,9 @@
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace_recorder.h"
+#include "runtime/admission_controller.h"
+#include "runtime/memory_tracker.h"
+#include "runtime/query_context.h"
 #include "storage/table_lock.h"
 #include "txn/consistent_view_manager.h"
 #include "verify/fault_injector.h"
@@ -121,9 +125,17 @@ void AggregateCacheManager::AssertByteAccountingLocked() const {
 
 void AggregateCacheManager::RefreshEntrySize(CacheEntry& entry) {
   std::lock_guard<std::mutex> lock(bytes_mu_);
-  if (entry.bytes_accounted) total_bytes_ -= entry.metrics().size_bytes;
+  // The Cache() tracker mirrors total_bytes_ exactly, so process-level
+  // pressure sees cached values alongside query reservations.
+  if (entry.bytes_accounted) {
+    total_bytes_ -= entry.metrics().size_bytes;
+    MemoryTracker::Cache().Release(entry.metrics().size_bytes);
+  }
   entry.RefreshSizeBytes();
-  if (entry.bytes_accounted) total_bytes_ += entry.metrics().size_bytes;
+  if (entry.bytes_accounted) {
+    total_bytes_ += entry.metrics().size_bytes;
+    MemoryTracker::Cache().Reserve(entry.metrics().size_bytes);
+  }
 }
 
 void AggregateCacheManager::Clear() {
@@ -137,6 +149,7 @@ void AggregateCacheManager::Clear() {
         std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
         if (entry->bytes_accounted) {
           total_bytes_ -= entry->metrics().size_bytes;
+          MemoryTracker::Cache().Release(entry->metrics().size_bytes);
           entry->bytes_accounted = false;
         }
       }
@@ -218,6 +231,7 @@ void AggregateCacheManager::RemoveEntry(
     std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
     if (entry->bytes_accounted) {
       total_bytes_ -= entry->metrics().size_bytes;
+      MemoryTracker::Cache().Release(entry->metrics().size_bytes);
       entry->bytes_accounted = false;
     }
   }
@@ -247,7 +261,10 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
   std::vector<AggregateResult> partials(combos.size());
   std::vector<ExecutorStats> task_stats(combos.size());
   std::vector<Status> task_status(combos.size());
+  // Re-install the building query's governance context on the pool workers.
+  QueryContext* ctx = QueryContext::Current();
   ParallelFor(combos.size(), [&](size_t i) {
+    ScopedQueryContext scope(ctx);
     if (pruned[i]) {
       partials[i] = AggregateResult(bound.aggregates.size());
       return;
@@ -312,6 +329,13 @@ StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
   CacheKey key = MakeCacheKey(*bound.query);
   Shard& shard = ShardFor(key);
 
+  // Degradation ladder: while the process tracker reports memory pressure,
+  // existing entries keep serving hits but no new value is built — the
+  // caller streams the answer uncached (delta compensation needs no
+  // resident value) and eviction below frees headroom.
+  const bool under_pressure = MemoryTracker::Process().UnderPressure();
+  UpdateDegradedMode(under_pressure);
+
   // Bounded retries: each kEvicted wake-up means the winning creator was
   // rejected by admission, failed, or got evicted immediately; after a few
   // rounds this caller gives up and answers uncached instead of livelocking
@@ -324,6 +348,8 @@ StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
       auto it = shard.entries.find(key);
       if (it != shard.entries.end()) {
         entry = it->second;
+      } else if (under_pressure) {
+        entry = nullptr;
       } else {
         // Insert a kBuilding placeholder while still holding the shard
         // lock: concurrent misses on this key find it and wait instead of
@@ -332,6 +358,15 @@ StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
         shard.entries.emplace(key, entry);
         creator = true;
       }
+    }
+
+    if (entry == nullptr) {
+      // Build refused under memory pressure. Evict low-profit entries to
+      // restore headroom before answering uncached; the lookup counts as a
+      // miss at the caller's fallback site.
+      EngineMetrics::Get().mem_pressure_rejects->Increment();
+      EvictIfNeeded();
+      return std::shared_ptr<CacheEntry>();
     }
 
     if (!creator) {
@@ -409,6 +444,7 @@ StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
         std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
         entry->bytes_accounted = true;
         total_bytes_ += entry->metrics().size_bytes;
+        MemoryTracker::Cache().Reserve(entry->metrics().size_bytes);
       }
     }
     entry->SetState(resident ? EntryState::kReady : EntryState::kEvicted);
@@ -554,7 +590,9 @@ Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
   std::vector<AggregateResult> terms(jobs.size());
   std::vector<ExecutorStats> task_stats(jobs.size());
   std::vector<Status> task_status(jobs.size());
+  QueryContext* ctx = QueryContext::Current();
   ParallelFor(jobs.size(), [&](size_t j) {
+    ScopedQueryContext scope(ctx);
     auto term =
         executor_.ExecuteSubjoin(bound, *jobs[j].combo, snapshot,
                                  /*extra_filters=*/{}, &jobs[j].restriction,
@@ -603,6 +641,22 @@ Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
 StatusOr<AggregateResult> AggregateCacheManager::Execute(
     const AggregateQuery& query, const Transaction& txn,
     const ExecutionOptions& options) {
+  // Governance entry point. Callers that installed their own QueryContext
+  // keep it (the scope re-installs the same pointer); everyone else gets
+  // one built from the env defaults, so AGGCACHE_QUERY_DEADLINE_MS /
+  // AGGCACHE_QUERY_MEM_BUDGET govern standalone callers too.
+  std::optional<QueryContext> env_context;
+  QueryContext* ctx = QueryContext::Current();
+  if (ctx == nullptr) {
+    env_context.emplace(QueryContext::FromEnv());
+    ctx = &*env_context;
+  }
+  ScopedQueryContext scope(ctx);
+  // The admission slot is held for the whole execution (ticket releases on
+  // every return path); shed/timeout surfaces as a typed error before any
+  // table lock is taken.
+  ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                   AdmissionController::Global().Admit(ctx));
   CacheExecStats stats;
   PruneStats prune_acc;
   auto result = ExecuteInternal(query, txn, options, &stats, &prune_acc);
@@ -830,6 +884,16 @@ void AggregateCacheManager::ResetPruneStats() {
   prune_stats_ = PruneStats();
 }
 
+void AggregateCacheManager::UpdateDegradedMode(bool under_pressure) {
+  if (degraded_.exchange(under_pressure, std::memory_order_relaxed) ==
+      under_pressure) {
+    return;
+  }
+  EngineMetrics::Get().degraded_flips->Increment();
+  EngineMetrics::Get().degraded_mode->Set(under_pressure ? 1 : 0);
+  RecordFlightEvent(FlightEventType::kDegradedFlip, under_pressure ? 1 : 0);
+}
+
 void AggregateCacheManager::EvictIfNeeded(const CacheEntry* keep) {
   // All shard locks in index order (the only multi-shard order used) so
   // the budget check and victim ranking see one consistent map state.
@@ -853,6 +917,7 @@ void AggregateCacheManager::EvictIfNeeded(const CacheEntry* keep) {
       std::lock_guard<std::mutex> bytes_lock(bytes_mu_);
       if (entry->bytes_accounted) {
         total_bytes_ -= entry->metrics().size_bytes;
+        MemoryTracker::Cache().Release(entry->metrics().size_bytes);
         entry->bytes_accounted = false;
       }
     }
@@ -887,7 +952,12 @@ void AggregateCacheManager::EvictIfNeeded(const CacheEntry* keep) {
         config_.max_entries != 0 && num_entries > config_.max_entries;
     bool over_bytes =
         config_.max_bytes != 0 && current_bytes() > config_.max_bytes;
-    return (over_count || over_bytes) && num_entries > 1;
+    // Under process memory pressure the cache sheds entries even below its
+    // configured budget — re-evaluated per victim, so eviction stops the
+    // moment the released bytes bring the tracker back under the line.
+    bool pressure = MemoryTracker::Process().UnderPressure() &&
+                    current_bytes() > 0;
+    return (over_count || over_bytes || pressure) && num_entries > 1;
   };
   if (!over_budget()) return;
 

@@ -250,6 +250,12 @@ class AggregateCacheManager : public MergeObserver,
   /// must hold every shard mutex.
   void AssertByteAccountingLocked() const;
 
+  /// Latches the observed process-memory-pressure state into the degraded
+  /// flag, bumping the flip metric + flight event on each transition. While
+  /// degraded, GetOrCreateEntry refuses new builds (queries stream
+  /// uncached) and eviction runs below the configured budget.
+  void UpdateDegradedMode(bool under_pressure);
+
   Database* db_;
   Config config_;
   Executor executor_;
@@ -264,6 +270,9 @@ class AggregateCacheManager : public MergeObserver,
   CacheExecStats last_stats_;
   PruneStats prune_stats_;
   std::atomic<int64_t> access_clock_{0};
+  /// True while the process tracker reports memory pressure (degraded
+  /// mode): new builds are refused and eviction frees headroom.
+  std::atomic<bool> degraded_{false};
   /// Warm-restart descriptors keyed by canonical query string, consumed on
   /// first miss of the matching query.
   mutable std::mutex warm_mu_;

@@ -4,6 +4,7 @@
 #include "objectaware/predicate_pushdown.h"
 #include "obs/engine_metrics.h"
 #include "obs/trace_recorder.h"
+#include "runtime/query_context.h"
 
 namespace aggcache {
 
@@ -44,7 +45,10 @@ StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
   std::vector<AggregateResult> partials(subjoins.size());
   std::vector<ExecutorStats> task_stats(subjoins.size());
   std::vector<Status> task_status(subjoins.size());
+  // Re-install the calling query's governance context on the pool workers.
+  QueryContext* ctx = QueryContext::Current();
   ParallelFor(subjoins.size(), [&](size_t i) {
+    ScopedQueryContext scope(ctx);
     auto partial =
         executor.ExecuteSubjoin(bound, subjoins[i].combo, snapshot,
                                 subjoins[i].extra,

@@ -19,6 +19,13 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  /// Resource-governance aborts (src/runtime/): a memory budget or the
+  /// process tracker refused a reservation, or admission shed the query.
+  kResourceExhausted,
+  /// The query's deadline expired at a cooperative check point.
+  kDeadlineExceeded,
+  /// The query's cancellation token was triggered.
+  kCancelled,
 };
 
 /// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
@@ -55,6 +62,24 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  /// True for the three resource-governance abort codes. Harnesses use this
+  /// to tell a shed/cancelled query (expected under overload) from a genuine
+  /// engine failure.
+  bool IsGovernanceAbort() const {
+    return code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kCancelled;
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

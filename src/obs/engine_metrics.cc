@@ -141,6 +141,54 @@ const EngineMetrics& EngineMetrics::Get() {
         "aggcache_checkpoint_us",
         "End-to-end checkpoint latency in microseconds");
 
+    m->admission_admitted = r.GetCounter(
+        "aggcache_admission_admitted_total",
+        "Queries granted a run slot by the admission controller");
+    m->admission_queue_waits = r.GetCounter(
+        "aggcache_admission_queue_waits_total",
+        "Admissions that waited in the bounded FIFO queue first");
+    m->admission_rejects_timeout = r.GetCounter(
+        "aggcache_admission_rejects_timeout_total",
+        "Queries shed after waiting the full admission queue timeout");
+    m->admission_rejects_capacity = r.GetCounter(
+        "aggcache_admission_rejects_capacity_total",
+        "Queries shed at arrival because the admission queue was full");
+    m->admission_running = r.GetGauge(
+        "aggcache_admission_running",
+        "Queries currently holding an admission slot");
+    m->admission_wait_us = r.GetHistogram(
+        "aggcache_admission_wait_us",
+        "Admission queue wait latency in microseconds (admits and sheds)");
+
+    m->query_cancellations = r.GetCounter(
+        "aggcache_query_cancellations_total",
+        "Queries aborted by their cooperative cancellation token");
+    m->query_deadline_aborts = r.GetCounter(
+        "aggcache_query_deadline_aborts_total",
+        "Queries aborted by deadline expiry at a cooperative check point");
+    m->query_mem_aborts = r.GetCounter(
+        "aggcache_query_mem_aborts_total",
+        "Queries aborted by a refused memory charge (budget or tracker)");
+    m->mem_reserved_bytes = r.GetGauge(
+        "aggcache_mem_reserved_bytes",
+        "Bytes currently reserved in the process memory tracker");
+    m->mem_reserved_hwm_bytes = r.GetGauge(
+        "aggcache_mem_reserved_hwm_bytes",
+        "High-water mark of process memory tracker reservations");
+
+    m->degraded_flips = r.GetCounter(
+        "aggcache_degraded_flips_total",
+        "Cache manager degraded-mode transitions (either direction)");
+    m->degraded_mode = r.GetGauge(
+        "aggcache_degraded_mode",
+        "1 while the cache manager is degraded by memory pressure");
+    m->mem_pressure_rejects = r.GetCounter(
+        "aggcache_mem_pressure_rejects_total",
+        "Cache entry builds refused because of process memory pressure");
+    m->merge_pressure_yields = r.GetCounter(
+        "aggcache_merge_daemon_pressure_yields_total",
+        "Merge daemon ticks that yielded to process memory pressure");
+
     m->recovery_replayed = r.GetCounter(
         "aggcache_recovery_replayed_records_total",
         "WAL records replayed during startup recovery");

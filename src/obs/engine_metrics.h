@@ -74,6 +74,27 @@ struct EngineMetrics {
   Counter* checkpoints_skipped;      ///< Attempts skipped (scopes active).
   Histogram* checkpoint_us;          ///< End-to-end checkpoint latency.
 
+  // Resource governance (src/runtime/): admission control.
+  Counter* admission_admitted;       ///< Queries granted a run slot.
+  Counter* admission_queue_waits;    ///< Admissions that waited in queue.
+  Counter* admission_rejects_timeout;///< Shed after queue_timeout_ms.
+  Counter* admission_rejects_capacity;///< Shed at arrival (queue full).
+  Gauge* admission_running;          ///< Queries currently holding a slot.
+  Histogram* admission_wait_us;      ///< Queue wait latency (admits+sheds).
+
+  // Resource governance: query aborts and memory accounting.
+  Counter* query_cancellations;      ///< Cancel() token aborts.
+  Counter* query_deadline_aborts;    ///< Deadline expiries at check points.
+  Counter* query_mem_aborts;         ///< Refused memory charges.
+  Gauge* mem_reserved_bytes;         ///< Process tracker current bytes.
+  Gauge* mem_reserved_hwm_bytes;     ///< Process tracker high water.
+
+  // Resource governance: degradation ladder.
+  Counter* degraded_flips;           ///< Degraded-mode transitions.
+  Gauge* degraded_mode;              ///< 1 while under memory pressure.
+  Counter* mem_pressure_rejects;     ///< Cache builds refused by pressure.
+  Counter* merge_pressure_yields;    ///< Merge-daemon ticks yielded.
+
   // Durability: recovery.
   Counter* recovery_replayed;        ///< WAL records replayed at startup.
   Counter* recovery_discarded_scopes;///< Uncommitted scopes rolled back.

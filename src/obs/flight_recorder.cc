@@ -120,6 +120,14 @@ const char* FlightEventTypeToString(FlightEventType type) {
       return "checkpoint_publish";
     case FlightEventType::kRecoveryReplay:
       return "recovery_replay";
+    case FlightEventType::kQueryAbort:
+      return "query_abort";
+    case FlightEventType::kAdmissionShed:
+      return "admission_shed";
+    case FlightEventType::kDegradedFlip:
+      return "degraded_flip";
+    case FlightEventType::kPressureYield:
+      return "pressure_yield";
   }
   return "unknown";
 }

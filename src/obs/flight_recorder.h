@@ -35,6 +35,10 @@ enum class FlightEventType : uint8_t {
   kWalSync,              ///< a = durable lsn; b = sync µs
   kCheckpointPublish,    ///< a = checkpoint lsn; b = payload bytes
   kRecoveryReplay,       ///< a = records replayed; b = replay µs
+  kQueryAbort,           ///< a = QueryAbortReason; detail = cause
+  kAdmissionShed,        ///< a = 0 timeout/1 capacity/2 aborted; b = queue
+  kDegradedFlip,         ///< a = 1 entered / 0 left degraded mode
+  kPressureYield,        ///< a = tracker used MiB; b = tracker limit MiB
 };
 
 /// Event-type name used in JSON dumps (stable contract, golden-tested).

@@ -11,6 +11,7 @@
 #include "obs/trace_recorder.h"
 #include "query/shared_scan.h"
 #include "query/vector_kernels.h"
+#include "runtime/query_context.h"
 
 namespace aggcache {
 
@@ -91,11 +92,24 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
   // metrics registry — relaxed atomics, so the flush is lock-free even
   // from pool workers.
   ExecutorStats counters;
+  // Governance: the installed QueryContext (if any) is polled per kernel
+  // block inside the selection loops, per kSelectionBlockRows iterations in
+  // the join build/probe and group-by loops, and converted into a typed
+  // error at each phase boundary by Check(). Memory charged for selection
+  // vectors, join tuples, hash tables and group maps is released
+  // all-or-none on every return path, error or not.
+  QueryContext* ctx = QueryContext::Current();
+  size_t charged_bytes = 0;
   struct FlushOnExit {
     const Executor* executor;
     ExecutorStats* caller;
     const ExecutorStats* local;
+    QueryContext* ctx;
+    const size_t* charged_bytes;
     ~FlushOnExit() {
+      if (ctx != nullptr && *charged_bytes != 0) {
+        ctx->ReleaseMemory(*charged_bytes);
+      }
       const EngineMetrics& metrics = EngineMetrics::Get();
       metrics.exec_subjoins->Increment(local->subjoins_executed);
       metrics.exec_rows_scanned->Increment(local->rows_scanned);
@@ -113,8 +127,31 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
         executor->stats_.MergeFrom(*local);
       }
     }
-  } flush{this, stats, &counters};
+  } flush{this, stats, &counters, ctx, &charged_bytes};
   ++counters.subjoins_executed;
+  if (ctx != nullptr) RETURN_IF_ERROR(ctx->Check());
+  // Charges `bytes` against the query; refusals abort the query with a
+  // typed error and charge nothing.
+  auto charge = [&](size_t bytes) -> Status {
+    if (ctx == nullptr || bytes == 0) return Status::Ok();
+    Status charge_status = ctx->ChargeMemory(bytes);
+    if (charge_status.ok()) charged_bytes += bytes;
+    return charge_status;
+  };
+  // Phase-boundary check point: typed abort conversion plus a charge for
+  // the phase's freshly materialized bytes.
+  auto checkpoint = [&](size_t new_bytes) -> Status {
+    if (ctx == nullptr) return Status::Ok();
+    RETURN_IF_ERROR(ctx->Check());
+    return charge(new_bytes);
+  };
+  // Block-granularity poll for the tight loops: one relaxed load every
+  // kSelectionBlockRows iterations.
+  auto poll_aborted = [&](size_t* since) {
+    if (ctx == nullptr || ++*since < kSelectionBlockRows) return false;
+    *since = 0;
+    return ctx->IsAborted();
+  };
   AggregateResult result(bound.aggregates.size());
 
   // Resolve extra (pushed-down) filters against schemas.
@@ -168,6 +205,7 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     }
     SelectionInput input;
     input.snapshot = &snapshot;
+    input.context = ctx;
     input.check_visibility =
         candidates == nullptr ||
         !restriction->bypass_visibility_for_restricted;
@@ -203,12 +241,15 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
   // Value-equality semantics the old Value-keyed table used, so results
   // are identical — including int64(5) != double(5.0)).
   select_rows(0);
+  RETURN_IF_ERROR(checkpoint(selections[0].rows.size() * sizeof(uint32_t)));
   std::vector<uint32_t> tuples = std::move(selections[0].rows);
   size_t stride = 1;
 
   for (size_t t = 1; t < num_tables; ++t) {
     if (tuples.empty()) break;
     select_rows(t);
+    RETURN_IF_ERROR(
+        checkpoint(selections[t].rows.size() * sizeof(uint32_t)));
     // Join conditions attaching table t to earlier tables: the first drives
     // the hash join, the rest are evaluated as post-join filters.
     std::vector<const BoundQuery::BoundJoin*> conds;
@@ -263,15 +304,23 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     // other side is a large main partition.
     size_t num_tuples = stride == 0 ? 0 : tuples.size() / stride;
     std::vector<uint32_t> next;
+    // Open-addressing slots at load factor <= 0.5 plus one chain node per
+    // entry — the tracker charge for one hash-join build entry.
+    constexpr size_t kHashEntryBytes = 40;
+    size_t since_poll = 0;
     if (selections[t].rows.size() <= num_tuples) {
       // Build on the inner (new) table, probe with the joined tuples.
+      RETURN_IF_ERROR(charge(selections[t].rows.size() * kHashEntryBytes));
       CodeHashTable hash_table(selections[t].rows.size());
       for (uint32_t r : selections[t].rows) {
+        if (poll_aborted(&since_poll)) break;
         hash_table.Insert(inner_key.code(r), r);
       }
+      if (ctx != nullptr && ctx->IsAborted()) return ctx->status();
       CodeTranslator probe(&outer_key.dictionary(), &inner_key.dictionary(),
                            num_tuples);
       for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
+        if (poll_aborted(&since_poll)) break;
         uint32_t outer_row = tuples[base + drive.outer_table];
         ValueId key = probe.Translate(outer_key.code(outer_row));
         if (key == CodeTranslator::kNoMatch) continue;
@@ -285,15 +334,19 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
       }
     } else {
       // Build on the joined tuples, probe with the inner table's rows.
+      RETURN_IF_ERROR(charge(num_tuples * kHashEntryBytes));
       CodeHashTable hash_table(num_tuples);
       for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
+        if (poll_aborted(&since_poll)) break;
         uint32_t outer_row = tuples[base + drive.outer_table];
         hash_table.Insert(outer_key.code(outer_row),
                           static_cast<uint32_t>(base));
       }
+      if (ctx != nullptr && ctx->IsAborted()) return ctx->status();
       CodeTranslator probe(&inner_key.dictionary(), &outer_key.dictionary(),
                            selections[t].rows.size());
       for (uint32_t inner_row : selections[t].rows) {
+        if (poll_aborted(&since_poll)) break;
         ValueId key = probe.Translate(inner_key.code(inner_row));
         if (key == CodeTranslator::kNoMatch) continue;
         hash_table.ForEach(key, [&](uint32_t base32) {
@@ -308,6 +361,7 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     }
     tuples = std::move(next);
     stride += 1;
+    RETURN_IF_ERROR(checkpoint(tuples.size() * sizeof(uint32_t)));
     if (tuples.empty()) break;
   }
 
@@ -349,7 +403,9 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     std::vector<uint64_t> group_keys;
     std::vector<AggregateResult::GroupEntry> entries;
     std::vector<ValueId> group_codes(num_group_cols);
+    size_t group_poll = 0;
     for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
+      if (poll_aborted(&group_poll)) break;
       for (size_t g = 0; g < num_group_cols; ++g) {
         group_codes[g] =
             group_cols[g]->code(tuples[base + bound.group_by[g].table]);
@@ -372,6 +428,10 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
       }
       ++entry.count_star;
     }
+    // Group map slot + packed key + entry with its per-aggregate states.
+    RETURN_IF_ERROR(checkpoint(
+        entries.size() * (sizeof(AggregateResult::GroupEntry) +
+                          num_aggs * sizeof(AggregateState) + 24)));
     // Materialize group Values, once per distinct group. Packed keys map
     // bijectively to group value tuples (codes are dense per dictionary),
     // so SetGroup never overwrites.
@@ -391,7 +451,9 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
   GroupKey key;
   key.values.resize(num_group_cols);
   std::vector<Value> inputs(num_aggs);
+  size_t group_poll = 0;
   for (size_t base = 0; base + stride <= tuples.size(); base += stride) {
+    if (poll_aborted(&group_poll)) break;
     for (size_t g = 0; g < num_group_cols; ++g) {
       key.values[g] = group_cols[g]->GetValue(tuples[base + bound.group_by[g].table]);
     }
@@ -405,6 +467,7 @@ StatusOr<AggregateResult> Executor::ExecuteSubjoin(
     }
     result.Accumulate(key, inputs);
   }
+  RETURN_IF_ERROR(checkpoint(0));
   return result;
 }
 
@@ -424,7 +487,11 @@ StatusOr<AggregateResult> Executor::ExecuteUncachedBound(
   std::vector<AggregateResult> partials(combos.size());
   std::vector<ExecutorStats> task_stats(combos.size());
   std::vector<Status> task_status(combos.size());
+  // Pool workers have no thread-local context of their own; re-install the
+  // caller's so budget charges and abort polls govern the whole fan-out.
+  QueryContext* ctx = QueryContext::Current();
   ParallelFor(combos.size(), [&](size_t i) {
+    ScopedQueryContext scope(ctx);
     auto partial =
         ExecuteSubjoin(bound, combos[i], snapshot, /*extra_filters=*/{},
                        /*restriction=*/nullptr, &task_stats[i]);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
+#include "runtime/query_context.h"
 
 namespace aggcache {
 namespace {
@@ -88,7 +90,16 @@ SharedScanManager::Result SharedScanManager::Lead(
   // block (next_block is advanced before the work), so no block is skipped
   // or scanned twice for anyone.
   std::vector<Consumer*> active;
+  uint32_t delivered_until = session->num_blocks;
   for (uint32_t block = 0; block < session->num_blocks; ++block) {
+    // A leader whose query aborted hands the walk off instead of finishing
+    // it: the session closes at the current cursor and every follower
+    // self-scans its tail from here. The leader's own rows are about to be
+    // discarded by its typed-error unwind, so no work is wasted on them.
+    if (in.context != nullptr && in.context->IsAborted()) {
+      delivered_until = block;
+      break;
+    }
     active.clear();
     {
       std::lock_guard<std::mutex> lock(session->mu);
@@ -113,6 +124,7 @@ SharedScanManager::Result SharedScanManager::Lead(
     if (it != sessions_.end() && it->second == session) sessions_.erase(it);
     std::lock_guard<std::mutex> session_lock(session->mu);
     session->finished = true;
+    session->delivered_until = delivered_until;
     for (const auto& c : session->consumers) c->done = true;
   }
   session->cv.notify_all();
@@ -141,16 +153,52 @@ SharedScanManager::Result SharedScanManager::Follow(
       session->num_rows, consumer->join_block *
                              static_cast<uint32_t>(kSelectionBlockRows));
   size_t batches = SelectRowsRange(p, in, 0, prefix_rows, &head);
+  bool self_aborted = false;
+  uint32_t delivered_until = 0;
   {
     std::unique_lock<std::mutex> lock(session->mu);
-    session->cv.wait(lock, [consumer] { return consumer->done; });
+    if (in.context == nullptr) {
+      session->cv.wait(lock, [consumer] { return consumer->done; });
+    } else {
+      // Governed followers poll their own token while parked so a
+      // cancelled/expired query unwinds promptly instead of riding out the
+      // leader's walk.
+      while (!consumer->done) {
+        if (in.context->IsAborted()) {
+          self_aborted = true;
+          break;
+        }
+        session->cv.wait_for(lock, std::chrono::milliseconds(2));
+      }
+    }
+    delivered_until = session->delivered_until;
+  }
+  if (self_aborted) {
+    // Leave consumer->rows untouched — the leader may still be filling it
+    // (the Consumer is owned by the session, so nothing dangles). The
+    // caller's QueryContext::Check() discards the scan's output anyway.
+    Result result;
+    result.attached = true;
+    result.batches = batches;
+    return result;
   }
   batches += consumer->batches;
-  if (out->empty() && head.empty()) {
+  // Tail the leader abandoned mid-walk (its query aborted):
+  // delivered_until == num_blocks after a complete walk, the abandon
+  // cursor otherwise. consumer->rows covers [join_block, delivered_until).
+  std::vector<uint32_t> tail;
+  if (delivered_until < session->num_blocks) {
+    const uint32_t tail_begin = std::min(
+        session->num_rows, delivered_until *
+                               static_cast<uint32_t>(kSelectionBlockRows));
+    batches += SelectRowsRange(p, in, tail_begin, session->num_rows, &tail);
+  }
+  if (out->empty() && head.empty() && tail.empty()) {
     *out = std::move(consumer->rows);
   } else {
     out->insert(out->end(), head.begin(), head.end());
     out->insert(out->end(), consumer->rows.begin(), consumer->rows.end());
+    out->insert(out->end(), tail.begin(), tail.end());
   }
   Result result;
   result.attached = true;

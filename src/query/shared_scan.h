@@ -75,6 +75,10 @@ class SharedScanManager {
     uint32_t num_rows = 0;
     uint32_t num_blocks = 0;
     uint32_t next_block = 0;  ///< First block the leader has NOT started.
+    /// First block the leader did NOT deliver: num_blocks on a complete
+    /// walk, the abandon cursor when the leader's query aborted mid-walk
+    /// (followers self-scan their tail from here).
+    uint32_t delivered_until = 0;
     bool finished = false;
     std::vector<std::unique_ptr<Consumer>> consumers;
   };

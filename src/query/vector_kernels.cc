@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "runtime/query_context.h"
 
 namespace aggcache {
 
@@ -126,6 +127,7 @@ size_t SelectRowsRange(const Partition& p, const SelectionInput& in,
   size_t blocks = 0;
   for (uint32_t block = begin; block < end;
        block += kSelectionBlockRows, ++blocks) {
+    if (in.context != nullptr && in.context->IsAborted()) break;
     const uint32_t block_end =
         static_cast<uint32_t>(std::min<size_t>(block + kSelectionBlockRows,
                                                end));
@@ -162,6 +164,7 @@ size_t SelectRowsGather(const Partition& p, const SelectionInput& in,
   size_t blocks = 0;
   for (size_t base = 0; base < candidates.size();
        base += kSelectionBlockRows, ++blocks) {
+    if (in.context != nullptr && in.context->IsAborted()) break;
     const size_t block_n =
         std::min(kSelectionBlockRows, candidates.size() - base);
     size_t n = 0;

@@ -12,6 +12,8 @@
 
 namespace aggcache {
 
+class QueryContext;
+
 /// Batched ("code-space") execution kernels for the subjoin executor.
 ///
 /// Every kernel works directly on dictionary codes in tight loops over
@@ -54,6 +56,11 @@ struct SelectionInput {
   const Snapshot* snapshot = nullptr;
   bool check_visibility = true;
   std::span<const CompiledColumnFilter> filters;
+  /// Optional governance token: the selection kernels poll it once per
+  /// block and stop early when the owning query aborted (the caller's
+  /// QueryContext::Check() then surfaces the typed error). nullptr = no
+  /// governance.
+  const QueryContext* context = nullptr;
 };
 
 /// Appends the row ids in [begin, end) of `p` that pass visibility and all

@@ -1,0 +1,176 @@
+#include "runtime/admission_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/engine_metrics.h"
+#include "obs/flight_recorder.h"
+
+namespace aggcache {
+namespace {
+
+size_t SizeFromEnv(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return static_cast<size_t>(value);
+}
+
+double MsFromEnv(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  double value = std::strtod(env, &end);
+  if (end == env || value < 0) return fallback;
+  return value;
+}
+
+}  // namespace
+
+AdmissionController::Config AdmissionController::FromEnv() {
+  Config config;
+  config.max_concurrent = SizeFromEnv("AGGCACHE_MAX_CONCURRENT", 0);
+  config.max_queue = SizeFromEnv("AGGCACHE_ADMISSION_QUEUE", 64);
+  config.queue_timeout_ms =
+      MsFromEnv("AGGCACHE_ADMISSION_TIMEOUT_MS", 250);
+  return config;
+}
+
+AdmissionController& AdmissionController::Global() {
+  static AdmissionController* controller =
+      new AdmissionController(FromEnv());
+  return *controller;
+}
+
+AdmissionController::AdmissionController(Config config) : config_(config) {
+  cap_.store(config.max_concurrent, std::memory_order_relaxed);
+}
+
+void AdmissionController::Configure(Config config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AGGCACHE_CHECK(running_ == 0 && waiters_.empty())
+      << "admission controller reconfigured while queries are in flight";
+  config_ = config;
+  cap_.store(config.max_concurrent, std::memory_order_relaxed);
+}
+
+AdmissionController::Config AdmissionController::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+size_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
+}
+
+StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
+    QueryContext* context) {
+  if (cap_.load(std::memory_order_relaxed) == 0) return Ticket();
+  const EngineMetrics& m = EngineMetrics::Get();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (config_.max_concurrent == 0) return Ticket();
+  if (waiters_.empty() && running_ < config_.max_concurrent) {
+    ++running_;
+    m.admission_admitted->Increment();
+    m.admission_running->Set(static_cast<int64_t>(running_));
+    return Ticket(this);
+  }
+  if (waiters_.size() >= config_.max_queue) {
+    m.admission_rejects_capacity->Increment();
+    RecordFlightEvent(FlightEventType::kAdmissionShed, 1,
+                      waiters_.size(), "queue_full");
+    return Status::ResourceExhausted(
+        "admission queue full: query shed at arrival");
+  }
+  const uint64_t id = next_waiter_id_++;
+  waiters_.push_back(id);
+  const auto enqueue_time = std::chrono::steady_clock::now();
+  const auto deadline =
+      enqueue_time + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             config_.queue_timeout_ms));
+  auto eligible = [this, id] {
+    return !waiters_.empty() && waiters_.front() == id &&
+           running_ < config_.max_concurrent;
+  };
+  // Nothing notifies the condition variable when a queued query's context
+  // is cancelled or its deadline expires, so waiters with a context poll in
+  // short quanta: an aborted query leaves the queue within ~one quantum
+  // instead of pinning its queue position until the admission timeout.
+  // Check() (not IsAborted()) so a deadline that expires while queued is
+  // recorded here rather than waiting for the first executor check point.
+  constexpr auto kAbortPollQuantum = std::chrono::milliseconds(10);
+  bool aborted = false;
+  while (!eligible()) {
+    if (context != nullptr && !context->Check().ok()) {
+      aborted = true;
+      break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    auto wake = deadline;
+    if (context != nullptr) wake = std::min(wake, now + kAbortPollQuantum);
+    cv_.wait_until(lock, wake);
+  }
+  const auto waited = std::chrono::steady_clock::now() - enqueue_time;
+  const uint64_t waited_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(waited)
+          .count());
+  if (eligible() && !aborted) {
+    waiters_.pop_front();
+    ++running_;
+    m.admission_admitted->Increment();
+    m.admission_queue_waits->Increment();
+    m.admission_wait_us->Observe(waited_us);
+    m.admission_running->Set(static_cast<int64_t>(running_));
+    // The next head may also be runnable (several slots can free while we
+    // held the front).
+    cv_.notify_all();
+    return Ticket(this);
+  }
+  auto it = std::find(waiters_.begin(), waiters_.end(), id);
+  if (it != waiters_.end()) waiters_.erase(it);
+  cv_.notify_all();  // we may have been the head blocking the queue
+  m.admission_wait_us->Observe(waited_us);
+  if (aborted) {
+    RecordFlightEvent(FlightEventType::kAdmissionShed, 2, waiters_.size(),
+                      "aborted_in_queue");
+    return context->Check();
+  }
+  m.admission_rejects_timeout->Increment();
+  RecordFlightEvent(FlightEventType::kAdmissionShed, 0, waiters_.size(),
+                    "queue_timeout");
+  return Status::ResourceExhausted(
+      "admission queue timeout: query shed while waiting");
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AGGCACHE_CHECK(running_ > 0) << "admission ticket over-released";
+    --running_;
+    EngineMetrics::Get().admission_running->Set(
+        static_cast<int64_t>(running_));
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+}  // namespace aggcache

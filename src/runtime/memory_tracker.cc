@@ -1,0 +1,125 @@
+#include "runtime/memory_tracker.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "obs/engine_metrics.h"
+
+namespace aggcache {
+namespace {
+
+size_t LimitFromEnv() {
+  const char* env = std::getenv("AGGCACHE_MEM_LIMIT");
+  if (env == nullptr || *env == '\0') return 0;
+  size_t bytes = 0;
+  if (!ParseByteSize(env, &bytes)) return 0;
+  return bytes;
+}
+
+}  // namespace
+
+MemoryTracker::MemoryTracker(std::string name, MemoryTracker* parent,
+                             size_t limit)
+    : name_(std::move(name)), parent_(parent), limit_(limit) {}
+
+void MemoryTracker::MaybeRaiseHighWater(size_t used_now) {
+  size_t seen = high_water_.load(std::memory_order_relaxed);
+  while (used_now > seen &&
+         !high_water_.compare_exchange_weak(seen, used_now,
+                                            std::memory_order_relaxed)) {
+  }
+  if (parent_ == nullptr && used_now > seen) {
+    EngineMetrics::Get().mem_reserved_hwm_bytes->Set(
+        static_cast<int64_t>(high_water_.load(std::memory_order_relaxed)));
+  }
+}
+
+bool MemoryTracker::TryReserve(size_t bytes) {
+  if (bytes == 0) return true;
+  size_t limit = limit_.load(std::memory_order_relaxed);
+  size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit != 0 && now > limit) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  if (parent_ != nullptr && !parent_->TryReserve(bytes)) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  MaybeRaiseHighWater(now);
+  if (parent_ == nullptr) {
+    EngineMetrics::Get().mem_reserved_bytes->Add(
+        static_cast<int64_t>(bytes));
+  }
+  return true;
+}
+
+void MemoryTracker::Reserve(size_t bytes) {
+  if (bytes == 0) return;
+  size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (parent_ != nullptr) parent_->Reserve(bytes);
+  MaybeRaiseHighWater(now);
+  if (parent_ == nullptr) {
+    EngineMetrics::Get().mem_reserved_bytes->Add(
+        static_cast<int64_t>(bytes));
+  }
+}
+
+void MemoryTracker::Release(size_t bytes) {
+  if (bytes == 0) return;
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) {
+    parent_->Release(bytes);
+  } else {
+    EngineMetrics::Get().mem_reserved_bytes->Add(
+        -static_cast<int64_t>(bytes));
+  }
+}
+
+MemoryTracker& MemoryTracker::Process() {
+  static MemoryTracker* tracker =
+      new MemoryTracker("process", nullptr, LimitFromEnv());
+  return *tracker;
+}
+
+MemoryTracker& MemoryTracker::Queries() {
+  static MemoryTracker* tracker =
+      new MemoryTracker("queries", &Process());
+  return *tracker;
+}
+
+MemoryTracker& MemoryTracker::Cache() {
+  static MemoryTracker* tracker = new MemoryTracker("cache", &Process());
+  return *tracker;
+}
+
+bool ParseByteSize(const char* text, size_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  // strtoull silently wraps negative input; a limit must be non-negative.
+  if (!std::isdigit(static_cast<unsigned char>(*text))) return false;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text) return false;
+  size_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::toupper(static_cast<unsigned char>(*end))) {
+      case 'K':
+        multiplier = size_t{1} << 10;
+        break;
+      case 'M':
+        multiplier = size_t{1} << 20;
+        break;
+      case 'G':
+        multiplier = size_t{1} << 30;
+        break;
+      default:
+        return false;
+    }
+    ++end;
+    if (*end != '\0') return false;
+  }
+  *out = static_cast<size_t>(value) * multiplier;
+  return true;
+}
+
+}  // namespace aggcache

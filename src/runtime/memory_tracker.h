@@ -1,0 +1,105 @@
+#ifndef AGGCACHE_RUNTIME_MEMORY_TRACKER_H_
+#define AGGCACHE_RUNTIME_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace aggcache {
+
+/// Hierarchical byte accounting for the engine's transient and resident
+/// allocations. Trackers form a tree: a reservation against a child is also
+/// charged to every ancestor, so the root ("process") sees the sum of all
+/// subsystems while each subsystem keeps its own used/high-water view.
+///
+/// The process tree shipped with the engine:
+///
+///   Process()          root; limit from AGGCACHE_MEM_LIMIT (bytes, with an
+///     |                optional K/M/G suffix; unset or 0 = unlimited)
+///     +-- Queries()    per-query reservations (QueryContext charges here);
+///     |                invariant: used()==0 whenever no query is running
+///     +-- Cache()      resident cache-entry bytes (mirrors the manager's
+///                      per-entry accounting)
+///
+/// The fast path is lock-free: TryReserve/Release are one relaxed fetch_add
+/// per tree level plus a CAS loop for the high-water mark, cheap enough to
+/// call at executor phase granularity. Limits are only enforced by
+/// TryReserve; Reserve is unconditional and is used for resident state whose
+/// growth is governed elsewhere (the cache manager reacts to the resulting
+/// pressure by rejecting builds and evicting instead of failing the charge).
+class MemoryTracker {
+ public:
+  /// Fraction of the limit at which UnderPressure() starts reporting true.
+  static constexpr double kPressureFraction = 0.85;
+
+  MemoryTracker(std::string name, MemoryTracker* parent, size_t limit = 0);
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Charges `bytes` to this tracker and every ancestor. Fails — charging
+  /// nothing anywhere — when the charge would push any level past its
+  /// limit.
+  bool TryReserve(size_t bytes);
+
+  /// Unconditional charge (still propagates to ancestors and maintains
+  /// high-water marks). For resident state that must not fail mid-update.
+  void Reserve(size_t bytes);
+
+  /// Returns `bytes` previously charged through this tracker.
+  void Release(size_t bytes);
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  size_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  /// Adjusts the limit (0 = unlimited). Harness/test hook; existing
+  /// reservations are never clawed back.
+  void set_limit(size_t limit) {
+    limit_.store(limit, std::memory_order_relaxed);
+  }
+
+  /// True when a limit is set and usage has crossed kPressureFraction of
+  /// it. The cache manager's degradation ladder keys off the *process*
+  /// tracker's pressure, not its own subtree.
+  bool UnderPressure() const {
+    size_t limit = limit_.load(std::memory_order_relaxed);
+    if (limit == 0) return false;
+    return used_.load(std::memory_order_relaxed) >=
+           static_cast<size_t>(static_cast<double>(limit) *
+                               kPressureFraction);
+  }
+
+  /// Test hook: collapses the high-water mark back to current usage.
+  void ResetHighWater() {
+    high_water_.store(used_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+
+  /// The process-wide tracker tree (see class comment). Intentionally
+  /// leaked so worker threads may release during static teardown.
+  static MemoryTracker& Process();
+  static MemoryTracker& Queries();
+  static MemoryTracker& Cache();
+
+ private:
+  void Charge(size_t bytes);
+  void MaybeRaiseHighWater(size_t used_now);
+
+  const std::string name_;
+  MemoryTracker* const parent_;
+  std::atomic<size_t> limit_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> high_water_{0};
+};
+
+/// Parses an AGGCACHE_MEM_LIMIT-style byte count: a non-negative integer
+/// with an optional K/M/G suffix (powers of 1024, case-insensitive).
+/// Returns false on malformed input.
+bool ParseByteSize(const char* text, size_t* out);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_RUNTIME_MEMORY_TRACKER_H_

@@ -1,0 +1,184 @@
+#include "runtime/query_context.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "obs/engine_metrics.h"
+#include "obs/flight_recorder.h"
+#include "verify/fault_injector.h"
+
+namespace aggcache {
+namespace {
+
+thread_local QueryContext* tls_current = nullptr;
+
+double DeadlineMsFromEnv() {
+  const char* env = std::getenv("AGGCACHE_QUERY_DEADLINE_MS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  double ms = std::strtod(env, &end);
+  if (end == env || ms < 0) return 0;
+  return ms;
+}
+
+size_t BudgetFromEnv() {
+  const char* env = std::getenv("AGGCACHE_QUERY_MEM_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  size_t bytes = 0;
+  if (!ParseByteSize(env, &bytes)) return 0;
+  return bytes;
+}
+
+}  // namespace
+
+const char* QueryAbortReasonToString(QueryAbortReason reason) {
+  switch (reason) {
+    case QueryAbortReason::kNone:
+      return "none";
+    case QueryAbortReason::kCancelled:
+      return "cancelled";
+    case QueryAbortReason::kDeadlineExceeded:
+      return "deadline";
+    case QueryAbortReason::kMemoryExceeded:
+      return "memory";
+  }
+  return "unknown";
+}
+
+QueryContext::Options QueryContext::FromEnv() {
+  Options options;
+  options.deadline_ms = DeadlineMsFromEnv();
+  options.memory_budget = BudgetFromEnv();
+  return options;
+}
+
+QueryContext::QueryContext() : QueryContext(Options()) {}
+
+QueryContext::QueryContext(Options options)
+    : options_(options),
+      deadline_(std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        options.deadline_ms > 0 ? options.deadline_ms : 0))),
+      has_deadline_(options.deadline_ms > 0) {}
+
+QueryContext::~QueryContext() {
+  size_t leftover = memory_used_.load(std::memory_order_relaxed);
+  if (leftover != 0) MemoryTracker::Queries().Release(leftover);
+}
+
+void QueryContext::Abort(QueryAbortReason reason, const char* detail) {
+  uint8_t expected = static_cast<uint8_t>(QueryAbortReason::kNone);
+  if (!reason_.compare_exchange_strong(expected,
+                                       static_cast<uint8_t>(reason),
+                                       std::memory_order_relaxed)) {
+    return;  // an earlier abort cause won
+  }
+  const EngineMetrics& m = EngineMetrics::Get();
+  switch (reason) {
+    case QueryAbortReason::kCancelled:
+      m.query_cancellations->Increment();
+      break;
+    case QueryAbortReason::kDeadlineExceeded:
+      m.query_deadline_aborts->Increment();
+      break;
+    case QueryAbortReason::kMemoryExceeded:
+      m.query_mem_aborts->Increment();
+      break;
+    case QueryAbortReason::kNone:
+      break;
+  }
+  RecordFlightEvent(FlightEventType::kQueryAbort,
+                    static_cast<uint64_t>(reason), 0, detail);
+}
+
+void QueryContext::Cancel() { Abort(QueryAbortReason::kCancelled, "cancel"); }
+
+Status QueryContext::status() const {
+  switch (abort_reason()) {
+    case QueryAbortReason::kNone:
+      return Status::Ok();
+    case QueryAbortReason::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case QueryAbortReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded(
+          StrFormat("query deadline exceeded (%.0f ms)",
+                    options_.deadline_ms));
+    case QueryAbortReason::kMemoryExceeded:
+      return Status::ResourceExhausted("query memory charge refused");
+  }
+  return Status::Internal("unknown abort reason");
+}
+
+Status QueryContext::Check() {
+  if (IsAborted()) return status();
+  Status injected = FaultInjector::Global().MaybeFail("runtime.deadline");
+  if (!injected.ok()) {
+    Abort(QueryAbortReason::kDeadlineExceeded, "fault");
+    return Status(StatusCode::kDeadlineExceeded, injected.message());
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    Abort(QueryAbortReason::kDeadlineExceeded, "deadline");
+    return status();
+  }
+  return Status::Ok();
+}
+
+Status QueryContext::ChargeMemory(size_t bytes) {
+  if (IsAborted()) return status();
+  Status injected = FaultInjector::Global().MaybeFail("runtime.alloc");
+  if (!injected.ok()) {
+    Abort(QueryAbortReason::kMemoryExceeded, "fault");
+    return Status(StatusCode::kResourceExhausted, injected.message());
+  }
+  size_t budget = options_.memory_budget;
+  size_t now = memory_used_.fetch_add(bytes, std::memory_order_relaxed) +
+               bytes;
+  if (budget != 0 && now > budget) {
+    memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    Abort(QueryAbortReason::kMemoryExceeded, "budget");
+    return Status::ResourceExhausted(
+        StrFormat("query memory budget exceeded (%zu + %zu > %zu bytes)",
+                  now - bytes, bytes, budget));
+  }
+  if (!MemoryTracker::Queries().TryReserve(bytes)) {
+    memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    Abort(QueryAbortReason::kMemoryExceeded, "tracker");
+    return Status::ResourceExhausted(
+        StrFormat("process memory limit refused %zu bytes", bytes));
+  }
+  size_t seen = memory_high_water_.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !memory_high_water_.compare_exchange_weak(
+             seen, now, std::memory_order_relaxed)) {
+  }
+  return Status::Ok();
+}
+
+void QueryContext::ReleaseMemory(size_t bytes) {
+  if (bytes == 0) return;
+  memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+  MemoryTracker::Queries().Release(bytes);
+}
+
+QueryContext* QueryContext::Current() { return tls_current; }
+
+Status QueryContext::CheckCurrent() {
+  QueryContext* context = tls_current;
+  return context != nullptr ? context->Check() : Status::Ok();
+}
+
+bool QueryContext::CurrentAborted() {
+  QueryContext* context = tls_current;
+  return context != nullptr && context->IsAborted();
+}
+
+ScopedQueryContext::ScopedQueryContext(QueryContext* context)
+    : previous_(tls_current) {
+  tls_current = context;
+}
+
+ScopedQueryContext::~ScopedQueryContext() { tls_current = previous_; }
+
+}  // namespace aggcache

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
+#include "runtime/memory_tracker.h"
 #include "storage/database.h"
 #include "storage/recovery.h"
 
@@ -152,6 +153,18 @@ void MergeDaemon::Loop() {
       EngineMetrics::Get().merge_ticks->Increment();
     }
     if (skip) continue;
+    // Yield to memory pressure: a merge materializes a new main partition
+    // alongside the old one, the worst possible moment to allocate. Skip
+    // the tick and let eviction/query unwinding free headroom first; the
+    // deltas stay mergeable and are picked up by a later tick.
+    MemoryTracker& process = MemoryTracker::Process();
+    if (process.UnderPressure()) {
+      EngineMetrics::Get().merge_pressure_yields->Increment();
+      RecordFlightEvent(FlightEventType::kPressureYield,
+                        static_cast<uint64_t>(process.used() >> 20),
+                        static_cast<uint64_t>(process.limit() >> 20));
+      continue;
+    }
     for (const std::vector<std::string>& group : db_.DueMergeGroups()) {
       MergeGroupWithRetry(group);
       std::lock_guard<std::mutex> lock(mu_);

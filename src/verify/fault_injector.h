@@ -33,6 +33,13 @@ namespace aggcache {
 ///                           both the single-flight creator and rebuilds.
 ///   cache.evict_all         EvictIfNeeded; firing simulates memory pressure
 ///                           by dropping every evictable entry.
+///   runtime.alloc           QueryContext::ChargeMemory; firing simulates a
+///                           refused reservation — the query aborts with a
+///                           typed kResourceExhausted and must unwind with
+///                           no side effects.
+///   runtime.deadline        QueryContext::Check; firing simulates deadline
+///                           expiry at a cooperative check point (typed
+///                           kDeadlineExceeded).
 ///
 /// A point fires in one of two ways:
 ///   kError  MaybeFail returns an Internal error tagged kInjectedFaultTag;

@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "runtime/memory_tracker.h"
+#include "runtime/query_context.h"
 #include "sql/parser.h"
 #include "storage/database.h"
 #include "storage/recovery.h"
@@ -23,10 +25,11 @@ std::string FuzzReport::Summary() const {
   if (ok) {
     return StrFormat(
         "seed %llu: OK (%zu steps, %zu queries, %zu combos, %llu faults "
-        "fired, %zu crashes survived)",
+        "fired, %zu governance aborts, %zu crashes survived)",
         static_cast<unsigned long long>(seed), steps_executed,
         queries_checked, combos_checked,
-        static_cast<unsigned long long>(faults_fired), crashes_survived);
+        static_cast<unsigned long long>(faults_fired), governance_aborts,
+        crashes_survived);
   }
   std::string out = StrFormat("seed %llu: FAILED at %s\n",
                               static_cast<unsigned long long>(seed),
@@ -775,7 +778,87 @@ class FuzzRun : public TraceEngineHost {
         }
       }
     }
+    if (options_.with_faults) {
+      DoGovernanceSweep(query, txn, oracle, functions, sql);
+    }
     ThreadPool::SetGlobalParallelism(1);
+  }
+
+  /// Re-executes the checkpoint query with the runtime.alloc and
+  /// runtime.deadline points armed, so governance aborts strike at random
+  /// charge/check sites inside scans, builds, and compensation. An
+  /// execution may finish clean (the draw passed) — then it must match the
+  /// oracle — or abort with a typed governance status. Either way, after
+  /// disarming, per-query reservations must balance back to the pre-sweep
+  /// level and a clean re-execution must still match the oracle: an abort
+  /// may not leak reservations or leave partial cache state behind.
+  void DoGovernanceSweep(const AggregateQuery& query, const Transaction& txn,
+                         const AggregateResult& oracle,
+                         const std::vector<AggregateFunction>& functions,
+                         const std::string& sql) {
+    if (failed_) return;
+    static const char* kRuntimePoints[] = {"runtime.alloc",
+                                           "runtime.deadline"};
+    FaultInjector& injector = FaultInjector::Global();
+    size_t balance_before = MemoryTracker::Queries().used();
+    ThreadPool::SetGlobalParallelism(
+        options_.thread_counts[rng_.UniformInt(
+            0, options_.thread_counts.size() - 1)]);
+    bool armed_any = false;
+    for (const char* point : kRuntimePoints) {
+      if (!rng_.Chance(0.6)) continue;
+      FaultInjector::PointConfig config;
+      config.probability = rng_.UniformDouble(0.3, 1.0);
+      config.max_fires = rng_.UniformInt(1, 3);
+      injector.Arm(point, config);
+      armed_any = true;
+    }
+    if (!armed_any) {
+      FaultInjector::PointConfig config;
+      config.max_fires = 1;
+      injector.Arm(kRuntimePoints[rng_.UniformInt(0, 1)], config);
+    }
+    {
+      QueryContext context;
+      ScopedQueryContext scope(&context);
+      auto result_or = cache_->Execute(query, txn);
+      if (result_or.ok()) {
+        std::optional<std::string> diff = DiffResults(
+            oracle, result_or.value(), functions, options_.tolerance);
+        if (diff.has_value()) {
+          Fail("governance sweep (no fault fired)", sql,
+               "oracle divergence: " + *diff);
+        }
+      } else if (result_or.status().IsGovernanceAbort()) {
+        ++report_.governance_aborts;
+      } else {
+        Fail("governance sweep", sql,
+             "expected a typed governance abort, got: " +
+                 result_or.status().ToString());
+      }
+    }
+    for (const char* point : kRuntimePoints) injector.Disarm(point);
+    if (failed_) return;
+    size_t balance_after = MemoryTracker::Queries().used();
+    if (balance_after != balance_before) {
+      Fail("governance sweep", sql,
+           StrFormat("per-query reservations leaked: %zu bytes tracked "
+                     "before the sweep, %zu after",
+                     balance_before, balance_after));
+      return;
+    }
+    auto clean_or = cache_->Execute(query, txn);
+    if (!clean_or.ok()) {
+      Fail("governance sweep (clean re-execution)", sql,
+           clean_or.status().ToString());
+      return;
+    }
+    std::optional<std::string> diff =
+        DiffResults(oracle, clean_or.value(), functions, options_.tolerance);
+    if (diff.has_value()) {
+      Fail("governance sweep (clean re-execution)", sql,
+           "oracle divergence: " + *diff);
+    }
   }
 
   FuzzOptions options_;

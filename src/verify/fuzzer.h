@@ -59,6 +59,10 @@ struct FuzzReport {
   size_t crashes_survived = 0;
   /// Injected faults that actually fired during the run.
   uint64_t faults_fired = 0;
+  /// Checkpoint executions aborted by an injected runtime.alloc /
+  /// runtime.deadline fault and verified to unwind cleanly (reservations
+  /// balanced, clean re-execution matched the oracle).
+  size_t governance_aborts = 0;
   std::optional<FuzzFailure> failure;
   /// Replayable trace (workload/trace.h format) of everything executed,
   /// including fault-schedule meta ops; printed on failure so any seed can

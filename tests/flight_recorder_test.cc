@@ -61,6 +61,14 @@ TEST(FlightRecorderTest, EventTypeNamesAreStable) {
                "checkpoint_publish");
   EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kRecoveryReplay),
                "recovery_replay");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kQueryAbort),
+               "query_abort");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kAdmissionShed),
+               "admission_shed");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kDegradedFlip),
+               "degraded_flip");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kPressureYield),
+               "pressure_yield");
 }
 
 TEST(FlightRecorderTest, RecordsAndCollectsInOrder) {

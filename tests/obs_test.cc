@@ -230,6 +230,12 @@ TEST(EngineMetricsTest, SchemaGolden) {
     if (line.rfind("# TYPE ", 0) == 0) type_lines.push_back(line);
   }
   const std::vector<std::string> expected = {
+      "# TYPE aggcache_admission_admitted_total counter",
+      "# TYPE aggcache_admission_queue_waits_total counter",
+      "# TYPE aggcache_admission_rejects_capacity_total counter",
+      "# TYPE aggcache_admission_rejects_timeout_total counter",
+      "# TYPE aggcache_admission_running gauge",
+      "# TYPE aggcache_admission_wait_us histogram",
       "# TYPE aggcache_cache_admission_rejects_total counter",
       "# TYPE aggcache_cache_build_us histogram",
       "# TYPE aggcache_cache_delta_comp_us histogram",
@@ -244,6 +250,8 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_checkpoint_us histogram",
       "# TYPE aggcache_checkpoints_skipped_total counter",
       "# TYPE aggcache_checkpoints_total counter",
+      "# TYPE aggcache_degraded_flips_total counter",
+      "# TYPE aggcache_degraded_mode gauge",
       "# TYPE aggcache_executor_code_joins_total counter",
       "# TYPE aggcache_executor_fallback_groupings_total counter",
       "# TYPE aggcache_executor_packed_groupings_total counter",
@@ -252,10 +260,14 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_executor_selection_batches_total counter",
       "# TYPE aggcache_executor_subjoins_executed_total counter",
       "# TYPE aggcache_executor_tuples_joined_total counter",
+      "# TYPE aggcache_mem_pressure_rejects_total counter",
+      "# TYPE aggcache_mem_reserved_bytes gauge",
+      "# TYPE aggcache_mem_reserved_hwm_bytes gauge",
       "# TYPE aggcache_merge_daemon_aborts_total counter",
       "# TYPE aggcache_merge_daemon_attempts_total counter",
       "# TYPE aggcache_merge_daemon_backoff_ms_total counter",
       "# TYPE aggcache_merge_daemon_commits_total counter",
+      "# TYPE aggcache_merge_daemon_pressure_yields_total counter",
       "# TYPE aggcache_merge_daemon_ticks_total counter",
       "# TYPE aggcache_pool_queue_depth gauge",
       "# TYPE aggcache_pool_task_us histogram",
@@ -265,6 +277,9 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_pruner_pruned_empty_total counter",
       "# TYPE aggcache_pruner_pruned_tid_range_total counter",
       "# TYPE aggcache_pushdown_predicates_total counter",
+      "# TYPE aggcache_query_cancellations_total counter",
+      "# TYPE aggcache_query_deadline_aborts_total counter",
+      "# TYPE aggcache_query_mem_aborts_total counter",
       "# TYPE aggcache_recovery_discarded_scopes_total counter",
       "# TYPE aggcache_recovery_replay_us histogram",
       "# TYPE aggcache_recovery_replayed_records_total counter",

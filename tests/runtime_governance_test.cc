@@ -1,0 +1,459 @@
+// Tests for the resource-governance layer: hierarchical memory tracking,
+// per-query contexts (budget/deadline/cancellation), the admission
+// controller's FIFO + shed behavior, and the cache manager's degraded mode
+// under memory pressure.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace aggcache {
+namespace {
+
+using testing_util::CreateHeaderItemTables;
+using testing_util::HeaderItemQuery;
+using testing_util::InsertBusinessObject;
+
+// ---------------------------------------------------------------------------
+// ParseByteSize
+
+TEST(ParseByteSize, PlainAndSuffixed) {
+  size_t bytes = 0;
+  EXPECT_TRUE(ParseByteSize("0", &bytes));
+  EXPECT_EQ(bytes, 0u);
+  EXPECT_TRUE(ParseByteSize("1024", &bytes));
+  EXPECT_EQ(bytes, 1024u);
+  EXPECT_TRUE(ParseByteSize("64K", &bytes));
+  EXPECT_EQ(bytes, 64u * 1024);
+  EXPECT_TRUE(ParseByteSize("2m", &bytes));
+  EXPECT_EQ(bytes, 2u * 1024 * 1024);
+  EXPECT_TRUE(ParseByteSize("1G", &bytes));
+  EXPECT_EQ(bytes, 1ull << 30);
+}
+
+TEST(ParseByteSize, RejectsMalformed) {
+  size_t bytes = 0;
+  EXPECT_FALSE(ParseByteSize("", &bytes));
+  EXPECT_FALSE(ParseByteSize("abc", &bytes));
+  EXPECT_FALSE(ParseByteSize("-5", &bytes));
+  EXPECT_FALSE(ParseByteSize("3Q", &bytes));
+  EXPECT_FALSE(ParseByteSize("12K3", &bytes));
+}
+
+// ---------------------------------------------------------------------------
+// MemoryTracker
+
+TEST(MemoryTrackerTest, ReserveReleaseAndHighWater) {
+  MemoryTracker root("root", nullptr);
+  MemoryTracker child("child", &root);
+  EXPECT_TRUE(child.TryReserve(100));
+  EXPECT_EQ(child.used(), 100u);
+  EXPECT_EQ(root.used(), 100u);
+  EXPECT_TRUE(child.TryReserve(50));
+  EXPECT_EQ(child.high_water(), 150u);
+  child.Release(120);
+  EXPECT_EQ(child.used(), 30u);
+  EXPECT_EQ(root.used(), 30u);
+  EXPECT_EQ(child.high_water(), 150u);
+  child.ResetHighWater();
+  EXPECT_EQ(child.high_water(), 30u);
+  child.Release(30);
+  EXPECT_EQ(root.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, ChildLimitRefusesAllOrNothing) {
+  MemoryTracker root("root", nullptr);
+  MemoryTracker child("child", &root, /*limit=*/100);
+  EXPECT_TRUE(child.TryReserve(80));
+  EXPECT_FALSE(child.TryReserve(30));  // would exceed the child limit
+  EXPECT_EQ(child.used(), 80u);
+  EXPECT_EQ(root.used(), 80u);  // refused charge never reached the root
+  child.Release(80);
+}
+
+TEST(MemoryTrackerTest, ParentLimitRefusesAllOrNothing) {
+  MemoryTracker root("root", nullptr, /*limit=*/100);
+  MemoryTracker a("a", &root);
+  MemoryTracker b("b", &root);
+  EXPECT_TRUE(a.TryReserve(70));
+  EXPECT_FALSE(b.TryReserve(40));  // fits b, not the shared root
+  EXPECT_EQ(b.used(), 0u);
+  EXPECT_EQ(root.used(), 70u);
+  a.Release(70);
+}
+
+TEST(MemoryTrackerTest, UnconditionalReserveIgnoresLimit) {
+  MemoryTracker root("root", nullptr, /*limit=*/10);
+  root.Reserve(50);
+  EXPECT_EQ(root.used(), 50u);
+  EXPECT_TRUE(root.UnderPressure());
+  root.Release(50);
+  EXPECT_FALSE(root.UnderPressure());
+}
+
+TEST(MemoryTrackerTest, PressureThreshold) {
+  MemoryTracker root("root", nullptr, /*limit=*/1000);
+  root.Reserve(840);
+  EXPECT_FALSE(root.UnderPressure());  // below 85%
+  root.Reserve(10);
+  EXPECT_TRUE(root.UnderPressure());  // at 85%
+  root.Release(850);
+  root.set_limit(0);
+  root.Reserve(1u << 20);
+  EXPECT_FALSE(root.UnderPressure());  // no limit, never under pressure
+  root.Release(1u << 20);
+}
+
+// ---------------------------------------------------------------------------
+// QueryContext
+
+TEST(QueryContextTest, BudgetAbortIsTypedAndFirstWins) {
+  QueryContext::Options options;
+  options.memory_budget = 1000;
+  QueryContext ctx(options);
+  EXPECT_OK(ctx.ChargeMemory(600));
+  Status refused = ctx.ChargeMemory(600);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(refused.IsGovernanceAbort());
+  EXPECT_EQ(ctx.abort_reason(), QueryAbortReason::kMemoryExceeded);
+  EXPECT_EQ(ctx.memory_used(), 600u);  // refused charge rolled back
+  // First abort cause wins: a later Cancel does not rewrite history.
+  ctx.Cancel();
+  EXPECT_EQ(ctx.abort_reason(), QueryAbortReason::kMemoryExceeded);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryContextTest, NestedQueryReservationsBalanceToZero) {
+  const size_t queries_before = MemoryTracker::Queries().used();
+  const size_t process_before = MemoryTracker::Process().used();
+  {
+    QueryContext outer;
+    EXPECT_OK(outer.ChargeMemory(512));
+    {
+      QueryContext inner;
+      EXPECT_OK(inner.ChargeMemory(256));
+      EXPECT_EQ(MemoryTracker::Queries().used(), queries_before + 768);
+      EXPECT_EQ(MemoryTracker::Process().used(), process_before + 768);
+      // inner releases its 256 on destruction without an explicit Release.
+    }
+    EXPECT_EQ(MemoryTracker::Queries().used(), queries_before + 512);
+    outer.ReleaseMemory(200);
+    EXPECT_EQ(MemoryTracker::Queries().used(), queries_before + 312);
+  }
+  EXPECT_EQ(MemoryTracker::Queries().used(), queries_before);
+  EXPECT_EQ(MemoryTracker::Process().used(), process_before);
+}
+
+TEST(QueryContextTest, DeadlineExpiryAbortsAtCheck) {
+  QueryContext::Options options;
+  options.deadline_ms = 1;
+  QueryContext ctx(options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Status expired = ctx.Check();
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(expired.IsGovernanceAbort());
+  EXPECT_TRUE(ctx.IsAborted());
+  EXPECT_EQ(ctx.abort_reason(), QueryAbortReason::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, CancelTripsToken) {
+  QueryContext ctx;
+  EXPECT_FALSE(ctx.IsAborted());
+  EXPECT_OK(ctx.Check());
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.IsAborted());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, ScopedInstallationNests) {
+  EXPECT_EQ(QueryContext::Current(), nullptr);
+  QueryContext outer;
+  {
+    ScopedQueryContext outer_scope(&outer);
+    EXPECT_EQ(QueryContext::Current(), &outer);
+    QueryContext inner;
+    {
+      ScopedQueryContext inner_scope(&inner);
+      EXPECT_EQ(QueryContext::Current(), &inner);
+    }
+    EXPECT_EQ(QueryContext::Current(), &outer);
+  }
+  EXPECT_EQ(QueryContext::Current(), nullptr);
+  EXPECT_OK(QueryContext::CheckCurrent());
+  EXPECT_FALSE(QueryContext::CurrentAborted());
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+TEST(AdmissionControllerTest, DisabledControllerAdmitsForFree) {
+  AdmissionController controller;  // max_concurrent == 0
+  auto ticket = controller.Admit();
+  EXPECT_OK(ticket.status());
+  EXPECT_EQ(controller.running(), 0u);  // disabled path takes no slot
+}
+
+TEST(AdmissionControllerTest, SlotReleasesOnTicketDestruction) {
+  AdmissionController::Config config;
+  config.max_concurrent = 2;
+  AdmissionController controller(config);
+  {
+    auto a = controller.Admit();
+    ASSERT_TRUE(a.ok());
+    auto b = controller.Admit();
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(controller.running(), 2u);
+  }
+  EXPECT_EQ(controller.running(), 0u);
+}
+
+TEST(AdmissionControllerTest, FifoOrderAcrossWaiters) {
+  AdmissionController::Config config;
+  config.max_concurrent = 1;
+  config.queue_timeout_ms = 10000;
+  AdmissionController controller(config);
+
+  auto holder = controller.Admit();
+  ASSERT_TRUE(holder.ok());
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto waiter = [&](int id) {
+    auto ticket = controller.Admit();
+    ASSERT_TRUE(ticket.ok());
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(id);
+  };
+  std::thread first(waiter, 1);
+  while (controller.queued() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread second(waiter, 2);
+  while (controller.queued() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  holder.value() = AdmissionController::Ticket();  // release the slot
+  first.join();
+  second.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // strict FIFO: first waiter admitted first
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(controller.running(), 0u);
+}
+
+TEST(AdmissionControllerTest, QueueTimeoutRejectsTyped) {
+  AdmissionController::Config config;
+  config.max_concurrent = 1;
+  config.queue_timeout_ms = 30;
+  AdmissionController controller(config);
+  auto holder = controller.Admit();
+  ASSERT_TRUE(holder.ok());
+  auto rejected = controller.Admit();
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(rejected.status().IsGovernanceAbort());
+  EXPECT_EQ(controller.queued(), 0u);  // timed-out waiter left the queue
+  holder.value() = AdmissionController::Ticket();
+  auto after = controller.Admit();  // capacity is back
+  EXPECT_TRUE(after.ok());
+}
+
+TEST(AdmissionControllerTest, TimedOutMiddleWaiterDoesNotStallFifo) {
+  AdmissionController::Config config;
+  config.max_concurrent = 1;
+  config.queue_timeout_ms = 10000;
+  AdmissionController controller(config);
+  auto holder = controller.Admit();
+  ASSERT_TRUE(holder.ok());
+
+  // First waiter uses a context abort to leave the queue early; the second
+  // (behind it in FIFO order) must still be admitted when the slot frees.
+  QueryContext abort_ctx;
+  Status first_status;
+  std::thread first([&] {
+    auto ticket = controller.Admit(&abort_ctx);
+    first_status = ticket.status();
+  });
+  while (controller.queued() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::atomic<bool> second_admitted{false};
+  std::thread second([&] {
+    auto ticket = controller.Admit();
+    ASSERT_TRUE(ticket.ok());
+    second_admitted.store(true);
+  });
+  while (controller.queued() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  abort_ctx.Cancel();
+  first.join();
+  EXPECT_EQ(first_status.code(), StatusCode::kCancelled);
+  EXPECT_FALSE(second_admitted.load());  // slot still held
+  holder.value() = AdmissionController::Ticket();
+  second.join();
+  EXPECT_TRUE(second_admitted.load());
+}
+
+TEST(AdmissionControllerTest, FullQueueRejectsImmediately) {
+  AdmissionController::Config config;
+  config.max_concurrent = 1;
+  config.max_queue = 1;
+  config.queue_timeout_ms = 10000;
+  AdmissionController controller(config);
+  auto holder = controller.Admit();
+  ASSERT_TRUE(holder.ok());
+  std::thread waiter([&] {
+    auto ticket = controller.Admit();
+    EXPECT_TRUE(ticket.ok());  // admitted once the holder releases
+  });
+  while (controller.queued() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto overflow = controller.Admit();  // queue already at its bound
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  holder.value() = AdmissionController::Ticket();
+  waiter.join();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end governance through the cache manager
+
+class GovernanceExecutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CreateHeaderItemTables(&db_, &header_, &item_);
+    int64_t next_item_id = 1;
+    for (int64_t h = 1; h <= 40; ++h) {
+      ASSERT_OK(InsertBusinessObject(&db_, header_, item_, h, 2000 + h % 4,
+                                     /*num_items=*/8, /*amount=*/10.0,
+                                     &next_item_id));
+    }
+  }
+
+  void TearDown() override {
+    // Tests in this fixture poke process-global knobs; restore them so
+    // sibling tests start clean.
+    MemoryTracker::Process().set_limit(0);
+    EXPECT_EQ(MemoryTracker::Queries().used(), 0u);
+  }
+
+  Database db_;
+  Table* header_ = nullptr;
+  Table* item_ = nullptr;
+};
+
+TEST_F(GovernanceExecutionTest, DegradedModeReturnsIdenticalResults) {
+  AggregateCacheManager cache(&db_);
+  AggregateQuery query = HeaderItemQuery();
+  Transaction txn = db_.Begin();
+
+  ExecutionOptions uncached;
+  uncached.strategy = ExecutionStrategy::kUncached;
+  auto baseline = cache.Execute(query, txn, uncached);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  // Force memory pressure with headroom: park a large reservation so usage
+  // crosses the 85% pressure line while the remaining megabyte still fits
+  // the query's own transient charges — the regime where builds are refused
+  // but uncached streaming succeeds.
+  MemoryTracker::Process().set_limit(8u << 20);
+  MemoryTracker::Process().Reserve(7u << 20);
+  const uint64_t rejects_before =
+      EngineMetrics::Get().mem_pressure_rejects->Value();
+  auto degraded = cache.Execute(query, txn);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  std::string diff;
+  EXPECT_TRUE(degraded->ApproxEquals(*baseline, 1e-9, &diff)) << diff;
+  EXPECT_GT(EngineMetrics::Get().mem_pressure_rejects->Value(),
+            rejects_before);
+  EXPECT_EQ(cache.num_entries(), 0u);  // nothing was built under pressure
+
+  // Pressure lifted: the next execution builds and caches normally.
+  MemoryTracker::Process().Release(7u << 20);
+  MemoryTracker::Process().set_limit(0);
+  auto healthy = cache.Execute(query, txn);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_TRUE(healthy->ApproxEquals(*baseline, 1e-9, &diff)) << diff;
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+TEST_F(GovernanceExecutionTest, CacheBytesMirrorIntoTracker) {
+  AggregateCacheManager cache(&db_);
+  const size_t cache_before = MemoryTracker::Cache().used();
+  Transaction txn = db_.Begin();
+  auto result = cache.Execute(HeaderItemQuery(), txn);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(cache.num_entries(), 1u);
+  EXPECT_EQ(MemoryTracker::Cache().used(),
+            cache_before + cache.total_bytes());
+  cache.Clear();
+  EXPECT_EQ(MemoryTracker::Cache().used(), cache_before);
+}
+
+TEST_F(GovernanceExecutionTest, ExpiredDeadlineSurfacesTypedError) {
+  AggregateCacheManager cache(&db_);
+  QueryContext::Options options;
+  options.deadline_ms = 0.001;  // expires before the query starts
+  QueryContext ctx(options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ScopedQueryContext scope(&ctx);
+  Transaction txn = db_.Begin();
+  auto result = cache.Execute(HeaderItemQuery(), txn);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(result.status().IsGovernanceAbort());
+}
+
+TEST_F(GovernanceExecutionTest, TinyBudgetSurfacesResourceExhausted) {
+  AggregateCacheManager cache(&db_);
+  QueryContext::Options options;
+  options.memory_budget = 1;  // the first real charge must trip it
+  QueryContext ctx(options);
+  ScopedQueryContext scope(&ctx);
+  Transaction txn = db_.Begin();
+  auto result = cache.Execute(HeaderItemQuery(), txn);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.abort_reason(), QueryAbortReason::kMemoryExceeded);
+}
+
+TEST_F(GovernanceExecutionTest, CancellationRacesCompletionSafely) {
+  AggregateCacheManager cache(&db_);
+  AggregateQuery query = HeaderItemQuery();
+  Transaction txn = db_.Begin();
+  ExecutionOptions uncached;
+  uncached.strategy = ExecutionStrategy::kUncached;
+  auto baseline = cache.Execute(query, txn, uncached);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  // Race a cancel against execution at varying points. Either outcome is
+  // legal: a completed identical result, or a typed kCancelled error.
+  // Never a crash, never a wrong answer, and the query reservations always
+  // drain.
+  for (int delay_us : {0, 20, 50, 100, 200, 500}) {
+    QueryContext ctx;
+    std::thread canceller([&ctx, delay_us] {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      ctx.Cancel();
+    });
+    StatusOr<AggregateResult> result = [&] {
+      ScopedQueryContext scope(&ctx);
+      return cache.Execute(query, txn);
+    }();
+    canceller.join();
+    if (result.ok()) {
+      std::string diff;
+      EXPECT_TRUE(result->ApproxEquals(*baseline, 1e-9, &diff)) << diff;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+          << result.status().ToString();
+    }
+    EXPECT_EQ(MemoryTracker::Queries().used(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace aggcache
