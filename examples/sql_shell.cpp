@@ -17,7 +17,13 @@
 //   .load FILE        replace the database with a snapshot
 //   \flight [n]       dump the last n (default 4096) engine flight-recorder
 //                     events to stderr as JSON
+//   \spans [n]        dump the last n (default 8192) spans to stderr as
+//                     Chrome-trace JSON (set AGGCACHE_SPANS=on to record)
+//   \cache            print the per-entry cost/benefit ledger
 //   .quit
+//
+// Set AGGCACHE_OBS_ADDR=host:port to serve /metrics, /metrics.json,
+// /flight, /spans, /cache and /healthz over HTTP while the shell runs.
 
 #include <cstdio>
 #include <cstdlib>
@@ -59,7 +65,8 @@ bool HandleMetaCommand(const std::string& line,
                        std::unique_ptr<Database>& db,
                        std::unique_ptr<AggregateCacheManager>& cache,
                        bool durable) {
-  if (line == ".quit" || line == ".exit") std::exit(0);
+  // .quit/.exit are handled in main() so the normal return path runs —
+  // the observability server must join its threads before db/cache die.
   if (line == ".tables") {
     ListTables(*db);
     return true;
@@ -119,6 +126,35 @@ bool HandleMetaCommand(const std::string& line,
       return true;
     }
     std::printf("  strategy = %s\n", ExecutionStrategyToString(g_strategy));
+    return true;
+  }
+  if (line.rfind("\\spans", 0) == 0) {
+    // Dump the span recorder as Chrome-trace JSON (load in Perfetto or
+    // chrome://tracing). Recording is off unless AGGCACHE_SPANS is set.
+    size_t max_spans = 8192;
+    std::string arg = line.size() > 7 ? line.substr(7) : "";
+    if (!arg.empty()) {
+      char* end = nullptr;
+      long parsed = std::strtol(arg.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || parsed <= 0) {
+        std::printf("  usage: \\spans [max_spans]\n");
+        return true;
+      }
+      max_spans = static_cast<size_t>(parsed);
+    }
+    SpanRecorder& spans = SpanRecorder::Global();
+    if (!spans.enabled()) {
+      std::printf("  span recorder is off (set AGGCACHE_SPANS=on)\n");
+      return true;
+    }
+    spans.DumpToStderr(max_spans);
+    std::printf("  spans: %llu recorded, %llu lost (dump on stderr)\n",
+                static_cast<unsigned long long>(spans.recorded_spans()),
+                static_cast<unsigned long long>(spans.lost_spans()));
+    return true;
+  }
+  if (line == "\\cache") {
+    std::printf("%s", cache->LedgerText().c_str());
     return true;
   }
   if (line.rfind("\\flight", 0) == 0) {
@@ -252,9 +288,53 @@ int main() {
     durability->SetDescriptorSource(cache.get());
   }
 
+  // AGGCACHE_OBS_ADDR=host:port serves the observability endpoints over
+  // HTTP for curl and Prometheus. The server is stopped (threads joined)
+  // before db/cache are torn down; the handlers below only dereference
+  // db/cache while the server runs, so the order is what makes them safe.
+  ObsServer obs_server;
+  if (const char* obs_addr = std::getenv("AGGCACHE_OBS_ADDR")) {
+    // Register every engine instrument now, not lazily on the first query:
+    // a scraper that connects at boot should see the full schema at zero.
+    EngineMetrics::Get();
+    obs_server.SetHandler("/metrics", "text/plain; version=0.0.4", [] {
+      return MetricsRegistry::Global().Render();
+    });
+    obs_server.SetHandler("/metrics.json", "application/json", [] {
+      return MetricsRegistry::Global().RenderJson();
+    });
+    obs_server.SetHandler("/flight", "application/json", [] {
+      return FlightRecorder::Global().DumpJson();
+    });
+    obs_server.SetHandler("/spans", "application/json", [] {
+      return SpanRecorder::Global().DumpJson();
+    });
+    AggregateCacheManager* cache_ptr = cache.get();
+    obs_server.SetHandler("/cache", "application/json", [cache_ptr] {
+      return cache_ptr->LedgerJson();
+    });
+    Database* db_ptr = db.get();
+    obs_server.SetHealthProbe([db_ptr, cache_ptr] {
+      if (db_ptr->restoring()) return std::make_pair(503, std::string("restoring\n"));
+      if (cache_ptr->degraded()) return std::make_pair(503, std::string("degraded\n"));
+      return std::make_pair(200, std::string("ok\n"));
+    });
+    ObsServer::Options obs_options;
+    obs_options.address = obs_addr;
+    Status started = obs_server.Start(obs_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "observability server: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf("observability endpoint on port %u "
+                "(/metrics /metrics.json /flight /spans /cache /healthz)\n",
+                obs_server.port());
+  }
+
   std::printf("aggcache SQL shell — %s (.tables, .cache, "
-              ".merge, .strategy, \\flight, .quit; EXPLAIN AGGREGATE "
-              "[JSON] SELECT ...)\n",
+              ".merge, .strategy, \\flight, \\spans, \\cache, .quit; "
+              "EXPLAIN AGGREGATE [JSON] SELECT ...)\n",
               preloaded ? "ERP demo data loaded" : "durable session resumed");
   std::printf("try: SELECT Name, SUM(Price) AS Profit FROM Header, Item, "
               "ProductCategory\n     WHERE Item.HeaderID = Header.HeaderID "
@@ -267,6 +347,7 @@ int main() {
     std::printf(statement.empty() ? "sql> " : "...> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
+    if (statement.empty() && (line == ".quit" || line == ".exit")) break;
     if (statement.empty() &&
         HandleMetaCommand(line, db, cache, durability != nullptr)) {
       continue;
@@ -278,5 +359,6 @@ int main() {
       statement.clear();
     }
   }
+  obs_server.Stop();  // Join handlers before db/cache teardown.
   return 0;
 }

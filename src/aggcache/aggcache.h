@@ -31,7 +31,9 @@
 #include "objectaware/predicate_pushdown.h"
 #include "obs/engine_metrics.h"
 #include "obs/metrics_registry.h"
+#include "obs/obs_server.h"
 #include "obs/query_trace.h"
+#include "obs/span.h"
 #include "query/aggregate_query.h"
 #include "query/executor.h"
 #include "runtime/admission_controller.h"

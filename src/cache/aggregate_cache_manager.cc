@@ -9,9 +9,11 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "obs/trace_recorder.h"
 #include "runtime/admission_controller.h"
 #include "runtime/memory_tracker.h"
@@ -243,6 +245,7 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
                                            Snapshot snapshot) {
   RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("cache.build"));
   EngineMetrics::Get().cache_rebuilds->Increment();
+  ScopedSpan build_span(SpanKind::kEntryBuild);
   Stopwatch watch;
   entry.main_partials().clear();
   // Cross-temperature all-main combos can be pruned logically at build time
@@ -261,14 +264,17 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
   std::vector<AggregateResult> partials(combos.size());
   std::vector<ExecutorStats> task_stats(combos.size());
   std::vector<Status> task_status(combos.size());
-  // Re-install the building query's governance context on the pool workers.
+  // Re-install the building query's governance context on the pool workers,
+  // plus the span parent so build subjoins land under the build span.
   QueryContext* ctx = QueryContext::Current();
+  SpanLink span_parent = CurrentSpanLink();
   ParallelFor(combos.size(), [&](size_t i) {
     ScopedQueryContext scope(ctx);
     if (pruned[i]) {
       partials[i] = AggregateResult(bound.aggregates.size());
       return;
     }
+    ScopedSpan task_span(SpanKind::kSubjoinTask, span_parent, "build");
     auto partial =
         executor_.ExecuteSubjoin(bound, combos[i], snapshot,
                                  /*extra_filters=*/{},
@@ -296,6 +302,8 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
   RefreshEntrySize(entry);
   entry.metrics().main_exec_ms = watch.ElapsedMillis();
   entry.metrics().main_rows_aggregated = rows_aggregated;
+  CacheEntryMetrics::Ewma(entry.metrics().ewma_rebuild_ms,
+                          watch.ElapsedMillis());
   entry.ClearRebuildMark();
   EngineMetrics::Get().cache_build_us->Observe(
       static_cast<uint64_t>(watch.ElapsedNanos() / 1000));
@@ -371,11 +379,13 @@ StatusOr<std::shared_ptr<CacheEntry>> AggregateCacheManager::GetOrCreateEntry(
 
     if (!creator) {
       bool waited = false;
+      uint64_t wait_start_us = SpanRecorder::Global().NowMicros();
       EntryState state = entry->WaitUntilSettled(&waited);
       if (waited) {
         EngineMetrics::Get().cache_singleflight_waits->Increment();
         RecordFlightEvent(FlightEventType::kSingleFlightWait,
                           static_cast<uint64_t>(key.hash));
+        RecordSpanSince(SpanKind::kSingleFlightWait, wait_start_us);
       }
       if (state == EntryState::kEvicted) continue;
       TouchEntry(*entry);
@@ -463,6 +473,7 @@ Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
                                              Snapshot snapshot,
                                              CacheExecStats* stats) {
   if (!entry.IsDirty(bound.tables)) return Status::Ok();
+  ScopedSpan comp_span(SpanKind::kMainCorrection);
   Stopwatch watch;
   auto observe_latency = [&watch] {
     EngineMetrics::Get().cache_main_comp_us->Observe(
@@ -591,8 +602,10 @@ Status AggregateCacheManager::JoinMainCompensate(CacheEntry& entry,
   std::vector<ExecutorStats> task_stats(jobs.size());
   std::vector<Status> task_status(jobs.size());
   QueryContext* ctx = QueryContext::Current();
+  SpanLink span_parent = CurrentSpanLink();
   ParallelFor(jobs.size(), [&](size_t j) {
     ScopedQueryContext scope(ctx);
+    ScopedSpan task_span(SpanKind::kSubjoinTask, span_parent, "correction");
     auto term =
         executor_.ExecuteSubjoin(bound, *jobs[j].combo, snapshot,
                                  /*extra_filters=*/{}, &jobs[j].restriction,
@@ -652,14 +665,38 @@ StatusOr<AggregateResult> AggregateCacheManager::Execute(
     ctx = &*env_context;
   }
   ScopedQueryContext scope(ctx);
+  // Span root for the whole execution: every phase span below (admission
+  // wait, lookup, build, compensation, subjoin tasks) chains under it.
+  QueryRootSpan root_span(ExecutionStrategyToString(options.strategy));
+  QueryTrace* trace = TraceContext::Current();
   // The admission slot is held for the whole execution (ticket releases on
   // every return path); shed/timeout surfaces as a typed error before any
   // table lock is taken.
-  ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                   AdmissionController::Global().Admit(ctx));
+  Stopwatch admit_watch;
+  StatusOr<AdmissionController::Ticket> ticket_or = [&] {
+    ScopedSpan admit_span(SpanKind::kAdmissionWait);
+    return AdmissionController::Global().Admit(ctx);
+  }();
+  if (trace != nullptr) {
+    trace->admission_wait_us =
+        static_cast<uint64_t>(admit_watch.ElapsedNanos() / 1000);
+  }
+  auto fill_governance = [&] {
+    if (trace == nullptr) return;
+    trace->mem_peak_bytes = ctx->memory_high_water();
+    if (ctx->abort_reason() != QueryAbortReason::kNone) {
+      trace->abort_cause = QueryAbortReasonToString(ctx->abort_reason());
+    }
+  };
+  if (!ticket_or.ok()) {
+    fill_governance();
+    return ticket_or.status();
+  }
+  AdmissionController::Ticket ticket = std::move(ticket_or).value();
   CacheExecStats stats;
   PruneStats prune_acc;
   auto result = ExecuteInternal(query, txn, options, &stats, &prune_acc);
+  fill_governance();
   std::lock_guard<std::mutex> lock(stats_mu_);
   last_stats_ = stats;
   prune_stats_.considered += prune_acc.considered;
@@ -695,6 +732,15 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
   // calls the shared counter makes the delta approximate (observability
   // only, never correctness).
   uint64_t subjoins_before = executor_.stats().Snapshot().subjoins_executed;
+  Stopwatch total_watch;
+
+  // The lookup span covers bind + consistent-view acquisition + entry
+  // resolution + main repair; it ends (reset) before delta compensation so
+  // the root's children tile the execution instead of overlapping.
+  std::optional<ScopedSpan> lookup_span;
+  if (options.strategy != ExecutionStrategy::kUncached) {
+    lookup_span.emplace(SpanKind::kCacheLookup);
+  }
 
   ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
   // The consistent view — shared locks on every bound table plus an epoch
@@ -711,6 +757,8 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
                                  ? "uncached"
                                  : "not-cacheable";
     }
+    lookup_span.reset();
+    ScopedSpan exec_span(SpanKind::kUncachedExec);
     ASSIGN_OR_RETURN(AggregateResult result,
                      executor_.ExecuteUncachedBound(bound, snapshot));
     stats->subjoins_executed =
@@ -730,6 +778,8 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
     metrics.cache_uncached_fallbacks->Increment();
     if (trace != nullptr) trace->cache_outcome = "admission-rejected";
     stats->used_cache = false;
+    lookup_span.reset();
+    ScopedSpan exec_span(SpanKind::kUncachedExec);
     ASSIGN_OR_RETURN(AggregateResult result,
                      executor_.ExecuteUncachedBound(bound, snapshot));
     stats->subjoins_executed =
@@ -764,6 +814,8 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
       if (trace != nullptr) trace->cache_outcome = "snapshot-fallback";
       stats->used_cache = false;
       stats->cache_hit = false;
+      lookup_span.reset();
+      ScopedSpan exec_span(SpanKind::kUncachedExec);
       ASSIGN_OR_RETURN(AggregateResult result,
                        executor_.ExecuteUncachedBound(bound, snapshot));
       stats->subjoins_executed =
@@ -795,6 +847,7 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
     main_result = entry->MergedMainResult(bound.aggregates.size());
   }
   TouchEntry(*entry);
+  lookup_span.reset();
 
   // Delta compensation needs no entry lock: it reads only table state,
   // which the ReadView keeps frozen.
@@ -802,11 +855,14 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
   JoinPruner pruner(db_, PruneLevelFor(options.strategy));
   std::vector<MdBinding> mds = ResolveMds(bound);
   CompensationStats comp_stats;
-  ASSIGN_OR_RETURN(
-      AggregateResult delta_result,
-      DeltaCompensate(executor_, bound, mds, pruner,
-                      options.use_predicate_pushdown, snapshot, &comp_stats));
-  main_result.MergeFrom(delta_result);
+  StatusOr<AggregateResult> delta_or = [&] {
+    ScopedSpan delta_span(SpanKind::kDeltaCompensation);
+    return DeltaCompensate(executor_, bound, mds, pruner,
+                           options.use_predicate_pushdown, snapshot,
+                           &comp_stats);
+  }();
+  RETURN_IF_ERROR(delta_or.status());
+  main_result.MergeFrom(delta_or.value());
   AggregateResult result = query.ApplyHaving(std::move(main_result));
 
   double delta_ms = delta_watch.ElapsedMillis();
@@ -814,10 +870,34 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
   // access that rebuilt) the entry saved nothing, and crediting it would
   // inflate Profit() for new entries and skew eviction.
   if (stats->cache_hit) {
-    CacheEntryMetrics& metrics = entry->metrics();
-    CacheEntryMetrics::Add(metrics.total_delta_comp_ms, delta_ms);
-    metrics.delta_comp_count.fetch_add(1, std::memory_order_relaxed);
-    metrics.hit_count.fetch_add(1, std::memory_order_relaxed);
+    CacheEntryMetrics& em = entry->metrics();
+    CacheEntryMetrics::Add(em.total_delta_comp_ms, delta_ms);
+    em.delta_comp_count.fetch_add(1, std::memory_order_relaxed);
+    em.hit_count.fetch_add(1, std::memory_order_relaxed);
+    // Ledger: what this hit cost and what it saved. "Saved" is the entry's
+    // recorded main execution cost (what recomputing the mains would have
+    // taken) minus the compensation actually paid — negative when the
+    // deltas have outgrown the entry.
+    double hit_ms = total_watch.ElapsedMillis();
+    double comp_paid_ms = delta_ms + stats->main_comp_ms;
+    double saved_ms =
+        em.main_exec_ms.load(std::memory_order_relaxed) - comp_paid_ms;
+    CacheEntryMetrics::Ewma(em.ewma_hit_ms, hit_ms);
+    CacheEntryMetrics::Ewma(em.ewma_delta_comp_ms, delta_ms);
+    CacheEntryMetrics::Ewma(em.ewma_delta_rows,
+                            static_cast<double>(comp_stats.rows_scanned));
+    CacheEntryMetrics::Add(em.saved_ms_total, saved_ms);
+    em.delta_rows_scanned.fetch_add(comp_stats.rows_scanned,
+                                    std::memory_order_relaxed);
+    metrics.entry_hit_us->Observe(static_cast<uint64_t>(hit_ms * 1000.0));
+    if (saved_ms >= 0) {
+      metrics.entry_saved_us->Increment(
+          static_cast<uint64_t>(saved_ms * 1000.0));
+    } else {
+      metrics.entry_comp_overrun_us->Increment(
+          static_cast<uint64_t>(-saved_ms * 1000.0));
+    }
+    metrics.entry_delta_rows->Increment(comp_stats.rows_scanned);
   }
 
   stats->delta_comp_ms = delta_ms;
@@ -872,6 +952,106 @@ Status AggregateCacheManager::Prewarm(const AggregateQuery& query) {
 CacheExecStats AggregateCacheManager::last_exec_stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return last_stats_;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      *out += StrFormat("\\u%04x", c);
+    } else {
+      *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AggregateCacheManager::LedgerEntry>
+AggregateCacheManager::LedgerSnapshot() const {
+  std::vector<LedgerEntry> ledger;
+  for (const std::shared_ptr<CacheEntry>& entry : SnapshotEntries()) {
+    const CacheEntryMetrics& m = entry->metrics();
+    LedgerEntry row;
+    row.query = entry->key().canonical;
+    row.hits = m.hit_count.load(std::memory_order_relaxed);
+    row.size_bytes = m.size_bytes.load(std::memory_order_relaxed);
+    row.main_exec_ms = m.main_exec_ms.load(std::memory_order_relaxed);
+    row.ewma_hit_ms = m.ewma_hit_ms.load(std::memory_order_relaxed);
+    row.ewma_delta_comp_ms =
+        m.ewma_delta_comp_ms.load(std::memory_order_relaxed);
+    row.ewma_rebuild_ms = m.ewma_rebuild_ms.load(std::memory_order_relaxed);
+    row.ewma_delta_rows = m.ewma_delta_rows.load(std::memory_order_relaxed);
+    row.delta_rows_scanned =
+        m.delta_rows_scanned.load(std::memory_order_relaxed);
+    row.saved_ms_total = m.saved_ms_total.load(std::memory_order_relaxed);
+    row.profit = m.Profit();
+    ledger.push_back(std::move(row));
+  }
+  // Biggest net winners first; ties broken by key so the ordering is
+  // deterministic for goldens and diffs.
+  std::sort(ledger.begin(), ledger.end(),
+            [](const LedgerEntry& x, const LedgerEntry& y) {
+              if (x.saved_ms_total != y.saved_ms_total) {
+                return x.saved_ms_total > y.saved_ms_total;
+              }
+              return x.query < y.query;
+            });
+  return ledger;
+}
+
+std::string AggregateCacheManager::LedgerJson() const {
+  std::vector<LedgerEntry> ledger = LedgerSnapshot();
+  std::string out;
+  out.reserve(64 + ledger.size() * 256);
+  out += "{\"schema\":\"aggcache-ledger-v1\",\"entries\":[";
+  bool first = true;
+  for (const LedgerEntry& row : ledger) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"query\":\"";
+    AppendJsonEscaped(&out, row.query);
+    out += "\",\"hits\":";
+    out += std::to_string(row.hits);
+    out += ",\"size_bytes\":";
+    out += std::to_string(row.size_bytes);
+    out += StrFormat(",\"main_exec_ms\":%.3f", row.main_exec_ms);
+    out += StrFormat(",\"ewma_hit_ms\":%.3f", row.ewma_hit_ms);
+    out += StrFormat(",\"ewma_delta_comp_ms\":%.3f", row.ewma_delta_comp_ms);
+    out += StrFormat(",\"ewma_rebuild_ms\":%.3f", row.ewma_rebuild_ms);
+    out += StrFormat(",\"ewma_delta_rows\":%.1f", row.ewma_delta_rows);
+    out += ",\"delta_rows_scanned\":";
+    out += std::to_string(row.delta_rows_scanned);
+    out += StrFormat(",\"saved_ms_total\":%.3f", row.saved_ms_total);
+    out += StrFormat(",\"profit\":%.3f}", row.profit);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AggregateCacheManager::LedgerText(size_t top_n) const {
+  std::vector<LedgerEntry> ledger = LedgerSnapshot();
+  std::string out = StrFormat(
+      "aggregate cache ledger: %zu entries, showing %zu (by saved ms)\n",
+      ledger.size(), std::min(top_n, ledger.size()));
+  out +=
+      "   saved_ms    hits  hit_ms  comp_ms  rebuild_ms  delta_rows"
+      "       bytes  query\n";
+  size_t shown = 0;
+  for (const LedgerEntry& row : ledger) {
+    if (shown++ >= top_n) break;
+    out += StrFormat(
+        "%11.3f %7llu %7.3f %8.3f %11.3f %11llu %11zu  %s\n",
+        row.saved_ms_total, static_cast<unsigned long long>(row.hits),
+        row.ewma_hit_ms, row.ewma_delta_comp_ms, row.ewma_rebuild_ms,
+        static_cast<unsigned long long>(row.delta_rows_scanned),
+        row.size_bytes, row.query.c_str());
+  }
+  return out;
 }
 
 PruneStats AggregateCacheManager::prune_stats() const {

@@ -141,6 +141,35 @@ class AggregateCacheManager : public MergeObserver,
   /// Stats of the most recent completed Execute call (any thread's).
   CacheExecStats last_exec_stats() const;
 
+  /// One resident entry's row in the cost/benefit ledger: the observed
+  /// economics (EWMA hit latency, compensation and rebuild cost, delta
+  /// volume, net ms saved) that admission/eviction/merge-scheduling
+  /// policies consume. Values are relaxed snapshots of the entry's atomics.
+  struct LedgerEntry {
+    std::string query;        ///< Canonical cache key.
+    uint64_t hits = 0;
+    size_t size_bytes = 0;
+    double main_exec_ms = 0;  ///< Recorded build cost (what a hit saves).
+    double ewma_hit_ms = 0;
+    double ewma_delta_comp_ms = 0;
+    double ewma_rebuild_ms = 0;
+    double ewma_delta_rows = 0;
+    uint64_t delta_rows_scanned = 0;
+    double saved_ms_total = 0;
+    double profit = 0;        ///< CacheEntryMetrics::Profit().
+  };
+
+  /// The ledger, sorted by saved_ms_total descending (biggest winners
+  /// first; net-loss entries at the bottom).
+  std::vector<LedgerEntry> LedgerSnapshot() const;
+  /// Ledger as JSON: {"schema":"aggcache-ledger-v1","entries":[...]}.
+  std::string LedgerJson() const;
+  /// Human-readable top-N ledger table (shell `\cache`).
+  std::string LedgerText(size_t top_n = 10) const;
+
+  /// True while the manager refuses new builds under memory pressure.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+
   /// Cumulative pruning statistics across all cached executions.
   PruneStats prune_stats() const;
   void ResetPruneStats();

@@ -36,6 +36,22 @@ struct CacheEntryMetrics {
   /// Monotonic timestamp (ns) of the last use, for eviction tie-breaks.
   std::atomic<int64_t> last_access_ns{0};
 
+  // --- Cost/benefit ledger (EWMAs, alpha = kEwmaAlpha) ---------------------
+  /// Smoothed end-to-end latency of serving a hit from this entry.
+  std::atomic<double> ewma_hit_ms{0.0};
+  /// Smoothed per-hit delta-compensation cost.
+  std::atomic<double> ewma_delta_comp_ms{0.0};
+  /// Smoothed cost of (re)building the entry on the main partitions.
+  std::atomic<double> ewma_rebuild_ms{0.0};
+  /// Smoothed delta rows scanned per compensation pass.
+  std::atomic<double> ewma_delta_rows{0.0};
+  /// Net milliseconds this entry has saved so far: per hit, the recorded
+  /// main_exec_ms (what recomputing would have cost) minus the compensation
+  /// actually paid. Can go negative for entries whose deltas outgrew them.
+  std::atomic<double> saved_ms_total{0.0};
+  /// Total delta rows scanned across all compensation passes.
+  std::atomic<uint64_t> delta_rows_scanned{0};
+
   CacheEntryMetrics() = default;
   CacheEntryMetrics(const CacheEntryMetrics& other) { *this = other; }
   CacheEntryMetrics& operator=(const CacheEntryMetrics& other) {
@@ -51,6 +67,14 @@ struct CacheEntryMetrics {
         other.maintenance_failures.load(std::memory_order_relaxed);
     hit_count = other.hit_count.load(std::memory_order_relaxed);
     last_access_ns = other.last_access_ns.load(std::memory_order_relaxed);
+    ewma_hit_ms = other.ewma_hit_ms.load(std::memory_order_relaxed);
+    ewma_delta_comp_ms =
+        other.ewma_delta_comp_ms.load(std::memory_order_relaxed);
+    ewma_rebuild_ms = other.ewma_rebuild_ms.load(std::memory_order_relaxed);
+    ewma_delta_rows = other.ewma_delta_rows.load(std::memory_order_relaxed);
+    saved_ms_total = other.saved_ms_total.load(std::memory_order_relaxed);
+    delta_rows_scanned =
+        other.delta_rows_scanned.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -58,6 +82,25 @@ struct CacheEntryMetrics {
   /// floating point).
   static void Add(std::atomic<double>& field, double delta) {
     field.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Smoothing factor for the ledger EWMAs: heavy enough that one outlier
+  /// compensation pass does not whipsaw eviction/admission inputs, light
+  /// enough to follow a growing delta within ~10 uses.
+  static constexpr double kEwmaAlpha = 0.2;
+
+  /// Folds `sample` into an EWMA field with a CAS loop (concurrent hits
+  /// update the same entry). The first sample seeds the average directly —
+  /// 0.0 doubles as "no sample yet", which biases only pathological
+  /// genuinely-zero-cost entries and spares a separate has-sample flag.
+  static void Ewma(std::atomic<double>& field, double sample) {
+    double current = field.load(std::memory_order_relaxed);
+    double next;
+    do {
+      next = current == 0.0 ? sample
+                            : current + kEwmaAlpha * (sample - current);
+    } while (!field.compare_exchange_weak(current, next,
+                                          std::memory_order_relaxed));
   }
 
   double AvgDeltaCompMs() const {

@@ -3,6 +3,7 @@
 #include "common/thread_pool.h"
 #include "objectaware/predicate_pushdown.h"
 #include "obs/engine_metrics.h"
+#include "obs/span.h"
 #include "obs/trace_recorder.h"
 #include "runtime/query_context.h"
 
@@ -45,10 +46,15 @@ StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
   std::vector<AggregateResult> partials(subjoins.size());
   std::vector<ExecutorStats> task_stats(subjoins.size());
   std::vector<Status> task_status(subjoins.size());
-  // Re-install the calling query's governance context on the pool workers.
+  // Re-install the calling query's governance context on the pool workers —
+  // and the span parent, so each task shows up under this compensation in
+  // the trace tree.
   QueryContext* ctx = QueryContext::Current();
+  SpanLink span_parent = CurrentSpanLink();
   ParallelFor(subjoins.size(), [&](size_t i) {
     ScopedQueryContext scope(ctx);
+    ScopedSpan task_span(SpanKind::kSubjoinTask, span_parent,
+                         "delta-comp");
     auto partial =
         executor.ExecuteSubjoin(bound, subjoins[i].combo, snapshot,
                                 subjoins[i].extra,
@@ -66,7 +72,10 @@ StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
   Status first_error;
   for (size_t i = 0; i < subjoins.size(); ++i) {
     executor.stats().MergeFrom(task_stats[i]);
-    if (stats != nullptr) ++stats->subjoins_executed;
+    if (stats != nullptr) {
+      ++stats->subjoins_executed;
+      stats->rows_scanned += task_stats[i].rows_scanned;
+    }
     if (first_error.ok() && !task_status[i].ok()) first_error = task_status[i];
   }
   RETURN_IF_ERROR(first_error);

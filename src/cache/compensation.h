@@ -15,6 +15,9 @@ struct CompensationStats {
   uint64_t subjoins_considered = 0;
   uint64_t subjoins_executed = 0;
   uint64_t subjoins_pruned = 0;
+  /// Delta rows read across all executed subjoins — the ledger's measure of
+  /// how much delta volume this compensation had to chew through.
+  uint64_t rows_scanned = 0;
 };
 
 /// Delta compensation (Section 2.3.2): executes the non-all-main subjoin

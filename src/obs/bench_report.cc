@@ -270,6 +270,19 @@ BenchContext::BenchContext(int argc, char** argv, std::string scenario)
       std::strcmp(env_quick, "0") != 0) {
     quick_ = true;
   }
+  const char* env_reps = std::getenv("AGGCACHE_BENCH_REPS");
+  if (env_reps != nullptr && *env_reps != '\0') {
+    char* end = nullptr;
+    long reps = std::strtol(env_reps, &end, 10);
+    if (end == env_reps || *end != '\0' || reps < 1 || reps > 100000) {
+      std::fprintf(stderr,
+                   "FATAL BenchContext: AGGCACHE_BENCH_REPS='%s' is not a "
+                   "positive rep count\n",
+                   env_reps);
+      std::abort();
+    }
+    reps_override_ = static_cast<int>(reps);
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--json") == 0) {
@@ -292,6 +305,7 @@ int BenchContext::Reps(int quick_reps, int full_reps) const {
                  quick_reps, full_reps);
     std::abort();
   }
+  if (reps_override_ > 0) return reps_override_;
   return quick_ ? quick_reps : full_reps;
 }
 

@@ -139,7 +139,10 @@ class BenchContext {
   /// QuickOr for repetition counts: additionally validates that both sides
   /// are positive, so a sizing typo cannot hand MeasureMs zero reps and
   /// produce all-zero latency samples in either protocol. Aborts on
-  /// violation.
+  /// violation. The AGGCACHE_BENCH_REPS environment variable overrides
+  /// both values — CI's span-overhead gate uses it to buy tight medians
+  /// (a 3% threshold is meaningless over 3 reps of a sub-ms query)
+  /// without slowing every --quick scenario down.
   int Reps(int quick_reps, int full_reps) const;
 
   /// Captures the metrics delta and, when JSON output was requested,
@@ -152,6 +155,7 @@ class BenchContext {
   std::string json_path_;
   bool quick_ = false;
   bool finished_ = false;
+  int reps_override_ = 0;  ///< 0 = none; else AGGCACHE_BENCH_REPS.
 };
 
 }  // namespace aggcache

@@ -43,6 +43,21 @@ const EngineMetrics& EngineMetrics::Get() {
         "aggcache_cache_delta_comp_us",
         "Delta compensation latency in microseconds");
 
+    m->entry_hit_us = r.GetHistogram(
+        "aggcache_entry_hit_us",
+        "End-to-end latency of serving a cache hit, in microseconds");
+    m->entry_saved_us = r.GetCounter(
+        "aggcache_entry_saved_us_total",
+        "Microseconds saved by cache hits: recorded main execution cost "
+        "minus compensation paid, positive part");
+    m->entry_comp_overrun_us = r.GetCounter(
+        "aggcache_entry_comp_overrun_us_total",
+        "Microseconds where compensation exceeded the recorded main "
+        "execution cost (hits that were net losses)");
+    m->entry_delta_rows = r.GetCounter(
+        "aggcache_entry_delta_rows_total",
+        "Delta rows scanned by compensation passes on cache hits");
+
     m->exec_subjoins = r.GetCounter(
         "aggcache_executor_subjoins_executed_total",
         "Subjoin executions (compensation, uncached union terms, builds, "

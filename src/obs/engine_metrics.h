@@ -30,6 +30,14 @@ struct EngineMetrics {
   Histogram* cache_main_comp_us;     ///< Main compensation latency.
   Histogram* cache_delta_comp_us;    ///< Delta compensation latency.
 
+  // Per-entry cost/benefit ledger, aggregated across entries (the per-entry
+  // breakdown lives in AggregateCacheManager::LedgerJson() — per-entry
+  // Prometheus series would be unbounded cardinality).
+  Histogram* entry_hit_us;           ///< End-to-end cache-hit serve latency.
+  Counter* entry_saved_us;           ///< Σ max(0, main_exec - compensation).
+  Counter* entry_comp_overrun_us;    ///< Σ max(0, compensation - main_exec).
+  Counter* entry_delta_rows;         ///< Delta rows scanned by compensation.
+
   // Executor.
   Counter* exec_subjoins;            ///< ExecuteSubjoin calls.
   Counter* exec_rows_scanned;

@@ -15,6 +15,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/span.h"
 
 namespace aggcache {
 
@@ -410,13 +411,16 @@ FlightRecorder::Options ParseFlightEnv() {
 
 /// AGGCACHE_CHECK failure hook: ship the timeline before the abort so a
 /// crashed stress or fuzz run leaves its black box behind. Guarded against
-/// re-entrant CHECK failures inside the dump itself.
+/// re-entrant CHECK failures inside the dump itself. There is exactly one
+/// hook slot, so the span recorder's crash dump chains from here rather
+/// than registering its own hook.
 void DumpFlightOnCheckFailure() {
   static std::atomic<bool> dumping{false};
   if (dumping.exchange(true, std::memory_order_relaxed)) return;
   FlightRecorder& recorder = FlightRecorder::Global();
   recorder.Record(FlightEventType::kCheckFailure);
   recorder.DumpToStderr();
+  DumpSpansOnCheckFailureIfEnabled();
   dumping.store(false, std::memory_order_relaxed);
 }
 

@@ -1,0 +1,273 @@
+#include "obs/obs_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#define AGGCACHE_OBS_HAS_SOCKETS 1
+#endif
+
+#include "common/logging.h"
+
+namespace aggcache {
+
+#ifdef AGGCACHE_OBS_HAS_SOCKETS
+
+namespace {
+
+/// Splits "host:port"; returns false on anything that does not parse to a
+/// dotted-quad (or empty = loopback) host and a numeric port.
+bool ParseAddress(const std::string& address, std::string* host,
+                  uint16_t* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = address.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  const std::string port_str = address.substr(colon + 1);
+  if (port_str.empty()) return false;
+  long value = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > 65535) return false;
+  }
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.1 200 OK\r\n";
+    case 400:
+      return "HTTP/1.1 400 Bad Request\r\n";
+    case 404:
+      return "HTTP/1.1 404 Not Found\r\n";
+    case 405:
+      return "HTTP/1.1 405 Method Not Allowed\r\n";
+    case 503:
+      return "HTTP/1.1 503 Service Unavailable\r\n";
+    default:
+      return "HTTP/1.1 500 Internal Server Error\r\n";
+  }
+}
+
+void SendResponse(int fd, int code, const std::string& content_type,
+                  const std::string& body) {
+  std::string response = StatusLine(code);
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    ssize_t n = ::send(fd, response.data() + sent, response.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return;  // Peer went away; nothing to salvage.
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+ObsServer::~ObsServer() { Stop(); }
+
+void ObsServer::SetHandler(const std::string& path,
+                           const std::string& content_type,
+                           Handler handler) {
+  AGGCACHE_CHECK(!running());
+  endpoints_[path] = Endpoint{content_type, std::move(handler)};
+}
+
+void ObsServer::SetHealthProbe(HealthProbe probe) {
+  AGGCACHE_CHECK(!running());
+  health_probe_ = std::move(probe);
+}
+
+Status ObsServer::Start(const Options& options) {
+  AGGCACHE_CHECK(!running());
+  options_ = options;
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseAddress(options.address, &host, &port)) {
+    return Status::InvalidArgument("obs server: bad address '" +
+                                   options.address + "' (want host:port)");
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("obs server: bad host '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("obs server: socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  // SO_REUSEADDR forgives TIME_WAIT remnants of our own previous run (a
+  // shell restarted within a minute must be able to rebind); it does NOT
+  // allow binding over a live listener, so a port actively in use still
+  // fails Start() loudly rather than silently shadowing another server.
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = Status::Internal("obs server: bind(" + options.address +
+                                     ") failed: " +
+                                     std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status = Status::Internal("obs server: listen() failed: " +
+                                     std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  size_t threads = std::max<size_t>(options_.handler_threads, 1);
+  handler_threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void ObsServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Closing the listener unblocks accept(); shutdown() first for platforms
+  // where close alone does not wake a blocked accept.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (int fd : pending_fds_) ::close(fd);
+  pending_fds_.clear();
+}
+
+void ObsServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      return;  // Listener died underneath us.
+    }
+    // A stalled client must not pin a handler thread forever.
+    struct timeval timeout = {2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_fds_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void ObsServer::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_fds_.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (pending_fds_.empty()) return;  // Stopping and drained.
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void ObsServer::ServeConnection(int fd) {
+  // Read until the end of the request line; ignore the header block (we
+  // never use it) but cap total bytes so a hostile client cannot balloon.
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    if (request.size() > options_.max_request_bytes) {
+      SendResponse(fd, 400, "text/plain", "request too large\n");
+      return;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;  // Timeout or hangup before a full request line.
+    request.append(buf, static_cast<size_t>(n));
+  }
+  size_t eol = request.find_first_of("\r\n");
+  std::string line = request.substr(0, eol);
+  // Request line: METHOD SP PATH SP VERSION.
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1 ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    SendResponse(fd, 400, "text/plain", "malformed request\n");
+    return;
+  }
+  std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (method != "GET") {
+    SendResponse(fd, 405, "text/plain", "method not allowed\n");
+    return;
+  }
+  if (path == "/healthz") {
+    if (health_probe_) {
+      std::pair<int, std::string> health = health_probe_();
+      SendResponse(fd, health.first, "text/plain", health.second);
+    } else {
+      SendResponse(fd, 200, "text/plain", "ok\n");
+    }
+    return;
+  }
+  auto it = endpoints_.find(path);
+  if (it == endpoints_.end()) {
+    SendResponse(fd, 404, "text/plain", "not found\n");
+    return;
+  }
+  SendResponse(fd, 200, it->second.content_type, it->second.handler());
+}
+
+#else  // !AGGCACHE_OBS_HAS_SOCKETS
+
+ObsServer::~ObsServer() {}
+void ObsServer::SetHandler(const std::string&, const std::string&, Handler) {}
+void ObsServer::SetHealthProbe(HealthProbe) {}
+Status ObsServer::Start(const Options&) {
+  return Status::Unimplemented("obs server requires POSIX sockets");
+}
+void ObsServer::Stop() {}
+void ObsServer::AcceptLoop() {}
+void ObsServer::HandlerLoop() {}
+void ObsServer::ServeConnection(int) {}
+
+#endif  // AGGCACHE_OBS_HAS_SOCKETS
+
+}  // namespace aggcache

@@ -1,0 +1,104 @@
+#ifndef AGGCACHE_OBS_OBS_SERVER_H_
+#define AGGCACHE_OBS_OBS_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aggcache {
+
+/// A minimal GET-only HTTP/1.1 observability server: one blocking accept
+/// thread feeding a small handler pool, no dependencies beyond POSIX
+/// sockets. This is deliberately NOT a general web server — it serves a
+/// handful of registered read-only endpoints (/metrics, /metrics.json,
+/// /flight, /spans, /cache, /healthz) to curl and Prometheus scrapers,
+/// closes every connection after one response, and rejects anything else
+/// (405 non-GET, 404 unknown path, 400 malformed request line).
+///
+/// Handlers run on the pool threads and may take locks (they call
+/// MetricsRegistry::Render, FlightRecorder::DumpJson, ...), so the accept
+/// thread never blocks behind a slow render. Stop() is idempotent, joins
+/// every thread and closes the listener; the owner (sql_shell) orders it
+/// before Database teardown so no handler can observe a dying engine.
+///
+/// On non-POSIX builds Start() returns Unimplemented and the server is
+/// inert.
+class ObsServer {
+ public:
+  struct Options {
+    /// "host:port" (port 0 picks an ephemeral port, see port()).
+    std::string address = "127.0.0.1:0";
+    size_t handler_threads = 2;
+    /// Request-line cap; longer requests get 400 and the boot.
+    size_t max_request_bytes = 4096;
+  };
+
+  /// One registered endpoint: exact path match, body produced per request.
+  using Handler = std::function<std::string()>;
+  /// Health probe: returns {http status, body}. Installed on /healthz.
+  using HealthProbe = std::function<std::pair<int, std::string>()>;
+
+  ObsServer() = default;
+  ~ObsServer();
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// Registers `handler` for GET `path` (exact match, e.g. "/metrics").
+  /// Must be called before Start().
+  void SetHandler(const std::string& path, const std::string& content_type,
+                  Handler handler);
+
+  /// Installs the /healthz probe (text/plain; the probe picks the status
+  /// code — 200 healthy, 503 while restoring/degraded/draining).
+  void SetHealthProbe(HealthProbe probe);
+
+  /// Binds, listens, and spins up the accept + handler threads. Fails
+  /// loudly (kInvalidArgument / kInternal) on a bad address or a port
+  /// already in use — a silently dead observability port is worse than a
+  /// startup error.
+  Status Start(const Options& options);
+
+  /// The bound port (after Start; useful with port 0).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Shuts the listener, drains the queue, joins all threads. Idempotent.
+  void Stop();
+
+ private:
+  struct Endpoint {
+    std::string content_type;
+    Handler handler;
+  };
+
+  void AcceptLoop();
+  void HandlerLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  std::map<std::string, Endpoint> endpoints_;
+  HealthProbe health_probe_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_OBS_OBS_SERVER_H_

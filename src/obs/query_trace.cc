@@ -79,6 +79,10 @@ std::string QueryTrace::ToText() const {
       "  phases: build %.3f ms, main-comp %.3f ms, delta-comp %.3f ms, "
       "total %.3f ms\n",
       build_ms, main_comp_ms, delta_comp_ms, total_ms);
+  out << "  governance: admission-wait " << admission_wait_us
+      << " us, mem-peak " << mem_peak_bytes << " B";
+  if (!abort_cause.empty()) out << ", abort: " << abort_cause;
+  out << "\n";
   out << "  subjoins: " << subjoins.size() << " considered = "
       << CountVerdict(SubjoinTrace::Verdict::kExecuted) << " executed + "
       << CountVerdict(SubjoinTrace::Verdict::kPushdown) << " pushdown + "
@@ -116,6 +120,9 @@ std::string QueryTrace::ToJson() const {
       ",\"phases\":{\"build_ms\":%.3f,\"main_comp_ms\":%.3f,"
       "\"delta_comp_ms\":%.3f,\"total_ms\":%.3f}",
       build_ms, main_comp_ms, delta_comp_ms, total_ms);
+  out << ",\"governance\":{\"admission_wait_us\":" << admission_wait_us
+      << ",\"mem_peak_bytes\":" << mem_peak_bytes << ",\"abort\":\""
+      << JsonEscape(abort_cause) << "\"}";
   out << ",\"subjoins\":[";
   for (size_t i = 0; i < subjoins.size(); ++i) {
     const SubjoinTrace& subjoin = subjoins[i];

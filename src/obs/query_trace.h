@@ -66,6 +66,12 @@ struct QueryTrace {
   double delta_comp_ms = 0.0;  ///< Delta compensation time.
   double total_ms = 0.0;       ///< End-to-end wall time.
 
+  // Governance: how the run interacted with admission control and memory
+  // accounting — these reconcile with the aggcache_admission_* counters.
+  uint64_t admission_wait_us = 0;  ///< Time spent in the admission gate.
+  uint64_t mem_peak_bytes = 0;     ///< Query-context memory high water.
+  std::string abort_cause;         ///< QueryAbortReason name; empty if none.
+
   std::vector<SubjoinTrace> subjoins;
 
   size_t CountVerdict(SubjoinTrace::Verdict verdict) const;

@@ -1,0 +1,487 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace aggcache {
+
+namespace {
+
+uint64_t SteadyMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Live-instance registry, keyed address -> instance id; same lifetime
+// protocol as the flight recorder's (a thread-local lease can outlive a
+// stack-allocated recorder whose address a successor then reuses). Leaked
+// so leases draining at thread/process exit always find it alive.
+std::mutex& LiveSpanRecordersMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<const void*, uint64_t>& LiveSpanRecorders() {
+  static auto* live = new std::map<const void*, uint64_t>();
+  return *live;
+}
+
+uint64_t NextInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The innermost active span on this thread. Plain (non-atomic) TLS: only
+/// this thread reads or writes it.
+thread_local SpanLink t_current_span;
+
+/// The global recorder once constructed — read by the CHECK-failure chain
+/// without forcing construction mid-crash.
+std::atomic<SpanRecorder*> g_global_recorder{nullptr};
+
+SpanRecorder::Options ParseSpanEnv() {
+  SpanRecorder::Options options;
+  const char* env = std::getenv("AGGCACHE_SPANS");
+  if (env == nullptr) return options;
+  std::string spec(env);
+  if (spec == "off" || spec == "0" || spec.empty()) return options;
+  options.enabled = true;
+  if (spec == "on" || spec == "1") return options;
+  for (size_t start = 0; start <= spec.size();) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string part = spec.substr(start, comma - start);
+    start = comma + 1;
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = part.substr(0, eq);
+    long value = std::strtol(part.c_str() + eq + 1, nullptr, 10);
+    if (key == "sample" && value > 0) {
+      options.sample_every = static_cast<uint64_t>(value);
+    } else if (key == "spans" && value > 0) {
+      options.spans_per_segment = static_cast<size_t>(value);
+    } else if (key == "threads" && value > 0) {
+      options.max_segments = static_cast<size_t>(value);
+    }
+  }
+  return options;
+}
+
+void CopyDetail(char (&dst)[16], const char* detail) {
+  if (detail == nullptr) return;
+  std::strncpy(dst, detail, sizeof(dst) - 1);
+}
+
+}  // namespace
+
+const char* SpanKindToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQuery:
+      return "query";
+    case SpanKind::kAdmissionWait:
+      return "admission_wait";
+    case SpanKind::kCacheLookup:
+      return "cache_lookup";
+    case SpanKind::kSingleFlightWait:
+      return "singleflight_wait";
+    case SpanKind::kEntryBuild:
+      return "entry_build";
+    case SpanKind::kMainCorrection:
+      return "main_correction";
+    case SpanKind::kDeltaCompensation:
+      return "delta_compensation";
+    case SpanKind::kUncachedExec:
+      return "uncached_exec";
+    case SpanKind::kSubjoinTask:
+      return "subjoin_task";
+    case SpanKind::kSharedScanLead:
+      return "sharedscan_lead";
+    case SpanKind::kSharedScanAttach:
+      return "sharedscan_attach";
+    case SpanKind::kMerge:
+      return "merge";
+    case SpanKind::kCheckpoint:
+      return "checkpoint";
+    case SpanKind::kWalSync:
+      return "wal_sync";
+    case SpanKind::kRecoveryReplay:
+      return "recovery_replay";
+  }
+  return "unknown";
+}
+
+/// One span slot, all fields atomic so TSAN sees every cross-thread access
+/// as intentionally racy-by-protocol. `seq` doubles as the publication
+/// token: 0 = slot being (re)written, nonzero = payload at that sequence.
+struct SpanRecorder::Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> start_us{0};
+  std::atomic<uint64_t> dur_us{0};
+  /// Packed: bits 0..7 span kind, bits 8..39 recorder thread id.
+  std::atomic<uint64_t> meta{0};
+  std::atomic<uint64_t> span_id{0};
+  std::atomic<uint64_t> parent_id{0};
+  std::atomic<uint64_t> query_id{0};
+  /// Truncated label, two 8-byte words (NUL padding included).
+  std::atomic<uint64_t> detail[2] = {};
+};
+
+/// A per-thread ring of slots. Only the leasing thread advances `cursor`;
+/// dump threads read slots concurrently through the seq protocol.
+struct SpanRecorder::Segment {
+  explicit Segment(size_t n) : mask(n - 1), slots(new Slot[n]) {}
+  const size_t mask;
+  std::atomic<size_t> cursor{0};
+  std::unique_ptr<Slot[]> slots;
+  uint32_t thread_id = 0;
+};
+
+struct SpanThreadLease {
+  /// Thread-local lease, identical in shape to FlightThreadLease: acquired
+  /// on a thread's first Record(), returned through the live-instance
+  /// registry at thread exit (dropped if the recorder died first).
+  struct Impl {
+    SpanRecorder* recorder = nullptr;
+    uint64_t instance_id = 0;
+    SpanRecorder::Segment* segment = nullptr;
+    ~Impl() { Release(recorder, instance_id, segment); }
+  };
+
+  static void Release(SpanRecorder* recorder, uint64_t instance_id,
+                      SpanRecorder::Segment* segment) {
+    if (recorder == nullptr || segment == nullptr) return;
+    std::lock_guard<std::mutex> lock(LiveSpanRecordersMutex());
+    auto it = LiveSpanRecorders().find(recorder);
+    if (it != LiveSpanRecorders().end() && it->second == instance_id) {
+      recorder->ReleaseSegment(segment);
+    }
+  }
+
+  static SpanRecorder::Segment* Get(SpanRecorder* recorder) {
+    thread_local Impl lease;
+    if (lease.instance_id != recorder->instance_id_) {
+      Release(lease.recorder, lease.instance_id, lease.segment);
+      lease.recorder = recorder;
+      lease.instance_id = recorder->instance_id_;
+      lease.segment = recorder->LeaseSegment();
+    } else if (lease.segment == nullptr) {
+      // Starved earlier (every segment was leased); retry — a segment may
+      // have been freed by an exiting thread since.
+      lease.segment = recorder->LeaseSegment();
+    }
+    return lease.segment;
+  }
+};
+
+SpanRecorder::SpanRecorder(Options options)
+    : options_(options),
+      instance_id_(NextInstanceId()),
+      t0_us_(SteadyMicros()) {
+  options_.spans_per_segment =
+      RoundUpPow2(std::max<size_t>(options_.spans_per_segment, 8));
+  options_.max_segments = std::max<size_t>(options_.max_segments, 1);
+  options_.sample_every = std::max<uint64_t>(options_.sample_every, 1);
+  enabled_.store(options_.enabled, std::memory_order_relaxed);
+  segments_.reserve(options_.max_segments);
+  std::lock_guard<std::mutex> lock(LiveSpanRecordersMutex());
+  LiveSpanRecorders()[this] = instance_id_;
+}
+
+SpanRecorder::~SpanRecorder() {
+  std::lock_guard<std::mutex> lock(LiveSpanRecordersMutex());
+  LiveSpanRecorders().erase(this);
+}
+
+uint64_t SpanRecorder::NowMicros() const { return SteadyMicros() - t0_us_; }
+
+bool SpanRecorder::SampleTick() {
+  if (options_.sample_every == 1) return true;
+  return sample_tick_.fetch_add(1, std::memory_order_relaxed) %
+             options_.sample_every ==
+         0;
+}
+
+SpanRecorder::Segment* SpanRecorder::LeaseSegment() {
+  std::lock_guard<std::mutex> lock(segments_mu_);
+  if (!free_segments_.empty()) {
+    Segment* segment = free_segments_.back();
+    free_segments_.pop_back();
+    return segment;
+  }
+  if (segments_.size() < options_.max_segments) {
+    segments_.push_back(
+        std::make_unique<Segment>(options_.spans_per_segment));
+    Segment* segment = segments_.back().get();
+    segment->thread_id =
+        next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+    return segment;
+  }
+  return nullptr;
+}
+
+void SpanRecorder::ReleaseSegment(Segment* segment) {
+  std::lock_guard<std::mutex> lock(segments_mu_);
+  free_segments_.push_back(segment);
+}
+
+size_t SpanRecorder::active_segments() const {
+  std::lock_guard<std::mutex> lock(segments_mu_);
+  return segments_.size() - free_segments_.size();
+}
+
+void SpanRecorder::Record(SpanKind kind, uint64_t span_id,
+                          uint64_t parent_id, uint64_t query_id,
+                          uint64_t start_us, uint64_t end_us,
+                          const char* detail) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Segment* segment = SpanThreadLease::Get(this);
+  if (segment == nullptr) {
+    lost_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  size_t index =
+      segment->cursor.fetch_add(1, std::memory_order_relaxed) & segment->mask;
+  Slot& slot = segment->slots[index];
+  // Unpublish, write the payload relaxed, then publish with release: a
+  // harvester acquiring a nonzero seq sees the matching payload, and one
+  // that catches the slot mid-rewrite sees seq==0 or a seq change and
+  // discards it (same protocol as FlightRecorder::Record).
+  slot.seq.store(0, std::memory_order_release);
+  slot.start_us.store(start_us, std::memory_order_relaxed);
+  slot.dur_us.store(end_us >= start_us ? end_us - start_us : 0,
+                    std::memory_order_relaxed);
+  slot.meta.store(static_cast<uint64_t>(kind) |
+                      (uint64_t{segment->thread_id} << 8),
+                  std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.parent_id.store(parent_id, std::memory_order_relaxed);
+  slot.query_id.store(query_id, std::memory_order_relaxed);
+  uint64_t words[2] = {0, 0};
+  if (detail != nullptr) {
+    char buf[16] = {};
+    std::strncpy(buf, detail, sizeof(buf) - 1);
+    std::memcpy(words, buf, sizeof(buf));
+  }
+  for (int i = 0; i < 2; ++i) {
+    slot.detail[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+std::vector<SpanRecorder::Span> SpanRecorder::Collect(
+    size_t max_spans) const {
+  std::vector<Span> spans;
+  {
+    std::lock_guard<std::mutex> lock(segments_mu_);
+    for (const std::unique_ptr<Segment>& segment : segments_) {
+      size_t n = segment->mask + 1;
+      for (size_t i = 0; i < n; ++i) {
+        const Slot& slot = segment->slots[i];
+        uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        if (seq == 0) continue;
+        Span span;
+        span.seq = seq;
+        span.start_us = slot.start_us.load(std::memory_order_relaxed);
+        span.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+        uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+        span.kind = static_cast<SpanKind>(meta & 0xff);
+        span.thread = static_cast<uint32_t>(meta >> 8);
+        span.span_id = slot.span_id.load(std::memory_order_relaxed);
+        span.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+        span.query_id = slot.query_id.load(std::memory_order_relaxed);
+        uint64_t words[2];
+        for (int w = 0; w < 2; ++w) {
+          words[w] = slot.detail[w].load(std::memory_order_relaxed);
+        }
+        std::memcpy(span.detail, words, sizeof(words));
+        span.detail[sizeof(span.detail) - 1] = '\0';
+        // Torn-read check: a writer lapping this slot mid-harvest changed
+        // (or zeroed) seq; drop the inconsistent snapshot.
+        if (slot.seq.load(std::memory_order_acquire) != seq) continue;
+        spans.push_back(span);
+      }
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& x, const Span& y) { return x.seq < y.seq; });
+  if (spans.size() > max_spans) {
+    spans.erase(spans.begin(),
+                spans.end() - static_cast<ptrdiff_t>(max_spans));
+  }
+  return spans;
+}
+
+std::string SpanRecorder::DumpJson(size_t max_spans) const {
+  std::vector<Span> spans = Collect(max_spans);
+  std::string out;
+  out.reserve(160 + spans.size() * 128);
+  out += "{\"schema\":\"aggcache-spans-v1\",\"recorded\":";
+  out += std::to_string(recorded_spans());
+  out += ",\"lost\":";
+  out += std::to_string(lost_spans());
+  out += ",\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += SpanKindToString(span.kind);
+    out += "\",\"cat\":\"aggcache\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(span.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(span.dur_us);
+    out += ",\"pid\":";
+    out += std::to_string(span.query_id);
+    out += ",\"tid\":";
+    out += std::to_string(span.thread);
+    out += ",\"args\":{\"id\":";
+    out += std::to_string(span.span_id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent_id);
+    out += ",\"detail\":\"";
+    for (const char* p = span.detail; *p != '\0'; ++p) {
+      char c = *p;
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += StrFormat("\\u%04x", c);
+      } else {
+        out += c;
+      }
+    }
+    out += "\"}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void SpanRecorder::DumpToStderr(size_t max_spans) const {
+  std::string dump = DumpJson(max_spans);
+  std::fprintf(stderr, "--- aggcache span recorder dump ---\n%s\n",
+               dump.c_str());
+  std::fflush(stderr);
+}
+
+SpanRecorder& SpanRecorder::Global() {
+  static SpanRecorder* recorder = [] {
+    SpanRecorder* r = new SpanRecorder(ParseSpanEnv());
+    g_global_recorder.store(r, std::memory_order_release);
+    return r;
+  }();
+  return *recorder;
+}
+
+void DumpSpansOnCheckFailureIfEnabled() {
+  SpanRecorder* recorder = g_global_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr && recorder->enabled()) {
+    recorder->DumpToStderr();
+  }
+}
+
+SpanLink CurrentSpanLink() { return t_current_span; }
+
+void ScopedSpan::Begin(SpanKind kind, uint64_t query_id, uint64_t parent_id,
+                       const char* detail) {
+  SpanRecorder& recorder = SpanRecorder::Global();
+  active_ = true;
+  kind_ = kind;
+  query_id_ = query_id;
+  parent_id_ = parent_id;
+  span_id_ = recorder.NextSpanId();
+  start_us_ = recorder.NowMicros();
+  CopyDetail(detail_, detail);
+  saved_ = t_current_span;
+  t_current_span = SpanLink{query_id_, span_id_};
+  installed_ = true;
+}
+
+ScopedSpan::ScopedSpan(SpanKind kind, const char* detail) {
+  SpanLink parent = t_current_span;
+  if (!parent.sampled()) return;
+  if (!SpanRecorder::Global().enabled()) return;
+  Begin(kind, parent.query_id, parent.span_id, detail);
+}
+
+ScopedSpan::ScopedSpan(SpanKind kind, const SpanLink& parent,
+                       const char* detail) {
+  if (!parent.sampled()) return;
+  if (!SpanRecorder::Global().enabled()) return;
+  Begin(kind, parent.query_id, parent.span_id, detail);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  if (installed_) t_current_span = saved_;
+  SpanRecorder& recorder = SpanRecorder::Global();
+  recorder.Record(kind_, span_id_, parent_id_, query_id_, start_us_,
+                  recorder.NowMicros(), detail_);
+}
+
+QueryRootSpan::QueryRootSpan(const char* detail) {
+  SpanRecorder& recorder = SpanRecorder::Global();
+  if (!recorder.enabled()) return;
+  if (!recorder.SampleTick()) return;
+  active_ = true;
+  query_id_ = recorder.NextQueryId();
+  span_id_ = recorder.NextSpanId();
+  start_us_ = recorder.NowMicros();
+  CopyDetail(detail_, detail);
+  saved_ = t_current_span;
+  t_current_span = SpanLink{query_id_, span_id_};
+}
+
+QueryRootSpan::~QueryRootSpan() {
+  if (!active_) return;
+  t_current_span = saved_;
+  SpanRecorder& recorder = SpanRecorder::Global();
+  recorder.Record(SpanKind::kQuery, span_id_, 0, query_id_, start_us_,
+                  recorder.NowMicros(), detail_);
+}
+
+BackgroundSpan::BackgroundSpan(SpanKind kind, const char* detail) {
+  SpanRecorder& recorder = SpanRecorder::Global();
+  if (!recorder.enabled()) return;
+  active_ = true;
+  kind_ = kind;
+  query_id_ = recorder.NextQueryId();
+  span_id_ = recorder.NextSpanId();
+  start_us_ = recorder.NowMicros();
+  CopyDetail(detail_, detail);
+  saved_ = t_current_span;
+  t_current_span = SpanLink{query_id_, span_id_};
+}
+
+BackgroundSpan::~BackgroundSpan() {
+  if (!active_) return;
+  t_current_span = saved_;
+  SpanRecorder& recorder = SpanRecorder::Global();
+  recorder.Record(kind_, span_id_, 0, query_id_, start_us_,
+                  recorder.NowMicros(), detail_);
+}
+
+void RecordSpanSince(SpanKind kind, uint64_t start_us, const char* detail) {
+  SpanLink parent = t_current_span;
+  if (!parent.sampled()) return;
+  SpanRecorder& recorder = SpanRecorder::Global();
+  if (!recorder.enabled()) return;
+  recorder.Record(kind, recorder.NextSpanId(), parent.span_id,
+                  parent.query_id, start_us, recorder.NowMicros(), detail);
+}
+
+}  // namespace aggcache

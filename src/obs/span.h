@@ -1,0 +1,294 @@
+#ifndef AGGCACHE_OBS_SPAN_H_
+#define AGGCACHE_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aggcache {
+
+/// Span taxonomy: every timed region a query (or a background job) passes
+/// through. Where the flight recorder answers "what was the engine doing",
+/// spans answer "where did *this* query's latency go" — each span carries a
+/// parent id, so a dump reconstructs the full causal tree: query root →
+/// admission wait → lookup → build/compensation → individual subjoin tasks,
+/// plus root spans for the background machinery (merges, checkpoints, WAL
+/// group-commit syncs, recovery replay). Kept in one enum so the name
+/// table, DESIGN.md §7 and the golden schema test stay trivially in sync.
+enum class SpanKind : uint8_t {
+  kQuery = 0,          ///< Root span: one cache-manager Execute() call.
+  kAdmissionWait,      ///< Waiting on the admission controller.
+  kCacheLookup,        ///< Bind + shard probe + entry resolution.
+  kSingleFlightWait,   ///< Blocked on another thread's in-flight build.
+  kEntryBuild,         ///< Main-partition aggregate build (cache miss).
+  kMainCorrection,     ///< Visibility correction of the cached main image.
+  kDeltaCompensation,  ///< Delta-side compensation subjoins.
+  kUncachedExec,       ///< Full recompute (uncached / fallback path).
+  kSubjoinTask,        ///< One parallel subjoin task (worker thread).
+  kSharedScanLead,     ///< Leading a shared delta scan.
+  kSharedScanAttach,   ///< Attached as a follower to a shared scan.
+  kMerge,              ///< Merge-daemon delta merge (background root).
+  kCheckpoint,         ///< Checkpoint write (background root).
+  kWalSync,            ///< WAL group-commit fdatasync (background root).
+  kRecoveryReplay,     ///< WAL replay during restart (background root).
+};
+
+/// Span-kind name used in JSON dumps (stable contract, golden-tested).
+const char* SpanKindToString(SpanKind kind);
+
+/// Cross-thread parent handle: enough to reconstruct "this work belongs to
+/// that query, under that span" on a worker thread. A default-constructed
+/// link is unsampled and makes every span constructed from it a no-op, so
+/// fan-out sites capture one unconditionally (same discipline as the
+/// QueryContext* they already thread through ParallelFor).
+struct SpanLink {
+  uint64_t query_id = 0;
+  uint64_t span_id = 0;
+  bool sampled() const { return query_id != 0; }
+};
+
+/// A bounded, lock-free span recorder: the flight recorder's tracing twin.
+/// Same per-thread leased segments, same seq-publication/wraparound
+/// discipline (unpublish → relaxed payload stores → release publish;
+/// harvesters discard torn slots), so recording one finished span costs a
+/// handful of relaxed atomics plus two steady_clock reads — well under the
+/// ≲50 ns/span budget the hot paths can absorb. Wraparound keeps the recent
+/// past; spans are only *lost* (counted) when more threads record than
+/// there are segments.
+///
+/// Spans are written once, at END: the RAII wrappers below hold the start
+/// timestamp and ids on the stack and publish a single slot on destruction,
+/// so an unfinished span costs nothing and can never tear.
+///
+/// Disabled (the default — AGGCACHE_SPANS unset) the whole layer is one
+/// relaxed load per would-be span. `sample=N` records every Nth query's
+/// tree; background spans ignore sampling (they are rare and load-bearing).
+class SpanRecorder {
+ public:
+  struct Options {
+    /// Spans per thread segment; rounded up to a power of two.
+    size_t spans_per_segment = 4096;
+    /// Maximum simultaneously-recording threads.
+    size_t max_segments = 64;
+    bool enabled = false;
+    /// Record every Nth query tree (1 = every query).
+    uint64_t sample_every = 1;
+  };
+
+  explicit SpanRecorder(Options options);
+  ~SpanRecorder();
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// The process-wide recorder, configured from AGGCACHE_SPANS
+  /// ("off" | "on" | "on,sample=16" | "sample=16,spans=8192,threads=32")
+  /// on first use and intentionally leaked so worker threads may record
+  /// during static teardown. The AGGCACHE_CHECK failure hook (owned by the
+  /// flight recorder) dumps this recorder too when it is enabled.
+  static SpanRecorder& Global();
+
+  /// Records one finished span. Timestamps are microseconds on the
+  /// recorder's own clock (see NowMicros()); `detail` is truncated to
+  /// 15 bytes.
+  void Record(SpanKind kind, uint64_t span_id, uint64_t parent_id,
+              uint64_t query_id, uint64_t start_us, uint64_t end_us,
+              const char* detail = nullptr);
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  uint64_t sample_every() const { return options_.sample_every; }
+
+  /// Microseconds since recorder construction, on the precise monotonic
+  /// clock (spans measure durations, so unlike flight events they cannot
+  /// use the coarse jiffy clock).
+  uint64_t NowMicros() const;
+
+  /// Process-unique ids. Query ids double as Chrome-trace "pid" lanes, so
+  /// background roots draw from the same counter as query roots.
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  uint64_t NextQueryId() {
+    return next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Sampling tick for query roots: true when this query's tree should be
+  /// recorded.
+  bool SampleTick();
+
+  /// Spans dropped because every segment was leased by another thread.
+  uint64_t lost_spans() const {
+    return lost_.load(std::memory_order_relaxed);
+  }
+  /// Spans successfully recorded (including ones since overwritten).
+  uint64_t recorded_spans() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  /// One harvested span, already validated (sequence stable across the
+  /// payload read).
+  struct Span {
+    uint64_t seq = 0;
+    uint64_t start_us = 0;  ///< microseconds since recorder construction
+    uint64_t dur_us = 0;
+    uint32_t thread = 0;
+    SpanKind kind = SpanKind::kQuery;
+    uint64_t span_id = 0;
+    uint64_t parent_id = 0;  ///< 0 for roots
+    uint64_t query_id = 0;   ///< 0 only for manually recorded orphans
+    char detail[16] = {};
+  };
+
+  /// Harvests up to `max_spans` of the most recent spans, oldest first
+  /// (global sequence order).
+  std::vector<Span> Collect(size_t max_spans = SIZE_MAX) const;
+
+  /// Renders the last `max_spans` spans as a Chrome-trace / Perfetto
+  /// loadable JSON object:
+  ///   {"schema":"aggcache-spans-v1","recorded":N,"lost":N,
+  ///    "displayTimeUnit":"ms","traceEvents":[
+  ///      {"name":"query","cat":"aggcache","ph":"X","ts":..,"dur":..,
+  ///       "pid":<query id>,"tid":<thread>,
+  ///       "args":{"id":..,"parent":..,"detail":".."}}, ...]}
+  std::string DumpJson(size_t max_spans = 8192) const;
+
+  /// Writes DumpJson(max_spans) to stderr with a banner. Safe to call from
+  /// the CHECK-failure path (allocates, so not async-signal-safe).
+  void DumpToStderr(size_t max_spans = 8192) const;
+
+  /// Number of segments currently leased (tests).
+  size_t active_segments() const;
+
+ private:
+  struct Slot;
+  struct Segment;
+
+  Segment* LeaseSegment();
+  void ReleaseSegment(Segment* segment);
+
+  friend struct SpanThreadLease;
+
+  Options options_;
+  /// Process-unique, never reused; thread-local leases key on this (see
+  /// FlightRecorder::instance_id_ for the rationale).
+  const uint64_t instance_id_;
+  uint64_t t0_us_ = 0;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> lost_{0};
+  std::atomic<uint64_t> next_span_id_{0};
+  std::atomic<uint64_t> next_query_id_{0};
+  std::atomic<uint64_t> sample_tick_{0};
+  std::atomic<uint32_t> next_thread_id_{0};
+
+  mutable std::mutex segments_mu_;  ///< Lease/release + dump only.
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<Segment*> free_segments_;
+};
+
+/// The innermost active span on this thread, or an unsampled link. Capture
+/// this before a ParallelFor fan-out and hand it to the worker-side
+/// ScopedSpan, exactly as QueryContext::Current() is captured for
+/// ScopedQueryContext.
+SpanLink CurrentSpanLink();
+
+/// RAII child span: begins at construction, publishes one slot at
+/// destruction. The thread-current link is saved/restored around the
+/// span's lifetime so nested spans chain correctly. Both constructors are
+/// no-ops (a relaxed load) when the recorder is disabled or the parent is
+/// unsampled.
+class ScopedSpan {
+ public:
+  /// Child of the thread-current span (no-op when there is none).
+  explicit ScopedSpan(SpanKind kind, const char* detail = nullptr);
+  /// Cross-thread child of `parent` — the ParallelFor fan-out form.
+  ScopedSpan(SpanKind kind, const SpanLink& parent,
+             const char* detail = nullptr);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  SpanLink link() const { return SpanLink{query_id_, span_id_}; }
+
+ private:
+  void Begin(SpanKind kind, uint64_t query_id, uint64_t parent_id,
+             const char* detail);
+  bool active_ = false;
+  SpanKind kind_ = SpanKind::kQuery;
+  uint64_t query_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint64_t start_us_ = 0;
+  SpanLink saved_;
+  bool installed_ = false;
+  char detail_[16] = {};
+};
+
+/// RAII root span for one query: applies the sampling knob, allocates the
+/// query id (the Chrome-trace "pid" lane) and installs itself as the
+/// thread-current span so every ScopedSpan beneath it chains in.
+class QueryRootSpan {
+ public:
+  explicit QueryRootSpan(const char* detail = nullptr);
+  ~QueryRootSpan();
+  QueryRootSpan(const QueryRootSpan&) = delete;
+  QueryRootSpan& operator=(const QueryRootSpan&) = delete;
+
+  bool active() const { return active_; }
+  SpanLink link() const { return SpanLink{query_id_, span_id_}; }
+
+ private:
+  bool active_ = false;
+  uint64_t query_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t start_us_ = 0;
+  SpanLink saved_;
+  char detail_[16] = {};
+};
+
+/// RAII root span for background work (merge, checkpoint, WAL sync,
+/// recovery replay). Ignores sampling — background spans are rare and a
+/// trace without them cannot explain tail latency. Gets its own query-id
+/// lane and installs itself thread-current, so e.g. maintenance rebuilds
+/// triggered by a merge become children of the merge span.
+class BackgroundSpan {
+ public:
+  explicit BackgroundSpan(SpanKind kind, const char* detail = nullptr);
+  ~BackgroundSpan();
+  BackgroundSpan(const BackgroundSpan&) = delete;
+  BackgroundSpan& operator=(const BackgroundSpan&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  SpanKind kind_ = SpanKind::kMerge;
+  uint64_t query_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t start_us_ = 0;
+  SpanLink saved_;
+  char detail_[16] = {};
+};
+
+/// Records an already-elapsed region [start_us, now] as a child of the
+/// thread-current span — for conditionally interesting waits (e.g. the
+/// single-flight wait, only recorded when the entry was actually building).
+/// `start_us` comes from SpanRecorder::Global().NowMicros().
+void RecordSpanSince(SpanKind kind, uint64_t start_us,
+                     const char* detail = nullptr);
+
+/// Dumps the global recorder to stderr if it exists and is enabled. Called
+/// from the flight recorder's AGGCACHE_CHECK failure hook (there is one
+/// hook slot; the flight recorder owns it and chains to this).
+void DumpSpansOnCheckFailureIfEnabled();
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_OBS_SPAN_H_

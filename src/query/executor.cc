@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/engine_metrics.h"
+#include "obs/span.h"
 #include "obs/trace_recorder.h"
 #include "query/shared_scan.h"
 #include "query/vector_kernels.h"
@@ -488,10 +489,13 @@ StatusOr<AggregateResult> Executor::ExecuteUncachedBound(
   std::vector<ExecutorStats> task_stats(combos.size());
   std::vector<Status> task_status(combos.size());
   // Pool workers have no thread-local context of their own; re-install the
-  // caller's so budget charges and abort polls govern the whole fan-out.
+  // caller's so budget charges and abort polls govern the whole fan-out,
+  // and the caller's span so tasks land under its trace tree.
   QueryContext* ctx = QueryContext::Current();
+  SpanLink span_parent = CurrentSpanLink();
   ParallelFor(combos.size(), [&](size_t i) {
     ScopedQueryContext scope(ctx);
+    ScopedSpan task_span(SpanKind::kSubjoinTask, span_parent, "uncached");
     auto partial =
         ExecuteSubjoin(bound, combos[i], snapshot, /*extra_filters=*/{},
                        /*restriction=*/nullptr, &task_stats[i]);

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/span.h"
 #include "runtime/query_context.h"
 
 namespace aggcache {
@@ -85,6 +86,7 @@ SharedScanManager::Result SharedScanManager::Scan(const Partition& p,
 SharedScanManager::Result SharedScanManager::Lead(
     const Partition& p, const SelectionInput& in,
     const std::shared_ptr<Session>& session, std::vector<uint32_t>* out) {
+  ScopedSpan lead_span(SpanKind::kSharedScanLead);
   const uint32_t num_rows = session->num_rows;
   // Consumers admitted while a block is being processed join at the *next*
   // block (next_block is advanced before the work), so no block is skipped
@@ -146,6 +148,7 @@ SharedScanManager::Result SharedScanManager::Lead(
 SharedScanManager::Result SharedScanManager::Follow(
     const Partition& p, const SelectionInput& in, Consumer* consumer,
     const std::shared_ptr<Session>& session, std::vector<uint32_t>* out) {
+  ScopedSpan attach_span(SpanKind::kSharedScanAttach);
   // Scan the prefix the leader already passed ourselves, while the leader
   // keeps filling our tail; head + tail is the full ascending row range.
   std::vector<uint32_t> head;

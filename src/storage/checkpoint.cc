@@ -6,6 +6,7 @@
 #include "common/stopwatch.h"
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "storage/database.h"
 #include "storage/segment.h"
 #include "storage/snapshot.h"
@@ -213,6 +214,7 @@ Checkpointer::Checkpointer(Database* db, std::string dir)
 
 StatusOr<bool> Checkpointer::Checkpoint(WriteAheadLog* wal) {
   Stopwatch watch;
+  BackgroundSpan checkpoint_span(SpanKind::kCheckpoint);
   std::string payload;
   uint64_t lsn = 0;
   Tid last_tid = 0;

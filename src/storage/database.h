@@ -35,6 +35,11 @@ class DurabilityManager;
 class Database {
  public:
   Database() = default;
+  /// Stops the periodic metrics dumper (emitting one final dump) before the
+  /// engine's state goes away — a dumper left running would render metrics
+  /// that describe a destroyed database, and on process exit could outlive
+  /// the registry itself.
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "runtime/memory_tracker.h"
 #include "storage/database.h"
 #include "storage/recovery.h"
@@ -107,7 +108,10 @@ void MergeDaemon::MergeGroupWithRetry(const std::vector<std::string>& tables) {
     RecordFlightEvent(FlightEventType::kMergeStart,
                       static_cast<uint64_t>(attempt), tables.size(),
                       group_label);
-    Status merged = db_.MergeTables(tables, options_.merge_options);
+    Status merged = [&] {
+      BackgroundSpan merge_span(SpanKind::kMerge, group_label);
+      return db_.MergeTables(tables, options_.merge_options);
+    }();
     RecordFlightEvent(merged.ok() ? FlightEventType::kMergeCommit
                                   : FlightEventType::kMergeAbort,
                       static_cast<uint64_t>(attempt), tables.size(),

@@ -17,6 +17,7 @@
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 #include "storage/database.h"
 #include "storage/segment.h"
 #include "storage/snapshot.h"
@@ -226,6 +227,7 @@ Status DurabilityManager::Recover() {
   }
 
   Tid max_tid = report_.checkpoint_tid;
+  BackgroundSpan replay_span(SpanKind::kRecoveryReplay);
   for (const WalRecord& record : wal.records) {
     if (record.lsn <= report_.checkpoint_lsn) continue;
     last_replay_lsn_ = record.lsn;

@@ -16,6 +16,7 @@
 #include "common/string_util.h"
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "verify/fault_injector.h"
 
 namespace aggcache {
@@ -308,6 +309,7 @@ Status WriteAheadLog::SyncWrittenLocked() {
   uint64_t target = written_lsn_;
   if (durable_lsn_ >= target) return Status::Ok();
   Stopwatch watch;
+  BackgroundSpan sync_span(SpanKind::kWalSync);
   if (::fdatasync(fd_) != 0) {
     Poison(StrFormat("fdatasync failed: %s", std::strerror(errno)));
     return Status::Internal(poison_reason_);

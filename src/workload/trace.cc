@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "sql/parser.h"
 #include "verify/fault_injector.h"
 
@@ -250,6 +251,22 @@ Status TraceReplayer::ExecuteMeta(const std::string& line,
       max_events = static_cast<size_t>(count.AsInt64());
     }
     FlightRecorder::Global().DumpToStderr(max_events);
+    return Status::Ok();
+  }
+  if (op == "!spandump") {
+    ASSIGN_OR_RETURN(std::vector<std::string> tokens, TokenizeMetaArgs(args));
+    size_t max_spans = 8192;
+    if (tokens.size() > 1) {
+      return Status::InvalidArgument("!spandump expects at most one count");
+    }
+    if (tokens.size() == 1) {
+      ASSIGN_OR_RETURN(Value count, ParseLiteralToken(tokens[0]));
+      if (!count.is_int64() || count.AsInt64() <= 0) {
+        return Status::InvalidArgument("!spandump expects a positive count");
+      }
+      max_spans = static_cast<size_t>(count.AsInt64());
+    }
+    SpanRecorder::Global().DumpToStderr(max_spans);
     return Status::Ok();
   }
   if (op == "!aging") {

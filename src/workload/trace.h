@@ -71,6 +71,8 @@ struct TraceReport {
 ///   !faultseed <n>              -- reseed the fault injector draws
 ///   !flightdump [n]             -- dump the last n (default 4096) flight-
 ///                                    recorder events to stderr as JSON
+///   !spandump [n]               -- dump the last n (default 8192) spans
+///                                    to stderr as Chrome-trace JSON
 ///   !atomic begin|end           -- open/close an atomic write scope;
 ///                                    INSERTs inside run under the scope
 ///   !checkpoint                 -- cut a durability checkpoint (host)

@@ -130,5 +130,23 @@ TEST(BenchContextTest, EnvironmentDrivesFlagsAndArgvWins) {
   unsetenv("AGGCACHE_BENCH_QUICK");
 }
 
+TEST(BenchContextTest, RepsOverrideFromEnvironment) {
+  const char* argv[] = {"bench", "--quick"};
+  {
+    BenchContext ctx(2, const_cast<char**>(argv), "reps_scenario");
+    EXPECT_EQ(ctx.Reps(3, 50), 3);
+  }
+  setenv("AGGCACHE_BENCH_REPS", "21", 1);
+  {
+    // The override wins in both quick and full protocols.
+    BenchContext quick_ctx(2, const_cast<char**>(argv), "reps_scenario");
+    EXPECT_EQ(quick_ctx.Reps(3, 50), 21);
+    const char* full_argv[] = {"bench"};
+    BenchContext full_ctx(1, const_cast<char**>(full_argv), "reps_scenario");
+    EXPECT_EQ(full_ctx.Reps(3, 50), 21);
+  }
+  unsetenv("AGGCACHE_BENCH_REPS");
+}
+
 }  // namespace
 }  // namespace aggcache

@@ -1,0 +1,226 @@
+// Tests for the observability HTTP server (src/obs/obs_server.h), driven
+// through a raw TCP client — no HTTP library on either side, which is
+// exactly how curl and a Prometheus scraper exercise it. Covers the
+// byte-identity contract between GET /metrics and MetricsRegistry::Render,
+// the health probe's status codes, and the rejection paths (400/404/405,
+// port-in-use Start failure).
+
+#include "obs/obs_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "obs/metrics_registry.h"
+
+namespace aggcache {
+namespace {
+
+/// One round-trip: connect, send `request` verbatim, read to EOF (the
+/// server closes after each response).
+std::string RawRequest(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "<socket failed>";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "<connect failed>";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    // MSG_NOSIGNAL: the server may legitimately close mid-send (oversized
+    // request → 400 + close); that must surface as an error, not SIGPIPE.
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RawRequest(port, "GET " + path + " HTTP/1.1\r\n"
+                          "Host: localhost\r\nConnection: close\r\n\r\n");
+}
+
+/// The body after the blank line separating headers from payload.
+std::string Body(const std::string& response) {
+  size_t sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? "" : response.substr(sep + 4);
+}
+
+std::string StatusOf(const std::string& response) {
+  size_t eol = response.find("\r\n");
+  return eol == std::string::npos ? response : response.substr(0, eol);
+}
+
+class ObsServerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { server_.Stop(); }
+
+  Status StartServer() {
+    server_.SetHandler("/metrics", "text/plain; version=0.0.4",
+                       [] { return MetricsRegistry::Global().Render(); });
+    server_.SetHandler("/ping", "text/plain", [] { return "pong\n"; });
+    server_.SetHealthProbe([this]() -> std::pair<int, std::string> {
+      if (healthy_.load()) return {200, "ok\n"};
+      return {503, "degraded\n"};
+    });
+    ObsServer::Options options;
+    options.address = "127.0.0.1:0";
+    return server_.Start(options);
+  }
+
+  ObsServer server_;
+  std::atomic<bool> healthy_{true};
+};
+
+TEST_F(ObsServerTest, MetricsBodyIsByteIdenticalToRender) {
+  ASSERT_TRUE(StartServer().ok());
+  ASSERT_NE(server_.port(), 0);
+  std::string response = Get(server_.port(), "/metrics");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 200 OK");
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << response.substr(0, 200);
+  // The contract CI keys on: scraping over HTTP must see exactly what the
+  // in-process renderer produces. (Metrics are monotone counters that other
+  // threads could bump mid-test, so render, fetch, render and accept either
+  // endpoint of the window — in this binary nothing runs concurrently, and
+  // the two renders are equal.)
+  std::string before = MetricsRegistry::Global().Render();
+  std::string body = Body(Get(server_.port(), "/metrics"));
+  std::string after = MetricsRegistry::Global().Render();
+  EXPECT_TRUE(body == before || body == after)
+      << "HTTP body diverges from MetricsRegistry::Render";
+  // Content-Length must match the body exactly (curl trusts it).
+  std::string full = Get(server_.port(), "/metrics");
+  std::string length_key = "Content-Length: ";
+  size_t at = full.find(length_key);
+  ASSERT_NE(at, std::string::npos);
+  size_t declared = std::strtoul(full.c_str() + at + length_key.size(),
+                                 nullptr, 10);
+  EXPECT_EQ(Body(full).size(), declared);
+}
+
+TEST_F(ObsServerTest, HealthzFollowsProbe) {
+  ASSERT_TRUE(StartServer().ok());
+  std::string response = Get(server_.port(), "/healthz");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(Body(response), "ok\n");
+
+  healthy_.store(false);
+  response = Get(server_.port(), "/healthz");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 503 Service Unavailable");
+  EXPECT_EQ(Body(response), "degraded\n");
+}
+
+TEST_F(ObsServerTest, QueryStringIsStripped) {
+  ASSERT_TRUE(StartServer().ok());
+  std::string response = Get(server_.port(), "/ping?x=1&y=2");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(Body(response), "pong\n");
+}
+
+TEST_F(ObsServerTest, UnknownPathIs404) {
+  ASSERT_TRUE(StartServer().ok());
+  EXPECT_EQ(StatusOf(Get(server_.port(), "/nope")),
+            "HTTP/1.1 404 Not Found");
+}
+
+TEST_F(ObsServerTest, NonGetIs405) {
+  ASSERT_TRUE(StartServer().ok());
+  std::string response = RawRequest(
+      server_.port(),
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 405 Method Not Allowed");
+}
+
+TEST_F(ObsServerTest, MalformedRequestLinesGet400) {
+  ASSERT_TRUE(StartServer().ok());
+  EXPECT_EQ(StatusOf(RawRequest(server_.port(), "garbage\r\n\r\n")),
+            "HTTP/1.1 400 Bad Request");
+  EXPECT_EQ(StatusOf(RawRequest(server_.port(), "GET /metrics\r\n\r\n")),
+            "HTTP/1.1 400 Bad Request")
+      << "missing HTTP version";
+  // An over-long request line is rejected, not buffered without bound.
+  std::string oversized = "GET /" + std::string(8192, 'a') + " HTTP/1.1\r\n";
+  EXPECT_EQ(StatusOf(RawRequest(server_.port(), oversized)),
+            "HTTP/1.1 400 Bad Request");
+}
+
+TEST_F(ObsServerTest, ClientClosingEarlyDoesNotWedgeTheServer) {
+  ASSERT_TRUE(StartServer().ok());
+  // Connect and slam the connection shut with no request; the server must
+  // keep serving afterwards.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(fd);
+  EXPECT_EQ(StatusOf(Get(server_.port(), "/ping")), "HTTP/1.1 200 OK");
+}
+
+TEST_F(ObsServerTest, PortInUseFailsLoudly) {
+  ASSERT_TRUE(StartServer().ok());
+  ObsServer second;
+  second.SetHandler("/metrics", "text/plain", [] { return ""; });
+  ObsServer::Options options;
+  options.address = "127.0.0.1:" + std::to_string(server_.port());
+  Status started = second.Start(options);
+  EXPECT_FALSE(started.ok()) << "a silently dead port must not pass Start";
+  EXPECT_FALSE(second.running());
+}
+
+TEST_F(ObsServerTest, BadAddressesAreRejected) {
+  ObsServer server;
+  server.SetHandler("/x", "text/plain", [] { return ""; });
+  for (const char* address : {"no-port", "127.0.0.1:notaport", ":"}) {
+    ObsServer::Options options;
+    options.address = address;
+    EXPECT_FALSE(server.Start(options).ok()) << address;
+  }
+}
+
+TEST_F(ObsServerTest, StopIsIdempotentAndRestartable) {
+  ASSERT_TRUE(StartServer().ok());
+  uint16_t port = server_.port();
+  EXPECT_TRUE(server_.running());
+  server_.Stop();
+  server_.Stop();
+  EXPECT_FALSE(server_.running());
+  // The port is free again: a fresh server can bind it immediately (the
+  // listener was closed, not leaked).
+  ObsServer next;
+  next.SetHandler("/ping", "text/plain", [] { return "pong\n"; });
+  ObsServer::Options options;
+  options.address = "127.0.0.1:" + std::to_string(port);
+  ASSERT_TRUE(next.Start(options).ok());
+  EXPECT_EQ(Body(Get(next.port(), "/ping")), "pong\n");
+  next.Stop();
+}
+
+}  // namespace
+}  // namespace aggcache

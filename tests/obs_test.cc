@@ -252,6 +252,10 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_checkpoints_total counter",
       "# TYPE aggcache_degraded_flips_total counter",
       "# TYPE aggcache_degraded_mode gauge",
+      "# TYPE aggcache_entry_comp_overrun_us_total counter",
+      "# TYPE aggcache_entry_delta_rows_total counter",
+      "# TYPE aggcache_entry_hit_us histogram",
+      "# TYPE aggcache_entry_saved_us_total counter",
       "# TYPE aggcache_executor_code_joins_total counter",
       "# TYPE aggcache_executor_fallback_groupings_total counter",
       "# TYPE aggcache_executor_packed_groupings_total counter",

@@ -31,6 +31,8 @@ QueryTrace MakeGoldenTrace() {
   trace.main_comp_ms = 0.5;
   trace.delta_comp_ms = 1.25;
   trace.total_ms = 2.0;
+  trace.admission_wait_us = 15;
+  trace.mem_peak_bytes = 4096;
 
   SubjoinTrace pushdown;
   pushdown.phase = "delta-compensation";
@@ -60,6 +62,7 @@ TEST(QueryTraceTest, ToTextGolden) {
             "  cache: hit\n"
             "  phases: build 0.000 ms, main-comp 0.500 ms, "
             "delta-comp 1.250 ms, total 2.000 ms\n"
+            "  governance: admission-wait 15 us, mem-peak 4096 B\n"
             "  subjoins: 2 considered = 0 executed + 1 pushdown + 1 pruned\n"
             "    [delta-compensation] [g0/main, g0/delta] pushdown\n"
             "        Item[g0/delta].tid_Header tid=[21,24]  "
@@ -78,6 +81,8 @@ TEST(QueryTraceTest, ToJsonGolden) {
       "\"snapshot_tid\":42,\"cache\":\"hit\","
       "\"phases\":{\"build_ms\":0.000,\"main_comp_ms\":0.500,"
       "\"delta_comp_ms\":1.250,\"total_ms\":2.000},"
+      "\"governance\":{\"admission_wait_us\":15,\"mem_peak_bytes\":4096,"
+      "\"abort\":\"\"},"
       "\"subjoins\":["
       "{\"phase\":\"delta-compensation\","
       "\"combination\":\"[g0/main, g0/delta]\",\"verdict\":\"pushdown\","
@@ -92,6 +97,19 @@ TEST(QueryTraceTest, ToJsonGolden) {
       "\"reason\":\"empty-partition\",\"tid_ranges\":["
       "{\"column\":\"Item[g0/delta].tid_Item\",\"empty\":true}],"
       "\"pushdown_filters\":[]}]}");
+}
+
+TEST(QueryTraceTest, GovernanceAbortCauseRenders) {
+  QueryTrace trace = MakeGoldenTrace();
+  trace.abort_cause = "deadline-exceeded";
+  EXPECT_NE(trace.ToText().find(
+                "governance: admission-wait 15 us, mem-peak 4096 B, "
+                "abort: deadline-exceeded\n"),
+            std::string::npos)
+      << trace.ToText();
+  EXPECT_NE(trace.ToJson().find("\"abort\":\"deadline-exceeded\""),
+            std::string::npos)
+      << trace.ToJson();
 }
 
 TEST(QueryTraceTest, JsonEscapesQuotesAndNewlines) {

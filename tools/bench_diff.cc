@@ -469,9 +469,17 @@ struct DiffStats {
   int missing = 0;
 };
 
+/// One compared latency sample, kept for the --summary markdown table.
+struct SummaryRow {
+  std::string scenario;
+  std::string key;
+  double base_ms = 0.0;
+  double cur_ms = 0.0;
+};
+
 void DiffReports(const std::string& name, const Json& baseline,
                  const Json& current, double threshold_override,
-                 DiffStats* stats) {
+                 DiffStats* stats, std::vector<SummaryRow>* summary) {
   const std::string scenario = current.Find("scenario")->string_value;
   const double threshold = threshold_override > 0.0
                                ? threshold_override
@@ -499,6 +507,9 @@ void DiffReports(const std::string& name, const Json& baseline,
     double base = base_median->number_value;
     double cur = sample->Find("median_ms")->number_value;
     ++stats->compared;
+    if (summary != nullptr) {
+      summary->push_back(SummaryRow{scenario, key, base, cur});
+    }
     if (base <= 0.0) continue;  // degenerate baseline, nothing to gate on
     double ratio = cur / base;
     if (ratio > 1.0 + threshold) {
@@ -513,6 +524,33 @@ void DiffReports(const std::string& name, const Json& baseline,
   }
   std::printf("%s: scenario=%s threshold=%.0f%%\n", name.c_str(),
               scenario.c_str(), threshold * 100.0);
+}
+
+/// Writes the compared samples as a GitHub-flavored markdown table — the
+/// shape CI pastes into the job summary. Deltas are median-vs-median; a
+/// row with no baseline never reaches here (it is counted as unmatched).
+bool WriteSummary(const std::string& path,
+                  const std::vector<SummaryRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_diff: cannot write summary file %s\n",
+                 path.c_str());
+    return false;
+  }
+  out << "| scenario | sample | baseline median (ms) | current median (ms) "
+         "| delta |\n";
+  out << "|---|---|---:|---:|---:|\n";
+  char line[512];
+  for (const SummaryRow& row : rows) {
+    double delta_pct =
+        row.base_ms > 0.0 ? (row.cur_ms / row.base_ms - 1.0) * 100.0 : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "| %s | %s | %.3f | %.3f | %+.1f%% |\n",
+                  row.scenario.c_str(), row.key.c_str(), row.base_ms,
+                  row.cur_ms, delta_pct);
+    out << line;
+  }
+  return true;
 }
 
 /// Parses a comma-separated --scenarios value into its entries.
@@ -531,12 +569,17 @@ void PrintUsage() {
                "usage: bench_diff --schema-only FILE...\n"
                "       bench_diff BASELINE_DIR CURRENT_DIR"
                " [--threshold=0.30] [--warn-only]"
-               " [--scenarios=fig7_join_pruning,...]\n"
+               " [--scenarios=fig7_join_pruning,...]"
+               " [--summary=summary.md]\n"
                "\n"
                "--scenarios restricts the diff to the named scenarios and\n"
                "additionally fails when any of them is missing from\n"
                "CURRENT_DIR — a gated scenario whose benchmark silently\n"
-               "produced no report must not pass the gate.\n");
+               "produced no report must not pass the gate.\n"
+               "--summary writes the compared medians as a markdown table.\n"
+               "Without --scenarios, every baseline scenario must also be\n"
+               "present in CURRENT_DIR (a silently vanished benchmark is an\n"
+               "error, downgraded to a warning by --warn-only).\n");
 }
 
 }  // namespace
@@ -545,6 +588,7 @@ int main(int argc, char** argv) {
   bool schema_only = false;
   bool warn_only = false;
   double threshold_override = 0.0;
+  std::string summary_path;
   std::vector<std::string> scenario_filter;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -553,6 +597,12 @@ int main(int argc, char** argv) {
       schema_only = true;
     } else if (arg == "--warn-only") {
       warn_only = true;
+    } else if (arg.rfind("--summary=", 0) == 0) {
+      summary_path = arg.substr(10);
+      if (summary_path.empty()) {
+        std::fprintf(stderr, "bench_diff: empty --summary value\n");
+        return 2;
+      }
     } else if (arg.rfind("--scenarios=", 0) == 0) {
       scenario_filter = SplitScenarios(arg.substr(12));
       if (scenario_filter.empty()) {
@@ -614,9 +664,26 @@ int main(int argc, char** argv) {
       filtered.push_back(file);
     }
     current_files = std::move(filtered);
+  } else {
+    // Completeness gate: every scenario the baseline knows about must have
+    // produced a report in this run. A benchmark that crashed or was
+    // dropped from the harness would otherwise pass by absence.
+    int vanished = 0;
+    for (const std::string& name : ListBenchFiles(baseline_dir)) {
+      if (std::find(current_files.begin(), current_files.end(), name) ==
+          current_files.end()) {
+        std::fprintf(stderr,
+                     "bench_diff: baseline scenario %s produced no report "
+                     "in %s\n",
+                     name.c_str(), current_dir.c_str());
+        ++vanished;
+      }
+    }
+    if (vanished > 0 && !warn_only) return 1;
   }
 
   DiffStats stats;
+  std::vector<SummaryRow> summary;
   for (const std::string& name : current_files) {
     JsonPtr current = LoadReport(current_dir + "/" + name);
     if (current == nullptr) return 1;
@@ -626,7 +693,11 @@ int main(int argc, char** argv) {
       ++stats.missing;
       continue;
     }
-    DiffReports(name, *baseline, *current, threshold_override, &stats);
+    DiffReports(name, *baseline, *current, threshold_override, &stats,
+                summary_path.empty() ? nullptr : &summary);
+  }
+  if (!summary_path.empty() && !WriteSummary(summary_path, summary)) {
+    return 2;
   }
   std::printf(
       "bench_diff: %d latency samples compared, %d regressed, %d unmatched\n",
