@@ -23,6 +23,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <string>
@@ -33,7 +34,11 @@
 #include "common/rng.h"
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
+#include "obs/metrics_history.h"
 #include "obs/metrics_registry.h"
+#include "obs/obs_endpoints.h"
+#include "obs/obs_server.h"
+#include "obs/slow_log.h"
 #include "runtime/admission_controller.h"
 #include "runtime/memory_tracker.h"
 #include "runtime/query_context.h"
@@ -353,6 +358,25 @@ void RunCheckpoint(Database& db, AggregateCacheManager& cache,
 int Run(int argc, char** argv) {
   MetricsDumper::MaybeStartFromEnv();
   FlightRecorder::InstallSignalHandler();
+  // AGGCACHE_OBS_ADDR=host:port serves the live-introspection endpoints
+  // (/queries, /queries/cancel, /slowlog, /metrics/history, ...) while the
+  // stress run is in flight — the harness is the most interesting process
+  // to point curl at. Everything the endpoints read is process-global.
+  SlowQueryLog::Global().ConfigureFromEnv();
+  MetricsHistory::Global().Start(MetricsHistory::OptionsFromEnv());
+  ObsServer obs_server;
+  if (const char* obs_addr = std::getenv("AGGCACHE_OBS_ADDR")) {
+    RegisterCommonObsEndpoints(obs_server);
+    ObsServer::Options obs_options;
+    obs_options.address = obs_addr;
+    Status obs_started = obs_server.Start(obs_options);
+    if (!obs_started.ok()) {
+      std::fprintf(stderr, "observability server: %s\n",
+                   obs_started.ToString().c_str());
+      return 2;
+    }
+    std::printf("observability endpoint on port %u\n", obs_server.port());
+  }
   size_t parallelism = bench::ApplyThreadsFlag(argc, argv);
   BenchContext ctx(argc, argv, "stress_concurrent");
   Flags flags = ParseFlags(argc, argv);
@@ -577,6 +601,8 @@ int Run(int argc, char** argv) {
   bool failed = state.divergences.load() != 0 ||
                 state.hard_errors.load() != 0 || metrics_violation;
   std::printf("%s\n", failed ? "FAIL" : "PASS");
+  obs_server.Stop();  // Join handler threads before locals unwind.
+  MetricsHistory::Global().Stop();
   if (!ctx.Finish()) return 1;
   return failed ? 1 : 0;
 }

@@ -20,7 +20,11 @@
 
 #include "cache/aggregate_cache_manager.h"
 #include "obs/engine_metrics.h"
+#include "obs/metrics_history.h"
 #include "obs/metrics_registry.h"
+#include "obs/obs_endpoints.h"
+#include "obs/obs_server.h"
+#include "obs/slow_log.h"
 #include "runtime/memory_tracker.h"
 #include "storage/database.h"
 #include "verify/fault_injector.h"
@@ -218,6 +222,25 @@ int CheckMetricsInvariants() {
 
 int main(int argc, char** argv) {
   aggcache::MetricsDumper::MaybeStartFromEnv();
+  // Long fuzz campaigns are exactly when live introspection pays off:
+  // AGGCACHE_OBS_ADDR exposes /queries, /slowlog, /metrics/history, ...
+  // for the whole run. The server only reads process-global state.
+  aggcache::SlowQueryLog::Global().ConfigureFromEnv();
+  aggcache::MetricsHistory::Global().Start(
+      aggcache::MetricsHistory::OptionsFromEnv());
+  aggcache::ObsServer obs_server;
+  if (const char* obs_addr = std::getenv("AGGCACHE_OBS_ADDR")) {
+    aggcache::RegisterCommonObsEndpoints(obs_server);
+    aggcache::ObsServer::Options obs_options;
+    obs_options.address = obs_addr;
+    aggcache::Status obs_started = obs_server.Start(obs_options);
+    if (!obs_started.ok()) {
+      std::fprintf(stderr, "observability server: %s\n",
+                   obs_started.ToString().c_str());
+      return 2;
+    }
+    std::printf("observability endpoint on port %u\n", obs_server.port());
+  }
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) return Usage(argv[0]);
   if (!flags.replay_file.empty()) return RunReplay(flags);

@@ -20,10 +20,15 @@
 //   \spans [n]        dump the last n (default 8192) spans to stderr as
 //                     Chrome-trace JSON (set AGGCACHE_SPANS=on to record)
 //   \cache            print the per-entry cost/benefit ledger
+//   \queries          print the active-query registry (live queries with
+//                     phase, elapsed, memory; serve /queries for JSON)
 //   .quit
 //
 // Set AGGCACHE_OBS_ADDR=host:port to serve /metrics, /metrics.json,
-// /flight, /spans, /cache and /healthz over HTTP while the shell runs.
+// /metrics/history, /flight, /spans, /queries, /queries/cancel?id=N,
+// /slowlog, /cache and /healthz over HTTP while the shell runs.
+// AGGCACHE_SLOW_QUERY_MS=<ms> arms the slow-query log;
+// AGGCACHE_METRICS_HISTORY=<period_ms> starts the metrics-history sampler.
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +39,7 @@
 
 #include "aggcache/aggcache.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "obs/flight_recorder.h"
 
 namespace {
@@ -155,6 +161,10 @@ bool HandleMetaCommand(const std::string& line,
   }
   if (line == "\\cache") {
     std::printf("%s", cache->LedgerText().c_str());
+    return true;
+  }
+  if (line == "\\queries") {
+    std::printf("%s", ActiveQueryRegistry::Global().ListText().c_str());
     return true;
   }
   if (line.rfind("\\flight", 0) == 0) {
@@ -292,32 +302,29 @@ int main() {
   // HTTP for curl and Prometheus. The server is stopped (threads joined)
   // before db/cache are torn down; the handlers below only dereference
   // db/cache while the server runs, so the order is what makes them safe.
+  SlowQueryLog::Global().ConfigureFromEnv();
+  MetricsHistory::Global().Start(MetricsHistory::OptionsFromEnv());
   ObsServer obs_server;
   if (const char* obs_addr = std::getenv("AGGCACHE_OBS_ADDR")) {
-    // Register every engine instrument now, not lazily on the first query:
-    // a scraper that connects at boot should see the full schema at zero.
-    EngineMetrics::Get();
-    obs_server.SetHandler("/metrics", "text/plain; version=0.0.4", [] {
-      return MetricsRegistry::Global().Render();
-    });
-    obs_server.SetHandler("/metrics.json", "application/json", [] {
-      return MetricsRegistry::Global().RenderJson();
-    });
-    obs_server.SetHandler("/flight", "application/json", [] {
-      return FlightRecorder::Global().DumpJson();
-    });
-    obs_server.SetHandler("/spans", "application/json", [] {
-      return SpanRecorder::Global().DumpJson();
-    });
+    RegisterCommonObsEndpoints(obs_server);
     AggregateCacheManager* cache_ptr = cache.get();
     obs_server.SetHandler("/cache", "application/json", [cache_ptr] {
       return cache_ptr->LedgerJson();
     });
     Database* db_ptr = db.get();
+    // The health body leads with the status word (what the CI smoke greps)
+    // and follows with build identity + uptime, so one curl answers "is it
+    // alive, which build, since when".
     obs_server.SetHealthProbe([db_ptr, cache_ptr] {
-      if (db_ptr->restoring()) return std::make_pair(503, std::string("restoring\n"));
-      if (cache_ptr->degraded()) return std::make_pair(503, std::string("degraded\n"));
-      return std::make_pair(200, std::string("ok\n"));
+      std::string detail =
+          BuildInfoLine() + StrFormat("\nuptime_s %.0f\n", UptimeSeconds());
+      if (db_ptr->restoring()) {
+        return std::make_pair(503, "restoring\n" + detail);
+      }
+      if (cache_ptr->degraded()) {
+        return std::make_pair(503, "degraded\n" + detail);
+      }
+      return std::make_pair(200, "ok\n" + detail);
     });
     ObsServer::Options obs_options;
     obs_options.address = obs_addr;
@@ -328,13 +335,15 @@ int main() {
       return 1;
     }
     std::printf("observability endpoint on port %u "
-                "(/metrics /metrics.json /flight /spans /cache /healthz)\n",
+                "(/ index; /metrics /metrics.json /metrics/history /flight "
+                "/spans /queries /queries/cancel /slowlog /cache "
+                "/healthz)\n",
                 obs_server.port());
   }
 
   std::printf("aggcache SQL shell — %s (.tables, .cache, "
-              ".merge, .strategy, \\flight, \\spans, \\cache, .quit; "
-              "EXPLAIN AGGREGATE [JSON] SELECT ...)\n",
+              ".merge, .strategy, \\flight, \\spans, \\cache, \\queries, "
+              ".quit; EXPLAIN AGGREGATE [JSON] SELECT ...)\n",
               preloaded ? "ERP demo data loaded" : "durable session resumed");
   std::printf("try: SELECT Name, SUM(Price) AS Profit FROM Header, Item, "
               "ProductCategory\n     WHERE Item.HeaderID = Header.HeaderID "
@@ -360,5 +369,6 @@ int main() {
     }
   }
   obs_server.Stop();  // Join handlers before db/cache teardown.
+  MetricsHistory::Global().Stop();
   return 0;
 }

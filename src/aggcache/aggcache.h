@@ -29,10 +29,16 @@
 #include "objectaware/join_pruning.h"
 #include "objectaware/matching_dependency.h"
 #include "objectaware/predicate_pushdown.h"
+#include "obs/active_queries.h"
+#include "obs/build_info.h"
 #include "obs/engine_metrics.h"
+#include "obs/metrics_history.h"
 #include "obs/metrics_registry.h"
+#include "obs/obs_endpoints.h"
 #include "obs/obs_server.h"
+#include "obs/perf_counters.h"
 #include "obs/query_trace.h"
+#include "obs/slow_log.h"
 #include "obs/span.h"
 #include "query/aggregate_query.h"
 #include "query/executor.h"

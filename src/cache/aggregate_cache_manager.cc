@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <iostream>
 #include <optional>
 #include <shared_mutex>
@@ -11,8 +12,11 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/active_queries.h"
 #include "obs/engine_metrics.h"
 #include "obs/flight_recorder.h"
+#include "obs/perf_counters.h"
+#include "obs/slow_log.h"
 #include "obs/span.h"
 #include "obs/trace_recorder.h"
 #include "runtime/admission_controller.h"
@@ -61,6 +65,96 @@ bool QueryUsesTable(const AggregateQuery& query, const Table& table) {
     if (ref.table_name == table.name()) return true;
   }
   return false;
+}
+
+void AppendJsonEscapedTo(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      *out += StrFormat("\\u%04x", c);
+    } else {
+      *out += c;
+    }
+  }
+}
+
+void AppendPerfJson(std::string* out, const PerfDelta& delta) {
+  *out += StrFormat(
+      "{\"cycles\":%llu,\"instructions\":%llu,\"ipc\":%.2f,"
+      "\"llc_misses\":%llu,\"branch_misses\":%llu,\"task_clock_ns\":%llu}",
+      static_cast<unsigned long long>(delta.cycles),
+      static_cast<unsigned long long>(delta.instructions), delta.Ipc(),
+      static_cast<unsigned long long>(delta.llc_misses),
+      static_cast<unsigned long long>(delta.branch_misses),
+      static_cast<unsigned long long>(delta.task_clock_ns));
+}
+
+/// Assembles one slow-query record: identity, wall outcome, the governance
+/// line, perf deltas when the host can read counters, the full EXPLAIN
+/// trace when one was installed, and this query's span subtree when the
+/// span recorder is on. Only runs for queries already over the threshold —
+/// cost is irrelevant next to the query itself.
+std::string BuildSlowQueryRecord(const std::string& statement,
+                                 const char* strategy, double elapsed_ms,
+                                 uint64_t admission_wait_us,
+                                 const QueryContext& ctx, const Status& status,
+                                 const QueryTrace* trace,
+                                 const PerfDelta& perf_total,
+                                 uint64_t span_query_id) {
+  int64_t t_unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  std::string out = StrFormat(
+      "{\"t_unix_ms\":%lld,\"elapsed_ms\":%.3f,\"strategy\":\"%s\","
+      "\"statement\":\"",
+      static_cast<long long>(t_unix_ms), elapsed_ms, strategy);
+  AppendJsonEscapedTo(&out, statement);
+  out += "\",\"status\":\"";
+  AppendJsonEscapedTo(&out, status.ok() ? "ok" : status.message());
+  out += StrFormat(
+      "\",\"governance\":{\"admission_wait_us\":%llu,"
+      "\"mem_peak_bytes\":%zu,\"rows_scanned\":%llu,\"abort\":\"%s\"}",
+      static_cast<unsigned long long>(admission_wait_us),
+      ctx.memory_high_water(),
+      static_cast<unsigned long long>(ctx.rows_scanned()),
+      ctx.abort_reason() == QueryAbortReason::kNone
+          ? ""
+          : QueryAbortReasonToString(ctx.abort_reason()));
+  if (perf_total.valid) {
+    out += ",\"perf\":";
+    AppendPerfJson(&out, perf_total);
+  }
+  if (trace != nullptr) {
+    out += ",\"trace\":";
+    out += trace->ToJson();
+  }
+  SpanRecorder& recorder = SpanRecorder::Global();
+  if (span_query_id != 0 && recorder.enabled()) {
+    // The root span itself records at destruction (after this), so the
+    // subtree holds the completed child spans.
+    out += ",\"spans\":[";
+    bool first = true;
+    for (const SpanRecorder::Span& span : recorder.Collect()) {
+      if (span.query_id != span_query_id) continue;
+      if (!first) out += ',';
+      first = false;
+      out += StrFormat(
+          "{\"name\":\"%s\",\"ts\":%llu,\"dur\":%llu,\"id\":%llu,"
+          "\"parent\":%llu,\"detail\":\"",
+          SpanKindToString(span.kind),
+          static_cast<unsigned long long>(span.start_us),
+          static_cast<unsigned long long>(span.dur_us),
+          static_cast<unsigned long long>(span.span_id),
+          static_cast<unsigned long long>(span.parent_id));
+      AppendJsonEscapedTo(&out, span.detail);
+      out += "\"}";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace
@@ -246,6 +340,9 @@ Status AggregateCacheManager::RebuildEntry(CacheEntry& entry,
   RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("cache.build"));
   EngineMetrics::Get().cache_rebuilds->Increment();
   ScopedSpan build_span(SpanKind::kEntryBuild);
+  PerfPhaseRegion build_perf(SpanKindToString(SpanKind::kEntryBuild),
+                             &build_span);
+  ActiveQueryGuard::CurrentSetPhase(SpanKindToString(SpanKind::kEntryBuild));
   Stopwatch watch;
   entry.main_partials().clear();
   // Cross-temperature all-main combos can be pruned logically at build time
@@ -474,6 +571,10 @@ Status AggregateCacheManager::MainCompensate(CacheEntry& entry,
                                              CacheExecStats* stats) {
   if (!entry.IsDirty(bound.tables)) return Status::Ok();
   ScopedSpan comp_span(SpanKind::kMainCorrection);
+  PerfPhaseRegion comp_perf(SpanKindToString(SpanKind::kMainCorrection),
+                            &comp_span);
+  ActiveQueryGuard::CurrentSetPhase(
+      SpanKindToString(SpanKind::kMainCorrection));
   Stopwatch watch;
   auto observe_latency = [&watch] {
     EngineMetrics::Get().cache_main_comp_us->Observe(
@@ -669,18 +770,33 @@ StatusOr<AggregateResult> AggregateCacheManager::Execute(
   // wait, lookup, build, compensation, subjoin tasks) chains under it.
   QueryRootSpan root_span(ExecutionStrategyToString(options.strategy));
   QueryTrace* trace = TraceContext::Current();
+  // Live introspection: registered before admission so a query parked in
+  // the admission queue is already visible in /queries (phase
+  // "admission_wait") and remotely cancellable while it waits.
+  const std::string statement = trace != nullptr && !trace->statement.empty()
+                                    ? trace->statement
+                                    : MakeCacheKey(query).canonical;
+  const char* strategy_name = ExecutionStrategyToString(options.strategy);
+  ActiveQueryGuard aq_guard(statement, strategy_name, ctx);
+  Stopwatch exec_watch;
+  // Whole-execution hardware-counter sample. Unconditional (unlike the
+  // phase regions): the ledger's hit EWMAs and the slow-query log consume
+  // it even when no trace or span is listening, and after the first latch
+  // on perf-denied hosts it costs one relaxed load.
+  PerfDelta perf_begin = PerfCounters::Read();
   // The admission slot is held for the whole execution (ticket releases on
   // every return path); shed/timeout surfaces as a typed error before any
   // table lock is taken.
   Stopwatch admit_watch;
+  aq_guard.SetPhase(SpanKindToString(SpanKind::kAdmissionWait));
   StatusOr<AdmissionController::Ticket> ticket_or = [&] {
     ScopedSpan admit_span(SpanKind::kAdmissionWait);
     return AdmissionController::Global().Admit(ctx);
   }();
-  if (trace != nullptr) {
-    trace->admission_wait_us =
-        static_cast<uint64_t>(admit_watch.ElapsedNanos() / 1000);
-  }
+  uint64_t admission_wait_us =
+      static_cast<uint64_t>(admit_watch.ElapsedNanos() / 1000);
+  aq_guard.SetAdmissionWait(admission_wait_us);
+  if (trace != nullptr) trace->admission_wait_us = admission_wait_us;
   auto fill_governance = [&] {
     if (trace == nullptr) return;
     trace->mem_peak_bytes = ctx->memory_high_water();
@@ -695,8 +811,23 @@ StatusOr<AggregateResult> AggregateCacheManager::Execute(
   AdmissionController::Ticket ticket = std::move(ticket_or).value();
   CacheExecStats stats;
   PruneStats prune_acc;
-  auto result = ExecuteInternal(query, txn, options, &stats, &prune_acc);
+  auto result =
+      ExecuteInternal(query, txn, options, perf_begin, &stats, &prune_acc);
+  PerfDelta perf_total = PerfCounters::Delta(perf_begin, PerfCounters::Read());
+  if (trace != nullptr && perf_total.valid) {
+    trace->perf_available = true;
+    trace->perf_total = perf_total;
+  }
   fill_governance();
+  SlowQueryLog& slow_log = SlowQueryLog::Global();
+  if (slow_log.enabled()) {
+    double elapsed_ms = exec_watch.ElapsedMillis();
+    if (elapsed_ms >= slow_log.threshold_ms()) {
+      slow_log.Record(BuildSlowQueryRecord(
+          statement, strategy_name, elapsed_ms, admission_wait_us, *ctx,
+          result.status(), trace, perf_total, root_span.link().query_id));
+    }
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   last_stats_ = stats;
   prune_stats_.considered += prune_acc.considered;
@@ -724,8 +855,8 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteTraced(
 
 StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
     const AggregateQuery& query, const Transaction& txn,
-    const ExecutionOptions& options, CacheExecStats* stats,
-    PruneStats* prune_acc) {
+    const ExecutionOptions& options, const PerfDelta& perf_begin,
+    CacheExecStats* stats, PruneStats* prune_acc) {
   const EngineMetrics& metrics = EngineMetrics::Get();
   QueryTrace* trace = TraceContext::Current();
   // The subjoin count is exact single-threaded; under concurrent Execute
@@ -740,6 +871,8 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
   std::optional<ScopedSpan> lookup_span;
   if (options.strategy != ExecutionStrategy::kUncached) {
     lookup_span.emplace(SpanKind::kCacheLookup);
+    ActiveQueryGuard::CurrentSetPhase(
+        SpanKindToString(SpanKind::kCacheLookup));
   }
 
   ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(*db_, query));
@@ -759,6 +892,10 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
     }
     lookup_span.reset();
     ScopedSpan exec_span(SpanKind::kUncachedExec);
+    PerfPhaseRegion exec_perf(SpanKindToString(SpanKind::kUncachedExec),
+                              &exec_span);
+    ActiveQueryGuard::CurrentSetPhase(
+        SpanKindToString(SpanKind::kUncachedExec));
     ASSIGN_OR_RETURN(AggregateResult result,
                      executor_.ExecuteUncachedBound(bound, snapshot));
     stats->subjoins_executed =
@@ -780,6 +917,10 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
     stats->used_cache = false;
     lookup_span.reset();
     ScopedSpan exec_span(SpanKind::kUncachedExec);
+    PerfPhaseRegion exec_perf(SpanKindToString(SpanKind::kUncachedExec),
+                              &exec_span);
+    ActiveQueryGuard::CurrentSetPhase(
+        SpanKindToString(SpanKind::kUncachedExec));
     ASSIGN_OR_RETURN(AggregateResult result,
                      executor_.ExecuteUncachedBound(bound, snapshot));
     stats->subjoins_executed =
@@ -857,6 +998,10 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
   CompensationStats comp_stats;
   StatusOr<AggregateResult> delta_or = [&] {
     ScopedSpan delta_span(SpanKind::kDeltaCompensation);
+    PerfPhaseRegion delta_perf(
+        SpanKindToString(SpanKind::kDeltaCompensation), &delta_span);
+    ActiveQueryGuard::CurrentSetPhase(
+        SpanKindToString(SpanKind::kDeltaCompensation));
     return DeltaCompensate(executor_, bound, mds, pruner,
                            options.use_predicate_pushdown, snapshot,
                            &comp_stats);
@@ -886,6 +1031,18 @@ StatusOr<AggregateResult> AggregateCacheManager::ExecuteInternal(
     CacheEntryMetrics::Ewma(em.ewma_delta_comp_ms, delta_ms);
     CacheEntryMetrics::Ewma(em.ewma_delta_rows,
                             static_cast<double>(comp_stats.rows_scanned));
+    // Hardware grounding for the ledger: what this hit cost the
+    // orchestration thread in cycles and LLC misses. Invalid (skipped)
+    // when the host cannot read counters — the EWMAs then stay 0 ("not
+    // measured"), never fabricate.
+    PerfDelta hit_perf =
+        PerfCounters::Delta(perf_begin, PerfCounters::Read());
+    if (hit_perf.valid) {
+      CacheEntryMetrics::Ewma(em.ewma_hit_cycles,
+                              static_cast<double>(hit_perf.cycles));
+      CacheEntryMetrics::Ewma(em.ewma_hit_llc_miss,
+                              static_cast<double>(hit_perf.llc_misses));
+    }
     CacheEntryMetrics::Add(em.saved_ms_total, saved_ms);
     em.delta_rows_scanned.fetch_add(comp_stats.rows_scanned,
                                     std::memory_order_relaxed);
@@ -990,6 +1147,9 @@ AggregateCacheManager::LedgerSnapshot() const {
         m.delta_rows_scanned.load(std::memory_order_relaxed);
     row.saved_ms_total = m.saved_ms_total.load(std::memory_order_relaxed);
     row.profit = m.Profit();
+    row.ewma_hit_cycles = m.ewma_hit_cycles.load(std::memory_order_relaxed);
+    row.ewma_hit_llc_miss =
+        m.ewma_hit_llc_miss.load(std::memory_order_relaxed);
     ledger.push_back(std::move(row));
   }
   // Biggest net winners first; ties broken by key so the ordering is
@@ -1027,7 +1187,9 @@ std::string AggregateCacheManager::LedgerJson() const {
     out += ",\"delta_rows_scanned\":";
     out += std::to_string(row.delta_rows_scanned);
     out += StrFormat(",\"saved_ms_total\":%.3f", row.saved_ms_total);
-    out += StrFormat(",\"profit\":%.3f}", row.profit);
+    out += StrFormat(",\"profit\":%.3f", row.profit);
+    out += StrFormat(",\"ewma_hit_cycles\":%.0f", row.ewma_hit_cycles);
+    out += StrFormat(",\"ewma_hit_llc_miss\":%.0f}", row.ewma_hit_llc_miss);
   }
   out += "]}";
   return out;
@@ -1040,16 +1202,16 @@ std::string AggregateCacheManager::LedgerText(size_t top_n) const {
       ledger.size(), std::min(top_n, ledger.size()));
   out +=
       "   saved_ms    hits  hit_ms  comp_ms  rebuild_ms  delta_rows"
-      "       bytes  query\n";
+      "       bytes  hit_Mcyc  query\n";
   size_t shown = 0;
   for (const LedgerEntry& row : ledger) {
     if (shown++ >= top_n) break;
     out += StrFormat(
-        "%11.3f %7llu %7.3f %8.3f %11.3f %11llu %11zu  %s\n",
+        "%11.3f %7llu %7.3f %8.3f %11.3f %11llu %11zu %9.2f  %s\n",
         row.saved_ms_total, static_cast<unsigned long long>(row.hits),
         row.ewma_hit_ms, row.ewma_delta_comp_ms, row.ewma_rebuild_ms,
         static_cast<unsigned long long>(row.delta_rows_scanned),
-        row.size_bytes, row.query.c_str());
+        row.size_bytes, row.ewma_hit_cycles / 1e6, row.query.c_str());
   }
   return out;
 }

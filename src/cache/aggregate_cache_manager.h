@@ -157,6 +157,10 @@ class AggregateCacheManager : public MergeObserver,
     uint64_t delta_rows_scanned = 0;
     double saved_ms_total = 0;
     double profit = 0;        ///< CacheEntryMetrics::Profit().
+    /// Hardware cost of serving a hit (orchestration-thread counters);
+    /// 0 = not measured (perf counters unavailable on this host).
+    double ewma_hit_cycles = 0;
+    double ewma_hit_llc_miss = 0;
   };
 
   /// The ledger, sorted by saved_ms_total descending (biggest winners
@@ -213,10 +217,14 @@ class AggregateCacheManager : public MergeObserver,
   Shard& ShardFor(const CacheKey& key) const;
 
   /// Body of Execute; accumulates into the caller-local stats blocks which
-  /// Execute publishes at the end.
+  /// Execute publishes at the end. `perf_begin` is the hardware-counter
+  /// reading Execute took at entry ({valid=false} when counters are
+  /// unavailable) — the cache-hit path differences it to feed the ledger's
+  /// hardware EWMAs.
   StatusOr<AggregateResult> ExecuteInternal(const AggregateQuery& query,
                                             const Transaction& txn,
                                             const ExecutionOptions& options,
+                                            const PerfDelta& perf_begin,
                                             CacheExecStats* stats,
                                             PruneStats* prune_acc);
 

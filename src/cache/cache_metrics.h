@@ -51,6 +51,11 @@ struct CacheEntryMetrics {
   std::atomic<double> saved_ms_total{0.0};
   /// Total delta rows scanned across all compensation passes.
   std::atomic<uint64_t> delta_rows_scanned{0};
+  /// Smoothed hardware cost of serving a hit (orchestration-thread perf
+  /// counters); 0 while the host cannot read counters — consumers treat 0
+  /// as "not measured", same convention as the EWMAs above.
+  std::atomic<double> ewma_hit_cycles{0.0};
+  std::atomic<double> ewma_hit_llc_miss{0.0};
 
   CacheEntryMetrics() = default;
   CacheEntryMetrics(const CacheEntryMetrics& other) { *this = other; }
@@ -75,6 +80,9 @@ struct CacheEntryMetrics {
     saved_ms_total = other.saved_ms_total.load(std::memory_order_relaxed);
     delta_rows_scanned =
         other.delta_rows_scanned.load(std::memory_order_relaxed);
+    ewma_hit_cycles = other.ewma_hit_cycles.load(std::memory_order_relaxed);
+    ewma_hit_llc_miss =
+        other.ewma_hit_llc_miss.load(std::memory_order_relaxed);
     return *this;
   }
 

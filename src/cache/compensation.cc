@@ -6,6 +6,7 @@
 #include "obs/span.h"
 #include "obs/trace_recorder.h"
 #include "runtime/query_context.h"
+#include "verify/fault_injector.h"
 
 namespace aggcache {
 
@@ -55,6 +56,14 @@ StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
     ScopedQueryContext scope(ctx);
     ScopedSpan task_span(SpanKind::kSubjoinTask, span_parent,
                          "delta-comp");
+    // `cache.delta_comp` lets the harnesses hold a query inside delta
+    // compensation deterministically (kDelay) so the active-query registry
+    // and remote cancellation can be exercised against a live phase.
+    Status fault = FaultInjector::Global().MaybeFail("cache.delta_comp");
+    if (!fault.ok()) {
+      task_status[i] = fault;
+      return;
+    }
     auto partial =
         executor.ExecuteSubjoin(bound, subjoins[i].combo, snapshot,
                                 subjoins[i].extra,
@@ -64,6 +73,8 @@ StatusOr<AggregateResult> DeltaCompensate(Executor& executor,
     } else {
       task_status[i] = partial.status();
     }
+    // Progress accounting for the registry: one add per completed subjoin.
+    if (ctx != nullptr) ctx->AddRowsScanned(task_stats[i].rows_scanned);
   });
 
   // Counters merge all-or-none before any error check: each task already

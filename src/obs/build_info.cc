@@ -1,0 +1,59 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+#include "obs/metrics_registry.h"
+
+#ifndef AGGCACHE_VERSION
+#define AGGCACHE_VERSION "unknown"
+#endif
+#ifndef AGGCACHE_GIT_SHA
+#define AGGCACHE_GIT_SHA "unknown"
+#endif
+#ifndef AGGCACHE_BUILD_TYPE
+#define AGGCACHE_BUILD_TYPE "unknown"
+#endif
+
+namespace aggcache {
+
+namespace {
+
+/// Captured at static-initialization time; every uptime reading is
+/// relative to this.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {AGGCACHE_VERSION, AGGCACHE_GIT_SHA,
+                                 AGGCACHE_BUILD_TYPE};
+  return info;
+}
+
+double UptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
+void RegisterBuildInfoMetric() {
+  const BuildInfo& info = GetBuildInfo();
+  MetricsRegistry::Global()
+      .GetInfoGauge("aggcache_build_info",
+                    "Build identity; value is always 1, the labels are the "
+                    "payload.",
+                    {{"version", info.version},
+                     {"git_sha", info.git_sha},
+                     {"build_type", info.build_type}})
+      ->Set(1);
+}
+
+std::string BuildInfoLine() {
+  const BuildInfo& info = GetBuildInfo();
+  return StrFormat("aggcache %s (%s, %s)", info.version, info.git_sha,
+                   info.build_type);
+}
+
+}  // namespace aggcache

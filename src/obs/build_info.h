@@ -1,0 +1,36 @@
+#ifndef AGGCACHE_OBS_BUILD_INFO_H_
+#define AGGCACHE_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace aggcache {
+
+/// Identity of this binary, for correlating metric shifts with deploys:
+/// the aggcache_build_info{version,git_sha,build_type} info gauge and the
+/// version/uptime lines in /healthz both read from here. Values are baked
+/// in at compile time (CMake passes -DAGGCACHE_VERSION=... etc. to
+/// build_info.cc only, so a new git sha relinks one object file, not the
+/// world); "unknown" when the build system could not determine one.
+struct BuildInfo {
+  const char* version;
+  const char* git_sha;
+  const char* build_type;
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// Seconds since this process loaded (static-initialization time of the
+/// obs library — early enough that /healthz uptime is honest).
+double UptimeSeconds();
+
+/// Registers the aggcache_build_info info gauge (value 1, labels from
+/// GetBuildInfo()) in the global registry. Idempotent.
+void RegisterBuildInfoMetric();
+
+/// "aggcache <version> (<git_sha>, <build_type>)" — the shell banner and
+/// healthz line.
+std::string BuildInfoLine();
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_OBS_BUILD_INFO_H_

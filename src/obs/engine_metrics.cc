@@ -1,5 +1,7 @@
 #include "obs/engine_metrics.h"
 
+#include "obs/build_info.h"
+
 namespace aggcache {
 
 const EngineMetrics& EngineMetrics::Get() {
@@ -216,6 +218,29 @@ const EngineMetrics& EngineMetrics::Get() {
     m->recovery_replay_us = r.GetHistogram(
         "aggcache_recovery_replay_us",
         "WAL tail replay latency in microseconds");
+
+    m->active_queries = r.GetGauge(
+        "aggcache_active_queries",
+        "Queries currently registered in the active-query registry");
+    m->query_registrations = r.GetCounter(
+        "aggcache_query_registrations_total",
+        "Queries ever registered in the active-query registry");
+    m->remote_cancellations = r.GetCounter(
+        "aggcache_remote_cancellations_total",
+        "Cancellations delivered through the active-query registry "
+        "(shell \\queries or GET /queries/cancel)");
+    m->perf_counters_unavailable = r.GetGauge(
+        "aggcache_perf_counters_unavailable",
+        "1 once perf_event_open was denied and per-query hardware "
+        "counters latched off");
+    m->slow_queries = r.GetCounter(
+        "aggcache_slow_queries_total",
+        "Queries recorded by the slow-query log (wall time over "
+        "AGGCACHE_SLOW_QUERY_MS)");
+
+    // Not a handle anyone updates — registered here so every binary that
+    // touches EngineMetrics exposes its build identity.
+    RegisterBuildInfoMetric();
 
     return m;
   }();

@@ -109,6 +109,13 @@ struct EngineMetrics {
   Counter* recovery_warm_admissions; ///< Cache entries re-admitted warm.
   Histogram* recovery_replay_us;     ///< WAL tail replay latency.
 
+  // Live introspection (src/obs/active_queries, perf_counters, slow_log).
+  Gauge* active_queries;             ///< Queries registered right now.
+  Counter* query_registrations;      ///< Active-query registry entries ever.
+  Counter* remote_cancellations;     ///< Cancels via registry/HTTP endpoint.
+  Gauge* perf_counters_unavailable;  ///< 1 once perf_event_open was denied.
+  Counter* slow_queries;             ///< Queries over AGGCACHE_SLOW_QUERY_MS.
+
   /// The process-wide handles (registered in MetricsRegistry::Global()).
   static const EngineMetrics& Get();
 };

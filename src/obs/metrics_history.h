@@ -1,0 +1,76 @@
+#ifndef AGGCACHE_OBS_METRICS_HISTORY_H_
+#define AGGCACHE_OBS_METRICS_HISTORY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics_registry.h"
+
+namespace aggcache {
+
+/// Fixed-size ring of periodic MetricsRegistry snapshots, so a run with no
+/// external scraper still has rate/derivative views: GET /metrics/history
+/// returns the last `capacity` samples and any client can difference
+/// adjacent ones. Samples reuse MetricsRegistry::SnapshotValues() — loose,
+/// lock-free reads — and each carries a monotonic timestamp.
+///
+/// Start() spawns the sampler thread (idempotent); binaries that serve the
+/// obs endpoint start it alongside ObsServer and Stop() it at shutdown.
+/// Tests drive SampleOnce() directly and never need the thread.
+/// AGGCACHE_METRICS_HISTORY=<period_ms>[,capacity=<n>] overrides the
+/// defaults (1000 ms, 256 samples ≈ four minutes of 1 Hz history).
+class MetricsHistory {
+ public:
+  struct Options {
+    int64_t period_ms = 1000;
+    size_t capacity = 256;
+  };
+
+  static MetricsHistory& Global();
+
+  /// Options(), with AGGCACHE_METRICS_HISTORY applied when set.
+  static Options OptionsFromEnv();
+
+  /// Starts the background sampler; no-op when already running.
+  void Start(const Options& options);
+  /// Stops and joins the sampler; no-op when not running.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// Takes one snapshot now (also what the sampler thread calls).
+  void SampleOnce();
+
+  /// {"schema":"aggcache-metrics-history-v1","period_ms":...,
+  ///  "samples":[{"t_ms":<steady-clock ms>,"values":{name:value|
+  ///  {count,sum}}}]} — oldest first.
+  std::string DumpJson() const;
+
+  size_t size() const;
+  void ResetForTest();
+
+ private:
+  struct Sample {
+    int64_t t_ms = 0;
+    std::map<std::string, MetricsRegistry::MetricSnapshot> values;
+  };
+
+  MetricsHistory() = default;
+
+  std::atomic<bool> running_{false};
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // under mu_
+  Options options_;              // under mu_
+  std::deque<Sample> samples_;   // under mu_
+  std::thread thread_;
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_OBS_METRICS_HISTORY_H_

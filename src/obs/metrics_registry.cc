@@ -111,6 +111,15 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return GetOrCreate(name, help, Kind::kHistogram).histogram.get();
 }
 
+Gauge* MetricsRegistry::GetInfoGauge(
+    const std::string& name, const std::string& help,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  Metric& metric = GetOrCreate(name, help, Kind::kGauge);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metric.labels.empty()) metric.labels = labels;
+  return metric.gauge.get();
+}
+
 size_t MetricsRegistry::num_metrics() const {
   std::lock_guard<std::mutex> lock(mu_);
   return metrics_.size();
@@ -193,6 +202,43 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// {k="v",...} for the Prometheus value line; "" when unlabeled. Label
+/// value escaping (backslash, quote, newline) matches the exposition
+/// format's rules, which JsonEscape's subset covers.
+std::string PromLabelBlock(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += JsonEscape(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string JsonLabelObject(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(key);
+    out += "\":\"";
+    out += JsonEscape(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::Render(Format format) const {
@@ -210,7 +256,8 @@ std::string MetricsRegistry::Render(Format format) const {
           out << name << " " << metric.counter->Value() << "\n";
           break;
         case Kind::kGauge:
-          out << name << " " << metric.gauge->Value() << "\n";
+          out << name << PromLabelBlock(metric.labels) << " "
+              << metric.gauge->Value() << "\n";
           break;
         case Kind::kHistogram: {
           const Histogram& h = *metric.histogram;
@@ -245,6 +292,9 @@ std::string MetricsRegistry::Render(Format format) const {
         out << "\"value\":" << metric.counter->Value();
         break;
       case Kind::kGauge:
+        if (!metric.labels.empty()) {
+          out << "\"labels\":" << JsonLabelObject(metric.labels) << ",";
+        }
         out << "\"value\":" << metric.gauge->Value();
         break;
       case Kind::kHistogram: {

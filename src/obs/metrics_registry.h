@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace aggcache {
 
@@ -119,6 +121,15 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name, const std::string& help);
   Histogram* GetHistogram(const std::string& name, const std::string& help);
 
+  /// A gauge carrying a fixed label set, for the Prometheus "info metric"
+  /// idiom (aggcache_build_info{version=...,git_sha=...} 1): the labels are
+  /// the payload, the value is conventionally 1. Labels are attached on
+  /// first registration and rendered in both exposition formats; only one
+  /// label set per name (this registry has no series dimension).
+  Gauge* GetInfoGauge(
+      const std::string& name, const std::string& help,
+      const std::vector<std::pair<std::string, std::string>>& labels);
+
   /// Renders every registered metric, name-ordered: Prometheus text
   /// exposition (# HELP / # TYPE, cumulative _bucket{le=...}, _sum, _count)
   /// or a JSON object keyed by metric name.
@@ -151,6 +162,8 @@ class MetricsRegistry {
   struct Metric {
     Kind kind = Kind::kCounter;
     std::string help;
+    /// Fixed label set (info-metric idiom); empty for ordinary metrics.
+    std::vector<std::pair<std::string, std::string>> labels;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;

@@ -1,0 +1,86 @@
+#include "obs/obs_endpoints.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "obs/active_queries.h"
+#include "obs/engine_metrics.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_history.h"
+#include "obs/metrics_registry.h"
+#include "obs/obs_server.h"
+#include "obs/slow_log.h"
+#include "obs/span.h"
+
+namespace aggcache {
+
+namespace {
+
+/// Parses "id=N" out of a query string ("id=7" or "a=b&id=7"). Returns 0
+/// (never a valid query id) when absent or malformed.
+uint64_t ParseIdParam(const std::string& query) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    std::string param = query.substr(
+        pos, amp == std::string::npos ? std::string::npos : amp - pos);
+    if (param.rfind("id=", 0) == 0) {
+      const std::string value = param.substr(3);
+      if (value.empty()) return 0;
+      uint64_t id = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return 0;
+        id = id * 10 + static_cast<uint64_t>(c - '0');
+      }
+      return id;
+    }
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void RegisterCommonObsEndpoints(ObsServer& server) {
+  // Register every engine instrument now, not lazily on the first query: a
+  // scraper that connects at boot should see the full schema at zero.
+  EngineMetrics::Get();
+  server.SetHandler("/metrics", "text/plain; version=0.0.4", [] {
+    return MetricsRegistry::Global().Render();
+  });
+  server.SetHandler("/metrics.json", "application/json", [] {
+    return MetricsRegistry::Global().RenderJson();
+  });
+  server.SetHandler("/metrics/history", "application/json", [] {
+    return MetricsHistory::Global().DumpJson();
+  });
+  server.SetHandler("/flight", "application/json", [] {
+    return FlightRecorder::Global().DumpJson();
+  });
+  server.SetHandler("/spans", "application/json", [] {
+    return SpanRecorder::Global().DumpJson();
+  });
+  server.SetHandler("/queries", "application/json", [] {
+    return ActiveQueryRegistry::Global().ListJson();
+  });
+  server.SetHandler("/slowlog", "application/json", [] {
+    return SlowQueryLog::Global().DumpJson();
+  });
+  server.SetQueryHandler(
+      "/queries/cancel", "text/plain",
+      [](const std::string& query) -> std::pair<int, std::string> {
+        uint64_t id = ParseIdParam(query);
+        if (id == 0) {
+          return {400, "missing or malformed id parameter\n"};
+        }
+        if (ActiveQueryRegistry::Global().Cancel(id)) {
+          return {200, "cancelled\n"};
+        }
+        return {404, "no such query\n"};
+      });
+}
+
+}  // namespace aggcache

@@ -1,0 +1,28 @@
+#ifndef AGGCACHE_OBS_OBS_ENDPOINTS_H_
+#define AGGCACHE_OBS_OBS_ENDPOINTS_H_
+
+namespace aggcache {
+
+class ObsServer;
+
+/// Registers the engine-global observability endpoints on `server`:
+///
+///   /metrics          Prometheus text exposition (MetricsRegistry)
+///   /metrics.json     Same registry as JSON
+///   /metrics/history  Ring of periodic metric snapshots (MetricsHistory)
+///   /flight           Flight-recorder events
+///   /spans            Span recorder dump (aggcache-spans-v1)
+///   /queries          Active-query registry (aggcache-queries-v1)
+///   /queries/cancel   ?id=N remote cancellation (200/400/404)
+///   /slowlog          Slow-query log ring (aggcache-slowlog-v1)
+///
+/// Everything here reads process-global singletons, so any binary that
+/// owns an ObsServer (sql_shell, stress_concurrent, verify_fuzz) gets the
+/// same surface from one call. Endpoints tied to instance state (/cache on
+/// a specific AggregateCacheManager, the /healthz probe) stay with the
+/// caller. Must run before ObsServer::Start().
+void RegisterCommonObsEndpoints(ObsServer& server);
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_OBS_OBS_ENDPOINTS_H_

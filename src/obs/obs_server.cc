@@ -60,12 +60,14 @@ std::string StatusLine(int code) {
 }
 
 void SendResponse(int fd, int code, const std::string& content_type,
-                  const std::string& body) {
+                  const std::string& body, bool include_body = true) {
   std::string response = StatusLine(code);
   response += "Content-Type: " + content_type + "\r\n";
   response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   response += "Connection: close\r\n\r\n";
-  response += body;
+  // HEAD gets the same headers (including the Content-Length a GET would
+  // produce) with the body elided.
+  if (include_body) response += body;
   size_t sent = 0;
   while (sent < response.size()) {
     ssize_t n = ::send(fd, response.data() + sent, response.size() - sent,
@@ -83,7 +85,27 @@ void ObsServer::SetHandler(const std::string& path,
                            const std::string& content_type,
                            Handler handler) {
   AGGCACHE_CHECK(!running());
-  endpoints_[path] = Endpoint{content_type, std::move(handler)};
+  endpoints_[path] = Endpoint{content_type, std::move(handler), nullptr};
+}
+
+void ObsServer::SetQueryHandler(const std::string& path,
+                                const std::string& content_type,
+                                QueryHandler handler) {
+  AGGCACHE_CHECK(!running());
+  endpoints_[path] = Endpoint{content_type, nullptr, std::move(handler)};
+}
+
+std::string ObsServer::IndexPage() const {
+  // endpoints_ is a sorted map and frozen after Start(), so the index is
+  // deterministic and needs no lock.
+  std::string out = "aggcache observability endpoints\n";
+  out += "  /healthz\n";
+  for (const auto& [path, endpoint] : endpoints_) {
+    out += "  " + path;
+    if (endpoint.query_handler != nullptr) out += "?...";
+    out += "\n";
+  }
+  return out;
 }
 
 void ObsServer::SetHealthProbe(HealthProbe probe) {
@@ -232,19 +254,30 @@ void ObsServer::ServeConnection(int fd) {
   }
   std::string method = line.substr(0, sp1);
   std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query_string;
   size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
-  if (method != "GET") {
+  if (query != std::string::npos) {
+    query_string = path.substr(query + 1);
+    path.resize(query);
+  }
+  // HEAD is GET minus the body: same status, same headers, same handler
+  // side effects (actions like /queries/cancel still fire).
+  const bool head = method == "HEAD";
+  if (method != "GET" && !head) {
     SendResponse(fd, 405, "text/plain", "method not allowed\n");
     return;
   }
   if (path == "/healthz") {
     if (health_probe_) {
       std::pair<int, std::string> health = health_probe_();
-      SendResponse(fd, health.first, "text/plain", health.second);
+      SendResponse(fd, health.first, "text/plain", health.second, !head);
     } else {
-      SendResponse(fd, 200, "text/plain", "ok\n");
+      SendResponse(fd, 200, "text/plain", "ok\n", !head);
     }
+    return;
+  }
+  if (path == "/") {
+    SendResponse(fd, 200, "text/plain", IndexPage(), !head);
     return;
   }
   auto it = endpoints_.find(path);
@@ -252,13 +285,22 @@ void ObsServer::ServeConnection(int fd) {
     SendResponse(fd, 404, "text/plain", "not found\n");
     return;
   }
-  SendResponse(fd, 200, it->second.content_type, it->second.handler());
+  if (it->second.query_handler != nullptr) {
+    std::pair<int, std::string> result = it->second.query_handler(query_string);
+    SendResponse(fd, result.first, it->second.content_type, result.second,
+                 !head);
+    return;
+  }
+  SendResponse(fd, 200, it->second.content_type, it->second.handler(), !head);
 }
 
 #else  // !AGGCACHE_OBS_HAS_SOCKETS
 
 ObsServer::~ObsServer() {}
 void ObsServer::SetHandler(const std::string&, const std::string&, Handler) {}
+void ObsServer::SetQueryHandler(const std::string&, const std::string&,
+                                QueryHandler) {}
+std::string ObsServer::IndexPage() const { return std::string(); }
 void ObsServer::SetHealthProbe(HealthProbe) {}
 Status ObsServer::Start(const Options&) {
   return Status::Unimplemented("obs server requires POSIX sockets");

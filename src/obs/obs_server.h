@@ -16,13 +16,16 @@
 
 namespace aggcache {
 
-/// A minimal GET-only HTTP/1.1 observability server: one blocking accept
-/// thread feeding a small handler pool, no dependencies beyond POSIX
+/// A minimal GET/HEAD-only HTTP/1.1 observability server: one blocking
+/// accept thread feeding a small handler pool, no dependencies beyond POSIX
 /// sockets. This is deliberately NOT a general web server — it serves a
 /// handful of registered read-only endpoints (/metrics, /metrics.json,
-/// /flight, /spans, /cache, /healthz) to curl and Prometheus scrapers,
-/// closes every connection after one response, and rejects anything else
-/// (405 non-GET, 404 unknown path, 400 malformed request line).
+/// /flight, /spans, /queries, /slowlog, /healthz, ...) to curl and
+/// Prometheus scrapers, closes every connection after one response, and
+/// rejects anything else (405 non-GET/HEAD, 404 unknown path, 400 malformed
+/// request line). HEAD runs the handler and returns the headers only, so
+/// probes can check liveness/size without the body. GET / lists every
+/// registered endpoint as a plain-text index.
 ///
 /// Handlers run on the pool threads and may take locks (they call
 /// MetricsRegistry::Render, FlightRecorder::DumpJson, ...), so the accept
@@ -44,6 +47,11 @@ class ObsServer {
 
   /// One registered endpoint: exact path match, body produced per request.
   using Handler = std::function<std::string()>;
+  /// Parameterized endpoint: receives the raw query string (text after '?',
+  /// empty when absent) and picks its own status code. Used by actions such
+  /// as /queries/cancel?id=N that must distinguish success from not-found.
+  using QueryHandler =
+      std::function<std::pair<int, std::string>(const std::string& query)>;
   /// Health probe: returns {http status, body}. Installed on /healthz.
   using HealthProbe = std::function<std::pair<int, std::string>()>;
 
@@ -56,6 +64,13 @@ class ObsServer {
   /// Must be called before Start().
   void SetHandler(const std::string& path, const std::string& content_type,
                   Handler handler);
+
+  /// Registers a query-string-aware handler for GET `path`. The handler
+  /// returns {status, body}; the query string is passed through verbatim.
+  /// Must be called before Start().
+  void SetQueryHandler(const std::string& path,
+                       const std::string& content_type,
+                       QueryHandler handler);
 
   /// Installs the /healthz probe (text/plain; the probe picks the status
   /// code — 200 healthy, 503 while restoring/degraded/draining).
@@ -78,11 +93,13 @@ class ObsServer {
   struct Endpoint {
     std::string content_type;
     Handler handler;
+    QueryHandler query_handler;  ///< Set for parameterized endpoints.
   };
 
   void AcceptLoop();
   void HandlerLoop();
   void ServeConnection(int fd);
+  std::string IndexPage() const;
 
   Options options_;
   std::map<std::string, Endpoint> endpoints_;

@@ -83,6 +83,25 @@ std::string QueryTrace::ToText() const {
       << " us, mem-peak " << mem_peak_bytes << " B";
   if (!abort_cause.empty()) out << ", abort: " << abort_cause;
   out << "\n";
+  if (perf_available) {
+    out << StrFormat(
+        "  perf: %llu cycles, %llu instr (ipc %.2f), %llu llc-miss, "
+        "%llu branch-miss, task-clock %.3f ms\n",
+        static_cast<unsigned long long>(perf_total.cycles),
+        static_cast<unsigned long long>(perf_total.instructions),
+        perf_total.Ipc(),
+        static_cast<unsigned long long>(perf_total.llc_misses),
+        static_cast<unsigned long long>(perf_total.branch_misses),
+        static_cast<double>(perf_total.task_clock_ns) / 1e6);
+    for (const PhasePerf& phase : perf_phases) {
+      out << StrFormat(
+          "    [%s] %llu cycles, %llu instr (ipc %.2f), %llu llc-miss\n",
+          phase.phase, static_cast<unsigned long long>(phase.delta.cycles),
+          static_cast<unsigned long long>(phase.delta.instructions),
+          phase.delta.Ipc(),
+          static_cast<unsigned long long>(phase.delta.llc_misses));
+    }
+  }
   out << "  subjoins: " << subjoins.size() << " considered = "
       << CountVerdict(SubjoinTrace::Verdict::kExecuted) << " executed + "
       << CountVerdict(SubjoinTrace::Verdict::kPushdown) << " pushdown + "
@@ -123,6 +142,31 @@ std::string QueryTrace::ToJson() const {
   out << ",\"governance\":{\"admission_wait_us\":" << admission_wait_us
       << ",\"mem_peak_bytes\":" << mem_peak_bytes << ",\"abort\":\""
       << JsonEscape(abort_cause) << "\"}";
+  // Counter fields appear only when the host could read them, so traces
+  // from perf-denied environments carry no misleading zeros.
+  if (perf_available) {
+    auto render_delta = [&out](const PerfDelta& delta) {
+      out << StrFormat(
+          "{\"cycles\":%llu,\"instructions\":%llu,\"ipc\":%.2f,"
+          "\"llc_misses\":%llu,\"branch_misses\":%llu,"
+          "\"task_clock_ns\":%llu}",
+          static_cast<unsigned long long>(delta.cycles),
+          static_cast<unsigned long long>(delta.instructions), delta.Ipc(),
+          static_cast<unsigned long long>(delta.llc_misses),
+          static_cast<unsigned long long>(delta.branch_misses),
+          static_cast<unsigned long long>(delta.task_clock_ns));
+    };
+    out << ",\"perf\":{\"total\":";
+    render_delta(perf_total);
+    out << ",\"phases\":[";
+    for (size_t i = 0; i < perf_phases.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"phase\":\"" << perf_phases[i].phase << "\",\"delta\":";
+      render_delta(perf_phases[i].delta);
+      out << "}";
+    }
+    out << "]}";
+  }
   out << ",\"subjoins\":[";
   for (size_t i = 0; i < subjoins.size(); ++i) {
     const SubjoinTrace& subjoin = subjoins[i];

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf_counters.h"
+
 namespace aggcache {
 
 /// One subjoin-level span of a traced execution: the combination, which
@@ -71,6 +73,19 @@ struct QueryTrace {
   uint64_t admission_wait_us = 0;  ///< Time spent in the admission gate.
   uint64_t mem_peak_bytes = 0;     ///< Query-context memory high water.
   std::string abort_cause;         ///< QueryAbortReason name; empty if none.
+
+  // Hardware counters (orchestration thread only). perf_available stays
+  // false when perf_event_open is denied, and renders then omit every
+  // counter field — absent, never zero.
+  bool perf_available = false;
+  PerfDelta perf_total;  ///< Whole-execution delta.
+  /// One delta per measured phase, in execution order; `phase` names have
+  /// static storage duration (span-kind strings).
+  struct PhasePerf {
+    const char* phase;
+    PerfDelta delta;
+  };
+  std::vector<PhasePerf> perf_phases;
 
   std::vector<SubjoinTrace> subjoins;
 

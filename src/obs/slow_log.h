@@ -1,0 +1,74 @@
+#ifndef AGGCACHE_OBS_SLOW_LOG_H_
+#define AGGCACHE_OBS_SLOW_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace aggcache {
+
+/// Bounded log of queries that exceeded a wall-time threshold, each kept as
+/// one structured JSON record (the cache manager assembles it from the
+/// query trace — governance line and perf deltas included — plus the span
+/// subtree when spans are on). Two sinks, both rings:
+///
+///   - an in-memory deque (default 128 records) served at GET /slowlog as
+///     {"schema":"aggcache-slowlog-v1",...};
+///   - optionally a directory of rotating files slowlog-<n>.json, one
+///     record per file, n wrapping at `max_files` — the on-disk ring that
+///     survives the process for post-mortem runs.
+///
+/// Enabled via AGGCACHE_SLOW_QUERY_MS=<ms>[,dir=<path>][,files=<n>]
+/// [,keep=<records>]. Disabled (the default) costs one relaxed load per
+/// query.
+class SlowQueryLog {
+ public:
+  struct Options {
+    double threshold_ms = 0;  ///< <= 0 disables the log.
+    std::string dir;          ///< Empty: in-memory only.
+    size_t max_files = 8;     ///< On-disk ring size.
+    size_t keep = 128;        ///< In-memory ring size.
+  };
+
+  static SlowQueryLog& Global();
+
+  /// Parses AGGCACHE_SLOW_QUERY_MS; silently leaves the log disabled when
+  /// unset or malformed (a bad threshold is not worth refusing to start).
+  void ConfigureFromEnv();
+  void Configure(const Options& options);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  double threshold_ms() const;
+
+  /// Appends one record; `record_json` must be a complete JSON object.
+  /// Also bumps aggcache_slow_queries_total and, when a directory is
+  /// configured, rewrites the next slowlog-<n>.json in the ring. File
+  /// write errors are swallowed (the in-memory record is already safe).
+  void Record(const std::string& record_json);
+
+  /// {"schema":"aggcache-slowlog-v1","threshold_ms":...,"total":N,
+  ///  "records":[...]} — oldest first.
+  std::string DumpJson() const;
+
+  /// Records currently held in memory.
+  size_t size() const;
+  /// Records ever taken (monotonic; exceeds size() once the ring wraps).
+  uint64_t total() const;
+
+  void ResetForTest();
+
+ private:
+  SlowQueryLog() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  Options options_;                  // under mu_
+  std::deque<std::string> records_;  // under mu_
+  uint64_t total_ = 0;               // under mu_
+};
+
+}  // namespace aggcache
+
+#endif  // AGGCACHE_OBS_SLOW_LOG_H_

@@ -138,6 +138,10 @@ struct SpanRecorder::Slot {
   std::atomic<uint64_t> query_id{0};
   /// Truncated label, two 8-byte words (NUL padding included).
   std::atomic<uint64_t> detail[2] = {};
+  /// Hardware-counter deltas (0 = not measured).
+  std::atomic<uint64_t> cycles{0};
+  std::atomic<uint64_t> instructions{0};
+  std::atomic<uint64_t> llc_misses{0};
 };
 
 /// A per-thread ring of slots. Only the leasing thread advances `cursor`;
@@ -246,7 +250,8 @@ size_t SpanRecorder::active_segments() const {
 void SpanRecorder::Record(SpanKind kind, uint64_t span_id,
                           uint64_t parent_id, uint64_t query_id,
                           uint64_t start_us, uint64_t end_us,
-                          const char* detail) {
+                          const char* detail, uint64_t cycles,
+                          uint64_t instructions, uint64_t llc_misses) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
   Segment* segment = SpanThreadLease::Get(this);
   if (segment == nullptr) {
@@ -280,6 +285,9 @@ void SpanRecorder::Record(SpanKind kind, uint64_t span_id,
   for (int i = 0; i < 2; ++i) {
     slot.detail[i].store(words[i], std::memory_order_relaxed);
   }
+  slot.cycles.store(cycles, std::memory_order_relaxed);
+  slot.instructions.store(instructions, std::memory_order_relaxed);
+  slot.llc_misses.store(llc_misses, std::memory_order_relaxed);
   slot.seq.store(seq, std::memory_order_release);
 }
 
@@ -310,6 +318,9 @@ std::vector<SpanRecorder::Span> SpanRecorder::Collect(
         }
         std::memcpy(span.detail, words, sizeof(words));
         span.detail[sizeof(span.detail) - 1] = '\0';
+        span.cycles = slot.cycles.load(std::memory_order_relaxed);
+        span.instructions = slot.instructions.load(std::memory_order_relaxed);
+        span.llc_misses = slot.llc_misses.load(std::memory_order_relaxed);
         // Torn-read check: a writer lapping this slot mid-harvest changed
         // (or zeroed) seq; drop the inconsistent snapshot.
         if (slot.seq.load(std::memory_order_acquire) != seq) continue;
@@ -365,7 +376,16 @@ std::string SpanRecorder::DumpJson(size_t max_spans) const {
         out += c;
       }
     }
-    out += "\"}}";
+    out += '"';
+    // Perf fields only when the region was measured, so traces from hosts
+    // without counters (and the byte-exact golden test) are unchanged.
+    if (span.cycles > 0) {
+      out += StrFormat(",\"ipc\":%.2f,\"llc_miss\":%llu",
+                       static_cast<double>(span.instructions) /
+                           static_cast<double>(span.cycles),
+                       static_cast<unsigned long long>(span.llc_misses));
+    }
+    out += "}}";
   }
   out += "]}";
   return out;
@@ -430,7 +450,8 @@ ScopedSpan::~ScopedSpan() {
   if (installed_) t_current_span = saved_;
   SpanRecorder& recorder = SpanRecorder::Global();
   recorder.Record(kind_, span_id_, parent_id_, query_id_, start_us_,
-                  recorder.NowMicros(), detail_);
+                  recorder.NowMicros(), detail_, cycles_, instructions_,
+                  llc_misses_);
 }
 
 QueryRootSpan::QueryRootSpan(const char* detail) {

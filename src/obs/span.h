@@ -93,10 +93,13 @@ class SpanRecorder {
 
   /// Records one finished span. Timestamps are microseconds on the
   /// recorder's own clock (see NowMicros()); `detail` is truncated to
-  /// 15 bytes.
+  /// 15 bytes. The trailing hardware-counter deltas are optional (0 = not
+  /// measured) — PerfPhaseRegion attaches them to phase spans when the
+  /// host can read perf counters.
   void Record(SpanKind kind, uint64_t span_id, uint64_t parent_id,
               uint64_t query_id, uint64_t start_us, uint64_t end_us,
-              const char* detail = nullptr);
+              const char* detail = nullptr, uint64_t cycles = 0,
+              uint64_t instructions = 0, uint64_t llc_misses = 0);
 
   void set_enabled(bool enabled) {
     enabled_.store(enabled, std::memory_order_relaxed);
@@ -143,6 +146,11 @@ class SpanRecorder {
     uint64_t parent_id = 0;  ///< 0 for roots
     uint64_t query_id = 0;   ///< 0 only for manually recorded orphans
     char detail[16] = {};
+    /// Hardware-counter deltas for the span's region; all zero when the
+    /// region was not measured (counters unavailable, or no consumer).
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t llc_misses = 0;
   };
 
   /// Harvests up to `max_spans` of the most recent spans, oldest first
@@ -217,6 +225,15 @@ class ScopedSpan {
   bool active() const { return active_; }
   SpanLink link() const { return SpanLink{query_id_, span_id_}; }
 
+  /// Attaches hardware-counter deltas, published with the span at
+  /// destruction as args{ipc, llc_miss}. Called by PerfPhaseRegion just
+  /// before the span closes; a no-op on inactive spans.
+  void SetPerf(uint64_t cycles, uint64_t instructions, uint64_t llc_misses) {
+    cycles_ = cycles;
+    instructions_ = instructions;
+    llc_misses_ = llc_misses;
+  }
+
  private:
   void Begin(SpanKind kind, uint64_t query_id, uint64_t parent_id,
              const char* detail);
@@ -226,6 +243,9 @@ class ScopedSpan {
   uint64_t span_id_ = 0;
   uint64_t parent_id_ = 0;
   uint64_t start_us_ = 0;
+  uint64_t cycles_ = 0;
+  uint64_t instructions_ = 0;
+  uint64_t llc_misses_ = 0;
   SpanLink saved_;
   bool installed_ = false;
   char detail_[16] = {};

@@ -109,6 +109,17 @@ class QueryContext {
     return memory_high_water_.load(std::memory_order_relaxed);
   }
 
+  /// Progress accounting for the active-query registry: rows visited by
+  /// this query's subjoin selections, summed across all of its fan-out
+  /// tasks (each task adds its per-subjoin total once, after the subjoin
+  /// completes — not per block).
+  void AddRowsScanned(uint64_t rows) {
+    rows_scanned_.fetch_add(rows, std::memory_order_relaxed);
+  }
+  uint64_t rows_scanned() const {
+    return rows_scanned_.load(std::memory_order_relaxed);
+  }
+
   /// The context installed on this thread (nullptr outside any query).
   /// Fan-out sites capture Current() and re-install it on pool workers
   /// with ScopedQueryContext.
@@ -133,6 +144,7 @@ class QueryContext {
       static_cast<uint8_t>(QueryAbortReason::kNone)};
   std::atomic<size_t> memory_used_{0};
   std::atomic<size_t> memory_high_water_{0};
+  std::atomic<uint64_t> rows_scanned_{0};
 };
 
 /// RAII installation of a QueryContext as the thread's Current(). Used by

@@ -33,6 +33,12 @@ namespace aggcache {
 ///                           both the single-flight creator and rebuilds.
 ///   cache.evict_all         EvictIfNeeded; firing simulates memory pressure
 ///                           by dropping every evictable entry.
+///   cache.delta_comp        Each delta-compensation subjoin task, before it
+///                           executes. Armed as kDelay it holds queries
+///                           inside the phase (how the tests park a query so
+///                           the active-query registry and remote cancel can
+///                           observe it mid-flight); as kError it fails the
+///                           fan-out.
 ///   runtime.alloc           QueryContext::ChargeMemory; firing simulates a
 ///                           refused reservation — the query aborts with a
 ///                           typed kResourceExhausted and must unwind with

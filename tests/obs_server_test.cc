@@ -80,6 +80,12 @@ class ObsServerTest : public ::testing::Test {
     server_.SetHandler("/metrics", "text/plain; version=0.0.4",
                        [] { return MetricsRegistry::Global().Render(); });
     server_.SetHandler("/ping", "text/plain", [] { return "pong\n"; });
+    server_.SetQueryHandler(
+        "/echo", "text/plain",
+        [](const std::string& query) -> std::pair<int, std::string> {
+          if (query.empty()) return {400, "missing query\n"};
+          return {200, "query=" + query + "\n"};
+        });
     server_.SetHealthProbe([this]() -> std::pair<int, std::string> {
       if (healthy_.load()) return {200, "ok\n"};
       return {503, "degraded\n"};
@@ -220,6 +226,47 @@ TEST_F(ObsServerTest, StopIsIdempotentAndRestartable) {
   ASSERT_TRUE(next.Start(options).ok());
   EXPECT_EQ(Body(Get(next.port(), "/ping")), "pong\n");
   next.Stop();
+}
+
+TEST_F(ObsServerTest, HeadReturnsHeadersWithoutBody) {
+  ASSERT_TRUE(StartServer().ok());
+  std::string response = RawRequest(
+      server_.port(),
+      "HEAD /ping HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 200 OK");
+  // Content-Length advertises what GET would return, but no body follows.
+  EXPECT_NE(response.find("Content-Length: 5"), std::string::npos)
+      << response;
+  EXPECT_EQ(Body(response), "");
+  // /healthz answers HEAD too (what load-balancer probes send).
+  response = RawRequest(
+      server_.port(),
+      "HEAD /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(Body(response), "");
+}
+
+TEST_F(ObsServerTest, RootServesEndpointIndex) {
+  ASSERT_TRUE(StartServer().ok());
+  std::string response = Get(server_.port(), "/");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 200 OK");
+  std::string body = Body(response);
+  EXPECT_NE(body.find("/healthz"), std::string::npos) << body;
+  EXPECT_NE(body.find("/metrics"), std::string::npos) << body;
+  EXPECT_NE(body.find("/ping"), std::string::npos) << body;
+  // Parameterized endpoints are marked as such.
+  EXPECT_NE(body.find("/echo?..."), std::string::npos) << body;
+}
+
+TEST_F(ObsServerTest, QueryHandlerReceivesQueryStringAndPicksStatus) {
+  ASSERT_TRUE(StartServer().ok());
+  std::string response = Get(server_.port(), "/echo?id=42");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(Body(response), "query=id=42\n");
+  // The handler's error status propagates to the HTTP layer.
+  response = Get(server_.port(), "/echo");
+  EXPECT_EQ(StatusOf(response), "HTTP/1.1 400 Bad Request");
+  EXPECT_EQ(Body(response), "missing query\n");
 }
 
 }  // namespace

@@ -230,12 +230,14 @@ TEST(EngineMetricsTest, SchemaGolden) {
     if (line.rfind("# TYPE ", 0) == 0) type_lines.push_back(line);
   }
   const std::vector<std::string> expected = {
+      "# TYPE aggcache_active_queries gauge",
       "# TYPE aggcache_admission_admitted_total counter",
       "# TYPE aggcache_admission_queue_waits_total counter",
       "# TYPE aggcache_admission_rejects_capacity_total counter",
       "# TYPE aggcache_admission_rejects_timeout_total counter",
       "# TYPE aggcache_admission_running gauge",
       "# TYPE aggcache_admission_wait_us histogram",
+      "# TYPE aggcache_build_info gauge",
       "# TYPE aggcache_cache_admission_rejects_total counter",
       "# TYPE aggcache_cache_build_us histogram",
       "# TYPE aggcache_cache_delta_comp_us histogram",
@@ -273,6 +275,7 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_merge_daemon_commits_total counter",
       "# TYPE aggcache_merge_daemon_pressure_yields_total counter",
       "# TYPE aggcache_merge_daemon_ticks_total counter",
+      "# TYPE aggcache_perf_counters_unavailable gauge",
       "# TYPE aggcache_pool_queue_depth gauge",
       "# TYPE aggcache_pool_task_us histogram",
       "# TYPE aggcache_pool_tasks_total counter",
@@ -284,12 +287,15 @@ TEST(EngineMetricsTest, SchemaGolden) {
       "# TYPE aggcache_query_cancellations_total counter",
       "# TYPE aggcache_query_deadline_aborts_total counter",
       "# TYPE aggcache_query_mem_aborts_total counter",
+      "# TYPE aggcache_query_registrations_total counter",
       "# TYPE aggcache_recovery_discarded_scopes_total counter",
       "# TYPE aggcache_recovery_replay_us histogram",
       "# TYPE aggcache_recovery_replayed_records_total counter",
       "# TYPE aggcache_recovery_warm_admissions_total counter",
+      "# TYPE aggcache_remote_cancellations_total counter",
       "# TYPE aggcache_sharedscan_attaches_total counter",
       "# TYPE aggcache_sharedscan_leads_total counter",
+      "# TYPE aggcache_slow_queries_total counter",
       "# TYPE aggcache_wal_appends_total counter",
       "# TYPE aggcache_wal_bytes_total counter",
       "# TYPE aggcache_wal_sync_us histogram",

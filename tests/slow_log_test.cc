@@ -1,0 +1,130 @@
+// Tests for the slow-query log (src/obs/slow_log.h): threshold gating from
+// the environment spec, the bounded in-memory ring behind GET /slowlog, and
+// the rotating on-disk file ring for post-mortems.
+
+#include "obs/slow_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/engine_metrics.h"
+
+namespace aggcache {
+namespace {
+
+class SlowLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SlowQueryLog::Global().ResetForTest(); }
+  void TearDown() override {
+    SlowQueryLog::Global().ResetForTest();
+    ::unsetenv("AGGCACHE_SLOW_QUERY_MS");
+  }
+
+  std::string TempDir() {
+    std::string dir = ::testing::TempDir() + "/slowlog_test_" +
+                      std::to_string(::getpid()) + "_" +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+    std::string cmd = "mkdir -p " + dir;
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    return dir;
+  }
+};
+
+TEST_F(SlowLogTest, DisabledByDefaultAndRecordIsANoOp) {
+  SlowQueryLog& log = SlowQueryLog::Global();
+  EXPECT_FALSE(log.enabled());
+  log.Record("{\"x\":1}");
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total(), 0u);
+}
+
+TEST_F(SlowLogTest, ConfigureFromEnvParsesFullSpec) {
+  ::setenv("AGGCACHE_SLOW_QUERY_MS", "250.5,files=4,keep=16", 1);
+  SlowQueryLog& log = SlowQueryLog::Global();
+  log.ConfigureFromEnv();
+  EXPECT_TRUE(log.enabled());
+  EXPECT_DOUBLE_EQ(log.threshold_ms(), 250.5);
+}
+
+TEST_F(SlowLogTest, MalformedEnvLeavesTheLogDisabled) {
+  SlowQueryLog& log = SlowQueryLog::Global();
+  for (const char* bad : {"", "notanumber", "-5", "0"}) {
+    ::setenv("AGGCACHE_SLOW_QUERY_MS", bad, 1);
+    log.ConfigureFromEnv();
+    EXPECT_FALSE(log.enabled()) << "spec: '" << bad << "'";
+  }
+}
+
+TEST_F(SlowLogTest, InMemoryRingKeepsTheNewestRecords) {
+  SlowQueryLog& log = SlowQueryLog::Global();
+  SlowQueryLog::Options options;
+  options.threshold_ms = 1;
+  options.keep = 3;
+  log.Configure(options);
+  for (int i = 0; i < 5; ++i) {
+    log.Record("{\"n\":" + std::to_string(i) + "}");
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total(), 5u);
+  std::string dump = log.DumpJson();
+  EXPECT_NE(dump.find("\"schema\":\"aggcache-slowlog-v1\""),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"total\":5"), std::string::npos);
+  // Oldest two fell off the ring; newest three remain in order.
+  EXPECT_EQ(dump.find("{\"n\":0}"), std::string::npos);
+  EXPECT_EQ(dump.find("{\"n\":1}"), std::string::npos);
+  EXPECT_NE(dump.find("{\"n\":2},{\"n\":3},{\"n\":4}"), std::string::npos)
+      << dump;
+}
+
+TEST_F(SlowLogTest, RecordBumpsTheSlowQueriesMetric) {
+  uint64_t before = EngineMetrics::Get().slow_queries->Value();
+  SlowQueryLog& log = SlowQueryLog::Global();
+  SlowQueryLog::Options options;
+  options.threshold_ms = 1;
+  log.Configure(options);
+  log.Record("{}");
+  EXPECT_EQ(EngineMetrics::Get().slow_queries->Value(), before + 1);
+}
+
+TEST_F(SlowLogTest, DiskRingRotatesAcrossMaxFiles) {
+  SlowQueryLog& log = SlowQueryLog::Global();
+  SlowQueryLog::Options options;
+  options.threshold_ms = 1;
+  options.dir = TempDir();
+  options.max_files = 2;
+  log.Configure(options);
+  log.Record("{\"n\":0}");  // -> slowlog-0.json
+  log.Record("{\"n\":1}");  // -> slowlog-1.json
+  log.Record("{\"n\":2}");  // wraps -> slowlog-0.json
+  auto read_file = [&](int n) {
+    std::ifstream in(options.dir + "/slowlog-" + std::to_string(n) +
+                     ".json");
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
+  };
+  EXPECT_EQ(read_file(0), "{\"n\":2}\n");
+  EXPECT_EQ(read_file(1), "{\"n\":1}\n");
+}
+
+TEST_F(SlowLogTest, UnwritableDirIsSwallowed) {
+  // Disk failures degrade to in-memory only; Record must not throw or
+  // lose the in-memory copy.
+  SlowQueryLog& log = SlowQueryLog::Global();
+  SlowQueryLog::Options options;
+  options.threshold_ms = 1;
+  options.dir = "/nonexistent_dir_for_slowlog_test";
+  log.Configure(options);
+  log.Record("{\"n\":0}");
+  EXPECT_EQ(log.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aggcache
